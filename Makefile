@@ -1,0 +1,33 @@
+# Convenience targets for the repro project.
+
+PYTHON ?= python
+
+.PHONY: install test properties benchmarks experiments scorecard examples clean
+
+install:
+	pip install -e . || $(PYTHON) setup.py develop
+
+test:
+	$(PYTHON) -m pytest tests/ -q
+
+properties:
+	$(PYTHON) -m pytest tests/properties/ -q
+
+benchmarks:
+	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+experiments:
+	$(PYTHON) -m repro.experiments all
+
+scorecard:
+	$(PYTHON) -m repro.experiments scorecard
+
+examples:
+	@for f in examples/*.py; do \
+		echo "=== $$f ==="; \
+		$(PYTHON) $$f || exit 1; \
+	done
+
+clean:
+	rm -rf benchmarks/out .pytest_cache .hypothesis
+	find . -name __pycache__ -type d -exec rm -rf {} +

@@ -1,0 +1,48 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``test_bench_*`` module regenerates one of the paper's exhibits
+(Figures 1-4, Tables III-IV) end-to-end on the simulator, times the run
+with pytest-benchmark, writes the rendered paper-style rows to
+``benchmarks/out/`` and asserts the exhibit's shape criteria.
+
+Windows are reduced relative to the CLI defaults (which mimic the
+paper's 10M-cycle methodology) so the full harness completes in a few
+minutes; the CLI (``python -m repro.experiments all``) regenerates the
+same exhibits at full fidelity.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import Runner
+from repro.sim.engine import SimConfig
+
+OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+def bench_config(dram=None, seed: int = 7) -> SimConfig:
+    kwargs = {"dram": dram} if dram is not None else {}
+    return SimConfig(
+        warmup_cycles=100_000.0, measure_cycles=400_000.0, seed=seed, **kwargs
+    )
+
+
+@pytest.fixture(scope="session")
+def bench_runner() -> Runner:
+    return Runner(bench_config())
+
+
+@pytest.fixture(scope="session")
+def save_exhibit():
+    """Write an exhibit's rendered text under benchmarks/out/."""
+
+    def _save(name: str, text: str) -> pathlib.Path:
+        OUT_DIR.mkdir(exist_ok=True)
+        path = OUT_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        return path
+
+    return _save

@@ -1,0 +1,18 @@
+"""Regenerate the extension experiment (heuristics vs derived optima)."""
+
+from repro.experiments import extension
+from repro.experiments.figure2 import OPTIMAL_FOR
+
+
+def test_bench_extension(benchmark, bench_runner, save_exhibit):
+    result = benchmark.pedantic(
+        extension.run, args=(bench_runner,), rounds=1, iterations=1
+    )
+    save_exhibit("extension", extension.render(result))
+
+    for metric, (_np_v, heur, opt) in result.brackets().items():
+        # heuristics never beat the derived optimum on its own metric
+        assert heur <= opt * 1.05, metric
+    # and they avoid the priority schemes' starvation
+    for h in extension.HEURISTICS:
+        assert result.average(h, "minf") > 0.5, h

@@ -1,0 +1,17 @@
+"""Regenerate Figure 1 (motivation: 4 metrics x 5 schemes, hetero-5)."""
+
+from repro.experiments import figure1
+
+
+def test_bench_figure1(benchmark, bench_runner, save_exhibit):
+    result = benchmark.pedantic(
+        figure1.run, args=(bench_runner,), rounds=1, iterations=1
+    )
+    text = figure1.render(result)
+    save_exhibit("figure1", text)
+
+    # paper shape: each derived-optimal scheme wins its metric
+    assert result.best_scheme("hsp") == "sqrt"
+    assert result.best_scheme("minf") == "prop"
+    assert result.best_scheme("wsp") in ("prio_apc", "prio_api")
+    assert result.best_scheme("ipcsum") in ("prio_api", "prio_apc")

@@ -1,0 +1,28 @@
+"""Regenerate Figure 3 (QoS guarantee: hmmer pinned at IPC 0.6)."""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+def test_bench_figure3(benchmark, bench_runner, save_exhibit):
+    result = benchmark.pedantic(
+        figure3.run, args=(bench_runner,), rounds=1, iterations=1
+    )
+    save_exhibit("figure3", figure3.render(result))
+
+    # shape: the QoS partition pins hmmer at ~0.6 in both mixes...
+    for mix in ("Mix-1", "Mix-2"):
+        row = result.row(mix, "wsp")
+        assert row.qos_ipc_guaranteed == pytest.approx(
+            figure3.QOS_IPC_TARGET, rel=0.10
+        ), mix
+    # ...while No_partitioning does not regulate it
+    deviations = [
+        abs(result.row(m, "wsp").qos_ipc_nopart - figure3.QOS_IPC_TARGET)
+        for m in ("Mix-1", "Mix-2")
+    ]
+    assert max(deviations) > 0.05
+    # and best-effort throughput improves where FCFS was the bad baseline
+    assert result.row("Mix-1", "wsp").best_effort_gain > 1.0
+    assert result.row("Mix-1", "ipcsum").best_effort_gain > 1.0

@@ -1,0 +1,28 @@
+"""Regenerate Figure 4 (scalability: 3.2/6.4/12.8 GB/s x 4/8/16 cores).
+
+The heaviest exhibit: 7 hetero mixes x 5 schemes at three scale points,
+with 16-core simulations at the top end.
+"""
+
+from conftest import bench_config
+
+from repro.experiments import figure4
+from repro.experiments.runner import Runner
+
+
+def test_bench_figure4(benchmark, save_exhibit):
+    def factory(dram):
+        return Runner(bench_config(dram))
+
+    result = benchmark.pedantic(
+        figure4.run, args=(factory,), rounds=1, iterations=1
+    )
+    save_exhibit("figure4", figure4.render(result))
+
+    labels = [p[0] for p in figure4.SCALE_POINTS]
+    for metric in ("hsp", "minf", "wsp", "ipcsum"):
+        series = [result.gains[label][metric] for label in labels]
+        # paper Sec. VI-C: gains over Equal grow with bandwidth
+        assert series[-1] > series[0], (metric, series)
+        # and the optimal scheme never loses to Equal by more than noise
+        assert min(series) > 0.95, (metric, series)

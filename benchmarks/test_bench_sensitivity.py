@@ -1,0 +1,10 @@
+"""Run the full robustness sweep (all perturbations, hetero-5)."""
+
+from repro.experiments import sensitivity
+
+
+def test_bench_sensitivity(benchmark, save_exhibit):
+    result = benchmark.pedantic(sensitivity.run, rounds=1, iterations=1)
+    save_exhibit("sensitivity", sensitivity.render(result))
+    # the paper's per-metric winners survive every perturbation
+    assert result.all_hold, result.winners

@@ -1,0 +1,20 @@
+"""Regenerate Table III (benchmark characterization, alone-mode runs)."""
+
+from repro.experiments import table3
+
+
+def test_bench_table3(benchmark, bench_runner, save_exhibit):
+    result = benchmark.pedantic(
+        table3.run, args=(bench_runner,), rounds=1, iterations=1
+    )
+    save_exhibit("table3", table3.render(result))
+
+    assert len(result.rows) == 16
+    # measured APKC within 15% of Table III for every benchmark
+    assert result.worst_apkc_error < 0.15, [
+        (r.name, round(r.apkc_error, 3)) for r in result.rows
+    ]
+    # the intensity ordering anchors: lbm highest, povray/sjeng lowest
+    ordered = sorted(result.rows, key=lambda r: r.apkc_measured, reverse=True)
+    assert ordered[0].name == "lbm"
+    assert {r.name for r in ordered[-3:]} <= {"povray", "sjeng", "namd"}

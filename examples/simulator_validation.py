@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Validate the analytical model against the cycle-level simulator.
+
+For one heterogeneous workload, predict every scheme's per-app bandwidth
+share and metric values with the analytical model, then measure them on
+the GEM5+DRAMSim2-surrogate simulator -- the reproduction of the paper's
+core validation loop.
+
+Run:  python examples/simulator_validation.py
+"""
+
+import numpy as np
+
+from repro.core import ALL_METRICS, AnalyticalModel, default_schemes
+from repro.experiments.runner import Runner
+from repro.sim import SimConfig
+from repro.workloads.mixes import mix_core_specs
+
+MIX = "hetero-6"  # lbm-libquantum-gromacs-zeusmp
+
+runner = Runner(SimConfig(warmup_cycles=150_000, measure_cycles=600_000, seed=3))
+specs = mix_core_specs(MIX)
+
+print(f"profiling {MIX} standalone operating points...")
+profiles = runner.profiles(specs)
+for app in profiles:
+    print(f"  {app.name:12s} APC_alone={app.apc_alone * 1000:6.3f} APKC "
+          f"API={app.api * 1000:6.2f} APKI")
+
+print("\nscheme      app          predicted-APKC  measured-APKC")
+for name, scheme in default_schemes().items():
+    run = runner.run(MIX, name)
+    model = AnalyticalModel(profiles, run.sim.total_apc)
+    predicted = model.operating_point(scheme)
+    for i, app in enumerate(profiles):
+        print(
+            f"{name:12s}{app.name:12s}"
+            f"{predicted.apc_shared[i] * 1000:14.3f}"
+            f"{run.sim.apc_shared[i] * 1000:15.3f}"
+        )
+
+print("\nmetric agreement (predicted vs measured):")
+for name, scheme in default_schemes().items():
+    run = runner.run(MIX, name)
+    model = AnalyticalModel(profiles, run.sim.total_apc)
+    predicted = model.operating_point(scheme)
+    cells = []
+    for m in ALL_METRICS:
+        p = m(predicted.ipc_shared, profiles.ipc_alone)
+        s = m(run.sim.ipc_shared, run.ipc_alone)
+        cells.append(f"{m.name}={p:.3f}/{s:.3f}")
+    print(f"  {name:12s}" + "  ".join(cells))

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Trace capture + open-loop replay: scheduler what-ifs on a fixed stream.
+
+Memory-controller studies often replay a *fixed* arrival trace against
+different schedulers so every policy sees byte-identical traffic.  This
+example:
+
+1. runs a closed-loop simulation of one heavy + one light app and
+   captures its off-chip request stream with ``TraceRecorder``;
+2. saves / reloads the trace through the text format (portable:
+   ``cycle line_addr r|w app_id`` per line);
+3. replays it open-loop under FCFS, start-time-fair (Equal) and strict
+   priority, comparing per-app latency and service share.
+
+Run:  python examples/trace_replay_workflow.py
+"""
+
+import io
+
+import numpy as np
+
+from repro.sim import (
+    CoreSpec,
+    FCFSScheduler,
+    PriorityScheduler,
+    SimConfig,
+    StartTimeFairScheduler,
+    simulate,
+)
+from repro.sim.replay import TraceRecorder, read_trace, replay_trace
+
+# --- 1. capture -------------------------------------------------------
+specs = [
+    CoreSpec(name="streamer", api=0.05, ipc_peak=0.5, mlp=16, write_fraction=0.1),
+    CoreSpec(name="pointer-chaser", api=0.004, ipc_peak=0.6, mlp=2),
+]
+recorder = TraceRecorder()
+cfg = SimConfig(warmup_cycles=0, measure_cycles=200_000, seed=21)
+simulate(specs, lambda n: recorder.wrap(FCFSScheduler(n)), cfg)
+print(f"captured {len(recorder.records)} requests "
+      f"({sum(r.is_write for r in recorder.records)} writes)")
+
+# --- 2. persist + reload ----------------------------------------------
+buf = io.StringIO()
+recorder.save(buf)
+buf.seek(0)
+trace = read_trace(buf)
+assert trace == recorder.records
+print(f"trace round-tripped through the text format "
+      f"({len(buf.getvalue().splitlines())} lines)")
+
+# --- 3. replay under three policies ------------------------------------
+policies = {
+    "fcfs": lambda: FCFSScheduler(2),
+    "equal (STF)": lambda: StartTimeFairScheduler(2, np.array([0.5, 0.5])),
+    "priority->light": lambda: PriorityScheduler(2, [1, 0]),
+}
+
+print(f"\n{'policy':18s}{'lat streamer':>14s}{'lat chaser':>13s}"
+      f"{'share streamer':>16s}")
+for name, factory in policies.items():
+    result = replay_trace(trace, factory())
+    print(
+        f"{name:18s}{result.mean_latency[0]:14.0f}"
+        f"{result.mean_latency[1]:13.0f}"
+        f"{result.service_shares[0]:16.2f}"
+    )
+
+print("\ntakeaway: the same request stream, three different latency"
+      "\ndistributions -- partitioning policy, not traffic, decides who waits.")

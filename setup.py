@@ -1,0 +1,10 @@
+"""Legacy setup shim.
+
+Kept so ``pip install -e .`` works in offline environments without the
+``wheel`` package (pip then uses ``setup.py develop`` instead of building
+a PEP-517 editable wheel).  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

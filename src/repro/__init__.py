@@ -1,0 +1,39 @@
+"""repro -- reproduction of *An Analytical Performance Model for
+Partitioning Off-Chip Memory Bandwidth* (Wang, Chen, Pinkston,
+IPDPS 2013).
+
+Subpackages
+-----------
+``repro.core``
+    The analytical model: application profiles, metrics, partitioning
+    schemes, derived optima, the generic optimizer and QoS planning.
+``repro.workloads``
+    SPEC CPU2006 surrogate benchmarks (Table III), workload mixes
+    (Table IV) and synthetic trace/miss-stream generators.
+``repro.sim``
+    The validation substrate: a cycle-level CMP + DDR2 memory-system
+    simulator with pluggable memory schedulers (replaces GEM5+DRAMSim2).
+``repro.experiments``
+    Regeneration of every table and figure in the paper's evaluation.
+"""
+
+from repro.core import (
+    AnalyticalModel,
+    AppProfile,
+    OperatingPoint,
+    QoSPartitioner,
+    QoSTarget,
+    Workload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AnalyticalModel",
+    "AppProfile",
+    "OperatingPoint",
+    "QoSPartitioner",
+    "QoSTarget",
+    "Workload",
+    "__version__",
+]

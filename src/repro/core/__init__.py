@@ -1,0 +1,118 @@
+"""Core analytical model -- the paper's primary contribution.
+
+Public surface::
+
+    from repro.core import (
+        AppProfile, Workload, AnalyticalModel, OperatingPoint,
+        metrics, partitioning, QoSPartitioner, QoSTarget,
+    )
+"""
+
+from repro.core.apps import AppProfile, Workload, relative_std
+from repro.core.bandwidth import (
+    BandwidthUnit,
+    apc_to_bytes_per_sec,
+    bytes_per_sec_to_apc,
+    capped_allocation,
+    greedy_allocation,
+    normalize_shares,
+)
+from repro.core.closed_form import (
+    cauchy_dominance_holds,
+    hsp_proportional,
+    hsp_square_root,
+    wsp_proportional,
+    wsp_square_root,
+)
+from repro.core.frontier import (
+    FrontierPoint,
+    best_alpha,
+    knee_alpha,
+    pareto_points,
+    power_family_frontier,
+)
+from repro.core.knapsack import KnapsackSolution, solve_fractional_knapsack
+from repro.core.metrics import (
+    ALL_METRICS,
+    HarmonicWeightedSpeedup,
+    Metric,
+    MinFairness,
+    SumOfIPCs,
+    WeightedSpeedup,
+    metric_by_name,
+    speedups,
+)
+from repro.core.model import AnalyticalModel, OperatingPoint
+from repro.core.optimizer import PartitionOptimum, optimize_partition
+from repro.core.partitioning import (
+    SCHEME_ORDER,
+    EqualPartitioning,
+    ExplicitShares,
+    NoPartitioningModel,
+    PartitioningScheme,
+    PowerPartitioning,
+    PriorityAPC,
+    PriorityAPI,
+    PriorityScheme,
+    ProportionalPartitioning,
+    ShareBasedScheme,
+    SquareRootPartitioning,
+    TwoThirdsPowerPartitioning,
+    default_schemes,
+    scheme_by_name,
+)
+from repro.core.qos import QoSPartitioner, QoSPlan, QoSTarget
+
+__all__ = [
+    "AppProfile",
+    "Workload",
+    "relative_std",
+    "BandwidthUnit",
+    "apc_to_bytes_per_sec",
+    "bytes_per_sec_to_apc",
+    "capped_allocation",
+    "greedy_allocation",
+    "normalize_shares",
+    "cauchy_dominance_holds",
+    "hsp_proportional",
+    "hsp_square_root",
+    "wsp_proportional",
+    "wsp_square_root",
+    "FrontierPoint",
+    "best_alpha",
+    "knee_alpha",
+    "pareto_points",
+    "power_family_frontier",
+    "KnapsackSolution",
+    "solve_fractional_knapsack",
+    "ALL_METRICS",
+    "HarmonicWeightedSpeedup",
+    "Metric",
+    "MinFairness",
+    "SumOfIPCs",
+    "WeightedSpeedup",
+    "metric_by_name",
+    "speedups",
+    "AnalyticalModel",
+    "OperatingPoint",
+    "PartitionOptimum",
+    "optimize_partition",
+    "SCHEME_ORDER",
+    "EqualPartitioning",
+    "ExplicitShares",
+    "NoPartitioningModel",
+    "PartitioningScheme",
+    "PowerPartitioning",
+    "PriorityAPC",
+    "PriorityAPI",
+    "PriorityScheme",
+    "ProportionalPartitioning",
+    "ShareBasedScheme",
+    "SquareRootPartitioning",
+    "TwoThirdsPowerPartitioning",
+    "default_schemes",
+    "scheme_by_name",
+    "QoSPartitioner",
+    "QoSPlan",
+    "QoSTarget",
+]

@@ -1,0 +1,187 @@
+"""Application profiles and workloads for the analytical model.
+
+The analytical model of the paper characterizes each co-scheduled
+application by exactly two quantities (Table I):
+
+* ``API``  -- memory Accesses Per Instruction.  A property of the program
+  and its input set; invariant under bandwidth partitioning (Sec. III-A).
+* ``APC_alone`` -- memory Accesses Per Cycle the application achieves when
+  it runs alone with the full off-chip bandwidth.
+
+Everything else follows: ``IPC_alone = APC_alone / API`` and, under a
+partitioning that grants the app ``APC_shared`` accesses per cycle,
+``IPC_shared = APC_shared / API`` (Eq. 1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Iterable, Iterator, Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+from repro.util.validation import check_positive
+
+__all__ = ["AppProfile", "Workload", "relative_std"]
+
+
+@dataclass(frozen=True)
+class AppProfile:
+    """Analytical-model view of one application.
+
+    Parameters
+    ----------
+    name:
+        Identifier (e.g. the SPEC benchmark name).
+    api:
+        Memory accesses per instruction (off-chip, i.e. L2 misses plus
+        writebacks).  Must be positive: the model only concerns
+        applications that touch memory at all.
+    apc_alone:
+        Memory accesses per cycle in a standalone run with the full
+        off-chip bandwidth available.
+    """
+
+    name: str
+    api: float
+    apc_alone: float
+
+    def __post_init__(self) -> None:
+        check_positive(f"api ({self.name})", self.api)
+        check_positive(f"apc_alone ({self.name})", self.apc_alone)
+
+    @property
+    def ipc_alone(self) -> float:
+        """Standalone IPC, ``APC_alone / API`` (Eq. 1)."""
+        return self.apc_alone / self.api
+
+    @property
+    def apki(self) -> float:
+        """Accesses per kilo-instruction (Table III column ``APKI``)."""
+        return self.api * 1000.0
+
+    @property
+    def apkc_alone(self) -> float:
+        """Alone-mode accesses per kilo-cycle (Table III ``APKC_alone``)."""
+        return self.apc_alone * 1000.0
+
+    @property
+    def intensity(self) -> str:
+        """Paper Sec. V-C1 classification by ``APKC_alone``.
+
+        ``high`` if APKC_alone > 8, ``middle`` if in (4, 8], else ``low``.
+        (The paper's Table III boundaries: high > 8, middle 4..8, low < 4.)
+        """
+        if self.apkc_alone > 8.0:
+            return "high"
+        if self.apkc_alone > 4.0:
+            return "middle"
+        return "low"
+
+    def scaled(self, apc_alone: float) -> "AppProfile":
+        """Return a copy with a different ``apc_alone`` (same API)."""
+        return replace(self, apc_alone=apc_alone)
+
+
+def relative_std(values: Sequence[float]) -> float:
+    """Relative standard deviation in percent (sample std / mean).
+
+    The paper defines workload *heterogeneity* as the RSD of the
+    co-scheduled applications' ``APC_alone`` values (Sec. V-C2) and calls
+    a workload heterogeneous iff RSD > 30.  The *sample* standard
+    deviation (``ddof=1``) reproduces the paper's Table IV numbers
+    exactly (e.g. 12.27 for homo-1, 52.99 for hetero-5).
+    """
+    arr = np.asarray(values, dtype=float)
+    if arr.size < 2:
+        raise ConfigurationError("relative_std needs at least two values")
+    mean = float(arr.mean())
+    if mean == 0.0:
+        raise ConfigurationError("relative_std undefined for zero mean")
+    return float(arr.std(ddof=1) / mean * 100.0)
+
+
+@dataclass(frozen=True)
+class Workload:
+    """An ordered set of co-scheduled applications (one per core).
+
+    The order matters only for report labelling; all model math is
+    vectorized over the applications in this order.
+    """
+
+    name: str
+    apps: tuple[AppProfile, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if len(self.apps) == 0:
+            raise ConfigurationError(f"workload {self.name!r} has no applications")
+
+    @classmethod
+    def of(cls, name: str, apps: Iterable[AppProfile]) -> "Workload":
+        return cls(name=name, apps=tuple(apps))
+
+    def __len__(self) -> int:
+        return len(self.apps)
+
+    def __iter__(self) -> Iterator[AppProfile]:
+        return iter(self.apps)
+
+    def __getitem__(self, i: int) -> AppProfile:
+        return self.apps[i]
+
+    @property
+    def n(self) -> int:
+        """Number of co-scheduled applications, the paper's ``N``."""
+        return len(self.apps)
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(a.name for a in self.apps)
+
+    @property
+    def api(self) -> np.ndarray:
+        """Vector of per-app API values."""
+        return np.array([a.api for a in self.apps], dtype=float)
+
+    @property
+    def apc_alone(self) -> np.ndarray:
+        """Vector of per-app standalone APC values."""
+        return np.array([a.apc_alone for a in self.apps], dtype=float)
+
+    @property
+    def ipc_alone(self) -> np.ndarray:
+        """Vector of per-app standalone IPC values."""
+        return self.apc_alone / self.api
+
+    @property
+    def heterogeneity(self) -> float:
+        """RSD (percent) of the apps' APC_alone (paper Sec. V-C2)."""
+        return relative_std(self.apc_alone)
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Paper threshold: heterogeneous iff RSD > 30."""
+        return self.heterogeneity > 30.0
+
+    def index_of(self, name: str) -> int:
+        """Index of the first app with the given name."""
+        for i, a in enumerate(self.apps):
+            if a.name == name:
+                return i
+        raise KeyError(f"no app named {name!r} in workload {self.name!r}")
+
+    def replicated(self, copies: int, name: str | None = None) -> "Workload":
+        """Workload with each application duplicated ``copies`` times.
+
+        Used by the paper's scalability experiment (Sec. VI-C): hetero
+        mixes are scaled with 1, 2, 4 copies of each application for
+        3.2, 6.4 and 12.8 GB/s.
+        """
+        check_positive("copies", copies)
+        apps: list[AppProfile] = []
+        for c in range(copies):
+            for a in self.apps:
+                suffix = f"#{c}" if copies > 1 else ""
+                apps.append(replace(a, name=a.name + suffix))
+        return Workload.of(name or f"{self.name}x{copies}", apps)

@@ -1,0 +1,173 @@
+"""IPC-based system performance metrics (paper Sec. III and V-A).
+
+The paper evaluates four objectives; all are functions of the per-app
+shared-mode IPC vector and (for normalized metrics) the standalone IPC
+vector:
+
+* Harmonic weighted speedup (Eq. 3)  -- balance of throughput & fairness.
+* Weighted speedup          (Eq. 9)  -- normalized throughput.
+* Sum of IPCs               (Eq. 10) -- raw throughput.
+* Minimum fairness          (Eq. 14) -- ``N * min_i(speedup_i)``.
+
+Any other IPC-based metric can be plugged in by subclassing
+:class:`Metric`; the generic optimizer in :mod:`repro.core.optimizer`
+will maximize it (the versatility claim of paper Sec. III-F).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "Metric",
+    "JainFairness",
+    "HarmonicWeightedSpeedup",
+    "WeightedSpeedup",
+    "SumOfIPCs",
+    "MinFairness",
+    "speedups",
+    "ALL_METRICS",
+    "metric_by_name",
+]
+
+
+def speedups(ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> np.ndarray:
+    """Per-app speedup vector ``IPC_shared,i / IPC_alone,i``."""
+    shared = np.asarray(ipc_shared, dtype=float)
+    alone = np.asarray(ipc_alone, dtype=float)
+    if shared.shape != alone.shape:
+        raise ConfigurationError(
+            f"ipc vectors shape mismatch: {shared.shape} vs {alone.shape}"
+        )
+    if np.any(alone <= 0):
+        raise ConfigurationError("ipc_alone must be positive")
+    return shared / alone
+
+
+class Metric(ABC):
+    """A scalar system objective over per-app IPC vectors.
+
+    Subclasses must be *monotone non-decreasing* in each ``ipc_shared``
+    component for the knapsack/closed-form optimality results of the
+    paper to apply; the generic numerical optimizer does not rely on
+    monotonicity.
+    """
+
+    #: short identifier used in reports and the metric registry
+    name: str = "metric"
+    #: label as printed in the paper's figures
+    label: str = "metric"
+    #: whether larger values are better (all paper metrics are)
+    higher_is_better: bool = True
+
+    @abstractmethod
+    def evaluate(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
+        """Scalar objective for the given operating point."""
+
+    def __call__(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
+        return self.evaluate(np.asarray(ipc_shared, float), np.asarray(ipc_alone, float))
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}()"
+
+
+class HarmonicWeightedSpeedup(Metric):
+    """Eq. (3): ``N / sum_i (IPC_alone,i / IPC_shared,i)``.
+
+    Undefined when any application is fully starved; we return 0.0 in
+    that case (the limit as its IPC approaches zero), which matches how
+    starvation shows up in the paper's Fig. 2(a) for priority schemes.
+    """
+
+    name = "hsp"
+    label = "Harmonic weighted speedup"
+
+    def evaluate(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
+        if np.any(ipc_shared <= 0):
+            return 0.0
+        return float(len(ipc_shared) / np.sum(ipc_alone / ipc_shared))
+
+
+class WeightedSpeedup(Metric):
+    """Eq. (9): ``sum_i (IPC_shared,i / IPC_alone,i) / N``."""
+
+    name = "wsp"
+    label = "Weighted speedup"
+
+    def evaluate(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
+        return float(np.mean(ipc_shared / ipc_alone))
+
+
+class SumOfIPCs(Metric):
+    """Eq. (10): ``sum_i IPC_shared,i``."""
+
+    name = "ipcsum"
+    label = "Sum of IPCs"
+
+    def evaluate(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
+        return float(np.sum(ipc_shared))
+
+
+class MinFairness(Metric):
+    """Eq. (14): ``N * min_i (IPC_shared,i / IPC_alone,i)``.
+
+    The system "achieves minimum fairness" when the result is >= 1,
+    i.e. every application retains at least ``1/N`` of its standalone
+    performance (paper Sec. V-A).  Equivalent to the maximum-slowdown
+    criterion up to the factor ``N``.
+    """
+
+    name = "minf"
+    label = "Minimum fairness"
+
+    def evaluate(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
+        return float(len(ipc_shared) * np.min(ipc_shared / ipc_alone))
+
+
+class JainFairness(Metric):
+    """Jain's fairness index over per-app speedups (extension metric).
+
+    ``J = (sum s_i)^2 / (N * sum s_i^2)`` in (0, 1]; 1 means perfectly
+    equal speedups, 1/N means one app holds everything.  Not in the
+    paper, but the classic fairness index its MinFairness complements:
+    MinFairness looks at the worst victim, Jain at the overall balance.
+    Its optimum is the same Proportional partition (equal speedups
+    maximize J), which the test-suite verifies against the numerical
+    optimizer.
+    """
+
+    name = "jain"
+    label = "Jain fairness index"
+
+    def evaluate(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
+        s = ipc_shared / ipc_alone
+        denom = len(s) * float(np.sum(s * s))
+        if denom <= 0:
+            return 0.0
+        return float(np.sum(s)) ** 2 / denom
+
+
+#: the four paper metrics, in the order used throughout the evaluation
+ALL_METRICS: tuple[Metric, ...] = (
+    HarmonicWeightedSpeedup(),
+    MinFairness(),
+    WeightedSpeedup(),
+    SumOfIPCs(),
+)
+
+_REGISTRY: Mapping[str, Metric] = {m.name: m for m in ALL_METRICS}
+
+
+def metric_by_name(name: str) -> Metric:
+    """Look up one of the four paper metrics by its short name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown metric {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None

@@ -1,0 +1,202 @@
+"""The unified analytical model (paper Sec. III).
+
+:class:`AnalyticalModel` binds a workload (per-app API and APC_alone) to
+a total utilized bandwidth ``B`` and answers the two questions the paper
+poses:
+
+1. *Analysis*: given a partitioning scheme, what APC/IPC does each app
+   get and what is the value of any IPC-based metric?  (Sec. III-F:
+   "given a particular memory bandwidth partitioning, we can easily have
+   the bandwidth share of each application ... and calculate the final
+   IPC-based system performance objective".)
+
+2. *Synthesis*: given a metric, which partitioning is optimal?  The four
+   paper metrics have derived optima (Square_root, Proportional,
+   Priority_APC, Priority_API); any other metric is handled by the
+   generic numerical optimizer.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.apps import Workload
+from repro.core.knapsack import solve_fractional_knapsack
+from repro.core.metrics import (
+    ALL_METRICS,
+    HarmonicWeightedSpeedup,
+    Metric,
+    MinFairness,
+    SumOfIPCs,
+    WeightedSpeedup,
+    speedups,
+)
+from repro.core.partitioning import (
+    PartitioningScheme,
+    PriorityAPC,
+    PriorityAPI,
+    ProportionalPartitioning,
+    SquareRootPartitioning,
+)
+from repro.util.errors import ConfigurationError
+from repro.util.validation import check_positive
+
+__all__ = ["OperatingPoint", "AnalyticalModel"]
+
+
+@dataclass(frozen=True)
+class OperatingPoint:
+    """Per-app bandwidth/performance state under one partitioning."""
+
+    workload: Workload
+    #: per-app APC_shared (the bandwidth each app occupies)
+    apc_shared: np.ndarray
+
+    @property
+    def ipc_shared(self) -> np.ndarray:
+        """Eq. (1): ``IPC_shared = APC_shared / API``."""
+        return self.apc_shared / self.workload.api
+
+    @property
+    def speedups(self) -> np.ndarray:
+        """Per-app ``IPC_shared / IPC_alone``."""
+        return speedups(self.ipc_shared, self.workload.ipc_alone)
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Realized bandwidth fractions (shares of the utilized total)."""
+        total = self.apc_shared.sum()
+        if total <= 0:
+            raise ConfigurationError("operating point has zero total bandwidth")
+        return self.apc_shared / total
+
+    def evaluate(self, metric: Metric) -> float:
+        return metric(self.ipc_shared, self.workload.ipc_alone)
+
+    def evaluate_all(self) -> dict[str, float]:
+        """All four paper metrics at this point."""
+        return {m.name: self.evaluate(m) for m in ALL_METRICS}
+
+
+class AnalyticalModel:
+    """The paper's model bound to one workload and bandwidth budget.
+
+    Parameters
+    ----------
+    workload:
+        The co-scheduled applications.
+    total_bandwidth:
+        ``B`` -- total utilized off-chip bandwidth in APC, held constant
+        across partitioning schemes (Eq. 2 and the constant-utilization
+        assumption of Sec. II-A3).
+    """
+
+    def __init__(self, workload: Workload, total_bandwidth: float) -> None:
+        self.workload = workload
+        self.total_bandwidth = check_positive("total_bandwidth", total_bandwidth)
+
+    # ------------------------------------------------------------------
+    # analysis
+    # ------------------------------------------------------------------
+    def operating_point(
+        self,
+        scheme: PartitioningScheme,
+        *,
+        work_conserving: bool = True,
+    ) -> OperatingPoint:
+        """Per-app APC/IPC under ``scheme``."""
+        apc = scheme.allocate(
+            self.workload, self.total_bandwidth, work_conserving=work_conserving
+        )
+        return OperatingPoint(self.workload, apc)
+
+    def evaluate(self, metric: Metric, scheme: PartitioningScheme) -> float:
+        """Value of ``metric`` under ``scheme``."""
+        return self.operating_point(scheme).evaluate(metric)
+
+    def compare(
+        self, schemes: dict[str, PartitioningScheme]
+    ) -> dict[str, dict[str, float]]:
+        """All four paper metrics for each scheme: {scheme: {metric: value}}."""
+        return {
+            name: self.operating_point(s).evaluate_all()
+            for name, s in schemes.items()
+        }
+
+    # ------------------------------------------------------------------
+    # synthesis: derived optima
+    # ------------------------------------------------------------------
+    def optimal_scheme(self, metric: Metric) -> PartitioningScheme:
+        """The derived-optimal scheme for one of the four paper metrics.
+
+        Raises :class:`ConfigurationError` for metrics without a derived
+        closed form; use :meth:`optimize_numerically` for those.
+        """
+        if isinstance(metric, HarmonicWeightedSpeedup):
+            return SquareRootPartitioning()
+        if isinstance(metric, MinFairness):
+            return ProportionalPartitioning()
+        if isinstance(metric, WeightedSpeedup):
+            return PriorityAPC()
+        if isinstance(metric, SumOfIPCs):
+            return PriorityAPI()
+        raise ConfigurationError(
+            f"no derived optimum for metric {metric.name!r}; "
+            "use AnalyticalModel.optimize_numerically"
+        )
+
+    def optimal_operating_point(self, metric: Metric) -> OperatingPoint:
+        """Operating point of the derived-optimal scheme for ``metric``."""
+        return self.operating_point(self.optimal_scheme(metric))
+
+    # ------------------------------------------------------------------
+    # synthesis: linear objectives via the knapsack formulation
+    # ------------------------------------------------------------------
+    def knapsack_allocation(self, value_density: np.ndarray) -> OperatingPoint:
+        """Optimal allocation for a linear objective ``sum v_i * APC_i``.
+
+        The paper uses this for Wsp (``v_i = 1/(N a_i)``, Sec. III-D) and
+        IPCsum (``v_i = 1/API_i``, Sec. III-E); it is exposed so other
+        linear metrics can reuse the machinery.
+        """
+        sol = solve_fractional_knapsack(
+            np.asarray(value_density, dtype=float),
+            self.workload.apc_alone,
+            self.total_bandwidth,
+        )
+        return OperatingPoint(self.workload, sol.quantities)
+
+    def max_weighted_speedup(self) -> float:
+        """Optimal Wsp via the knapsack formulation of Sec. III-D."""
+        n = self.workload.n
+        op = self.knapsack_allocation(1.0 / (n * self.workload.apc_alone))
+        return op.evaluate(WeightedSpeedup())
+
+    def max_sum_of_ipcs(self) -> float:
+        """Optimal IPCsum via the knapsack formulation of Sec. III-E."""
+        op = self.knapsack_allocation(1.0 / self.workload.api)
+        return op.evaluate(SumOfIPCs())
+
+    # ------------------------------------------------------------------
+    # synthesis: arbitrary metrics
+    # ------------------------------------------------------------------
+    def optimize_numerically(self, metric: Metric, **kwargs) -> OperatingPoint:
+        """Maximize an arbitrary IPC-based metric over share vectors.
+
+        Delegates to :func:`repro.core.optimizer.optimize_partition`;
+        keyword arguments are forwarded (restarts, tolerance, ...).
+        """
+        from repro.core.optimizer import optimize_partition
+
+        result = optimize_partition(
+            self.workload, self.total_bandwidth, metric, **kwargs
+        )
+        return OperatingPoint(self.workload, result.apc_shared)
+
+    def __repr__(self) -> str:
+        return (
+            f"AnalyticalModel(workload={self.workload.name!r}, "
+            f"B={self.total_bandwidth!r}, n={self.workload.n})"
+        )

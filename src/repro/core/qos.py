@@ -1,0 +1,301 @@
+"""QoS-guaranteed bandwidth partitioning (paper Sec. III-G and VI-B).
+
+Applications split into two groups:
+
+* **QoS-guaranteed**: each has a target IPC; it must receive
+  ``B_QoS,i = IPC_target,i * API_i`` accesses per cycle (bandwidth is
+  the binding resource, so hitting the APC target hits the IPC target
+  by Eq. 1).
+* **Best effort**: the remaining bandwidth ``B_BE = B - sum(B_QoS)``
+  (Eq. 11) is partitioned among them to maximize a chosen objective,
+  reusing the optimal schemes of Sec. III-B..E on the reduced problem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.apps import AppProfile, Workload
+from repro.core.knapsack import solve_fractional_knapsack
+from repro.core.metrics import (
+    HarmonicWeightedSpeedup,
+    Metric,
+    MinFairness,
+    SumOfIPCs,
+    WeightedSpeedup,
+)
+from repro.core.model import OperatingPoint
+from repro.core.partitioning import (
+    ProportionalPartitioning,
+    SquareRootPartitioning,
+)
+from repro.util.errors import ConfigurationError, InfeasibleError
+from repro.util.validation import check_positive
+
+__all__ = [
+    "QoSTarget",
+    "QoSPlan",
+    "QoSPartitioner",
+    "AdmissionResult",
+    "max_feasible_target",
+    "admit_targets",
+]
+
+
+@dataclass(frozen=True)
+class QoSTarget:
+    """An IPC guarantee for one application."""
+
+    app_name: str
+    ipc_target: float
+
+    def __post_init__(self) -> None:
+        check_positive(f"ipc_target ({self.app_name})", self.ipc_target)
+
+
+@dataclass(frozen=True)
+class QoSPlan:
+    """A complete QoS-aware allocation for a workload."""
+
+    workload: Workload
+    #: per-app APC allocation (QoS apps pinned, best-effort optimized)
+    apc_shared: np.ndarray
+    #: indices of QoS-guaranteed apps
+    qos_indices: tuple[int, ...]
+    #: bandwidth reserved for the QoS group
+    b_qos: float
+    #: bandwidth left for the best-effort group (Eq. 11)
+    b_best_effort: float
+    #: name of the best-effort objective optimized
+    objective: str = field(default="wsp")
+
+    @property
+    def operating_point(self) -> OperatingPoint:
+        return OperatingPoint(self.workload, self.apc_shared)
+
+    @property
+    def beta(self) -> np.ndarray:
+        """Share vector for a share-enforcing scheduler."""
+        total = self.apc_shared.sum()
+        return self.apc_shared / total
+
+    def best_effort_point(self) -> OperatingPoint:
+        """Operating point restricted to the best-effort group."""
+        be = [i for i in range(self.workload.n) if i not in self.qos_indices]
+        sub = Workload.of(
+            f"{self.workload.name}-BE", [self.workload[i] for i in be]
+        )
+        return OperatingPoint(sub, self.apc_shared[be])
+
+
+class QoSPartitioner:
+    """Computes QoS-guaranteed partitions per paper Sec. III-G.
+
+    Parameters
+    ----------
+    objective:
+        Metric to maximize over the best-effort group.  The four paper
+        metrics map to their derived-optimal allocations; Sec. VI-B uses
+        Wsp/IPCsum/Hsp.
+    """
+
+    def __init__(self, objective: Metric | None = None) -> None:
+        self.objective = objective or WeightedSpeedup()
+
+    def plan(
+        self,
+        workload: Workload,
+        total_bandwidth: float,
+        targets: list[QoSTarget],
+    ) -> QoSPlan:
+        """Allocate bandwidth: guarantees first, best-effort optimized.
+
+        Raises
+        ------
+        InfeasibleError
+            If a target exceeds the app's standalone IPC, or the QoS
+            reservations exceed the total bandwidth.
+        """
+        check_positive("total_bandwidth", total_bandwidth)
+        if not targets:
+            raise ConfigurationError("QoS plan needs at least one target")
+
+        qos_idx: list[int] = []
+        reservations = np.zeros(workload.n)
+        for t in targets:
+            i = workload.index_of(t.app_name)
+            if i in qos_idx:
+                raise ConfigurationError(f"duplicate QoS target for {t.app_name!r}")
+            app = workload[i]
+            if t.ipc_target > app.ipc_alone + 1e-12:
+                raise InfeasibleError(
+                    f"target IPC {t.ipc_target} for {app.name!r} exceeds its "
+                    f"standalone IPC {app.ipc_alone:.4f}"
+                )
+            qos_idx.append(i)
+            # B_QoS = IPC_target * API (Sec. III-G)
+            reservations[i] = t.ipc_target * app.api
+
+        b_qos = float(reservations.sum())
+        b_be = total_bandwidth - b_qos
+        if b_be < -1e-12:
+            raise InfeasibleError(
+                f"QoS reservations ({b_qos:.5f} APC) exceed total bandwidth "
+                f"({total_bandwidth:.5f} APC)"
+            )
+        b_be = max(b_be, 0.0)
+
+        be_idx = [i for i in range(workload.n) if i not in qos_idx]
+        apc = reservations.copy()
+        if be_idx and b_be > 0:
+            sub = Workload.of(
+                f"{workload.name}-BE", [workload[i] for i in be_idx]
+            )
+            apc_be = self._allocate_best_effort(sub, b_be)
+            for j, i in enumerate(be_idx):
+                apc[i] = apc_be[j]
+
+        return QoSPlan(
+            workload=workload,
+            apc_shared=apc,
+            qos_indices=tuple(qos_idx),
+            b_qos=b_qos,
+            b_best_effort=b_be,
+            objective=self.objective.name,
+        )
+
+    def _allocate_best_effort(
+        self, sub: Workload, b_be: float
+    ) -> np.ndarray:
+        """Optimal best-effort allocation for the configured objective."""
+        obj = self.objective
+        if isinstance(obj, HarmonicWeightedSpeedup):
+            return SquareRootPartitioning().allocate(sub, b_be)
+        if isinstance(obj, MinFairness):
+            return ProportionalPartitioning().allocate(sub, b_be)
+        if isinstance(obj, WeightedSpeedup):
+            sol = solve_fractional_knapsack(
+                1.0 / (sub.n * sub.apc_alone), sub.apc_alone, b_be
+            )
+            return sol.quantities
+        if isinstance(obj, SumOfIPCs):
+            sol = solve_fractional_knapsack(1.0 / sub.api, sub.apc_alone, b_be)
+            return sol.quantities
+        # arbitrary metric: fall back to the numerical optimizer
+        from repro.core.optimizer import optimize_partition
+
+        return optimize_partition(sub, b_be, obj).apc_shared
+
+
+# ----------------------------------------------------------------------
+# admission control (extension of Sec. III-G)
+# ----------------------------------------------------------------------
+def max_feasible_target(
+    workload: Workload,
+    total_bandwidth: float,
+    app_name: str,
+    *,
+    best_effort_floor: float = 0.0,
+    existing: list[QoSTarget] | None = None,
+) -> float:
+    """Highest guaranteeable IPC for one application.
+
+    The binding constraints are (a) the app's standalone IPC (bandwidth
+    cannot make it faster than alone, Eq. 1) and (b) the bandwidth left
+    after other reservations and a best-effort floor:
+    ``IPC_max = min(IPC_alone, (B - B_other - floor) / API)``.
+    """
+    check_positive("total_bandwidth", total_bandwidth)
+    if best_effort_floor < 0:
+        raise ConfigurationError("best_effort_floor must be >= 0")
+    i = workload.index_of(app_name)
+    app = workload[i]
+    reserved = 0.0
+    for t in existing or []:
+        if t.app_name == app_name:
+            raise ConfigurationError(f"{app_name!r} already has a target")
+        j = workload.index_of(t.app_name)
+        reserved += t.ipc_target * workload[j].api
+    available = total_bandwidth - reserved - best_effort_floor
+    if available <= 0:
+        return 0.0
+    return min(app.ipc_alone, available / app.api)
+
+
+@dataclass(frozen=True)
+class AdmissionResult:
+    """Outcome of QoS admission control."""
+
+    admitted: tuple[QoSTarget, ...]
+    rejected: tuple[QoSTarget, ...]
+    plan: QoSPlan | None
+
+    @property
+    def n_admitted(self) -> int:
+        return len(self.admitted)
+
+
+def admit_targets(
+    workload: Workload,
+    total_bandwidth: float,
+    targets: list[QoSTarget],
+    *,
+    objective: Metric | None = None,
+    best_effort_floor: float = 0.0,
+    policy: str = "max-count",
+) -> AdmissionResult:
+    """Admit as many QoS targets as fit; plan the admitted set.
+
+    Policies
+    --------
+    ``max-count``
+        Admit in increasing order of reserved bandwidth
+        (``IPC_target x API``): the greedy rule that maximizes the
+        *number* of admitted guarantees (exchange argument: any feasible
+        set can be transformed into a prefix of the cheap-first order
+        without reducing its size).
+    ``fifo``
+        Admit in the given order, skipping any target that no longer
+        fits (arrival-order admission, as an online system would).
+
+    Targets that exceed an app's standalone IPC are always rejected.
+    """
+    check_positive("total_bandwidth", total_bandwidth)
+    if best_effort_floor < 0:
+        raise ConfigurationError("best_effort_floor must be >= 0")
+    if policy not in ("max-count", "fifo"):
+        raise ConfigurationError(f"unknown admission policy {policy!r}")
+    seen: set[str] = set()
+    for t in targets:
+        if t.app_name in seen:
+            raise ConfigurationError(f"duplicate target for {t.app_name!r}")
+        seen.add(t.app_name)
+
+    def reservation(t: QoSTarget) -> float:
+        return t.ipc_target * workload[workload.index_of(t.app_name)].api
+
+    order = (
+        sorted(targets, key=reservation) if policy == "max-count" else list(targets)
+    )
+    budget = total_bandwidth - best_effort_floor
+    admitted: list[QoSTarget] = []
+    rejected: list[QoSTarget] = []
+    for t in order:
+        app = workload[workload.index_of(t.app_name)]
+        cost = reservation(t)
+        if t.ipc_target > app.ipc_alone + 1e-12 or cost > budget + 1e-12:
+            rejected.append(t)
+            continue
+        admitted.append(t)
+        budget -= cost
+
+    plan = None
+    if admitted:
+        plan = QoSPartitioner(objective or WeightedSpeedup()).plan(
+            workload, total_bandwidth, admitted
+        )
+    return AdmissionResult(
+        admitted=tuple(admitted), rejected=tuple(rejected), plan=plan
+    )

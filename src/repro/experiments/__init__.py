@@ -1,0 +1,11 @@
+"""Regeneration of every table and figure in the paper's evaluation.
+
+One module per exhibit (``figure1`` .. ``figure4``, ``table3``,
+``table4``) plus ``ablation`` for the design-choice studies and
+``runner`` for the shared simulation/caching machinery.  The CLI
+(``python -m repro.experiments <exhibit>``) prints the paper-style rows.
+"""
+
+from repro.experiments.runner import ALL_SCHEME_NAMES, NOPART, Runner, SchemeRun
+
+__all__ = ["ALL_SCHEME_NAMES", "NOPART", "Runner", "SchemeRun"]

@@ -1,0 +1,245 @@
+"""CLI: regenerate any of the paper's tables/figures (and the extras).
+
+Usage::
+
+    python -m repro.experiments figure1|figure2|figure3|figure4
+    python -m repro.experiments table3|table4
+    python -m repro.experiments ablation      # model-vs-sim + mechanism studies
+    python -m repro.experiments extension     # PAR-BS/TCM vs the derived optima
+    python -m repro.experiments sensitivity   # winners under perturbation
+    python -m repro.experiments predicted     # model-only grid + agreement
+    python -m repro.experiments scorecard     # 17-check PASS/FAIL gate
+    python -m repro.experiments regression [--update]   # golden numbers
+    python -m repro.experiments all           # every exhibit (no regression)
+
+Flags: ``--quick`` shrinks the measurement windows ~4x (smoke runs; more
+sampling noise); ``--export DIR`` writes tidy CSV/JSON artifacts;
+``--parallel`` fans the figure2 grid across CPU cores.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments.runner import Runner
+from repro.sim.engine import SimConfig
+
+_EXHIBITS = (
+    "figure1", "figure2", "figure3", "figure4", "table3", "table4",
+    "ablation", "extension", "sensitivity", "scorecard", "predicted",
+    "regression",
+)
+
+
+def _default_config(quick: bool, dram=None) -> SimConfig:
+    kwargs = {}
+    if dram is not None:
+        kwargs["dram"] = dram
+    if quick:
+        return SimConfig(
+            warmup_cycles=100_000.0, measure_cycles=250_000.0, seed=7, **kwargs
+        )
+    return SimConfig(
+        warmup_cycles=200_000.0, measure_cycles=1_000_000.0, seed=7, **kwargs
+    )
+
+
+def _maybe_export(name: str, result, export_dir: str | None) -> str:
+    """Write CSV/JSON artifacts for exhibits that have a flattener."""
+    if export_dir is None:
+        return ""
+    from repro.experiments import export as ex
+
+    flatteners = {
+        "figure1": ex.figure1_records,
+        "figure2": ex.figure2_records,
+        "figure3": ex.figure3_records,
+        "figure4": ex.figure4_records,
+        "table3": ex.table3_records,
+        "table4": ex.table4_records,
+    }
+    if name not in flatteners:
+        return ""
+    csv_path, json_path = ex.write_records(
+        flatteners[name](result), export_dir, name
+    )
+    return f"\n[exported {csv_path} and {json_path}]"
+
+
+def run_exhibit(
+    name: str,
+    quick: bool = False,
+    export_dir: str | None = None,
+    parallel: bool = False,
+) -> str:
+    """Run one exhibit and return its rendered text."""
+    runner = Runner(_default_config(quick))
+    if name == "figure1":
+        from repro.experiments import figure1
+
+        result = figure1.run(runner)
+        return figure1.render(result) + _maybe_export(name, result, export_dir)
+    if name == "figure2":
+        from repro.experiments import figure2
+
+        if parallel:
+            from repro.experiments.figure2 import FIG2_SCHEMES, Figure2Result
+            from repro.experiments.parallel import ParallelRunner
+            from repro.workloads.mixes import HETERO_MIXES, HOMO_MIXES
+
+            grid = ParallelRunner(_default_config(quick)).normalized_grid(
+                HOMO_MIXES + HETERO_MIXES, FIG2_SCHEMES
+            )
+            result = Figure2Result(grid=grid)
+        else:
+            result = figure2.run(runner)
+        return figure2.render(result) + _maybe_export(name, result, export_dir)
+    if name == "figure3":
+        from repro.experiments import figure3
+
+        result = figure3.run(runner)
+        return figure3.render(result) + _maybe_export(name, result, export_dir)
+    if name == "figure4":
+        from repro.experiments import figure4
+
+        result = figure4.run(lambda dram: Runner(_default_config(quick, dram)))
+        return figure4.render(result) + _maybe_export(name, result, export_dir)
+    if name == "table3":
+        from repro.experiments import table3
+
+        result = table3.run(runner)
+        return table3.render(result) + _maybe_export(name, result, export_dir)
+    if name == "table4":
+        from repro.experiments import table4
+
+        result = table4.run(runner)
+        return table4.render(result) + _maybe_export(name, result, export_dir)
+    if name == "ablation":
+        from repro.experiments import ablation
+
+        parts = [
+            ablation.render_model_vs_sim(ablation.model_vs_sim(runner, "hetero-5"))
+        ]
+        enf = ablation.enforcement_ablation(runner)
+        parts.append(
+            f"enforcement ({enf.mix}/{enf.app}): target share "
+            f"{enf.target_share:.3f}, arrival-free {enf.share_arrival_free:.3f}, "
+            f"arrival-coupled {enf.share_arrival_coupled:.3f}"
+        )
+        prof = ablation.profiler_ablation(runner)
+        parts.append(
+            f"profiler ({prof.mix}/{prof.scheme}): APC_alone estimation error "
+            + ", ".join(f"{m}={e * 100:.1f}%" for m, e in prof.errors.items())
+        )
+        pe = ablation.priority_enforcement_ablation(runner)
+        parts.append(
+            f"priority enforcement ({pe.mix}): Wsp strict={pe.wsp_strict:.3f} "
+            f"vs knapsack-shares={pe.wsp_shares:.3f}"
+        )
+        cs = ablation.channel_scaling_ablation(runner)
+        parts.append(
+            f"channel scaling ({cs.mix}): 2x-bus B={cs.total_apc_fast_bus:.5f} "
+            f"vs 2-channel B={cs.total_apc_two_channels:.5f} APC "
+            f"(ratio {cs.throughput_ratio:.3f})"
+        )
+        ovs = ablation.online_vs_static_ablation(runner)
+        parts.append(
+            f"online vs static ({ovs.mix}/{ovs.scheme}): {ovs.metric} "
+            f"static={ovs.value_static:.3f} online={ovs.value_online:.3f} "
+            f"({ovs.relative_gap * 100:.1f}% of static)"
+        )
+        return "\n\n".join(parts)
+    if name == "extension":
+        from repro.experiments import extension
+
+        return extension.render(extension.run(runner))
+    if name == "sensitivity":
+        from repro.experiments import sensitivity
+
+        return sensitivity.render(sensitivity.run())
+    if name == "scorecard":
+        from repro.experiments import scorecard
+
+        return scorecard.render(scorecard.run(runner))
+    if name == "predicted":
+        from repro.experiments import predicted
+
+        pred = predicted.run()
+        text = predicted.render(pred)
+        hetero = tuple(m for m in pred.grid if m.startswith("hetero"))
+        agreement = predicted.compare_with_simulation(
+            pred, runner, mixes=hetero[:3]
+        )
+        return (
+            text
+            + "\n\nagreement vs simulation (3 hetero mixes): "
+            + f"mean |err| = {agreement.mean_abs_error:.3f}, "
+            + f"ordering agreement = {agreement.ordering_agreement * 100:.1f}% "
+            + f"({agreement.n_cells} cells)"
+        )
+    raise SystemExit(f"unknown exhibit {name!r}; choose from {_EXHIBITS + ('all',)}")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro-experiments", description=__doc__)
+    parser.add_argument("exhibit", choices=_EXHIBITS + ("all",))
+    parser.add_argument("--quick", action="store_true", help="small windows")
+    parser.add_argument(
+        "--export",
+        metavar="DIR",
+        default=None,
+        help="also write tidy CSV/JSON artifacts for the exhibit into DIR",
+    )
+    parser.add_argument(
+        "--parallel",
+        action="store_true",
+        help="fan the simulation grid out across CPU cores (figure2)",
+    )
+    parser.add_argument(
+        "--update",
+        action="store_true",
+        help="regression: overwrite the golden baseline with fresh numbers",
+    )
+    args = parser.parse_args(argv)
+
+    if args.exhibit == "regression":
+        from repro.experiments import regression
+
+        runner = Runner(_default_config(args.quick))
+        current = regression.collect(runner)
+        if args.update:
+            regression.save_baseline(current, regression.BASELINE_PATH)
+            print(f"baseline updated: {regression.BASELINE_PATH} "
+                  f"({len(current)} quantities)")
+            return 0
+        baseline = regression.load_baseline(regression.BASELINE_PATH)
+        drifts = regression.compare(current, baseline)
+        print(regression.render(drifts, n_tracked=len(baseline)))
+        return 1 if drifts else 0
+
+    # "all" excludes the regression gate (it compares against a baseline
+    # rather than printing an exhibit, and has its own exit semantics)
+    names = (
+        tuple(n for n in _EXHIBITS if n != "regression")
+        if args.exhibit == "all"
+        else (args.exhibit,)
+    )
+    for name in names:
+        t0 = time.time()
+        print(f"=== {name} ===")
+        print(
+            run_exhibit(
+                name,
+                quick=args.quick,
+                export_dir=args.export,
+                parallel=args.parallel,
+            )
+        )
+        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,156 @@
+"""Machine-readable exhibit artifacts (CSV + JSON).
+
+The text renderers in each exhibit module mirror the paper's row layout
+for eyeballing; downstream analysis (plotting, regression tracking,
+cross-paper comparisons) wants structured data instead.  This module
+flattens each exhibit's result object into records and writes CSV/JSON
+side by side.
+
+Every record schema is long-form ("tidy"): one measurement per row with
+explicit key columns, so any spreadsheet/pandas/R workflow can pivot it.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+import pathlib
+from typing import Iterable, Mapping, Sequence
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "records_to_csv",
+    "records_to_json",
+    "write_records",
+    "figure1_records",
+    "figure2_records",
+    "figure3_records",
+    "figure4_records",
+    "table3_records",
+    "table4_records",
+]
+
+Record = Mapping[str, object]
+
+
+def records_to_csv(records: Sequence[Record]) -> str:
+    """Render records as CSV text (header from the first record's keys)."""
+    if not records:
+        raise ConfigurationError("cannot export zero records")
+    fields = list(records[0].keys())
+    for r in records:
+        if list(r.keys()) != fields:
+            raise ConfigurationError("records have inconsistent columns")
+    buf = io.StringIO()
+    writer = csv.DictWriter(buf, fieldnames=fields, lineterminator="\n")
+    writer.writeheader()
+    writer.writerows(records)
+    return buf.getvalue()
+
+
+def records_to_json(records: Sequence[Record]) -> str:
+    """Render records as a JSON array (stable key order)."""
+    if not records:
+        raise ConfigurationError("cannot export zero records")
+    return json.dumps([dict(r) for r in records], indent=2, sort_keys=False)
+
+
+def write_records(
+    records: Sequence[Record], out_dir: pathlib.Path | str, name: str
+) -> tuple[pathlib.Path, pathlib.Path]:
+    """Write ``<name>.csv`` and ``<name>.json`` under ``out_dir``."""
+    out = pathlib.Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    csv_path = out / f"{name}.csv"
+    json_path = out / f"{name}.json"
+    csv_path.write_text(records_to_csv(records))
+    json_path.write_text(records_to_json(records) + "\n")
+    return csv_path, json_path
+
+
+# ----------------------------------------------------------------------
+# per-exhibit flatteners
+# ----------------------------------------------------------------------
+def figure1_records(result) -> list[dict]:
+    """Figure1Result -> (scheme, metric, normalized_value) rows."""
+    return [
+        {"scheme": scheme, "metric": metric, "normalized_value": value}
+        for scheme, row in result.normalized.items()
+        for metric, value in row.items()
+    ]
+
+
+def figure2_records(result) -> list[dict]:
+    """Figure2Result -> (mix, group, scheme, metric, value) rows."""
+    records = []
+    for mix, row in result.grid.items():
+        group = "hetero" if mix.startswith("hetero") else "homo"
+        for scheme, metrics in row.items():
+            for metric, value in metrics.items():
+                records.append(
+                    {
+                        "mix": mix,
+                        "group": group,
+                        "scheme": scheme,
+                        "metric": metric,
+                        "normalized_value": value,
+                    }
+                )
+    return records
+
+
+def figure3_records(result) -> list[dict]:
+    """Figure3Result -> one row per (mix, objective)."""
+    return [
+        {
+            "mix": r.mix,
+            "objective": r.objective,
+            "qos_ipc_nopart": r.qos_ipc_nopart,
+            "qos_ipc_guaranteed": r.qos_ipc_guaranteed,
+            "best_effort_gain": r.best_effort_gain,
+        }
+        for r in result.rows
+    ]
+
+
+def figure4_records(result) -> list[dict]:
+    """Figure4Result -> (scale_point, metric, gain_over_equal) rows."""
+    return [
+        {"scale_point": label, "metric": metric, "gain_over_equal": value}
+        for label, row in result.gains.items()
+        for metric, value in row.items()
+    ]
+
+
+def table3_records(result) -> list[dict]:
+    """Table3Result -> one row per benchmark."""
+    return [
+        {
+            "name": r.name,
+            "type": r.btype,
+            "apkc_measured": r.apkc_measured,
+            "apkc_paper": r.apkc_paper,
+            "apki_measured": r.apki_measured,
+            "apki_paper": r.apki_paper,
+            "intensity": r.intensity,
+            "apkc_rel_error": r.apkc_error,
+        }
+        for r in result.rows
+    ]
+
+
+def table4_records(result) -> list[dict]:
+    """Table4Result -> one row per mix."""
+    return [
+        {
+            "mix": r.mix,
+            "benchmarks": "-".join(r.benchmarks),
+            "rsd_printed": r.rsd_printed,
+            "rsd_paper_inputs": r.rsd_paper_inputs,
+            "rsd_measured": r.rsd_measured,
+            "heterogeneous": r.is_heterogeneous,
+        }
+        for r in result.rows
+    ]

@@ -1,0 +1,177 @@
+"""Parallel experiment execution across processes.
+
+The Figure 2 grid is 14 mixes x 7 schemes = 98 independent simulations
+(plus 16 alone-mode profiling runs); Figure 4 adds three scale points.
+Every simulation is deterministic and independent given its inputs, so
+the grid is embarrassingly parallel -- the textbook case for process
+pools (the GIL rules out threads for this CPU-bound pure-Python work).
+
+Design notes (per the repo's HPC guidance):
+
+* workers receive *small picklable descriptions* (mix name, scheme name,
+  copies, SimConfig) and rebuild state locally -- no large object
+  shipping, no shared mutable state;
+* alone-mode profiling runs are de-duplicated and executed first (one
+  task per benchmark), then shared-mode runs are fanned out with the
+  profile table broadcast to every worker via the task payload;
+* results are plain dataclasses; ordering is restored by key, so the
+  output is bit-identical to the serial :class:`~repro.experiments.runner.Runner`
+  (asserted in the test-suite).
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.apps import AppProfile, Workload
+from repro.experiments.runner import Runner, SchemeRun
+from repro.sim.engine import SimConfig, simulate
+from repro.util.errors import ConfigurationError
+from repro.workloads.mixes import mix_core_specs
+
+__all__ = ["ParallelRunner", "profile_task", "run_task"]
+
+
+# ----------------------------------------------------------------------
+# worker entry points (module-level so they pickle)
+# ----------------------------------------------------------------------
+def profile_task(args: tuple[str, SimConfig]) -> tuple[str, float, float]:
+    """Alone-run one benchmark; returns (name, apc_alone, ipc_alone)."""
+    bench_name, config = args
+    from repro.workloads.spec import benchmark
+
+    spec = benchmark(bench_name).core_spec()
+    from repro.sim.mc.fcfs import FCFSScheduler
+
+    result = simulate([spec], lambda n: FCFSScheduler(n), config)
+    app = result.apps[0]
+    return bench_name, app.apc, app.ipc
+
+
+def run_task(
+    args: tuple[str, str, int, SimConfig, dict[str, tuple[float, float]]],
+) -> tuple[tuple[str, str, int], SchemeRun]:
+    """Run one (mix, scheme, copies) simulation in a worker process."""
+    mix, scheme_name, copies, config, alone_table = args
+    specs = mix_core_specs(mix, copies)
+    profiles = Workload.of(
+        mix,
+        [
+            AppProfile(
+                s.name,
+                api=s.api,
+                apc_alone=alone_table[s.name.split("#")[0]][0],
+            )
+            for s in specs
+        ],
+    )
+    ipc_alone = np.array(
+        [alone_table[s.name.split("#")[0]][1] for s in specs]
+    )
+    # reuse the serial runner's scheme->scheduler wiring
+    shim = Runner(config)
+    factory = shim.scheduler_factory(scheme_name, profiles)
+    sim = simulate(specs, factory, config)
+    run = SchemeRun(
+        mix=mix,
+        scheme=scheme_name,
+        sim=sim,
+        ipc_alone=ipc_alone,
+        apc_alone=profiles.apc_alone,
+    )
+    return (mix, scheme_name, copies), run
+
+
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Grid:
+    mixes: tuple[str, ...]
+    schemes: tuple[str, ...]
+    copies: int
+
+
+class ParallelRunner:
+    """Drop-in grid executor: same results as ``Runner``, many cores.
+
+    Parameters
+    ----------
+    sim_config:
+        Forwarded to every worker (windows, seed, DRAM).
+    max_workers:
+        Process-pool size; ``None`` lets the executor pick (cpu_count).
+    """
+
+    def __init__(
+        self, sim_config: SimConfig | None = None, max_workers: int | None = None
+    ) -> None:
+        self.sim_config = sim_config or SimConfig()
+        if max_workers is not None and max_workers < 1:
+            raise ConfigurationError("max_workers must be >= 1")
+        self.max_workers = max_workers
+
+    def _profile_all(
+        self, mixes: tuple[str, ...], copies: int, pool: ProcessPoolExecutor
+    ) -> dict[str, tuple[float, float]]:
+        """Deduplicated alone-mode profiling, fanned out first."""
+        bench_names = sorted(
+            {
+                s.name.split("#")[0]
+                for mix in mixes
+                for s in mix_core_specs(mix, copies)
+            }
+        )
+        tasks = [(name, self.sim_config) for name in bench_names]
+        table: dict[str, tuple[float, float]] = {}
+        for name, apc, ipc in pool.map(profile_task, tasks):
+            table[name] = (apc, ipc)
+        return table
+
+    def run_grid(
+        self,
+        mixes,
+        scheme_names,
+        *,
+        copies: int = 1,
+    ) -> dict[str, dict[str, SchemeRun]]:
+        """{mix: {scheme: SchemeRun}}, computed across processes."""
+        grid = _Grid(tuple(mixes), tuple(scheme_names), copies)
+        if not grid.mixes or not grid.schemes:
+            raise ConfigurationError("empty grid")
+        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+            alone_table = self._profile_all(grid.mixes, copies, pool)
+            tasks = [
+                (mix, scheme, copies, self.sim_config, alone_table)
+                for mix in grid.mixes
+                for scheme in grid.schemes
+            ]
+            out: dict[str, dict[str, SchemeRun]] = {m: {} for m in grid.mixes}
+            for key, run in pool.map(run_task, tasks):
+                out[key[0]][key[1]] = run
+        return out
+
+    def normalized_grid(
+        self,
+        mixes,
+        scheme_names,
+        *,
+        baseline: str = "nopart",
+        copies: int = 1,
+    ) -> dict[str, dict[str, dict[str, float]]]:
+        """Figure-2-shaped normalized metrics, computed in parallel."""
+        names = tuple(scheme_names)
+        all_names = names if baseline in names else names + (baseline,)
+        grid = self.run_grid(mixes, all_names, copies=copies)
+        out: dict[str, dict[str, dict[str, float]]] = {}
+        for mix, runs in grid.items():
+            base = runs[baseline].metrics
+            out[mix] = {
+                s: {
+                    k: (runs[s].metrics[k] / base[k] if base[k] > 0 else float("inf"))
+                    for k in base
+                }
+                for s in names
+            }
+        return out

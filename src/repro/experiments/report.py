@@ -1,0 +1,57 @@
+"""Plain-text rendering of experiment results (paper-style rows)."""
+
+from __future__ import annotations
+
+from typing import Iterable, Mapping, Sequence
+
+__all__ = ["format_table", "format_grid", "pct"]
+
+
+def pct(x: float) -> str:
+    """Format a ratio as a signed percent improvement."""
+    return f"{(x - 1.0) * 100.0:+.1f}%"
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    *,
+    title: str | None = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Fixed-width text table."""
+    str_rows: list[list[str]] = []
+    for row in rows:
+        str_rows.append(
+            [
+                float_fmt.format(c) if isinstance(c, float) else str(c)
+                for c in row
+            ]
+        )
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(widths[i]) for i, h in enumerate(headers)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_grid(
+    grid: Mapping[str, Mapping[str, float]],
+    *,
+    row_label: str = "workload",
+    columns: Sequence[str] | None = None,
+    title: str | None = None,
+) -> str:
+    """Render {row: {column: value}} as a table."""
+    cols = list(columns) if columns is not None else sorted(
+        {c for row in grid.values() for c in row}
+    )
+    rows = [[name] + [grid[name].get(c, float("nan")) for c in cols] for name in grid]
+    return format_table([row_label] + cols, rows, title=title)

@@ -1,0 +1,226 @@
+"""One-shot reproduction scorecard.
+
+Aggregates every shape criterion from DESIGN.md §4 into a single
+PASS/FAIL report -- the "is the reproduction healthy" gate a CI system
+(or a skeptical reader) runs first.  Each check is small, named, and
+carries the measured evidence in its message.
+
+Checks (all on the simulator, one shared runner):
+
+1. Figure 1 winners (sqrt/prop/priority per metric).
+2. Table III: measured APKC within tolerance, classes preserved.
+3. Table IV: RSD reproduction + hetero threshold.
+4. Figure 2 (reduced grid): optimal schemes win their hetero averages;
+   2/3_power between sqrt and prop; priority starvation.
+5. Figure 3: QoS pinning + unregulated nopart.
+6. Model-vs-sim APC agreement for share schemes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.experiments.runner import Runner
+
+__all__ = ["Check", "Scorecard", "run", "render"]
+
+
+@dataclass(frozen=True)
+class Check:
+    name: str
+    passed: bool
+    evidence: str
+
+
+@dataclass(frozen=True)
+class Scorecard:
+    checks: tuple[Check, ...]
+
+    @property
+    def passed(self) -> bool:
+        return all(c.passed for c in self.checks)
+
+    @property
+    def n_passed(self) -> int:
+        return sum(c.passed for c in self.checks)
+
+
+def _check_figure1(runner: Runner) -> list[Check]:
+    from repro.experiments import figure1
+
+    result = figure1.run(runner)
+    expected = {
+        "hsp": ("sqrt",),
+        "minf": ("prop",),
+        "wsp": ("prio_apc", "prio_api"),
+        "ipcsum": ("prio_api", "prio_apc"),
+    }
+    checks = []
+    for metric, winners in expected.items():
+        best = result.best_scheme(metric)
+        checks.append(
+            Check(
+                name=f"figure1:{metric}-winner",
+                passed=best in winners,
+                evidence=f"best={best}, expected one of {winners}",
+            )
+        )
+    return checks
+
+
+def _check_table3(runner: Runner) -> list[Check]:
+    from repro.experiments import table3
+
+    result = table3.run(runner)
+    worst = result.worst_apkc_error
+    return [
+        Check(
+            name="table3:apkc-error",
+            passed=worst < 0.15,
+            evidence=f"worst APKC error {worst * 100:.1f}% (< 15% required)",
+        ),
+        Check(
+            name="table3:lbm-highest",
+            passed=max(result.rows, key=lambda r: r.apkc_measured).name == "lbm",
+            evidence="lbm tops the measured APKC ordering",
+        ),
+    ]
+
+
+def _check_table4(runner: Runner) -> list[Check]:
+    from repro.experiments import table4
+
+    result = table4.run(runner)
+    bad_rsd = [
+        r.mix
+        for r in result.rows
+        if r.mix != "homo-7" and abs(r.rsd_paper_inputs - r.rsd_printed) > 0.02
+    ]
+    hetero_ok = all(
+        r.rsd_measured > 30.0 for r in result.rows if r.is_heterogeneous
+    )
+    return [
+        Check(
+            name="table4:rsd-reproduction",
+            passed=not bad_rsd,
+            evidence=f"mismatched mixes: {bad_rsd or 'none'} (homo-7 excepted)",
+        ),
+        Check(
+            name="table4:hetero-threshold",
+            passed=hetero_ok,
+            evidence="all hetero mixes measure RSD > 30",
+        ),
+    ]
+
+
+def _check_figure2(runner: Runner) -> list[Check]:
+    from repro.experiments import figure2
+
+    result = figure2.run(
+        runner, mixes=("hetero-4", "hetero-5", "hetero-6", "homo-1")
+    )
+    checks = []
+    for metric, scheme in figure2.OPTIMAL_FOR.items():
+        values = {
+            s: result.hetero_average(s, metric) for s in figure2.FIG2_SCHEMES
+        }
+        best = max(values, key=values.get)
+        ok = best == scheme or (
+            scheme.startswith("prio") and best.startswith("prio")
+        )
+        checks.append(
+            Check(
+                name=f"figure2:{metric}-optimal",
+                passed=ok,
+                evidence=f"best={best} ({values[best]:.3f}), expected {scheme}",
+            )
+        )
+    # 2/3 between sqrt and prop on fairness
+    m_s = result.hetero_average("sqrt", "minf")
+    m_t = result.hetero_average("twothirds", "minf")
+    m_p = result.hetero_average("prop", "minf")
+    checks.append(
+        Check(
+            name="figure2:twothirds-between",
+            passed=min(m_s, m_p) - 0.03 <= m_t <= max(m_s, m_p) + 0.03,
+            evidence=f"minf: sqrt {m_s:.3f} <= 2/3 {m_t:.3f} <= prop {m_p:.3f}",
+        )
+    )
+    starv = result.hetero_average("prio_apc", "minf")
+    checks.append(
+        Check(
+            name="figure2:priority-starves",
+            passed=starv < 0.2,
+            evidence=f"prio_apc minf hetero avg {starv:.3f} (< 0.2 required)",
+        )
+    )
+    return checks
+
+
+def _check_figure3(runner: Runner) -> list[Check]:
+    from repro.experiments import figure3
+
+    result = figure3.run(runner)
+    pin_err = max(
+        abs(result.row(m, "wsp").qos_ipc_guaranteed - figure3.QOS_IPC_TARGET)
+        / figure3.QOS_IPC_TARGET
+        for m in ("Mix-1", "Mix-2")
+    )
+    unregulated = max(
+        abs(result.row(m, "wsp").qos_ipc_nopart - figure3.QOS_IPC_TARGET)
+        for m in ("Mix-1", "Mix-2")
+    )
+    return [
+        Check(
+            name="figure3:qos-pinned",
+            passed=pin_err < 0.10,
+            evidence=f"worst pinning error {pin_err * 100:.1f}% (< 10%)",
+        ),
+        Check(
+            name="figure3:nopart-unregulated",
+            passed=unregulated > 0.05,
+            evidence=f"max |nopart IPC - target| = {unregulated:.3f} (> 0.05)",
+        ),
+    ]
+
+
+def _check_model_vs_sim(runner: Runner) -> list[Check]:
+    from repro.experiments import ablation
+
+    mvs = ablation.model_vs_sim(runner, "hetero-5")
+    worst = max(
+        mvs.apc_error(s) for s in ("equal", "prop", "sqrt", "twothirds")
+    )
+    return [
+        Check(
+            name="model-vs-sim:apc-agreement",
+            passed=worst < 0.15,
+            evidence=f"worst share-scheme APC error {worst * 100:.1f}% (< 15%)",
+        )
+    ]
+
+
+def run(runner: Runner) -> Scorecard:
+    """Run every check; returns the aggregate scorecard."""
+    checks: list[Check] = []
+    checks += _check_figure1(runner)
+    checks += _check_table3(runner)
+    checks += _check_table4(runner)
+    checks += _check_figure2(runner)
+    checks += _check_figure3(runner)
+    checks += _check_model_vs_sim(runner)
+    return Scorecard(checks=tuple(checks))
+
+
+def render(scorecard: Scorecard) -> str:
+    lines = ["Reproduction scorecard"]
+    lines.append("-" * 64)
+    for c in scorecard.checks:
+        flag = "PASS" if c.passed else "FAIL"
+        lines.append(f"[{flag}] {c.name:28s} {c.evidence}")
+    lines.append("-" * 64)
+    lines.append(
+        f"{scorecard.n_passed}/{len(scorecard.checks)} checks passed -> "
+        + ("REPRODUCTION HEALTHY" if scorecard.passed else "ATTENTION NEEDED")
+    )
+    return "\n".join(lines)

@@ -1,0 +1,60 @@
+"""Cycle-level CMP + DRAM simulation substrate (replaces GEM5+DRAMSim2)."""
+
+from repro.sim.controller import AdaptiveController
+from repro.sim.cpu import CorePhase, CoreSim, CoreSpec
+from repro.sim.dram import (
+    DRAMConfig,
+    DRAMSystem,
+    ddr2_400,
+    ddr2_800,
+    ddr2_1600,
+    ddr3_1066,
+    scaled_bandwidth,
+)
+from repro.sim.engine import Engine, SimConfig, run_alone, simulate
+from repro.sim.mc import (
+    FCFSScheduler,
+    FRFCFSScheduler,
+    PriorityScheduler,
+    Scheduler,
+    StartTimeFairScheduler,
+)
+from repro.sim.cache import AccessOutcome, Cache, CacheConfig, CacheHierarchy
+from repro.sim.profiler import OnlineProfiler
+from repro.sim.request import Request
+from repro.sim.stats import AppCounters, AppWindowResult, SimResult
+from repro.sim.stream import MissAddressStream, StreamSpec
+
+__all__ = [
+    "AdaptiveController",
+    "CorePhase",
+    "CoreSim",
+    "CoreSpec",
+    "DRAMConfig",
+    "DRAMSystem",
+    "ddr2_400",
+    "ddr2_800",
+    "ddr2_1600",
+    "ddr3_1066",
+    "scaled_bandwidth",
+    "Engine",
+    "SimConfig",
+    "run_alone",
+    "simulate",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "PriorityScheduler",
+    "Scheduler",
+    "StartTimeFairScheduler",
+    "OnlineProfiler",
+    "Request",
+    "AppCounters",
+    "AppWindowResult",
+    "SimResult",
+    "AccessOutcome",
+    "Cache",
+    "CacheConfig",
+    "CacheHierarchy",
+    "MissAddressStream",
+    "StreamSpec",
+]

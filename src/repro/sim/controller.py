@@ -1,0 +1,117 @@
+"""Online adaptive re-partitioning (paper Sec. IV-C, last paragraph).
+
+"APC_alone is profiled periodically (e.g., every 10 million cycles).
+When an application's behavior changes, its APC_alone will be updated
+correspondingly.  Our partitioning schemes will change an application's
+bandwidth share correspondingly."
+
+:class:`AdaptiveController` is that loop: plugged into the engine as a
+repartition hook, it rebuilds the workload profile from the profiler's
+latest APC_alone estimates at every epoch and pushes the chosen
+scheme's new share vector into the start-time-fair scheduler.  With
+stationary applications it converges to the same shares a static
+alone-run profile would give; with phase-changing applications it
+tracks the phases (see ``tests/sim/test_controller.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.apps import AppProfile, Workload
+from repro.core.partitioning import ShareBasedScheme
+from repro.sim.mc.base import Scheduler
+from repro.sim.profiler import OnlineProfiler
+from repro.util.errors import ConfigurationError
+from repro.util.validation import as_float_array
+
+__all__ = ["AdaptiveController"]
+
+
+class AdaptiveController:
+    """Periodic profile -> re-partition loop for share-based schemes.
+
+    Parameters
+    ----------
+    scheme:
+        The share rule to re-apply each epoch (Equal, Proportional,
+        Square_root, ...).  Priority schemes need a scheduler swap, not a
+        share update, and are out of scope for online adaptation here
+        (as in the paper, which enforces everything through shares).
+    api:
+        Per-app API values (a program property, measured or declared;
+        invariant under partitioning, so it is not re-estimated).
+    names:
+        Optional app names for the synthesized profiles.
+    smoothing:
+        Exponential smoothing factor on the APC_alone estimates in
+        (0, 1]; 1.0 (default) uses each epoch's estimate directly,
+        smaller values damp profile noise at the cost of slower tracking.
+    """
+
+    def __init__(
+        self,
+        scheme: ShareBasedScheme,
+        api: Sequence[float],
+        *,
+        names: Sequence[str] | None = None,
+        smoothing: float = 1.0,
+    ) -> None:
+        if not isinstance(scheme, ShareBasedScheme):
+            raise ConfigurationError(
+                "AdaptiveController requires a share-based scheme; priority "
+                "schemes cannot be retargeted by a share update"
+            )
+        if not (0.0 < smoothing <= 1.0):
+            raise ConfigurationError(f"smoothing must be in (0, 1], got {smoothing}")
+        self.scheme = scheme
+        self.api = as_float_array("api", api)
+        if np.any(self.api <= 0):
+            raise ConfigurationError("api values must be positive")
+        self.names = (
+            list(names)
+            if names is not None
+            else [f"app{i}" for i in range(len(self.api))]
+        )
+        if len(self.names) != len(self.api):
+            raise ConfigurationError("names/api length mismatch")
+        self.smoothing = smoothing
+        self._smoothed: np.ndarray | None = None
+        #: (cycle, beta) after each update -- inspection/testing hook
+        self.history: list[tuple[float, np.ndarray]] = []
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self, now: float, profiler: OnlineProfiler, scheduler: Scheduler
+    ) -> None:
+        """Engine repartition hook: one profile -> share update."""
+        est = profiler.estimates
+        if np.any(np.isnan(est)):
+            # an app produced no accesses yet: keep the current shares
+            return
+        if self._smoothed is None:
+            self._smoothed = est.copy()
+        else:
+            a = self.smoothing
+            self._smoothed = a * est + (1 - a) * self._smoothed
+        profiles = Workload.of(
+            "online",
+            [
+                AppProfile(self.names[i], api=float(self.api[i]),
+                           apc_alone=float(self._smoothed[i]))
+                for i in range(len(self.api))
+            ],
+        )
+        beta = self.scheme.beta(profiles)
+        scheduler.update_shares(beta)
+        self.history.append((now, beta))
+
+    @property
+    def latest_beta(self) -> np.ndarray | None:
+        return self.history[-1][1] if self.history else None
+
+    @property
+    def latest_estimates(self) -> np.ndarray | None:
+        return self._smoothed.copy() if self._smoothed is not None else None

@@ -1,0 +1,232 @@
+"""Limit-based core model (replaces GEM5's out-of-order cores).
+
+Each core is a closed-loop traffic source characterized by:
+
+* ``ipc_peak`` -- retirement rate while no memory structure is full
+  (the compute ceiling set by fetch width / ILP);
+* ``api`` -- off-chip accesses per instruction, the model's invariant
+  (Eq. 1): inter-access gaps are exponential with mean ``1/api``
+  instructions;
+* ``mlp`` -- maximum outstanding read misses (ROB/MSHR limit): when the
+  limit is hit the core stalls fully until a read returns;
+* a bounded posted-write queue: writebacks don't stall retirement until
+  ``write_queue_cap`` of them are in flight.
+
+This abstraction preserves exactly what the paper's analytical model
+depends on -- each app's (API, APC_alone) operating point, its
+memory-boundedness, and the IPC = APC/API coupling -- while being cheap
+enough to simulate millions of cycles in Python (DESIGN.md Sec. 2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.sim.request import Request
+from repro.util.errors import SimulationError
+from repro.util.rng import RngStream
+from repro.util.validation import check_positive, check_probability
+from repro.sim.stream import MissAddressStream, StreamSpec
+
+__all__ = ["CorePhase", "CoreSpec", "CoreSim"]
+
+
+@dataclass(frozen=True)
+class CorePhase:
+    """A behaviour phase: from ``start_cycle`` on, the application runs
+    with these (api, ipc_peak) parameters.
+
+    Phases model the paper's "when an application's behavior changes,
+    its APC_alone will be updated correspondingly" (Sec. IV-C): the
+    online profiler + :class:`repro.sim.controller.AdaptiveController`
+    must track these transitions.
+    """
+
+    start_cycle: float
+    api: float
+    ipc_peak: float
+
+    def __post_init__(self) -> None:
+        if self.start_cycle < 0:
+            raise SimulationError("phase start_cycle must be >= 0")
+        check_positive("phase api", self.api)
+        check_positive("phase ipc_peak", self.ipc_peak)
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """Static parameters of one core + its application surrogate.
+
+    ``api``/``ipc_peak`` are the phase-0 behaviour; optional ``phases``
+    switch them at given cycles (each phase applies from its
+    ``start_cycle`` until the next phase's).
+    """
+
+    name: str
+    api: float
+    ipc_peak: float
+    mlp: int
+    write_fraction: float = 0.0
+    write_queue_cap: int = 16
+    stream: StreamSpec = field(default_factory=StreamSpec)
+    phases: tuple[CorePhase, ...] = ()
+
+    def __post_init__(self) -> None:
+        check_positive(f"api ({self.name})", self.api)
+        check_positive(f"ipc_peak ({self.name})", self.ipc_peak)
+        check_positive(f"mlp ({self.name})", self.mlp)
+        check_probability(f"write_fraction ({self.name})", self.write_fraction)
+        check_positive(f"write_queue_cap ({self.name})", self.write_queue_cap)
+        starts = [p.start_cycle for p in self.phases]
+        if starts != sorted(starts):
+            raise SimulationError(
+                f"phases of {self.name!r} must be sorted by start_cycle"
+            )
+
+    @property
+    def demand_apc(self) -> float:
+        """Phase-0 access rate if the core never stalled: ``api * ipc_peak``."""
+        return self.api * self.ipc_peak
+
+    def params_at(self, now: float) -> tuple[float, float]:
+        """(api, ipc_peak) in effect at cycle ``now``."""
+        api, ipc = self.api, self.ipc_peak
+        for phase in self.phases:
+            if now >= phase.start_cycle:
+                api, ipc = phase.api, phase.ipc_peak
+            else:
+                break
+        return api, ipc
+
+
+class CoreSim:
+    """Dynamic state of one core during a simulation run."""
+
+    def __init__(
+        self,
+        core_id: int,
+        spec: CoreSpec,
+        address_stream: MissAddressStream,
+        rng: RngStream,
+    ) -> None:
+        self.core_id = core_id
+        self.spec = spec
+        self.addresses = address_stream
+        self.rng = rng
+
+        self.outstanding_reads = 0
+        self.pending_writes = 0
+        self.running = False
+        #: cumulative instructions retired at the last state change
+        self._instr = 0.0
+        #: instructions/cycles of the gap currently being executed
+        self._gap_start = 0.0
+        self._gap_cycles = 0.0
+        self._gap_instr = 0.0
+        # counters
+        self.n_reads = 0
+        self.n_writes = 0
+        self.stall_cycles = 0.0
+        self._stall_start = 0.0
+
+    # ------------------------------------------------------------------
+    # instruction accounting
+    # ------------------------------------------------------------------
+    def instructions_at(self, now: float) -> float:
+        """Instructions retired by cycle ``now`` (fractional gaps included)."""
+        if not self.running or self._gap_cycles <= 0:
+            return self._instr
+        frac = min(1.0, max(0.0, (now - self._gap_start) / self._gap_cycles))
+        return self._instr + frac * self._gap_instr
+
+    # ------------------------------------------------------------------
+    # event interface (driven by the engine)
+    # ------------------------------------------------------------------
+    def start(self, now: float) -> float:
+        """Begin executing; returns the cycle of the first access."""
+        self.running = True
+        return self._begin_gap(now)
+
+    def _begin_gap(self, now: float) -> float:
+        """Draw the next inter-access gap; returns the access cycle."""
+        api, ipc_peak = self.spec.params_at(now)
+        gap_instr = self.rng.exponential(1.0 / api)
+        self._gap_instr = gap_instr
+        self._gap_cycles = gap_instr / ipc_peak
+        self._gap_start = now
+        return now + self._gap_cycles
+
+    def _can_run(self) -> bool:
+        return (
+            self.outstanding_reads < self.spec.mlp
+            and self.pending_writes < self.spec.write_queue_cap
+        )
+
+    def generate_access(self, now: float) -> tuple[Request, float | None]:
+        """The scheduled access fires: emit a request.
+
+        Returns ``(request, next_access_cycle_or_None)``; ``None`` means
+        the core stalled (MLP or write-queue full) and the engine should
+        wait for a completion to resume it.
+        """
+        if not self.running:
+            raise SimulationError(f"core {self.core_id} generated access while stalled")
+        # the gap that just finished retires its instructions in full
+        self._instr += self._gap_instr
+        self._gap_instr = 0.0
+        self._gap_cycles = 0.0
+
+        is_write = self.rng.random() < self.spec.write_fraction
+        req = Request(
+            app_id=self.core_id,
+            line_addr=self.addresses.next_address(),
+            is_write=is_write,
+            created=now,
+        )
+        if is_write:
+            self.pending_writes += 1
+            self.n_writes += 1
+        else:
+            self.outstanding_reads += 1
+            self.n_reads += 1
+
+        if self._can_run():
+            return req, self._begin_gap(now)
+        self.running = False
+        self._stall_start = now
+        return req, None
+
+    def complete_read(self, now: float) -> float | None:
+        """A read returned; resume if this clears the stall.
+
+        Returns the next access cycle if the core (re)starts, else None.
+        """
+        if self.outstanding_reads <= 0:
+            raise SimulationError(f"core {self.core_id}: read underflow")
+        self.outstanding_reads -= 1
+        return self._maybe_resume(now)
+
+    def drain_write(self, now: float) -> float | None:
+        """A posted write drained; resume if this clears the stall."""
+        if self.pending_writes <= 0:
+            raise SimulationError(f"core {self.core_id}: write underflow")
+        self.pending_writes -= 1
+        return self._maybe_resume(now)
+
+    def _maybe_resume(self, now: float) -> float | None:
+        if self.running or not self._can_run():
+            return None
+        self.stall_cycles += now - self._stall_start
+        self.running = True
+        return self._begin_gap(now)
+
+    @property
+    def is_memory_stalled(self) -> bool:
+        return not self.running
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"CoreSim(id={self.core_id}, app={self.spec.name!r}, "
+            f"out={self.outstanding_reads}, wq={self.pending_writes}, "
+            f"running={self.running})"
+        )

@@ -1,0 +1,102 @@
+"""Physical-address decomposition (Table II: channel/row/col/bank/rank).
+
+The mapper slices a *line address* (byte address / line size) into the
+channel, rank, bank, row and column fields in the order given by
+``DRAMConfig.address_map`` -- most-significant field first, so the last
+entry of the tuple occupies the least-significant bits.  With the
+paper's mapping ``channel/row/col/bank/rank``, consecutive lines walk
+ranks first, then banks, spreading a streaming access pattern across
+all banks before moving to the next column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.dram.config import DRAMConfig
+from repro.util.errors import ConfigurationError
+
+__all__ = ["DecodedAddress", "AddressMapper"]
+
+
+def _bits_for(n: int) -> int:
+    """Number of bits needed to index ``n`` items (n must be a power of 2)."""
+    if n & (n - 1) != 0:
+        raise ConfigurationError(f"geometry sizes must be powers of two, got {n}")
+    return n.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DecodedAddress:
+    """One line address split into DRAM coordinates."""
+
+    channel: int
+    rank: int
+    bank: int
+    row: int
+    col: int
+
+
+class AddressMapper:
+    """Bit-slicing mapper driven by ``DRAMConfig.address_map``."""
+
+    def __init__(self, config: DRAMConfig, row_space: int = 16384) -> None:
+        self.config = config
+        self._widths = {
+            "channel": _bits_for(config.n_channels),
+            "rank": _bits_for(config.n_ranks),
+            "bank": _bits_for(config.n_banks),
+            "col": _bits_for(config.lines_per_row),
+            "row": _bits_for(row_space),
+        }
+        self.row_space = row_space
+        #: total line-address bits consumed
+        self.address_bits = sum(self._widths.values())
+
+    def decode(self, line_addr: int) -> DecodedAddress:
+        """Split a line address into (channel, rank, bank, row, col)."""
+        if line_addr < 0:
+            raise ConfigurationError(f"line address must be >= 0, got {line_addr}")
+        fields: dict[str, int] = {}
+        shift = 0
+        # fields are listed MSB-first in address_map; consume LSB-first
+        for name in reversed(self.config.address_map):
+            width = self._widths[name]
+            fields[name] = (line_addr >> shift) & ((1 << width) - 1)
+            shift += width
+        return DecodedAddress(
+            channel=fields["channel"],
+            rank=fields["rank"],
+            bank=fields["bank"],
+            row=fields["row"],
+            col=fields["col"],
+        )
+
+    def encode(self, decoded: DecodedAddress) -> int:
+        """Inverse of :meth:`decode` (used by generators and tests)."""
+        addr = 0
+        shift = 0
+        values = {
+            "channel": decoded.channel,
+            "rank": decoded.rank,
+            "bank": decoded.bank,
+            "row": decoded.row,
+            "col": decoded.col,
+        }
+        for name in reversed(self.config.address_map):
+            width = self._widths[name]
+            value = values[name]
+            if not (0 <= value < (1 << width)):
+                raise ConfigurationError(
+                    f"{name}={value} out of range for {width}-bit field"
+                )
+            addr |= value << shift
+            shift += width
+        return addr
+
+    def bank_index(self, decoded: DecodedAddress) -> int:
+        """Flat bank index within a channel (rank-major ordering)."""
+        return decoded.rank * self.config.n_banks + decoded.bank
+
+    def banks_per_channel(self) -> int:
+        return self.config.n_ranks * self.config.n_banks

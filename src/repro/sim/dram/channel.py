@@ -1,0 +1,188 @@
+"""Channel-level timing: data-bus arbitration + bank command scheduling.
+
+The channel owns its banks and the shared data bus.  A request issued at
+cycle ``t`` proceeds as:
+
+close-page (paper baseline)
+    activate at ``max(t, bank.ready)`` -> data transfer may start after
+    ``tRCD + CL`` and once the data bus is free -> bus occupied for
+    ``burst`` cycles -> auto-precharge: bank ready again ``tRP`` (plus
+    ``tWR`` for writes) after the transfer ends.
+
+open-page (for FR-FCFS studies)
+    row hit: skip the activate (pay only ``CL``); row conflict: precharge
+    (``tRP``) then activate; row empty: activate only.  The row stays
+    latched afterwards.
+
+The model intentionally simplifies DDR2 command-bus contention and
+rank-to-rank turnaround: the data bus is the throughput bottleneck being
+studied (one 64 B line per ``burst_cycles``), and bank timing captures
+the bank-conflict effects that matter for partitioning behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.dram.bank import Bank
+from repro.sim.dram.config import DRAMConfig
+from repro.sim.request import Request
+from repro.util.errors import SimulationError
+
+__all__ = ["Channel", "IssueResult"]
+
+
+@dataclass(frozen=True)
+class IssueResult:
+    """Timing outcome of committing one request to the channel."""
+
+    data_start: float
+    data_end: float
+    bank_ready: float
+    row_hit: bool
+
+
+class Channel:
+    """One DRAM channel: banks + data bus."""
+
+    def __init__(self, config: DRAMConfig, index: int = 0) -> None:
+        self.config = config
+        self.index = index
+        n = config.n_ranks * config.n_banks
+        self.banks = [Bank(i) for i in range(n)]
+        #: cycle at which the data bus becomes free
+        self.bus_free: float = 0.0
+        #: total cycles the data bus has been occupied (for utilization)
+        self.bus_busy_cycles: float = 0.0
+        self.n_served: int = 0
+        #: was the last data burst a write? (bus-turnaround tracking)
+        self._last_was_write: bool | None = None
+        #: cycle of the next periodic refresh (inf when disabled)
+        self._next_refresh: float = (
+            config.trefi_cycles if config.trefi_cycles > 0 else float("inf")
+        )
+        self.n_refreshes: int = 0
+
+    # ------------------------------------------------------------------
+    def _command_timing(self, bank: Bank, row: int, now: float) -> tuple[float, bool, bool]:
+        """Earliest cycle data may leave the bank, ignoring the bus.
+
+        Returns ``(earliest_data, activated, row_hit)``.
+        """
+        cfg = self.config
+        start = max(now, bank.ready_time)
+        if cfg.page_policy == "close":
+            return start + cfg.trcd_cycles + cfg.cl_cycles, True, False
+        # open-page
+        if bank.is_row_hit(row):
+            return start + cfg.cl_cycles, False, True
+        if bank.open_row is None:
+            return start + cfg.trcd_cycles + cfg.cl_cycles, True, False
+        # row conflict: precharge, then activate
+        return start + cfg.trp_cycles + cfg.trcd_cycles + cfg.cl_cycles, True, False
+
+    def _turnaround(self, is_write: bool) -> float:
+        """Bus turnaround penalty for switching burst direction."""
+        if self._last_was_write is None or self._last_was_write == is_write:
+            return 0.0
+        return (
+            self.config.twtr_cycles if self._last_was_write else self.config.trtw_cycles
+        )
+
+    def _apply_refresh(self, data_start: float) -> float:
+        """Delay ``data_start`` past any refresh blackout it collides with.
+
+        Refresh is modelled as a periodic all-bank blackout of
+        ``trfc_cycles`` every ``trefi_cycles``: a burst that would overlap
+        the blackout is pushed past it.  Catch-up is lazy (driven by
+        traffic), which is accurate enough for throughput accounting.
+        """
+        cfg = self.config
+        while data_start + cfg.burst_cycles > self._next_refresh:
+            if data_start >= self._next_refresh + cfg.trfc_cycles:
+                # traffic gap already covered this blackout; advance it
+                self._next_refresh += cfg.trefi_cycles
+                self.n_refreshes += 1
+                continue
+            data_start = self._next_refresh + cfg.trfc_cycles
+            self._next_refresh += cfg.trefi_cycles
+            self.n_refreshes += 1
+        return data_start
+
+    def earliest_data_start(
+        self, bank_index: int, row: int, now: float, *, is_write: bool = False
+    ) -> float:
+        """When could a request to this bank begin its data transfer?"""
+        bank = self.banks[bank_index]
+        earliest, _, _ = self._command_timing(bank, row, now)
+        return max(earliest, self.bus_free + self._turnaround(is_write))
+
+    def bank_ready_by(self, bank_index: int, row: int, now: float, deadline: float) -> bool:
+        """Could this bank deliver data by ``deadline``? (bus ignored).
+
+        This is the scheduler's readiness probe: it deliberately excludes
+        bus-turnaround penalties so request *direction* does not leak
+        into readiness -- otherwise every policy would silently batch
+        reads/writes and dodge the turnaround cost entirely.
+        """
+        bank = self.banks[bank_index]
+        earliest, _, _ = self._command_timing(bank, row, now)
+        return earliest <= deadline + 1e-9
+
+    def is_row_hit(self, bank_index: int, row: int) -> bool:
+        """Would this request hit the open row right now? (FR-FCFS hint)"""
+        return self.banks[bank_index].is_row_hit(row)
+
+    # ------------------------------------------------------------------
+    def issue(self, request: Request, now: float) -> IssueResult:
+        """Commit one request; advance bank and bus state.
+
+        Raises :class:`SimulationError` on protocol violations (issuing
+        into the past), which would indicate an engine bug.
+        """
+        if now < 0:
+            raise SimulationError(f"issue at negative cycle {now}")
+        cfg = self.config
+        bank = self.banks[request.bank]
+        earliest_data, activated, row_hit = self._command_timing(
+            bank, request.row, now
+        )
+        data_start = max(
+            earliest_data, self.bus_free + self._turnaround(request.is_write)
+        )
+        data_start = self._apply_refresh(data_start)
+        data_end = data_start + cfg.burst_cycles
+        if data_start < self.bus_free - 1e-9:
+            raise SimulationError("data bus double-booked")
+
+        recovery = cfg.twr_cycles if request.is_write else 0.0
+        if cfg.page_policy == "close":
+            bank.ready_time = data_end + recovery + cfg.trp_cycles
+            bank.open_row = None
+        else:
+            # Row remains open.  Column commands to an open row pipeline:
+            # the next CAS may issue while this burst is still on the bus,
+            # so a following row *hit* can start its data back-to-back
+            # (ready + CL == data_end).  Writes add recovery before the
+            # bank accepts anything else.
+            bank.ready_time = max(data_start, data_end + recovery - cfg.cl_cycles)
+            bank.open_row = request.row
+
+        bank.record_access(data_start, data_end, activated=activated, row_hit=row_hit)
+        self.bus_free = data_end
+        self.bus_busy_cycles += cfg.burst_cycles
+        self.n_served += 1
+        self._last_was_write = request.is_write
+        return IssueResult(
+            data_start=data_start,
+            data_end=data_end,
+            bank_ready=bank.ready_time,
+            row_hit=row_hit,
+        )
+
+    # ------------------------------------------------------------------
+    def utilization(self, window_cycles: float) -> float:
+        """Fraction of the window the data bus was busy."""
+        if window_cycles <= 0:
+            return 0.0
+        return min(1.0, self.bus_busy_cycles / window_cycles)

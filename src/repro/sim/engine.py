@@ -1,0 +1,353 @@
+"""The cycle-level simulation engine (cores -> controller -> DRAM).
+
+Event-driven rather than tick-driven: with the paper's DDR2-400 system,
+one 64 B line occupies the data bus for 100 CPU cycles, so the event
+count is ~4 per memory access and a multi-million-cycle window costs
+only tens of thousands of heap operations -- the guide-recommended
+"algorithmic optimization before micro-optimization".
+
+Event kinds (priority-ordered at equal timestamps):
+
+1. ``COMPLETE`` -- a DRAM data transfer finished (may resume a core);
+2. ``MISS``     -- a core's next off-chip access fires;
+3. ``PUMP``     -- the controller tries to issue on a free data bus;
+4. ``EPOCH``    -- profiling / re-partitioning boundary (Sec. IV-C).
+
+Interference accounting (for the Sec. IV-C profiler): whenever the
+controller dedicates the bus to application *j* for the interval
+``[issue, data_end)``, every other application with at least one queued
+request accrues that interval as ``T_cyc_interference`` -- precisely the
+"request blocked by another application's request" condition of the
+paper, detected at bus-grant granularity.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.sim.cpu import CoreSim, CoreSpec
+from repro.sim.dram.config import DRAMConfig, ddr2_400
+from repro.sim.dram.system import DRAMSystem
+from repro.sim.mc.base import Scheduler
+from repro.sim.mc.fcfs import FCFSScheduler
+from repro.sim.profiler import OnlineProfiler
+from repro.sim.request import Request
+from repro.sim.stats import AppCounters, AppWindowResult, SimResult
+from repro.util.errors import ConfigurationError, SimulationError
+from repro.util.rng import RngStream
+from repro.sim.stream import MissAddressStream
+
+__all__ = ["SimConfig", "Engine", "simulate", "run_alone"]
+
+# event priorities at equal timestamps
+_P_COMPLETE, _P_MISS, _P_PUMP, _P_EPOCH = 0, 1, 2, 3
+
+
+@dataclass(frozen=True)
+class SimConfig:
+    """Run lengths and bookkeeping knobs for one simulation."""
+
+    dram: DRAMConfig = field(default_factory=ddr2_400)
+    warmup_cycles: float = 200_000.0
+    measure_cycles: float = 1_000_000.0
+    seed: int = 1
+    #: profiling / re-partitioning epoch; None disables EPOCH events
+    epoch_cycles: float | None = None
+    #: when does a bus grant to app j count as interference for app i?
+    #: "stalled"  -- app i has queued requests AND its core is memory-
+    #:              stalled (the STFM-style gating the paper cites);
+    #: "pending"  -- app i merely has queued requests (raw counting).
+    interference_mode: str = "stalled"
+
+    def __post_init__(self) -> None:
+        if self.warmup_cycles < 0 or self.measure_cycles <= 0:
+            raise ConfigurationError("invalid window lengths")
+        if self.epoch_cycles is not None and self.epoch_cycles <= 0:
+            raise ConfigurationError("epoch_cycles must be positive")
+        if self.interference_mode not in ("stalled", "pending"):
+            raise ConfigurationError(
+                f"interference_mode must be 'stalled' or 'pending', "
+                f"got {self.interference_mode!r}"
+            )
+
+    @property
+    def end_cycle(self) -> float:
+        return self.warmup_cycles + self.measure_cycles
+
+
+#: hook called at each epoch: (now, profiler, scheduler) -> None
+RepartitionHook = Callable[[float, OnlineProfiler, Scheduler], None]
+
+
+class Engine:
+    """Binds cores, a scheduler and the DRAM system; runs the event loop."""
+
+    def __init__(
+        self,
+        specs: Sequence[CoreSpec],
+        scheduler: Scheduler,
+        config: SimConfig,
+        *,
+        repartition_hook: RepartitionHook | None = None,
+    ) -> None:
+        if len(specs) == 0:
+            raise ConfigurationError("need at least one core")
+        if scheduler.n_apps != len(specs):
+            raise ConfigurationError(
+                f"scheduler sized for {scheduler.n_apps} apps but workload has "
+                f"{len(specs)}"
+            )
+        self.specs = list(specs)
+        self.scheduler = scheduler
+        self.config = config
+        self.dram = DRAMSystem(config.dram)
+        self.repartition_hook = repartition_hook
+
+        self.cores: list[CoreSim] = []
+        for i, spec in enumerate(self.specs):
+            stream_rng = RngStream(config.seed, f"stream.{i}.{spec.name}")
+            core_rng = RngStream(config.seed, f"core.{i}.{spec.name}")
+            stream = MissAddressStream(config.dram, spec.stream, i, stream_rng)
+            self.cores.append(CoreSim(i, spec, stream, core_rng))
+
+        self.counters = [AppCounters() for _ in self.specs]
+        self.profiler = OnlineProfiler(len(self.specs), config.dram.peak_apc)
+
+        self._heap: list[tuple[float, int, int, object]] = []
+        self._seq = itertools.count()
+        self._pump_scheduled = [False] * config.dram.n_channels
+        self.now = 0.0
+        # snapshots taken at the warmup boundary
+        self._warmup_snapshot: list[AppCounters] | None = None
+        self._warmup_bus_busy = 0.0
+
+    # ------------------------------------------------------------------
+    # event plumbing
+    # ------------------------------------------------------------------
+    def _push(self, time: float, prio: int, payload: object) -> None:
+        heapq.heappush(self._heap, (time, prio, next(self._seq), payload))
+
+    def _schedule_pump(self, time: float, channel: int) -> None:
+        if not self._pump_scheduled[channel]:
+            self._pump_scheduled[channel] = True
+            self._push(time, _P_PUMP, channel)
+
+    # ------------------------------------------------------------------
+    # event handlers
+    # ------------------------------------------------------------------
+    def _handle_miss(self, core_id: int, now: float) -> None:
+        core = self.cores[core_id]
+        req, next_access = core.generate_access(now)
+        self.counters[core_id].instructions = core.instructions_at(now)
+        self.dram.decode(req)
+        self.scheduler.enqueue(req, now)
+        # the pump itself reschedules to the right slot if the bus is busy
+        self._schedule_pump(now, req.channel)
+        if next_access is not None:
+            self._push(next_access, _P_MISS, core_id)
+
+    def _handle_pump(self, now: float, channel_index: int) -> None:
+        """Issue requests on one channel while its bus schedule has room.
+
+        Command pipelining: the controller commits the next request up to
+        ``tRCD + CL`` cycles before the bus frees, so its activate
+        overlaps the in-flight data transfer and bursts land back-to-back
+        (otherwise every access would pay the activate latency on the bus
+        critical path and the peak 1-line-per-burst rate would be
+        unreachable).
+
+        With multiple channels each channel is pumped independently;
+        scheduler *policy* state (tags, priorities, age order) stays
+        global, only the candidate set is channel-filtered.
+        """
+        self._pump_scheduled[channel_index] = False
+        cfg = self.config.dram
+        chan_filter = channel_index if cfg.n_channels > 1 else None
+        # open-page conflicts pay precharge+activate before CAS, so the
+        # controller must commit further ahead to keep the bus gapless
+        lookahead = cfg.trcd_cycles + cfg.cl_cycles
+        if cfg.page_policy == "open":
+            lookahead += cfg.trp_cycles
+        channel = self.dram.channels[channel_index]
+        while self.scheduler.has_pending(chan_filter):
+            if channel.bus_free > now + lookahead + 1e-9:
+                self._schedule_pump(channel.bus_free - lookahead, channel_index)
+                return
+            bus_free_before = channel.bus_free
+            deadline = max(now, bus_free_before)
+
+            def bank_ready(r: Request) -> bool:
+                # would the bank deliver the moment the bus frees?
+                return self.dram.bank_ready_by(r, now, deadline)
+
+            req = self.scheduler.select(now, bank_ready, chan_filter)
+            if req is None:  # pragma: no cover - defensive
+                return
+            stall_gated = self.config.interference_mode == "stalled"
+            blocked = [
+                a
+                for a in self.scheduler.pending_apps(chan_filter)
+                if a != req.app_id
+                and (not stall_gated or self.cores[a].is_memory_stalled)
+            ]
+            result = self.dram.issue(req, now)
+            # others' queued requests were blocked for the bus time this
+            # request consumed (its burst plus any bank-wait bubble)
+            span = result.data_end - max(now, bus_free_before)
+            for a in blocked:
+                self.counters[a].interference_cycles += span
+            self._push(req.completed, _P_COMPLETE, req)
+
+    def _handle_complete(self, req: Request, now: float) -> None:
+        core = self.cores[req.app_id]
+        c = self.counters[req.app_id]
+        c.latency_sum += now - req.created
+        c.latency_count += 1
+        if req.is_write:
+            c.writes_served += 1
+            resumed = core.drain_write(now)
+        else:
+            c.reads_served += 1
+            resumed = core.complete_read(now)
+        if resumed is not None:
+            self._push(resumed, _P_MISS, req.app_id)
+
+    def _handle_epoch(self, now: float) -> None:
+        for i, core in enumerate(self.cores):
+            self.counters[i].instructions = core.instructions_at(now)
+        self.profiler.close_epoch(now, self.counters)
+        if self.repartition_hook is not None:
+            self.repartition_hook(now, self.profiler, self.scheduler)
+        if self.config.epoch_cycles is not None:
+            nxt = now + self.config.epoch_cycles
+            if nxt < self.config.end_cycle - 1e-9:
+                self._push(nxt, _P_EPOCH, "epoch")
+
+    # ------------------------------------------------------------------
+    # run
+    # ------------------------------------------------------------------
+    def run(self) -> SimResult:
+        cfg = self.config
+        for i, core in enumerate(self.cores):
+            first = core.start(0.0)
+            self._push(first, _P_MISS, i)
+        self.profiler.begin_epoch(0.0, self.counters)
+        if cfg.epoch_cycles is not None:
+            self._push(cfg.epoch_cycles, _P_EPOCH, "epoch")
+
+        end = cfg.end_cycle
+        warmup = cfg.warmup_cycles
+        warmup_done = warmup <= 0
+        if warmup_done:
+            self._take_warmup_snapshot(0.0)
+
+        while self._heap:
+            time, prio, _seq, payload = self._heap[0]
+            if time > end + 1e-9:
+                break
+            heapq.heappop(self._heap)
+            if time < self.now - 1e-6:
+                raise SimulationError(
+                    f"time went backwards: {time} < {self.now}"
+                )
+            if not warmup_done and time >= warmup:
+                self._take_warmup_snapshot(warmup)
+                warmup_done = True
+            self.now = max(self.now, time)
+            if prio == _P_COMPLETE:
+                self._handle_complete(payload, time)  # type: ignore[arg-type]
+            elif prio == _P_MISS:
+                self._handle_miss(payload, time)  # type: ignore[arg-type]
+            elif prio == _P_PUMP:
+                self._handle_pump(time, payload)  # type: ignore[arg-type]
+            elif prio == _P_EPOCH:
+                self._handle_epoch(time)
+            else:  # pragma: no cover - defensive
+                raise SimulationError(f"unknown event priority {prio}")
+
+        if not warmup_done:
+            raise SimulationError("simulation ended before the warmup boundary")
+        return self._finalize(end)
+
+    def _take_warmup_snapshot(self, now: float) -> None:
+        for i, core in enumerate(self.cores):
+            self.counters[i].instructions = core.instructions_at(now)
+        self._warmup_snapshot = [c.snapshot() for c in self.counters]
+        self._warmup_bus_busy = sum(
+            ch.bus_busy_cycles for ch in self.dram.channels
+        )
+
+    def _finalize(self, end: float) -> SimResult:
+        assert self._warmup_snapshot is not None
+        window = self.config.measure_cycles
+        apps = []
+        for i, core in enumerate(self.cores):
+            self.counters[i].instructions = core.instructions_at(end)
+            delta = self.counters[i].minus(self._warmup_snapshot[i])
+            accesses = delta.reads_served + delta.writes_served
+            mean_lat = (
+                delta.latency_sum / delta.latency_count if delta.latency_count else 0.0
+            )
+            # close the final profiling epoch implicitly over the window
+            t_alone = max(window - delta.interference_cycles, 1.0)
+            est = min(accesses / t_alone, self.config.dram.peak_apc)
+            apps.append(
+                AppWindowResult(
+                    name=self.specs[i].name,
+                    instructions=delta.instructions,
+                    accesses=accesses,
+                    reads=delta.reads_served,
+                    writes=delta.writes_served,
+                    window_cycles=window,
+                    mean_latency=mean_lat,
+                    interference_cycles=delta.interference_cycles,
+                    apc_alone_est=est,
+                )
+            )
+        bus_busy = (
+            sum(ch.bus_busy_cycles for ch in self.dram.channels)
+            - self._warmup_bus_busy
+        )
+        n_ch = self.config.dram.n_channels
+        return SimResult(
+            apps=tuple(apps),
+            window_cycles=window,
+            bus_utilization=min(1.0, bus_busy / (window * n_ch)),
+            row_hit_rate=self.dram.row_hit_rate(),
+            scheduler_name=self.scheduler.name,
+            dram_name=self.config.dram.name,
+            seed=self.config.seed,
+            warmup_cycles=self.config.warmup_cycles,
+        )
+
+
+# ----------------------------------------------------------------------
+# convenience entry points
+# ----------------------------------------------------------------------
+def simulate(
+    specs: Sequence[CoreSpec],
+    scheduler_factory: Callable[[int], Scheduler],
+    config: SimConfig | None = None,
+    *,
+    repartition_hook: RepartitionHook | None = None,
+) -> SimResult:
+    """Run one multi-core simulation and return its measurements."""
+    cfg = config or SimConfig()
+    scheduler = scheduler_factory(len(specs))
+    engine = Engine(specs, scheduler, cfg, repartition_hook=repartition_hook)
+    return engine.run()
+
+
+def run_alone(
+    spec: CoreSpec,
+    config: SimConfig | None = None,
+) -> AppWindowResult:
+    """Standalone run of one application (measures ``APC_alone``)."""
+    cfg = config or SimConfig()
+    result = simulate([spec], lambda n: FCFSScheduler(n), cfg)
+    return result.apps[0]

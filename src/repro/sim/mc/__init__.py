@@ -1,0 +1,21 @@
+"""Memory-controller schedulers: FCFS (No_partitioning), FR-FCFS,
+start-time-fair share enforcement, strict priority, and the
+related-work heuristics PAR-BS and TCM (lite models)."""
+
+from repro.sim.mc.base import Scheduler
+from repro.sim.mc.fcfs import FCFSScheduler
+from repro.sim.mc.frfcfs import FRFCFSScheduler
+from repro.sim.mc.parbs import PARBSScheduler
+from repro.sim.mc.priority import PriorityScheduler
+from repro.sim.mc.stf import StartTimeFairScheduler
+from repro.sim.mc.tcm import TCMScheduler
+
+__all__ = [
+    "Scheduler",
+    "FCFSScheduler",
+    "FRFCFSScheduler",
+    "PARBSScheduler",
+    "PriorityScheduler",
+    "StartTimeFairScheduler",
+    "TCMScheduler",
+]

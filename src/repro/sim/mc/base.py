@@ -1,0 +1,140 @@
+"""Memory-scheduler interface and shared queue bookkeeping.
+
+A scheduler owns one FIFO queue per application and decides which queued
+request to serve next.  The engine calls :meth:`Scheduler.select` with a
+*readiness probe*: ``ready(request)`` is True when the request's bank
+will have completed its activate in time for the request's data transfer
+to start the moment the data bus frees (i.e. issuing it creates no bus
+bubble).  All policies prefer ready requests -- mirroring how real
+controllers issue around busy banks (bank-level parallelism,
+Sec. II-A1) -- and fall back to their policy winner, eating the bank
+stall, when nothing is ready.
+
+Within one application requests may be served slightly out of order
+(around busy banks); they are independent cache lines, so this is safe
+and is what hardware does.  *Across* applications the service order is
+exactly the policy under study.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from collections import deque
+from typing import Callable, Deque, Iterator
+
+from repro.sim.request import Request
+from repro.util.errors import SimulationError
+
+__all__ = ["Scheduler", "ReadyProbe"]
+
+ReadyProbe = Callable[[Request], bool]
+
+
+def _always_ready(_req: Request) -> bool:
+    return True
+
+
+class Scheduler(ABC):
+    """Base class for memory-request schedulers."""
+
+    #: short identifier used in configs and reports
+    name: str = "scheduler"
+
+    def __init__(self, n_apps: int) -> None:
+        if n_apps <= 0:
+            raise SimulationError("scheduler needs at least one application")
+        self.n_apps = n_apps
+        self.queues: list[Deque[Request]] = [deque() for _ in range(n_apps)]
+        self.total_queued = 0
+        self.n_enqueued = 0
+        self.n_served = 0
+
+    # ------------------------------------------------------------------
+    def enqueue(self, request: Request, now: float) -> None:
+        """Accept a request into its application's queue."""
+        request.enqueued = now
+        self.queues[request.app_id].append(request)
+        self.total_queued += 1
+        self.n_enqueued += 1
+
+    def has_pending(self, channel: int | None = None) -> bool:
+        """Any queued request (optionally: targeting one channel)."""
+        if channel is None:
+            return self.total_queued > 0
+        return any(
+            req.channel == channel for q in self.queues for req in q
+        )
+
+    def pending_apps(self, channel: int | None = None) -> Iterator[int]:
+        """Applications with at least one queued request (per channel)."""
+        for app_id, q in enumerate(self.queues):
+            if channel is None:
+                if q:
+                    yield app_id
+            elif any(req.channel == channel for req in q):
+                yield app_id
+
+    def queue_depth(self, app_id: int) -> int:
+        return len(self.queues[app_id])
+
+    # ------------------------------------------------------------------
+    @abstractmethod
+    def select(
+        self,
+        now: float,
+        ready: ReadyProbe = _always_ready,
+        channel: int | None = None,
+    ) -> Request | None:
+        """Choose and *remove* the next request to serve, or ``None``.
+
+        ``channel`` restricts candidates to requests targeting that DRAM
+        channel (multi-channel controllers arbitrate per channel while
+        the partitioning policy state -- tags, priorities -- is global).
+        """
+
+    # -- helpers for subclasses ----------------------------------------
+    @staticmethod
+    def _in_channel(req: Request, channel: int | None) -> bool:
+        return channel is None or req.channel == channel
+
+    def _requests(self, app_id: int, channel: int | None) -> Iterator[Request]:
+        """App's queued requests, oldest first, filtered by channel."""
+        for req in self.queues[app_id]:
+            if self._in_channel(req, channel):
+                yield req
+
+    def _oldest_ready(
+        self, app_id: int, ready: ReadyProbe, channel: int | None = None
+    ) -> Request | None:
+        """Oldest request of ``app_id`` that passes the readiness probe."""
+        for req in self._requests(app_id, channel):
+            if ready(req):
+                return req
+        return None
+
+    def _take(self, req: Request) -> Request:
+        """Remove a specific request from its queue."""
+        q = self.queues[req.app_id]
+        try:
+            q.remove(req)
+        except ValueError:  # pragma: no cover - defensive
+            raise SimulationError(f"request {req.seq} not queued") from None
+        self.total_queued -= 1
+        self.n_served += 1
+        return req
+
+    def _pop_head(self, app_id: int, channel: int | None = None) -> Request:
+        """Remove and return the oldest request of ``app_id`` (per channel)."""
+        for req in self._requests(app_id, channel):
+            return self._take(req)
+        raise SimulationError(f"pop from empty queue of app {app_id}")
+
+    # ------------------------------------------------------------------
+    def update_shares(self, beta) -> None:  # noqa: ANN001 - numpy or sequence
+        """Re-partition hook (online profiling, Sec. IV-C).
+
+        Share-enforcing schedulers override this; others ignore it.
+        """
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(n_apps={self.n_apps})"

@@ -1,0 +1,46 @@
+"""First-Come-First-Served scheduler -- the paper's ``No_partitioning``.
+
+Serves the globally oldest *ready* request (by enqueue cycle, request
+sequence number as the deterministic tiebreaker); if no queued request
+is bank-ready it serves the globally oldest one and eats the bank stall.
+Under FCFS, memory-intensive applications keep many requests queued and
+capture bandwidth roughly in proportion to their in-flight request
+counts, starving low-intensity applications -- exactly the behaviour the
+paper's motivation section describes.
+"""
+
+from __future__ import annotations
+
+from repro.sim.mc.base import ReadyProbe, Scheduler, _always_ready
+from repro.sim.request import Request
+
+__all__ = ["FCFSScheduler"]
+
+
+class FCFSScheduler(Scheduler):
+    """Globally-oldest-first service (No_partitioning)."""
+
+    name = "fcfs"
+
+    def select(
+        self,
+        now: float,
+        ready: ReadyProbe = _always_ready,
+        channel: int | None = None,
+    ) -> Request | None:
+        best_any: Request | None = None
+        best_ready: Request | None = None
+        for app_id in range(self.n_apps):
+            for req in self._requests(app_id, channel):
+                key = (req.enqueued, req.seq)
+                if best_any is None or key < (best_any.enqueued, best_any.seq):
+                    best_any = req
+                if ready(req) and (
+                    best_ready is None
+                    or key < (best_ready.enqueued, best_ready.seq)
+                ):
+                    best_ready = req
+        chosen = best_ready or best_any
+        if chosen is None:
+            return None
+        return self._take(chosen)

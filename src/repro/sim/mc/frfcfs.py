@@ -1,0 +1,91 @@
+"""FR-FCFS scheduler (Rixner et al., ISCA'00) -- the classic
+utilization-first baseline discussed in paper Sec. II-A1.
+
+First-Ready FCFS prioritizes requests that hit an open row buffer
+(column accesses) over those that need an activate (row accesses),
+breaking ties oldest-first; among non-hits it prefers bank-ready
+requests.  It maximizes row-buffer hit rate and hence bandwidth
+utilization, but provides no isolation between applications -- under
+it an application with high row locality can starve the others (the
+"biased scheduling" starvation problem of Sec. II-A2).
+
+Only meaningful with the open-page policy; under close-page there are
+never open rows and it degenerates to (first-ready) FCFS.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.mc.base import ReadyProbe, Scheduler, _always_ready
+from repro.sim.request import Request
+
+__all__ = ["FRFCFSScheduler"]
+
+
+class FRFCFSScheduler(Scheduler):
+    """Row-hit-first, then ready-oldest, then oldest.
+
+    Parameters
+    ----------
+    n_apps:
+        Number of applications.
+    row_hit_probe:
+        Callback ``(request) -> bool`` reporting whether the request
+        currently hits an open row; the engine wires this to
+        :meth:`repro.sim.dram.system.DRAMSystem.is_row_hit`.
+    cap:
+        Starvation cap: a request older than ``cap`` cycles is served
+        before any younger row hit (a standard FR-FCFS guard; set to
+        ``None`` to disable).
+    """
+
+    name = "frfcfs"
+
+    def __init__(
+        self,
+        n_apps: int,
+        row_hit_probe: Callable[[Request], bool] | None = None,
+        cap: float | None = 10000.0,
+    ) -> None:
+        super().__init__(n_apps)
+        self.row_hit_probe = row_hit_probe or (lambda _req: False)
+        self.cap = cap
+
+    def select(
+        self,
+        now: float,
+        ready: ReadyProbe = _always_ready,
+        channel: int | None = None,
+    ) -> Request | None:
+        oldest: Request | None = None
+        oldest_ready: Request | None = None
+        oldest_hit: Request | None = None
+        for app_id in range(self.n_apps):
+            for req in self._requests(app_id, channel):
+                key = (req.enqueued, req.seq)
+                if oldest is None or key < (oldest.enqueued, oldest.seq):
+                    oldest = req
+                if ready(req):
+                    if oldest_ready is None or key < (
+                        oldest_ready.enqueued,
+                        oldest_ready.seq,
+                    ):
+                        oldest_ready = req
+                    if self.row_hit_probe(req) and (
+                        oldest_hit is None
+                        or key < (oldest_hit.enqueued, oldest_hit.seq)
+                    ):
+                        oldest_hit = req
+        if oldest is None:
+            return None
+        # starvation guard: very old requests win over row hits
+        if (
+            self.cap is not None
+            and oldest_hit is not None
+            and oldest is not oldest_hit
+            and now - oldest.enqueued > self.cap
+        ):
+            return self._take(oldest)
+        chosen = oldest_hit or oldest_ready or oldest
+        return self._take(chosen)

@@ -1,0 +1,274 @@
+"""Trace capture and open-loop replay.
+
+The paper drives its memory system with traces produced by GEM5; our
+mainline experiments use closed-loop core models instead (they preserve
+the APC/IPC coupling the analytical model needs).  This module adds the
+classic *open-loop* mode used in memory-controller studies -- replay a
+fixed arrival trace of (cycle, address, is_write) records straight into
+the controller -- plus a recorder that captures any simulation's request
+stream into that format.
+
+Use cases:
+
+* regression traces: capture one run's stream, replay it against a
+  different scheduler, compare service orders deterministically;
+* external traces: bring your own trace file (one
+  ``cycle line_addr r|w app_id`` record per line) and study scheduler
+  behaviour without a core model;
+* controller microbenchmarks: synthetic worst-case arrival patterns.
+
+Open-loop replay has no cores, so IPC is undefined; results report
+per-app service counts, latencies and bus utilization only.
+"""
+
+from __future__ import annotations
+
+import io
+from dataclasses import dataclass, field
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.sim.dram.config import DRAMConfig, ddr2_400
+from repro.sim.dram.system import DRAMSystem
+from repro.sim.mc.base import Scheduler
+from repro.sim.request import Request
+from repro.util.errors import ConfigurationError, SimulationError
+
+__all__ = [
+    "TraceRecord",
+    "write_trace",
+    "read_trace",
+    "TraceRecorder",
+    "ReplayResult",
+    "replay_trace",
+]
+
+
+@dataclass(frozen=True, order=True)
+class TraceRecord:
+    """One off-chip access arrival."""
+
+    cycle: float
+    line_addr: int
+    is_write: bool
+    app_id: int
+
+    def __post_init__(self) -> None:
+        if self.cycle < 0:
+            raise ConfigurationError("trace cycle must be >= 0")
+        if self.line_addr < 0:
+            raise ConfigurationError("trace line_addr must be >= 0")
+        if self.app_id < 0:
+            raise ConfigurationError("trace app_id must be >= 0")
+
+
+def write_trace(records: Iterable[TraceRecord], fp: io.TextIOBase) -> int:
+    """Write records as ``cycle line_addr r|w app_id`` lines; returns count."""
+    n = 0
+    for rec in records:
+        rw = "w" if rec.is_write else "r"
+        # repr round-trips floats exactly, so read_trace(write_trace(x)) == x
+        fp.write(f"{rec.cycle!r} {rec.line_addr} {rw} {rec.app_id}\n")
+        n += 1
+    return n
+
+
+def read_trace(fp: io.TextIOBase) -> list[TraceRecord]:
+    """Parse a trace file written by :func:`write_trace`.
+
+    Blank lines and ``#`` comments are ignored; records must be
+    time-ordered (the replay engine depends on it).
+    """
+    records: list[TraceRecord] = []
+    last = -1.0
+    for lineno, line in enumerate(fp, start=1):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        parts = line.split()
+        if len(parts) != 4 or parts[2] not in ("r", "w"):
+            raise ConfigurationError(f"malformed trace line {lineno}: {line!r}")
+        rec = TraceRecord(
+            cycle=float(parts[0]),
+            line_addr=int(parts[1]),
+            is_write=parts[2] == "w",
+            app_id=int(parts[3]),
+        )
+        if rec.cycle < last:
+            raise ConfigurationError(
+                f"trace not time-ordered at line {lineno} "
+                f"({rec.cycle} < {last})"
+            )
+        last = rec.cycle
+        records.append(rec)
+    return records
+
+
+class TraceRecorder:
+    """Captures request creations during a closed-loop simulation.
+
+    Install as a repartition-free observer by wrapping a scheduler::
+
+        recorder = TraceRecorder()
+        result = simulate(specs, lambda n: recorder.wrap(FCFSScheduler(n)), cfg)
+        records = recorder.records
+
+    The recorder hooks ``enqueue`` (creation order == arrival order at
+    the controller), so it sees exactly the stream an open-loop replay
+    needs.
+    """
+
+    def __init__(self) -> None:
+        self.records: list[TraceRecord] = []
+
+    def wrap(self, scheduler: Scheduler) -> Scheduler:
+        original_enqueue = scheduler.enqueue
+
+        def recording_enqueue(request: Request, now: float) -> None:
+            self.records.append(
+                TraceRecord(
+                    cycle=now,
+                    line_addr=request.line_addr,
+                    is_write=request.is_write,
+                    app_id=request.app_id,
+                )
+            )
+            original_enqueue(request, now)
+
+        scheduler.enqueue = recording_enqueue  # type: ignore[method-assign]
+        return scheduler
+
+    def save(self, fp: io.TextIOBase) -> int:
+        return write_trace(self.records, fp)
+
+
+@dataclass(frozen=True)
+class ReplayResult:
+    """Open-loop replay measurements."""
+
+    n_apps: int
+    served: np.ndarray
+    mean_latency: np.ndarray
+    last_completion: float
+    bus_busy_cycles: float
+    #: per-request completion cycles in trace order
+    completions: tuple[float, ...] = field(repr=False, default=())
+
+    @property
+    def total_served(self) -> int:
+        return int(self.served.sum())
+
+    @property
+    def service_shares(self) -> np.ndarray:
+        total = self.served.sum()
+        if total == 0:
+            return np.zeros_like(self.served, dtype=float)
+        return self.served / total
+
+    def throughput_apc(self) -> float:
+        """Aggregate service rate over the replay's busy span."""
+        if self.last_completion <= 0:
+            return 0.0
+        return self.total_served / self.last_completion
+
+
+def replay_trace(
+    records: Sequence[TraceRecord],
+    scheduler: Scheduler,
+    dram_config: DRAMConfig | None = None,
+    *,
+    drain: bool = True,
+) -> ReplayResult:
+    """Feed a fixed arrival trace through scheduler + DRAM (open loop).
+
+    Requests arrive at their trace cycles regardless of service (no core
+    back-pressure).  With ``drain=True`` (default) the replay runs until
+    every request completes; otherwise unserved requests at the last
+    arrival are abandoned (not typical -- for overload experiments).
+    """
+    cfg = dram_config or ddr2_400()
+    dram = DRAMSystem(cfg)
+    if any(r.app_id >= scheduler.n_apps for r in records):
+        raise ConfigurationError("trace app_id exceeds scheduler n_apps")
+
+    lookahead = cfg.trcd_cycles + cfg.cl_cycles
+    served = np.zeros(scheduler.n_apps, dtype=int)
+    latency_sum = np.zeros(scheduler.n_apps)
+    completions: list[float] = []
+    last_completion = 0.0
+
+    def pump(now: float) -> None:
+        """Issue everything the bus schedule can take as of ``now``."""
+        nonlocal last_completion
+        for ch_idx, channel in enumerate(dram.channels):
+            chan = ch_idx if cfg.n_channels > 1 else None
+            while scheduler.has_pending(chan):
+                if channel.bus_free > now + lookahead + 1e-9:
+                    break
+                bus_free_before = channel.bus_free
+                deadline = max(now, bus_free_before)
+                req = scheduler.select(
+                    now, lambda r: dram.bank_ready_by(r, now, deadline), chan
+                )
+                if req is None:  # pragma: no cover - defensive
+                    break
+                dram.issue(req, now)
+                served[req.app_id] += 1
+                latency_sum[req.app_id] += req.completed - req.created
+                completions.append(req.completed)
+                last_completion = max(last_completion, req.completed)
+
+    now = 0.0
+    for rec in records:
+        if rec.cycle < now - 1e-9:
+            raise SimulationError("trace records must be time-ordered")
+        # service opportunities between arrivals
+        while now < rec.cycle:
+            next_slot = min(
+                (ch.bus_free for ch in dram.channels), default=rec.cycle
+            )
+            step = max(next_slot - lookahead, now + 1.0)
+            now = min(step, rec.cycle)
+            pump(now)
+        now = rec.cycle
+        req = Request(
+            app_id=rec.app_id,
+            line_addr=rec.line_addr,
+            is_write=rec.is_write,
+            created=rec.cycle,
+        )
+        dram.decode(req)
+        scheduler.enqueue(req, now)
+        pump(now)
+
+    if drain:
+        guard = 0
+        while scheduler.has_pending():
+            # advance to the next service opportunity of a channel that
+            # still has work (idle channels would stall the clock)
+            active_frees = [
+                ch.bus_free
+                for i, ch in enumerate(dram.channels)
+                if scheduler.has_pending(i if cfg.n_channels > 1 else None)
+            ]
+            now = max(now + 1.0, min(active_frees) - lookahead)
+            pump(now)
+            guard += 1
+            if guard > 10 * len(records) + 1000:  # pragma: no cover
+                raise SimulationError("replay failed to drain")
+
+    mean_latency = np.divide(
+        latency_sum,
+        np.maximum(served, 1),
+        out=np.zeros_like(latency_sum),
+        where=served > 0,
+    )
+    return ReplayResult(
+        n_apps=scheduler.n_apps,
+        served=served,
+        mean_latency=mean_latency,
+        last_completion=last_completion,
+        bus_busy_cycles=sum(ch.bus_busy_cycles for ch in dram.channels),
+        completions=tuple(completions),
+    )

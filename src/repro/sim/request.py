@@ -1,0 +1,50 @@
+"""Memory request records flowing core -> controller -> DRAM."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+__all__ = ["Request"]
+
+_seq_counter = itertools.count()
+
+
+@dataclass
+class Request:
+    """One off-chip memory access (a last-level-cache miss or writeback).
+
+    Timestamps are CPU cycles; ``-1`` means "not yet".  ``seq`` is a
+    global monotonically increasing tiebreaker so scheduler decisions are
+    fully deterministic.
+    """
+
+    app_id: int
+    line_addr: int
+    is_write: bool
+    created: float
+    #: decoded DRAM coordinates, filled in by the controller
+    channel: int = 0
+    bank: int = 0
+    row: int = 0
+    #: cycle the request entered the controller queue
+    enqueued: float = -1.0
+    #: cycle the controller issued it to DRAM
+    issued: float = -1.0
+    #: cycle the data transfer completed
+    completed: float = -1.0
+    seq: int = field(default_factory=lambda: next(_seq_counter))
+
+    @property
+    def queue_delay(self) -> float:
+        """Cycles spent waiting in the controller queue."""
+        if self.issued < 0 or self.enqueued < 0:
+            return 0.0
+        return self.issued - self.enqueued
+
+    @property
+    def latency(self) -> float:
+        """Total cycles from creation to data completion."""
+        if self.completed < 0:
+            return 0.0
+        return self.completed - self.created

@@ -1,0 +1,136 @@
+"""Synthetic off-chip access streams (trace-generator substrate).
+
+Substitutes for SPEC CPU2006 reference-input traces: each application
+gets a seeded :class:`MissAddressStream` producing the *line addresses*
+of its off-chip accesses, with three tunable properties that matter to
+the DRAM model:
+
+* **footprint** -- how many distinct rows the app touches (per-app row
+  ranges are disjoint so co-scheduled apps never share banks' rows);
+* **row locality** -- probability that the next access falls in the same
+  row at the next column (drives open-page row-hit rate; irrelevant to
+  the paper's close-page baseline but exercised by the FR-FCFS tests);
+* **bank spread** -- non-local accesses pick a uniformly random
+  (rank, bank), spreading load across all banks as streaming/strided
+  SPEC codes do after XOR-style controller interleaving.
+
+The generators are deliberately stationary: the paper's model
+characterizes each app by steady-state (API, APC_alone), so a stationary
+stream is the faithful minimal substitute (see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.dram.address import AddressMapper, DecodedAddress
+from repro.sim.dram.config import DRAMConfig
+from repro.util.rng import RngStream
+from repro.util.validation import check_probability
+
+__all__ = ["StreamSpec", "MissAddressStream"]
+
+
+@dataclass(frozen=True)
+class StreamSpec:
+    """Statistical shape of one application's off-chip access stream."""
+
+    #: probability that the next access continues in the current row
+    row_locality: float = 0.5
+    #: number of distinct rows in the app's working set
+    footprint_rows: int = 512
+    #: optional bank partitioning (application-aware channel/bank
+    #: partitioning, Muralidhara et al. MICRO'11 -- cited in the paper's
+    #: related work): restrict the app's accesses to these flat bank
+    #: indices (rank-major within the channel).  ``None`` = all banks.
+    bank_set: tuple[int, ...] | None = None
+
+    def __post_init__(self) -> None:
+        check_probability("row_locality", self.row_locality)
+        if self.footprint_rows < 1:
+            raise ValueError("footprint_rows must be >= 1")
+        if self.bank_set is not None:
+            if len(self.bank_set) == 0:
+                raise ValueError("bank_set must not be empty")
+            if len(set(self.bank_set)) != len(self.bank_set):
+                raise ValueError("bank_set must not contain duplicates")
+            if any(b < 0 for b in self.bank_set):
+                raise ValueError("bank indices must be >= 0")
+
+
+class MissAddressStream:
+    """Seeded generator of line addresses for one application.
+
+    Parameters
+    ----------
+    config:
+        DRAM geometry (bank counts, row size) the addresses target.
+    spec:
+        Statistical shape of the stream.
+    app_slot:
+        Index carving out a disjoint row range for this app.
+    rng:
+        The app's dedicated random stream.
+    """
+
+    def __init__(
+        self,
+        config: DRAMConfig,
+        spec: StreamSpec,
+        app_slot: int,
+        rng: RngStream,
+    ) -> None:
+        self.config = config
+        self.spec = spec
+        self.rng = rng
+        self.mapper = AddressMapper(config)
+        rows_total = self.mapper.row_space
+        per_app = max(spec.footprint_rows, 1)
+        self.row_base = (app_slot * per_app) % max(rows_total - per_app, 1)
+        self.row_span = min(per_app, rows_total - self.row_base)
+        self._current: DecodedAddress | None = None
+        if spec.bank_set is not None:
+            banks_per_channel = config.n_ranks * config.n_banks
+            if any(b >= banks_per_channel for b in spec.bank_set):
+                raise ValueError(
+                    f"bank_set exceeds the {banks_per_channel} banks per channel"
+                )
+            self._bank_set: tuple[int, ...] | None = tuple(spec.bank_set)
+        else:
+            self._bank_set = None
+
+    def _random_location(self) -> DecodedAddress:
+        cfg = self.config
+        if self._bank_set is not None:
+            flat = self._bank_set[self.rng.integers(0, len(self._bank_set))]
+            rank, bank = divmod(flat, cfg.n_banks)
+        else:
+            rank = self.rng.integers(0, cfg.n_ranks)
+            bank = self.rng.integers(0, cfg.n_banks)
+        return DecodedAddress(
+            channel=self.rng.integers(0, cfg.n_channels),
+            rank=rank,
+            bank=bank,
+            row=self.row_base + self.rng.integers(0, self.row_span),
+            col=self.rng.integers(0, cfg.lines_per_row),
+        )
+
+    def next_address(self) -> int:
+        """Produce the next line address of the stream."""
+        cur = self._current
+        if (
+            cur is not None
+            and self.rng.random() < self.spec.row_locality
+            and cur.col + 1 < self.config.lines_per_row
+        ):
+            nxt = DecodedAddress(
+                channel=cur.channel,
+                rank=cur.rank,
+                bank=cur.bank,
+                row=cur.row,
+                col=cur.col + 1,
+            )
+        else:
+            nxt = self._random_location()
+        self._current = nxt
+        return self.mapper.encode(nxt)

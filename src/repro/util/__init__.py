@@ -1,0 +1,28 @@
+"""Shared utilities: errors, validation helpers, deterministic RNG streams."""
+
+from repro.util.errors import (
+    ConfigurationError,
+    InfeasibleError,
+    ReproError,
+    SimulationError,
+)
+from repro.util.rng import RngStream, spawn_streams
+from repro.util.validation import (
+    check_finite,
+    check_positive,
+    check_probability,
+    check_same_length,
+)
+
+__all__ = [
+    "ReproError",
+    "ConfigurationError",
+    "InfeasibleError",
+    "SimulationError",
+    "RngStream",
+    "spawn_streams",
+    "check_finite",
+    "check_positive",
+    "check_probability",
+    "check_same_length",
+]

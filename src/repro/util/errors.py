@@ -1,0 +1,34 @@
+"""Exception hierarchy for the repro package.
+
+All exceptions raised deliberately by this library derive from
+:class:`ReproError` so callers can catch library failures without also
+swallowing programming errors (``TypeError``, ``KeyError``, ...).
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """A configuration object is internally inconsistent or out of range."""
+
+
+class InfeasibleError(ReproError):
+    """A constrained optimization problem has no feasible solution.
+
+    Raised, for example, when QoS targets demand more bandwidth than the
+    memory system provides (paper Sec. III-G requires
+    ``sum(B_QoS) <= B``).
+    """
+
+
+class SimulationError(ReproError):
+    """The cycle-level simulator reached an illegal state.
+
+    This always indicates a bug (a timing-protocol violation, a lost
+    request, ...) rather than a user mistake; it is used by internal
+    consistency assertions that are cheap enough to keep enabled.
+    """

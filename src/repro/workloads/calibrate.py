@@ -1,0 +1,238 @@
+"""Calibration of the Table III surrogates against the simulator.
+
+Run as a module to regenerate the ``ipc_peak`` / ``write_fraction``
+values baked into :mod:`repro.workloads.spec`::
+
+    python -m repro.workloads.calibrate
+
+For each benchmark the procedure is:
+
+1. Measure the *ceiling*: the alone-mode APC with a demand-rich core
+   (``ipc_peak`` far above the target IPC).  The ceiling is set by the
+   channel (bus rate minus turnaround/refresh losses) and the MLP limit.
+2. If the Table III target exceeds ~98% of the ceiling, the benchmark is
+   *bus-saturated* (lbm): keep the demand-rich ``ipc_peak`` and tune the
+   write fraction (which controls turnaround losses and hence the
+   saturated efficiency) until the ceiling matches the target.
+3. Otherwise binary-search ``ipc_peak`` -- alone-mode APC is monotone in
+   it -- until the measured APC matches the target.
+
+The calibration is deterministic (fixed seed) and the test-suite
+re-validates the baked-in numbers against fresh simulator runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.cpu import CoreSpec
+from repro.sim.engine import SimConfig, run_alone
+from repro.util.errors import ConfigurationError
+from repro.workloads.spec import TABLE3, BenchmarkSpec
+
+__all__ = [
+    "CalibrationResult",
+    "CALIBRATION_SEED",
+    "calibration_config",
+    "measure_alone_apc",
+    "calibrate_benchmark",
+    "calibrate_all",
+]
+
+CALIBRATION_SEED = 2013
+#: ipc_peak used when probing the channel/MLP ceiling
+_DEMAND_RICH_FACTOR = 4.0
+#: a high-intensity target this close to the ceiling means "bus-saturated"
+_SATURATION_MARGIN = 0.90
+_MAX_IPC = 8.0  # the cores decode/retire at most 8 inst/cycle (Table II)
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Outcome of calibrating one benchmark."""
+
+    name: str
+    ipc_peak: float
+    write_fraction: float
+    mlp: int
+    measured: float
+    target: float
+    saturated: bool
+
+    @property
+    def error(self) -> float:
+        """Relative error of the calibrated operating point.
+
+        For saturated benchmarks the operating point is APC (kilo-scale);
+        for demand-limited benchmarks it is IPC -- the quantity the
+        search controls exactly (realized API carries per-seed sampling
+        noise that would otherwise be folded into the error).
+        """
+        return abs(self.measured - self.target) / self.target
+
+
+def calibration_config(
+    seed: int = CALIBRATION_SEED, target_apc: float | None = None
+) -> SimConfig:
+    """The windows used for calibration runs (and their re-validation).
+
+    Low-intensity benchmarks get proportionally longer windows so the
+    access count (and hence the APC estimate's relative noise) is
+    comparable across benchmarks; the event count -- and so the wall
+    time -- stays roughly constant.
+    """
+    measure = 1_000_000.0
+    if target_apc is not None and target_apc > 0:
+        measure = max(measure, 4_000.0 / target_apc)
+    return SimConfig(warmup_cycles=200_000.0, measure_cycles=measure, seed=seed)
+
+
+def measure_alone(spec: CoreSpec, config: SimConfig | None = None):
+    """Alone-mode window result of one core spec at DDR2-400."""
+    return run_alone(spec, config or calibration_config())
+
+
+def measure_alone_apc(spec: CoreSpec, config: SimConfig | None = None) -> float:
+    """Alone-mode APC of one core spec at DDR2-400."""
+    return measure_alone(spec, config).apc
+
+
+def _spec_with(
+    bench: BenchmarkSpec, ipc_peak: float, wf: float, mlp: int | None = None
+) -> CoreSpec:
+    return replace(
+        bench, ipc_peak=ipc_peak, write_fraction=wf, mlp=mlp or bench.mlp
+    ).core_spec()
+
+
+def _calibrate_saturated(
+    bench: BenchmarkSpec, cfg: SimConfig, rich_ipc: float, ceiling_apc: float,
+    tol: float, max_iter: int,
+) -> CalibrationResult:
+    """Bus-saturated (lbm-class): tune the write fraction.
+
+    Higher write fraction -> more bus turnarounds -> lower saturated
+    channel efficiency; monotone decreasing, so bisection applies.
+    """
+    target = bench.apc_alone_target
+    lo_wf, hi_wf = 0.02, 0.45
+    best_wf, best_apc = bench.write_fraction, ceiling_apc
+    for _ in range(max_iter):
+        mid = 0.5 * (lo_wf + hi_wf)
+        apc = measure_alone_apc(_spec_with(bench, rich_ipc, mid), cfg)
+        if abs(apc - target) < abs(best_apc - target):
+            best_wf, best_apc = mid, apc
+        if abs(apc - target) / target < tol:
+            best_wf, best_apc = mid, apc
+            break
+        if apc > target:
+            lo_wf = mid  # need more turnaround loss
+        else:
+            hi_wf = mid
+    return CalibrationResult(
+        name=bench.name,
+        ipc_peak=round(rich_ipc, 5),
+        write_fraction=round(best_wf, 5),
+        mlp=bench.mlp,
+        measured=round(best_apc * 1000.0, 4),
+        target=bench.apkc_alone,
+        saturated=True,
+    )
+
+
+def calibrate_benchmark(
+    bench: BenchmarkSpec,
+    config: SimConfig | None = None,
+    *,
+    tol: float = 0.01,
+    max_iter: int = 18,
+) -> CalibrationResult:
+    """Find (ipc_peak, write_fraction, mlp) hitting the Table III point.
+
+    Demand-limited benchmarks are calibrated on *IPC* (which the search
+    controls exactly; APC then matches APKC in expectation because API
+    is met by construction).  If a benchmark's intensity-class MLP makes
+    the target unreachable, the MLP is escalated until it is.
+    """
+    cfg = config or calibration_config(target_apc=bench.apc_alone_target)
+    target_ipc = bench.ipc_alone_target
+    rich_ipc = min(target_ipc * _DEMAND_RICH_FACTOR, _MAX_IPC)
+
+    # MLP escalation: the ceiling (IPC at demand-rich peak) must clear the
+    # target, otherwise no ipc_peak can reach it.
+    mlp = bench.mlp
+    ceiling = measure_alone(_spec_with(bench, rich_ipc, bench.write_fraction, mlp), cfg)
+    for bump in (1, 2, 4, 8, 16):
+        if ceiling.ipc >= target_ipc * 1.005 or bench.intensity == "high":
+            break
+        mlp = bench.mlp + bump
+        ceiling = measure_alone(
+            _spec_with(bench, rich_ipc, bench.write_fraction, mlp), cfg
+        )
+
+    if bench.intensity == "high" and bench.apc_alone_target > ceiling.apc * _SATURATION_MARGIN:
+        return _calibrate_saturated(bench, cfg, rich_ipc, ceiling.apc, tol, max_iter)
+
+    # demand-limited: binary-search ipc_peak (IPC monotone increasing)
+    lo, hi = target_ipc, rich_ipc
+    best_peak, best_ipc = hi, ceiling.ipc
+    for _ in range(max_iter):
+        mid = 0.5 * (lo + hi)
+        ipc = measure_alone(_spec_with(bench, mid, bench.write_fraction, mlp), cfg).ipc
+        if abs(ipc - target_ipc) < abs(best_ipc - target_ipc):
+            best_peak, best_ipc = mid, ipc
+        if abs(ipc - target_ipc) / target_ipc < tol:
+            best_peak, best_ipc = mid, ipc
+            break
+        if ipc < target_ipc:
+            lo = mid
+        else:
+            hi = mid
+    return CalibrationResult(
+        name=bench.name,
+        ipc_peak=round(best_peak, 5),
+        write_fraction=bench.write_fraction,
+        mlp=mlp,
+        measured=round(best_ipc, 5),
+        target=round(target_ipc, 5),
+        saturated=False,
+    )
+
+
+def calibrate_all(
+    config: SimConfig | None = None, *, verbose: bool = True
+) -> dict[str, CalibrationResult]:
+    """Calibrate every Table III benchmark; optionally print a report."""
+    cfg = config or calibration_config()
+    results: dict[str, CalibrationResult] = {}
+    for name, bench in TABLE3.items():
+        r = calibrate_benchmark(bench, cfg)
+        results[name] = r
+        if verbose:
+            flag = " (saturated)" if r.saturated else ""
+            what = "apkc" if r.saturated else "ipc"
+            print(
+                f"{name:12s} ipc_peak={r.ipc_peak:8.5f} wf={r.write_fraction:.3f} "
+                f"mlp={r.mlp:2d} {what}={r.measured:8.4f} target={r.target:8.4f} "
+                f"err={r.error * 100:5.2f}%{flag}"
+            )
+    if verbose:
+        worst = max(results.values(), key=lambda r: r.error)
+        print(f"worst error: {worst.name} {worst.error * 100:.2f}%")
+    return results
+
+
+def main() -> None:  # pragma: no cover - CLI entry
+    results = calibrate_all()
+    print("\n# paste into repro/workloads/spec.py:")
+    for r in results.values():
+        b = TABLE3[r.name]
+        mlp_part = f", mlp={r.mlp}" if r.mlp != b.mlp else ""
+        print(
+            f'        _bench("{r.name}", "{b.btype}", {b.apkc_alone}, {b.apki}, '
+            f"{r.ipc_peak}, {r.write_fraction}{mlp_part}),"
+        )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

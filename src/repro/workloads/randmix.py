@@ -1,0 +1,125 @@
+"""Random workload-mix construction (beyond Table IV).
+
+Table IV fixes fourteen mixes; studies of the schemes' behaviour *in
+general* (robustness sweeps, fuzzing, teaching) want arbitrarily many
+mixes with controlled properties.  This module samples mixes from the
+Table III benchmark pool:
+
+* by intensity-class recipe (``classes=("high", "middle", "low", "low")``
+  -- the paper's hetero construction);
+* by target heterogeneity (rejection-sample until the RSD of APC_alone
+  lands in a requested band -- the paper's homo/hetero criterion);
+* uniformly at random.
+
+All sampling is seeded and reproducible.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.core.apps import Workload, relative_std
+from repro.util.errors import ConfigurationError
+from repro.workloads.spec import TABLE3, BenchmarkSpec
+
+__all__ = [
+    "benchmarks_by_intensity",
+    "random_mix",
+    "mix_by_classes",
+    "mix_with_rsd",
+]
+
+
+def benchmarks_by_intensity() -> dict[str, list[str]]:
+    """Table III names grouped by the paper's intensity classes."""
+    groups: dict[str, list[str]] = {"high": [], "middle": [], "low": []}
+    for b in TABLE3.values():
+        groups[b.intensity].append(b.name)
+    return groups
+
+
+def _to_workload(name: str, members: Sequence[str]) -> Workload:
+    return Workload.of(
+        name, [TABLE3[m].paper_profile() for m in members]
+    )
+
+
+def random_mix(
+    n_apps: int = 4,
+    *,
+    seed: int = 0,
+    allow_duplicates: bool = False,
+) -> tuple[tuple[str, ...], Workload]:
+    """A uniformly random mix of Table III benchmarks."""
+    if n_apps < 1:
+        raise ConfigurationError("n_apps must be >= 1")
+    pool = list(TABLE3)
+    if not allow_duplicates and n_apps > len(pool):
+        raise ConfigurationError(
+            f"cannot draw {n_apps} distinct benchmarks from {len(pool)}"
+        )
+    rng = np.random.default_rng(seed)
+    members = tuple(
+        rng.choice(pool, size=n_apps, replace=allow_duplicates).tolist()
+    )
+    return members, _to_workload(f"rand-{seed}", members)
+
+
+def mix_by_classes(
+    classes: Sequence[str],
+    *,
+    seed: int = 0,
+) -> tuple[tuple[str, ...], Workload]:
+    """Sample one benchmark per requested intensity class.
+
+    ``classes=("middle", "middle", "low", "low")`` reproduces the flavour
+    of the paper's hetero-2/hetero-5 constructions.  Classes repeat, but
+    a single benchmark is never used twice in one mix.
+    """
+    groups = benchmarks_by_intensity()
+    rng = np.random.default_rng(seed)
+    members: list[str] = []
+    for cls in classes:
+        if cls not in groups:
+            raise ConfigurationError(
+                f"unknown intensity class {cls!r}; use high/middle/low"
+            )
+        candidates = [b for b in groups[cls] if b not in members]
+        if not candidates:
+            raise ConfigurationError(
+                f"class {cls!r} exhausted while building the mix"
+            )
+        members.append(str(rng.choice(candidates)))
+    return tuple(members), _to_workload(f"classes-{seed}", members)
+
+
+def mix_with_rsd(
+    rsd_min: float,
+    rsd_max: float,
+    *,
+    n_apps: int = 4,
+    seed: int = 0,
+    max_tries: int = 5000,
+) -> tuple[tuple[str, ...], Workload]:
+    """Rejection-sample a mix whose APC_alone RSD lies in a band.
+
+    ``mix_with_rsd(30, 1000)`` gives a heterogeneous mix by the paper's
+    definition; ``mix_with_rsd(0, 30)`` a homogeneous one.
+    """
+    if rsd_min < 0 or rsd_max <= rsd_min:
+        raise ConfigurationError("need 0 <= rsd_min < rsd_max")
+    rng = np.random.default_rng(seed)
+    pool = list(TABLE3)
+    if n_apps > len(pool):
+        raise ConfigurationError("n_apps exceeds the benchmark pool")
+    for _ in range(max_tries):
+        members = tuple(rng.choice(pool, size=n_apps, replace=False).tolist())
+        apcs = [TABLE3[m].apc_alone_target for m in members]
+        rsd = relative_std(apcs)
+        if rsd_min <= rsd <= rsd_max:
+            return members, _to_workload(f"rsd-{seed}", members)
+    raise ConfigurationError(
+        f"no mix with RSD in [{rsd_min}, {rsd_max}] found in {max_tries} tries"
+    )

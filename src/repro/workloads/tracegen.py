@@ -1,0 +1,12 @@
+"""Synthetic off-chip access streams -- public re-export.
+
+The implementation lives in :mod:`repro.sim.stream` (the core model
+consumes it, and keeping it inside the sim package keeps the package
+import graph acyclic: ``workloads`` depends on ``sim``, never the
+reverse).  This module preserves the documented
+``repro.workloads.tracegen`` import path.
+"""
+
+from repro.sim.stream import MissAddressStream, StreamSpec
+
+__all__ = ["MissAddressStream", "StreamSpec"]

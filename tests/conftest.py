@@ -1,0 +1,48 @@
+"""Shared fixtures for the repro test-suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import AppProfile, Workload
+
+
+@pytest.fixture
+def hetero_workload() -> Workload:
+    """A 4-app heterogeneous workload (mirrors the paper's hetero-5:
+    libquantum-milc-gromacs-gobmk, Table III values)."""
+    return Workload.of(
+        "hetero-5",
+        [
+            AppProfile("libquantum", api=0.0341188, apc_alone=0.00691693),
+            AppProfile("milc", api=0.0422216, apc_alone=0.00687143),
+            AppProfile("gromacs", api=0.0051976, apc_alone=0.00336604),
+            AppProfile("gobmk", api=0.0040668, apc_alone=0.00191485),
+        ],
+    )
+
+
+@pytest.fixture
+def homo_workload() -> Workload:
+    """A 4-app homogeneous workload (paper homo-1 style)."""
+    return Workload.of(
+        "homo-1",
+        [
+            AppProfile("libquantum", api=0.0341188, apc_alone=0.00691693),
+            AppProfile("milc", api=0.0422216, apc_alone=0.00687143),
+            AppProfile("soplex", api=0.0378789, apc_alone=0.00605614),
+            AppProfile("hmmer", api=0.0046008, apc_alone=0.00529083),
+        ],
+    )
+
+
+@pytest.fixture
+def total_bandwidth() -> float:
+    """DDR2-400 peak in APC at 64 B lines / 5 GHz: 3.2 GB/s = 0.01 APC."""
+    return 0.01
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(20130527)  # IPDPS'13 conference date

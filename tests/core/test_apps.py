@@ -1,0 +1,137 @@
+"""Unit tests for application profiles and workloads (repro.core.apps)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AppProfile, Workload, relative_std
+from repro.util.errors import ConfigurationError
+
+
+class TestAppProfile:
+    def test_ipc_alone_is_apc_over_api(self):
+        app = AppProfile("x", api=0.02, apc_alone=0.004)
+        assert app.ipc_alone == pytest.approx(0.2)
+
+    def test_apki_scales_by_thousand(self):
+        app = AppProfile("x", api=0.0341188, apc_alone=0.0069)
+        assert app.apki == pytest.approx(34.1188)
+
+    def test_apkc_alone_scales_by_thousand(self):
+        app = AppProfile("x", api=0.03, apc_alone=0.00691693)
+        assert app.apkc_alone == pytest.approx(6.91693)
+
+    @pytest.mark.parametrize(
+        "apkc,expected",
+        [(9.38, "high"), (8.01, "high"), (8.0, "middle"), (6.9, "middle"),
+         (4.01, "middle"), (4.0, "low"), (3.9, "low"), (0.55, "low")],
+    )
+    def test_intensity_classification(self, apkc, expected):
+        app = AppProfile("x", api=0.05, apc_alone=apkc / 1000.0)
+        assert app.intensity == expected
+
+    def test_rejects_nonpositive_api(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile("x", api=0.0, apc_alone=0.004)
+
+    def test_rejects_nonpositive_apc(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile("x", api=0.01, apc_alone=-1.0)
+
+    def test_rejects_nan(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile("x", api=float("nan"), apc_alone=0.004)
+
+    def test_scaled_changes_only_apc(self):
+        app = AppProfile("x", api=0.02, apc_alone=0.004)
+        scaled = app.scaled(0.008)
+        assert scaled.apc_alone == 0.008
+        assert scaled.api == app.api
+        assert scaled.name == app.name
+
+    def test_frozen(self):
+        app = AppProfile("x", api=0.02, apc_alone=0.004)
+        with pytest.raises(AttributeError):
+            app.api = 0.5  # type: ignore[misc]
+
+
+class TestRelativeStd:
+    def test_identical_values_have_zero_rsd(self):
+        assert relative_std([3.0, 3.0, 3.0]) == pytest.approx(0.0)
+
+    def test_known_value(self):
+        # values 1 and 3: mean 2, sample std sqrt(2) -> RSD 70.71%
+        assert relative_std([1.0, 3.0]) == pytest.approx(70.7106, abs=1e-3)
+
+    def test_paper_homo1_value(self):
+        # Table IV: homo-1 (libquantum-milc-soplex-hmmer) has RSD 12.27
+        apkc = [6.91693, 6.87143, 6.05614, 5.29083]
+        assert relative_std(apkc) == pytest.approx(12.27, abs=0.02)
+
+    def test_too_few_values_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_std([])
+        with pytest.raises(ConfigurationError):
+            relative_std([1.0])
+
+    def test_zero_mean_rejected(self):
+        with pytest.raises(ConfigurationError):
+            relative_std([-1.0, 1.0])
+
+
+class TestWorkload:
+    def test_vectors_match_apps(self, hetero_workload):
+        np.testing.assert_allclose(
+            hetero_workload.api, [a.api for a in hetero_workload]
+        )
+        np.testing.assert_allclose(
+            hetero_workload.apc_alone, [a.apc_alone for a in hetero_workload]
+        )
+
+    def test_ipc_alone_vector(self, hetero_workload):
+        np.testing.assert_allclose(
+            hetero_workload.ipc_alone,
+            hetero_workload.apc_alone / hetero_workload.api,
+        )
+
+    def test_len_and_iteration(self, hetero_workload):
+        assert len(hetero_workload) == 4
+        assert hetero_workload.n == 4
+        assert [a.name for a in hetero_workload] == list(hetero_workload.names)
+
+    def test_heterogeneity_threshold(self, hetero_workload, homo_workload):
+        # the paper: heterogeneous iff RSD of APC_alone > 30
+        assert hetero_workload.is_heterogeneous
+        assert not homo_workload.is_heterogeneous
+
+    def test_hetero5_rsd_close_to_paper(self, hetero_workload):
+        # Table IV reports RSD 52.99 for hetero-5
+        assert hetero_workload.heterogeneity == pytest.approx(52.99, abs=0.5)
+
+    def test_index_of(self, hetero_workload):
+        assert hetero_workload.index_of("gromacs") == 2
+        with pytest.raises(KeyError):
+            hetero_workload.index_of("nonexistent")
+
+    def test_empty_workload_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Workload.of("empty", [])
+
+    def test_replicated_scales_app_count(self, hetero_workload):
+        doubled = hetero_workload.replicated(2)
+        assert doubled.n == 8
+        # same APC_alone values, duplicated
+        np.testing.assert_allclose(
+            np.sort(doubled.apc_alone),
+            np.sort(np.tile(hetero_workload.apc_alone, 2)),
+        )
+
+    def test_replicated_names_unique(self, hetero_workload):
+        doubled = hetero_workload.replicated(2)
+        assert len(set(doubled.names)) == 8
+
+    def test_replicated_once_keeps_names(self, hetero_workload):
+        same = hetero_workload.replicated(1)
+        assert same.names == hetero_workload.names
+
+    def test_getitem(self, hetero_workload):
+        assert hetero_workload[0].name == "libquantum"

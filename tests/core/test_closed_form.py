@@ -1,0 +1,121 @@
+"""Tests for the closed-form expressions (repro.core.closed_form)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyticalModel,
+    AppProfile,
+    HarmonicWeightedSpeedup,
+    ProportionalPartitioning,
+    SquareRootPartitioning,
+    WeightedSpeedup,
+    Workload,
+    cauchy_dominance_holds,
+    hsp_proportional,
+    hsp_square_root,
+    wsp_proportional,
+    wsp_square_root,
+)
+from repro.core.closed_form import (
+    proportional_allocation_is_uncapped,
+    sqrt_allocation_is_uncapped,
+    wsp_square_root_paper_form,
+)
+
+B = 0.01
+
+
+class TestClosedFormsMatchExplicitAllocations:
+    """The closed forms must agree with evaluating the metric on the
+    explicitly constructed allocation (in the uncapped regime)."""
+
+    def test_eq4_hsp_square_root(self, hetero_workload):
+        assert sqrt_allocation_is_uncapped(hetero_workload, B)
+        model = AnalyticalModel(hetero_workload, B)
+        explicit = model.evaluate(HarmonicWeightedSpeedup(), SquareRootPartitioning())
+        assert hsp_square_root(hetero_workload, B) == pytest.approx(explicit)
+
+    def test_eq8_hsp_proportional(self, hetero_workload):
+        assert proportional_allocation_is_uncapped(hetero_workload, B)
+        model = AnalyticalModel(hetero_workload, B)
+        explicit = model.evaluate(HarmonicWeightedSpeedup(), ProportionalPartitioning())
+        assert hsp_proportional(hetero_workload, B) == pytest.approx(explicit)
+
+    def test_eq8_wsp_equals_hsp_for_proportional(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        wsp = model.evaluate(WeightedSpeedup(), ProportionalPartitioning())
+        hsp = model.evaluate(HarmonicWeightedSpeedup(), ProportionalPartitioning())
+        assert wsp == pytest.approx(hsp)
+        assert wsp_proportional(hetero_workload, B) == pytest.approx(wsp)
+
+    def test_wsp_square_root_self_consistent_form(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        explicit = model.evaluate(WeightedSpeedup(), SquareRootPartitioning())
+        assert wsp_square_root(hetero_workload, B) == pytest.approx(explicit)
+
+    def test_eq6_paper_form_documented_discrepancy(self, hetero_workload):
+        """Eq. (6) as printed disagrees with evaluating Eq. (9) on the
+        Eq. (5) allocation (missing normalization); we keep it exposed but
+        distinct.  For N identical apps the printed form overshoots by N^2."""
+        wl = Workload.of(
+            "same", [AppProfile(f"a{i}", api=0.01, apc_alone=0.004) for i in range(4)]
+        )
+        literal = wsp_square_root_paper_form(wl, B)
+        consistent = wsp_square_root(wl, B)
+        assert literal == pytest.approx(consistent * wl.n**2)
+
+
+class TestDominance:
+    def test_cauchy_dominance_fixed_workloads(self, hetero_workload, homo_workload):
+        assert cauchy_dominance_holds(hetero_workload, B)
+        assert cauchy_dominance_holds(homo_workload, B)
+
+    def test_dominance_equality_for_identical_apps(self):
+        """Cauchy-Schwarz is tight iff all APC_alone are equal: then
+        Square_root and Proportional coincide."""
+        wl = Workload.of(
+            "same", [AppProfile(f"a{i}", api=0.01, apc_alone=0.004) for i in range(4)]
+        )
+        assert hsp_square_root(wl, B) == pytest.approx(hsp_proportional(wl, B))
+
+    def test_dominance_random_workloads(self, rng):
+        for _ in range(200):
+            n = int(rng.integers(2, 9))
+            apps = [
+                AppProfile(
+                    f"a{i}",
+                    api=float(rng.uniform(0.001, 0.06)),
+                    apc_alone=float(rng.uniform(0.0005, 0.0099)),
+                )
+                for i in range(n)
+            ]
+            wl = Workload.of("rand", apps)
+            assert cauchy_dominance_holds(wl, B)
+
+    def test_wsp_ordering_priority_sqrt_prop(self, hetero_workload):
+        """Sec. III: Wsp(Priority_APC) >= Wsp(Square_root) >= Wsp(Prop)."""
+        model = AnalyticalModel(hetero_workload, B)
+        w_prio = model.max_weighted_speedup()
+        w_sqrt = wsp_square_root(hetero_workload, B)
+        w_prop = wsp_proportional(hetero_workload, B)
+        assert w_prio >= w_sqrt - 1e-12 >= w_prop - 1e-12
+
+
+class TestCappingDetection:
+    def test_sqrt_capping_detected_at_high_bandwidth(self):
+        # one tiny-demand app: with huge B its sqrt share exceeds demand
+        wl = Workload.of(
+            "tiny",
+            [
+                AppProfile("big", api=0.05, apc_alone=0.009),
+                AppProfile("tiny", api=0.001, apc_alone=0.0001),
+            ],
+        )
+        assert sqrt_allocation_is_uncapped(wl, 0.001)
+        assert not sqrt_allocation_is_uncapped(wl, 0.009)
+
+    def test_proportional_capping_is_total_demand_check(self, hetero_workload):
+        total = hetero_workload.apc_alone.sum()
+        assert proportional_allocation_is_uncapped(hetero_workload, total)
+        assert not proportional_allocation_is_uncapped(hetero_workload, total * 1.01)

@@ -1,0 +1,118 @@
+"""Tests for the throughput-fairness frontier analysis (repro.core.frontier)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AppProfile,
+    Workload,
+    best_alpha,
+    knee_alpha,
+    pareto_points,
+    power_family_frontier,
+)
+from repro.util.errors import ConfigurationError
+
+B = 0.01
+
+
+@pytest.fixture
+def frontier(hetero_workload):
+    return power_family_frontier(hetero_workload, B)
+
+
+class TestFrontierConstruction:
+    def test_default_grid_spans_family(self, frontier):
+        alphas = [p.alpha for p in frontier]
+        assert alphas[0] == pytest.approx(0.0)
+        assert alphas[-1] == pytest.approx(1.5)
+        assert len(frontier) == 31
+
+    def test_each_point_has_all_metrics(self, frontier):
+        for p in frontier:
+            assert set(p.metrics) == {"hsp", "minf", "wsp", "ipcsum"}
+
+    def test_betas_sum_to_one(self, frontier):
+        for p in frontier:
+            assert p.beta.sum() == pytest.approx(1.0)
+
+    def test_custom_alpha_grid(self, hetero_workload):
+        pts = power_family_frontier(hetero_workload, B, alphas=np.array([0.5]))
+        assert len(pts) == 1
+        assert pts[0].alpha == 0.5
+
+    def test_getitem(self, frontier):
+        assert frontier[0]["hsp"] == frontier[0].metrics["hsp"]
+
+
+class TestPaperAnchors:
+    def test_hsp_peaks_near_half(self, frontier):
+        """The paper's Square_root derivation: α* = 0.5 for Hsp."""
+        best = best_alpha(frontier, "hsp")
+        assert best.alpha == pytest.approx(0.5, abs=0.051)
+
+    def test_minf_peaks_near_one(self, frontier):
+        """The paper's Proportional derivation: α* = 1 for MinFairness."""
+        best = best_alpha(frontier, "minf")
+        assert best.alpha == pytest.approx(1.0, abs=0.051)
+
+    def test_throughput_decreases_with_alpha(self, frontier):
+        """Larger α feeds bandwidth-insensitive (high-API) apps: IPCsum
+        falls monotonically along the family (hetero workload)."""
+        ipcsums = [p["ipcsum"] for p in frontier]
+        assert all(a >= b - 1e-12 for a, b in zip(ipcsums, ipcsums[1:]))
+
+    def test_fairness_increases_to_one_then_decreases(self, frontier):
+        minfs = [p["minf"] for p in frontier]
+        peak = int(np.argmax(minfs))
+        assert all(a <= b + 1e-12 for a, b in zip(minfs[:peak], minfs[1 : peak + 1]))
+        assert all(a >= b - 1e-12 for a, b in zip(minfs[peak:], minfs[peak + 1 :]))
+
+
+class TestPareto:
+    def test_pareto_subset_is_nondominated(self, frontier):
+        eff = pareto_points(frontier, "minf", "wsp")
+        assert 0 < len(eff) <= len(frontier)
+        for p in eff:
+            for q in frontier:
+                assert not (
+                    (q["minf"] >= p["minf"] and q["wsp"] >= p["wsp"])
+                    and (q["minf"] > p["minf"] or q["wsp"] > p["wsp"])
+                )
+
+    def test_pareto_sorted_by_x(self, frontier):
+        eff = pareto_points(frontier, "minf", "wsp")
+        xs = [p["minf"] for p in eff]
+        assert xs == sorted(xs)
+
+    def test_pareto_excludes_extreme_alphas(self, frontier):
+        """α > 1 over-weights heavy apps: worse on both fairness AND
+        throughput than Proportional -> dominated."""
+        eff = pareto_points(frontier, "minf", "wsp")
+        assert all(p.alpha <= 1.0 + 1e-9 for p in eff)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            pareto_points([], "minf", "wsp")
+
+
+class TestKnee:
+    def test_knee_is_interior(self, frontier):
+        """The knee lies strictly between the two extreme objectives'
+        optima: more balanced than either Proportional or priority-ish."""
+        knee = knee_alpha(frontier, "minf", "wsp")
+        eff = pareto_points(frontier, "minf", "wsp")
+        assert eff[0].alpha - 1e-9 <= knee.alpha <= eff[-1].alpha + 1e-9
+
+    def test_knee_on_homogeneous_degenerates_gracefully(self):
+        wl = Workload.of(
+            "same",
+            [AppProfile(f"a{i}", api=0.01, apc_alone=0.003) for i in range(4)],
+        )
+        pts = power_family_frontier(wl, B)
+        knee = knee_alpha(pts, "minf", "wsp")
+        assert knee in pts
+
+    def test_best_alpha_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            best_alpha([], "hsp")

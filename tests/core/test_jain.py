@@ -1,0 +1,50 @@
+"""Tests for the Jain fairness index extension metric."""
+
+import numpy as np
+import pytest
+
+from repro.core import AnalyticalModel, ProportionalPartitioning
+from repro.core.metrics import JainFairness
+
+
+class TestJainIndex:
+    def test_equal_speedups_give_one(self):
+        m = JainFairness()
+        assert m(np.array([0.5, 1.0, 2.0]) * 0.3,
+                 np.array([0.5, 1.0, 2.0])) == pytest.approx(1.0)
+
+    def test_total_monopoly_gives_one_over_n(self):
+        m = JainFairness()
+        shared = np.array([1.0, 1e-12, 1e-12, 1e-12])
+        alone = np.ones(4)
+        assert m(shared, alone) == pytest.approx(0.25, rel=1e-3)
+
+    def test_scale_invariant_in_speedups(self):
+        m = JainFairness()
+        alone = np.array([2.0, 1.0])
+        a = m(alone * 0.3, alone)
+        b = m(alone * 0.9, alone)
+        assert a == pytest.approx(b)
+
+    def test_bounded_in_unit_interval(self, rng):
+        m = JainFairness()
+        for _ in range(100):
+            alone = rng.uniform(0.1, 3.0, 5)
+            shared = alone * rng.uniform(0.01, 1.0, 5)
+            j = m(shared, alone)
+            assert 1 / 5 - 1e-9 <= j <= 1.0 + 1e-9
+
+    def test_proportional_is_optimal(self, hetero_workload):
+        """Equal speedups maximize Jain's index, so Proportional is the
+        derived optimum -- same as MinFairness (paper Sec. III-C logic)."""
+        model = AnalyticalModel(hetero_workload, 0.01)
+        prop = model.evaluate(JainFairness(), ProportionalPartitioning())
+        assert prop == pytest.approx(1.0)
+        from repro.core import optimize_partition
+
+        numerical = optimize_partition(hetero_workload, 0.01, JainFairness())
+        assert numerical.objective <= prop + 1e-9
+
+    def test_zero_everything(self):
+        m = JainFairness()
+        assert m(np.zeros(3), np.ones(3)) == 0.0

@@ -1,0 +1,96 @@
+"""Unit tests for the fractional-knapsack solver (repro.core.knapsack)."""
+
+import numpy as np
+import pytest
+
+from repro.core import solve_fractional_knapsack
+from repro.util.errors import ConfigurationError
+
+
+class TestGreedyFill:
+    def test_fills_highest_density_first(self):
+        sol = solve_fractional_knapsack(
+            values=np.array([1.0, 3.0, 2.0]),
+            capacities=np.array([1.0, 1.0, 1.0]),
+            budget=1.5,
+        )
+        np.testing.assert_allclose(sol.quantities, [0.0, 1.0, 0.5])
+        assert sol.split_item == 2
+        assert sol.objective == pytest.approx(3.0 + 1.0)
+
+    def test_budget_exceeds_all_capacity(self):
+        sol = solve_fractional_knapsack(
+            values=np.array([2.0, 1.0]),
+            capacities=np.array([0.5, 0.5]),
+            budget=5.0,
+        )
+        np.testing.assert_allclose(sol.quantities, [0.5, 0.5])
+        assert sol.split_item == -1
+        assert sol.used_capacity == pytest.approx(1.0)
+
+    def test_zero_budget(self):
+        sol = solve_fractional_knapsack(
+            np.array([1.0, 2.0]), np.array([1.0, 1.0]), 0.0
+        )
+        np.testing.assert_allclose(sol.quantities, 0.0)
+        assert sol.objective == 0.0
+
+    def test_ties_break_by_index(self):
+        sol = solve_fractional_knapsack(
+            np.array([1.0, 1.0]), np.array([1.0, 1.0]), 1.0
+        )
+        np.testing.assert_allclose(sol.quantities, [1.0, 0.0])
+
+    def test_fill_order_is_value_descending(self):
+        sol = solve_fractional_knapsack(
+            np.array([1.0, 5.0, 3.0]), np.ones(3), 0.5
+        )
+        assert list(sol.fill_order) == [1, 2, 0]
+
+
+class TestOptimality:
+    def test_greedy_beats_random_feasible_points(self, rng):
+        """The greedy solution is optimal for the fractional knapsack:
+        no random feasible allocation may achieve a higher objective."""
+        for _ in range(200):
+            n = int(rng.integers(2, 7))
+            v = rng.uniform(0.1, 5.0, n)
+            cap = rng.uniform(0.1, 2.0, n)
+            budget = float(rng.uniform(0.1, cap.sum() * 1.2))
+            sol = solve_fractional_knapsack(v, cap, budget)
+            # random feasible competitor
+            x = rng.uniform(0.0, 1.0, n) * cap
+            if x.sum() > budget:
+                x *= budget / x.sum()
+            assert np.dot(v, x) <= sol.objective + 1e-9
+
+    def test_conserves_budget(self, rng):
+        for _ in range(100):
+            n = int(rng.integers(1, 6))
+            v = rng.uniform(0.1, 5.0, n)
+            cap = rng.uniform(0.1, 2.0, n)
+            budget = float(rng.uniform(0.1, 3.0))
+            sol = solve_fractional_knapsack(v, cap, budget)
+            assert sol.used_capacity == pytest.approx(min(budget, cap.sum()))
+            assert np.all(sol.quantities <= cap + 1e-12)
+            assert np.all(sol.quantities >= 0)
+
+
+class TestValidation:
+    def test_shape_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            solve_fractional_knapsack(np.ones(2), np.ones(3), 1.0)
+
+    def test_negative_capacity(self):
+        with pytest.raises(ConfigurationError):
+            solve_fractional_knapsack(np.ones(2), np.array([1.0, -1.0]), 1.0)
+
+    def test_negative_budget(self):
+        with pytest.raises(ConfigurationError):
+            solve_fractional_knapsack(np.ones(2), np.ones(2), -1.0)
+
+    def test_non_finite_values(self):
+        with pytest.raises(ConfigurationError):
+            solve_fractional_knapsack(
+                np.array([1.0, np.inf]), np.ones(2), 1.0
+            )

@@ -1,0 +1,168 @@
+"""Unit tests for the analytical model facade (repro.core.model)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyticalModel,
+    HarmonicWeightedSpeedup,
+    MinFairness,
+    OperatingPoint,
+    PriorityAPC,
+    PriorityAPI,
+    ProportionalPartitioning,
+    SquareRootPartitioning,
+    SumOfIPCs,
+    WeightedSpeedup,
+    default_schemes,
+)
+from repro.core.metrics import Metric
+from repro.util.errors import ConfigurationError
+
+B = 0.01
+
+
+class TestOperatingPoint:
+    def test_eq1_ipc_from_apc(self, hetero_workload):
+        apc = hetero_workload.apc_alone * 0.5
+        op = OperatingPoint(hetero_workload, apc)
+        np.testing.assert_allclose(op.ipc_shared, apc / hetero_workload.api)
+
+    def test_speedups_at_half_bandwidth(self, hetero_workload):
+        op = OperatingPoint(hetero_workload, hetero_workload.apc_alone * 0.5)
+        np.testing.assert_allclose(op.speedups, 0.5)
+
+    def test_beta_sums_to_one(self, hetero_workload):
+        op = OperatingPoint(hetero_workload, hetero_workload.apc_alone)
+        assert op.beta.sum() == pytest.approx(1.0)
+
+    def test_evaluate_all_has_four_metrics(self, hetero_workload):
+        op = OperatingPoint(hetero_workload, hetero_workload.apc_alone * 0.4)
+        assert set(op.evaluate_all()) == {"hsp", "minf", "wsp", "ipcsum"}
+
+
+class TestAnalysis:
+    def test_bandwidth_conservation(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        total = min(B, hetero_workload.apc_alone.sum())
+        for scheme in default_schemes().values():
+            op = model.operating_point(scheme)
+            assert op.apc_shared.sum() == pytest.approx(total), scheme.name
+
+    def test_compare_covers_all_schemes(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        table = model.compare(default_schemes())
+        assert set(table) == set(default_schemes())
+        for row in table.values():
+            assert set(row) == {"hsp", "minf", "wsp", "ipcsum"}
+
+    def test_rejects_nonpositive_bandwidth(self, hetero_workload):
+        with pytest.raises(ConfigurationError):
+            AnalyticalModel(hetero_workload, 0.0)
+
+
+class TestDerivedOptima:
+    """Each derived scheme must win its own metric among all schemes
+    (the core claim of the paper, Sec. III-B..E)."""
+
+    @pytest.mark.parametrize(
+        "metric,winner",
+        [
+            (HarmonicWeightedSpeedup(), "sqrt"),
+            (MinFairness(), "prop"),
+            (WeightedSpeedup(), "prio_apc"),
+            (SumOfIPCs(), "prio_api"),
+        ],
+    )
+    def test_optimal_scheme_wins_its_metric(self, hetero_workload, metric, winner):
+        model = AnalyticalModel(hetero_workload, B)
+        schemes = default_schemes()
+        values = {n: model.evaluate(metric, s) for n, s in schemes.items()}
+        best = max(values, key=values.get)
+        assert values[winner] == pytest.approx(values[best]), (
+            f"{winner} not optimal for {metric.name}: {values}"
+        )
+
+    def test_optimal_scheme_mapping(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        assert isinstance(
+            model.optimal_scheme(HarmonicWeightedSpeedup()), SquareRootPartitioning
+        )
+        assert isinstance(
+            model.optimal_scheme(MinFairness()), ProportionalPartitioning
+        )
+        assert isinstance(model.optimal_scheme(WeightedSpeedup()), PriorityAPC)
+        assert isinstance(model.optimal_scheme(SumOfIPCs()), PriorityAPI)
+
+    def test_unknown_metric_has_no_derived_optimum(self, hetero_workload):
+        class Weird(Metric):
+            name = "weird"
+
+            def evaluate(self, ipc_shared, ipc_alone):
+                return float(np.prod(ipc_shared))
+
+        model = AnalyticalModel(hetero_workload, B)
+        with pytest.raises(ConfigurationError):
+            model.optimal_scheme(Weird())
+
+    def test_proportional_equalizes_speedups(self, hetero_workload):
+        """Eq. (7): ideal fairness means identical speedups."""
+        model = AnalyticalModel(hetero_workload, B)
+        op = model.operating_point(ProportionalPartitioning())
+        s = op.speedups
+        np.testing.assert_allclose(s, s[0], rtol=1e-9)
+
+    def test_knapsack_wsp_matches_priority_apc(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        direct = model.evaluate(WeightedSpeedup(), PriorityAPC())
+        assert model.max_weighted_speedup() == pytest.approx(direct)
+
+    def test_knapsack_ipcsum_matches_priority_api(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        direct = model.evaluate(SumOfIPCs(), PriorityAPI())
+        assert model.max_sum_of_ipcs() == pytest.approx(direct)
+
+    def test_optimal_operating_point_consistency(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        metric = HarmonicWeightedSpeedup()
+        op = model.optimal_operating_point(metric)
+        assert op.evaluate(metric) == pytest.approx(
+            model.evaluate(metric, SquareRootPartitioning())
+        )
+
+
+class TestSchemeProximity:
+    """Sec. III-F: 'the closer a scheme is to our optimal partitioning
+    scheme, the better performance it will achieve' -- check the power
+    family is unimodal around the optimum exponent for Hsp."""
+
+    def test_hsp_peaks_at_alpha_half(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        from repro.core import PowerPartitioning
+
+        alphas = [0.0, 0.25, 0.5, 0.75, 1.0]
+        vals = [
+            model.evaluate(HarmonicWeightedSpeedup(), PowerPartitioning(a))
+            for a in alphas
+        ]
+        assert vals[2] == max(vals)
+        # monotone on both sides of 0.5
+        assert vals[0] <= vals[1] <= vals[2]
+        assert vals[2] >= vals[3] >= vals[4]
+
+    def test_twothirds_between_sqrt_and_prop_on_fairness(self, hetero_workload):
+        """Paper Sec. VI-A: 2/3_power is better than Square_root and worse
+        than Proportional on fairness; the reverse on Hsp."""
+        model = AnalyticalModel(hetero_workload, B)
+        from repro.core import TwoThirdsPowerPartitioning
+
+        minf = MinFairness()
+        hsp = HarmonicWeightedSpeedup()
+        m_sqrt = model.evaluate(minf, SquareRootPartitioning())
+        m_23 = model.evaluate(minf, TwoThirdsPowerPartitioning())
+        m_prop = model.evaluate(minf, ProportionalPartitioning())
+        assert m_sqrt <= m_23 <= m_prop
+        h_sqrt = model.evaluate(hsp, SquareRootPartitioning())
+        h_23 = model.evaluate(hsp, TwoThirdsPowerPartitioning())
+        h_prop = model.evaluate(hsp, ProportionalPartitioning())
+        assert h_prop <= h_23 <= h_sqrt

@@ -1,0 +1,165 @@
+"""Tests for QoS-guaranteed partitioning (repro.core.qos, paper Sec. III-G)."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AppProfile,
+    HarmonicWeightedSpeedup,
+    MinFairness,
+    QoSPartitioner,
+    QoSTarget,
+    SumOfIPCs,
+    WeightedSpeedup,
+    Workload,
+)
+from repro.util.errors import ConfigurationError, InfeasibleError
+
+B = 0.01
+
+
+@pytest.fixture
+def mix1() -> Workload:
+    """Paper Sec. VI-B Mix-1: lbm, libquantum, omnetpp, hmmer."""
+    return Workload.of(
+        "Mix-1",
+        [
+            AppProfile("lbm", api=0.0531331, apc_alone=0.00938517),
+            AppProfile("libquantum", api=0.0341188, apc_alone=0.00691693),
+            AppProfile("omnetpp", api=0.0305707, apc_alone=0.00518984),
+            AppProfile("hmmer", api=0.0046008, apc_alone=0.00529083),
+        ],
+    )
+
+
+class TestReservation:
+    def test_bqos_is_target_ipc_times_api(self, mix1):
+        """Sec. III-G: B_QoS = IPC_target x API."""
+        plan = QoSPartitioner(WeightedSpeedup()).plan(
+            mix1, B, [QoSTarget("hmmer", 0.6)]
+        )
+        i = mix1.index_of("hmmer")
+        expected = 0.6 * mix1[i].api
+        assert plan.apc_shared[i] == pytest.approx(expected)
+        assert plan.b_qos == pytest.approx(expected)
+
+    def test_eq11_bandwidth_split(self, mix1):
+        plan = QoSPartitioner(WeightedSpeedup()).plan(
+            mix1, B, [QoSTarget("hmmer", 0.6)]
+        )
+        assert plan.b_best_effort == pytest.approx(B - plan.b_qos)
+        assert plan.apc_shared.sum() <= B + 1e-12
+
+    def test_qos_app_hits_ipc_target(self, mix1):
+        plan = QoSPartitioner(WeightedSpeedup()).plan(
+            mix1, B, [QoSTarget("hmmer", 0.6)]
+        )
+        op = plan.operating_point
+        i = mix1.index_of("hmmer")
+        assert op.ipc_shared[i] == pytest.approx(0.6)
+
+    def test_multiple_targets(self, mix1):
+        plan = QoSPartitioner(SumOfIPCs()).plan(
+            mix1, B, [QoSTarget("hmmer", 0.5), QoSTarget("omnetpp", 0.05)]
+        )
+        op = plan.operating_point
+        assert op.ipc_shared[mix1.index_of("hmmer")] == pytest.approx(0.5)
+        assert op.ipc_shared[mix1.index_of("omnetpp")] == pytest.approx(0.05)
+
+    def test_beta_vector_usable_by_scheduler(self, mix1):
+        plan = QoSPartitioner(WeightedSpeedup()).plan(
+            mix1, B, [QoSTarget("hmmer", 0.6)]
+        )
+        assert plan.beta.sum() == pytest.approx(1.0)
+        assert np.all(plan.beta >= 0)
+
+
+class TestBestEffortOptimization:
+    @pytest.mark.parametrize(
+        "objective",
+        [WeightedSpeedup(), SumOfIPCs(), HarmonicWeightedSpeedup(), MinFairness()],
+    )
+    def test_best_effort_beats_equal_split(self, mix1, objective):
+        """The optimized best-effort allocation must be at least as good
+        as naively splitting B_BE equally among best-effort apps."""
+        plan = QoSPartitioner(objective).plan(mix1, B, [QoSTarget("hmmer", 0.6)])
+        be_point = plan.best_effort_point()
+        achieved = be_point.evaluate(objective)
+
+        from repro.core import EqualPartitioning
+
+        sub = be_point.workload
+        equal_apc = EqualPartitioning().allocate(sub, plan.b_best_effort)
+        from repro.core import OperatingPoint
+
+        baseline = OperatingPoint(sub, equal_apc).evaluate(objective)
+        assert achieved >= baseline - 1e-9
+
+    def test_best_effort_group_excludes_qos_app(self, mix1):
+        plan = QoSPartitioner(WeightedSpeedup()).plan(
+            mix1, B, [QoSTarget("hmmer", 0.6)]
+        )
+        be = plan.best_effort_point()
+        assert "hmmer" not in be.workload.names
+        assert be.workload.n == 3
+
+    def test_custom_metric_best_effort(self, mix1):
+        class GeoMean(HarmonicWeightedSpeedup):
+            name = "geo"
+
+            def evaluate(self, ipc_shared, ipc_alone):
+                if np.any(ipc_shared <= 0):
+                    return 0.0
+                return float(np.exp(np.mean(np.log(ipc_shared / ipc_alone))))
+
+        plan = QoSPartitioner(GeoMean()).plan(mix1, B, [QoSTarget("hmmer", 0.6)])
+        assert plan.apc_shared.sum() <= B + 1e-9
+
+
+class TestFeasibility:
+    def test_target_above_alone_ipc_rejected(self, mix1):
+        hmmer = mix1[mix1.index_of("hmmer")]
+        with pytest.raises(InfeasibleError):
+            QoSPartitioner().plan(
+                mix1, B, [QoSTarget("hmmer", hmmer.ipc_alone * 1.1)]
+            )
+
+    def test_overcommitted_reservations_rejected(self, mix1):
+        # demand nearly-alone IPC for the two heaviest apps: exceeds B
+        targets = [
+            QoSTarget("lbm", mix1[0].ipc_alone * 0.99),
+            QoSTarget("libquantum", mix1[1].ipc_alone * 0.99),
+        ]
+        with pytest.raises(InfeasibleError):
+            QoSPartitioner().plan(mix1, 0.01, targets)
+
+    def test_duplicate_target_rejected(self, mix1):
+        with pytest.raises(ConfigurationError):
+            QoSPartitioner().plan(
+                mix1, B, [QoSTarget("hmmer", 0.3), QoSTarget("hmmer", 0.4)]
+            )
+
+    def test_unknown_app_rejected(self, mix1):
+        with pytest.raises(KeyError):
+            QoSPartitioner().plan(mix1, B, [QoSTarget("nonexistent", 0.3)])
+
+    def test_empty_targets_rejected(self, mix1):
+        with pytest.raises(ConfigurationError):
+            QoSPartitioner().plan(mix1, B, [])
+
+    def test_negative_target_rejected(self):
+        with pytest.raises(ConfigurationError):
+            QoSTarget("x", -0.5)
+
+    def test_exact_full_reservation_feasible(self):
+        wl = Workload.of(
+            "two",
+            [
+                AppProfile("a", api=0.01, apc_alone=0.005),
+                AppProfile("b", api=0.01, apc_alone=0.005),
+            ],
+        )
+        # reserve the entire bandwidth for app a at its alone IPC=0.5
+        plan = QoSPartitioner().plan(wl, 0.005, [QoSTarget("a", 0.5)])
+        assert plan.b_best_effort == pytest.approx(0.0)
+        assert plan.apc_shared[1] == pytest.approx(0.0)

@@ -1,0 +1,128 @@
+"""Tests for QoS admission control (repro.core.qos extension)."""
+
+import numpy as np
+import pytest
+
+from repro.core import AppProfile, QoSTarget, Workload
+from repro.core.qos import AdmissionResult, admit_targets, max_feasible_target
+from repro.util.errors import ConfigurationError
+
+B = 0.01
+
+
+@pytest.fixture
+def wl() -> Workload:
+    return Workload.of(
+        "adm",
+        [
+            AppProfile("a", api=0.040, apc_alone=0.0080),  # ipc_alone 0.2
+            AppProfile("b", api=0.020, apc_alone=0.0050),  # ipc_alone 0.25
+            AppProfile("c", api=0.005, apc_alone=0.0040),  # ipc_alone 0.8
+            AppProfile("d", api=0.002, apc_alone=0.0012),  # ipc_alone 0.6
+        ],
+    )
+
+
+class TestMaxFeasibleTarget:
+    def test_capped_by_alone_ipc(self, wl):
+        # app d needs only 0.0012 APC at full speed: alone IPC binds
+        assert max_feasible_target(wl, B, "d") == pytest.approx(0.6)
+
+    def test_capped_by_bandwidth(self, wl):
+        # app a at alone speed needs 0.008; with floor 0.004 only 0.006
+        # remains -> IPC_max = 0.006 / 0.04 = 0.15 < 0.2
+        t = max_feasible_target(wl, B, "a", best_effort_floor=0.004)
+        assert t == pytest.approx(0.15)
+
+    def test_existing_reservations_subtract(self, wl):
+        existing = [QoSTarget("b", 0.25)]  # reserves 0.005
+        t = max_feasible_target(wl, B, "a", existing=existing)
+        assert t == pytest.approx(0.005 / 0.040)
+
+    def test_zero_when_overcommitted(self, wl):
+        existing = [QoSTarget("a", 0.2), QoSTarget("b", 0.25)]  # 0.013 > B
+        assert max_feasible_target(wl, B, "c", existing=existing) == 0.0
+
+    def test_duplicate_rejected(self, wl):
+        with pytest.raises(ConfigurationError):
+            max_feasible_target(wl, B, "a", existing=[QoSTarget("a", 0.1)])
+
+    def test_target_at_max_is_plannable(self, wl):
+        from repro.core import QoSPartitioner
+
+        t = max_feasible_target(wl, B, "a", best_effort_floor=0.002)
+        plan = QoSPartitioner().plan(wl, B, [QoSTarget("a", t)])
+        assert plan.b_best_effort >= 0.002 - 1e-12
+
+
+class TestAdmission:
+    def test_all_fit(self, wl):
+        res = admit_targets(wl, B, [QoSTarget("c", 0.4), QoSTarget("d", 0.5)])
+        assert res.n_admitted == 2
+        assert not res.rejected
+        assert res.plan is not None
+
+    def test_max_count_prefers_cheap_targets(self, wl):
+        # a@0.2 costs 0.008; c@0.4 costs 0.002; d@0.5 costs 0.001.
+        # Budget 0.01: admitting a leaves room for only d (0.009 total);
+        # cheap-first admits c+d+... then a does NOT fit (0.011).
+        targets = [QoSTarget("a", 0.2), QoSTarget("c", 0.4), QoSTarget("d", 0.5)]
+        res = admit_targets(wl, B, targets, policy="max-count")
+        admitted_names = {t.app_name for t in res.admitted}
+        assert admitted_names == {"c", "d"} or res.n_admitted >= 2
+        assert "a" in {t.app_name for t in res.rejected}
+
+    def test_fifo_admits_in_order(self, wl):
+        targets = [QoSTarget("a", 0.2), QoSTarget("c", 0.4), QoSTarget("d", 0.5)]
+        res = admit_targets(wl, B, targets, policy="fifo")
+        names = [t.app_name for t in res.admitted]
+        assert names[0] == "a"  # first-come wins under fifo
+        # a costs 0.008, c costs 0.002 -> fits; d costs 0.001 -> rejected
+        assert "d" in {t.app_name for t in res.rejected}
+
+    def test_max_count_never_fewer_than_fifo(self, wl, rng):
+        """The greedy cheap-first rule is count-optimal, so it can never
+        admit fewer targets than arrival order."""
+        names = ["a", "b", "c", "d"]
+        for _ in range(30):
+            targets = []
+            for name in rng.permutation(names):
+                app = wl[wl.index_of(str(name))]
+                frac = float(rng.uniform(0.2, 1.0))
+                targets.append(QoSTarget(str(name), app.ipc_alone * frac))
+            greedy = admit_targets(wl, B, targets, policy="max-count")
+            fifo = admit_targets(wl, B, targets, policy="fifo")
+            assert greedy.n_admitted >= fifo.n_admitted
+
+    def test_infeasible_target_always_rejected(self, wl):
+        res = admit_targets(wl, B, [QoSTarget("a", 0.9)])  # > alone IPC 0.2
+        assert res.n_admitted == 0
+        assert res.plan is None
+
+    def test_best_effort_floor_respected(self, wl):
+        res = admit_targets(
+            wl, B, [QoSTarget("a", 0.2), QoSTarget("b", 0.25)],
+            best_effort_floor=0.004,
+        )
+        # both together cost 0.013 > 0.006 budget; only one admitted
+        assert res.n_admitted == 1
+        assert res.plan.b_qos <= B - 0.004 + 1e-12
+
+    def test_duplicate_targets_rejected(self, wl):
+        with pytest.raises(ConfigurationError):
+            admit_targets(wl, B, [QoSTarget("a", 0.1), QoSTarget("a", 0.2)])
+
+    def test_unknown_policy(self, wl):
+        with pytest.raises(ConfigurationError):
+            admit_targets(wl, B, [QoSTarget("a", 0.1)], policy="random")
+
+    def test_plan_pins_admitted_ipcs(self, wl):
+        res = admit_targets(wl, B, [QoSTarget("c", 0.4), QoSTarget("d", 0.5)])
+        op = res.plan.operating_point
+        assert op.ipc_shared[wl.index_of("c")] == pytest.approx(0.4)
+        assert op.ipc_shared[wl.index_of("d")] == pytest.approx(0.5)
+
+    def test_result_structure(self, wl):
+        res = admit_targets(wl, B, [QoSTarget("d", 0.5)])
+        assert isinstance(res, AdmissionResult)
+        assert res.n_admitted == 1

@@ -1,0 +1,140 @@
+"""Tests for the shared-L2 extension (repro.core.sharedl2, footnote 1)."""
+
+import numpy as np
+import pytest
+
+from repro.core.metrics import HarmonicWeightedSpeedup, SumOfIPCs
+from repro.core.sharedl2 import (
+    JointPoint,
+    MissRatioCurve,
+    SharedL2App,
+    SharedL2Model,
+    optimize_joint,
+    profile_miss_ratio_curve,
+)
+from repro.util.errors import ConfigurationError
+
+
+def curve(shares=(0.25, 0.5, 1.0), apis=(0.04, 0.02, 0.01)) -> MissRatioCurve:
+    return MissRatioCurve(shares=shares, apis=apis)
+
+
+class TestMissRatioCurve:
+    def test_interpolation(self):
+        c = curve()
+        assert c.api_at(0.25) == pytest.approx(0.04)
+        assert c.api_at(0.375) == pytest.approx(0.03)
+        assert c.api_at(1.0) == pytest.approx(0.01)
+
+    def test_clamping_outside_range(self):
+        c = curve()
+        assert c.api_at(0.0) == pytest.approx(0.04)
+        assert c.api_at(2.0) == pytest.approx(0.01)
+
+    def test_monotonicity_enforced(self):
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve(shares=(0.25, 0.5), apis=(0.01, 0.02))
+
+    def test_needs_two_points(self):
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve(shares=(0.5,), apis=(0.02,))
+
+    def test_shares_must_increase(self):
+        with pytest.raises(ConfigurationError):
+            MissRatioCurve(shares=(0.5, 0.25), apis=(0.02, 0.03))
+
+
+class TestProfiledCurve:
+    def test_profiled_curve_is_monotone(self):
+        from repro.workloads.refgen import RefStreamSpec
+
+        spec = RefStreamSpec(
+            refs_per_instr=0.3,
+            streaming_fraction=0.02,
+            working_set_lines=6_000,  # ~384 KB: spills small L2 shares
+            store_fraction=0.2,
+        )
+        c = profile_miss_ratio_curve(spec, instructions=30_000)
+        apis = [c.api_at(s) for s in c.shares]
+        assert apis == sorted(apis, reverse=True)
+
+    def test_cache_sensitive_app_has_steep_curve(self):
+        """A working set around the L2 size shows a large API drop from
+        the smallest to the largest share; a tiny working set does not."""
+        from repro.workloads.refgen import RefStreamSpec
+
+        sensitive = profile_miss_ratio_curve(
+            RefStreamSpec(
+                refs_per_instr=0.3, streaming_fraction=0.0,
+                working_set_lines=8_000, store_fraction=0.1,
+            ),
+            instructions=30_000,
+        )
+        insensitive = profile_miss_ratio_curve(
+            RefStreamSpec(
+                refs_per_instr=0.3, streaming_fraction=0.05,
+                working_set_lines=256, store_fraction=0.1,
+            ),
+            instructions=30_000,
+        )
+        drop = lambda c: c.apis[0] / c.apis[-1]
+        assert drop(sensitive) > 3.0
+        assert drop(insensitive) < 1.5
+
+
+def make_model() -> SharedL2Model:
+    apps = [
+        SharedL2App("cache-hungry", curve(apis=(0.05, 0.02, 0.005)), 0.8),
+        SharedL2App("streaming", curve(apis=(0.04, 0.039, 0.038)), 0.4),
+        SharedL2App("small-footprint", curve(apis=(0.004, 0.0039, 0.0038)), 1.0),
+    ]
+    return SharedL2Model(apps, total_bandwidth=0.0095)
+
+
+class TestSharedL2Model:
+    def test_workload_reflects_cache_shares(self):
+        model = make_model()
+        wl_small = model.workload_at([0.2, 0.4, 0.4])
+        wl_big = model.workload_at([0.6, 0.2, 0.2])
+        i = 0  # cache-hungry
+        assert wl_big.api[i] < wl_small.api[i]
+
+    def test_invalid_shares(self):
+        model = make_model()
+        with pytest.raises(ConfigurationError):
+            model.workload_at([0.8, 0.8, 0.8])  # sum > 1
+        with pytest.raises(ConfigurationError):
+            model.workload_at([0.5, 0.5])  # wrong length
+
+    def test_evaluate_returns_feasible_point(self):
+        model = make_model()
+        point = model.evaluate([1 / 3, 1 / 3, 1 / 3], SumOfIPCs())
+        assert isinstance(point, JointPoint)
+        assert point.operating_point.apc_shared.sum() <= 0.0095 + 1e-9
+
+
+class TestJointOptimization:
+    def test_joint_beats_equal_cache_split(self):
+        """Optimizing the cache partition jointly never loses to the
+        naive equal split (same bandwidth optimizer inside)."""
+        model = make_model()
+        for metric in (SumOfIPCs(), HarmonicWeightedSpeedup()):
+            best = optimize_joint(model, metric, granularity=9)
+            equal = model.evaluate([1 / 3, 1 / 3, 1 / 3], metric)
+            assert best.metric_value >= equal.metric_value - 1e-12
+
+    def test_cache_hungry_app_attracts_cache_for_ipcsum(self):
+        """For throughput, cache capacity should flow to the app whose
+        API falls fastest with capacity (cutting its bandwidth demand)."""
+        model = make_model()
+        best = optimize_joint(model, SumOfIPCs(), granularity=9)
+        assert best.cache_shares[0] > 1 / 3  # the cache-hungry app
+
+    def test_granularity_validation(self):
+        with pytest.raises(ConfigurationError):
+            optimize_joint(make_model(), SumOfIPCs(), granularity=2)
+
+    def test_shares_are_positive_and_sum_to_one(self):
+        best = optimize_joint(make_model(), SumOfIPCs(), granularity=8)
+        assert np.all(best.cache_shares > 0)
+        assert best.cache_shares.sum() == pytest.approx(1.0)

@@ -1,0 +1,134 @@
+"""Tests for priority-weighted metrics and their derived optima."""
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    AnalyticalModel,
+    HarmonicWeightedSpeedup,
+    PriorityAPC,
+    SquareRootPartitioning,
+    WeightedSpeedup,
+    optimize_partition,
+)
+from repro.core.weighted import (
+    WeightedHarmonicSpeedup,
+    WeightedPriorityAPC,
+    WeightedSquareRootPartitioning,
+    WeightedWeightedSpeedup,
+    weighted_hsp_optimum,
+)
+from repro.util.errors import ConfigurationError
+
+B = 0.01
+W = np.array([4.0, 2.0, 1.0, 1.0])
+
+
+class TestWeightValidation:
+    def test_nonpositive_weights_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WeightedHarmonicSpeedup([1.0, 0.0])
+        with pytest.raises(ConfigurationError):
+            WeightedWeightedSpeedup([-1.0, 1.0])
+
+    def test_length_mismatch_rejected(self, hetero_workload):
+        metric = WeightedHarmonicSpeedup([1.0, 2.0])
+        with pytest.raises(ConfigurationError):
+            metric(np.ones(4), np.ones(4))
+
+
+class TestReductionToPaperMetrics:
+    def test_equal_weights_hsp_matches_unweighted(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        op = model.operating_point(SquareRootPartitioning())
+        plain = op.evaluate(HarmonicWeightedSpeedup())
+        weighted = op.evaluate(WeightedHarmonicSpeedup(np.ones(4)))
+        assert weighted == pytest.approx(plain)
+
+    def test_equal_weights_wsp_matches_unweighted(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        op = model.operating_point(SquareRootPartitioning())
+        plain = op.evaluate(WeightedSpeedup())
+        weighted = op.evaluate(WeightedWeightedSpeedup(np.ones(4)))
+        assert weighted == pytest.approx(plain)
+
+    def test_equal_weight_schemes_match_paper_schemes(self, hetero_workload):
+        ones = np.ones(4)
+        np.testing.assert_allclose(
+            WeightedSquareRootPartitioning(ones).beta(hetero_workload),
+            SquareRootPartitioning().beta(hetero_workload),
+        )
+        np.testing.assert_array_equal(
+            WeightedPriorityAPC(ones).priority_order(hetero_workload),
+            PriorityAPC().priority_order(hetero_workload),
+        )
+
+
+class TestDerivedOptimaVerification:
+    def test_weighted_sqrt_matches_numerical_optimum(self, hetero_workload):
+        """The Lagrange derivation x_i ∝ sqrt(w_i a_i) must agree with
+        the generic optimizer -- the Sec. III-F versatility claim."""
+        metric = WeightedHarmonicSpeedup(W)
+        scheme = WeightedSquareRootPartitioning(W)
+        model = AnalyticalModel(hetero_workload, B)
+        derived = model.evaluate(metric, scheme)
+        numerical = optimize_partition(hetero_workload, B, metric)
+        assert numerical.objective == pytest.approx(derived, rel=1e-5)
+
+    def test_weighted_sqrt_closed_form(self, hetero_workload):
+        model = AnalyticalModel(hetero_workload, B)
+        explicit = model.evaluate(
+            WeightedHarmonicSpeedup(W), WeightedSquareRootPartitioning(W)
+        )
+        assert weighted_hsp_optimum(hetero_workload, B, W) == pytest.approx(explicit)
+
+    def test_weighted_priority_matches_numerical_optimum(self, hetero_workload):
+        metric = WeightedWeightedSpeedup(W)
+        scheme = WeightedPriorityAPC(W)
+        model = AnalyticalModel(hetero_workload, B)
+        derived = model.evaluate(metric, scheme)
+        numerical = optimize_partition(hetero_workload, B, metric)
+        assert numerical.objective == pytest.approx(derived, rel=1e-5)
+
+    def test_knapsack_point_equals_scheme_allocation(self, hetero_workload):
+        scheme = WeightedPriorityAPC(W)
+        alloc = scheme.allocate(hetero_workload, B)
+        point = scheme.knapsack_point(hetero_workload, B)
+        np.testing.assert_allclose(point.apc_shared, alloc)
+
+
+class TestWeightEffects:
+    def test_heavier_weight_attracts_bandwidth(self, hetero_workload):
+        """Raising an app's weight increases its share under the weighted
+        square-root scheme."""
+        base = WeightedSquareRootPartitioning(np.ones(4)).beta(hetero_workload)
+        boosted = WeightedSquareRootPartitioning(
+            np.array([9.0, 1.0, 1.0, 1.0])
+        ).beta(hetero_workload)
+        assert boosted[0] > base[0]
+        assert all(boosted[i] < base[i] for i in range(1, 4))
+
+    def test_weights_can_flip_priority_order(self, hetero_workload):
+        """A big enough weight puts a heavy app at the front of the
+        weighted knapsack order."""
+        a = hetero_workload.apc_alone
+        heaviest = int(np.argmax(a))
+        w = np.ones(4)
+        w[heaviest] = 1000.0
+        order = WeightedPriorityAPC(w).priority_order(hetero_workload)
+        assert order[0] == heaviest
+
+    def test_starvation_shifts_with_weights(self, hetero_workload):
+        """With a huge weight on the heaviest app, the weighted-priority
+        allocation serves it fully while someone else starves."""
+        a = hetero_workload.apc_alone
+        heaviest = int(np.argmax(a))
+        w = np.ones(4)
+        w[heaviest] = 1000.0
+        alloc = WeightedPriorityAPC(w).allocate(hetero_workload, B)
+        assert alloc[heaviest] == pytest.approx(a[heaviest])
+        assert alloc.min() < 0.2 * a.min()
+
+    def test_weighted_hsp_zero_on_starvation(self):
+        metric = WeightedHarmonicSpeedup([1.0, 2.0])
+        assert metric(np.array([1.0, 0.0]), np.array([1.0, 1.0])) == 0.0

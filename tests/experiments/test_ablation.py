@@ -1,0 +1,116 @@
+"""Tests for the ablation studies (repro.experiments.ablation)."""
+
+import numpy as np
+import pytest
+
+from repro.experiments import ablation
+
+
+@pytest.fixture(scope="session")
+def mvs(runner):
+    return ablation.model_vs_sim(runner, "hetero-5")
+
+
+class TestModelVsSim:
+    def test_share_scheme_apc_predictions_close(self, mvs):
+        """The analytical model's per-app APC under share-based schemes
+        must match the simulator within ~15% mean error -- the model
+        validation at the heart of the paper."""
+        for scheme in ("equal", "prop", "sqrt", "twothirds"):
+            assert mvs.apc_error(scheme) < 0.15, (scheme, mvs.apc_error(scheme))
+
+    def test_priority_apc_predictions_close(self, mvs):
+        """Knapsack allocations materialize in the simulator too; the
+        starved app's absolute APC is tiny so compare share vectors."""
+        for scheme in ("prio_apc", "prio_api"):
+            pred, meas = mvs.apc[scheme]
+            np.testing.assert_allclose(
+                pred / pred.sum(), meas / meas.sum(), atol=0.05
+            )
+
+    def test_metric_predictions_close(self, mvs):
+        """Predicted vs measured Hsp/Wsp for share schemes within 12%."""
+        for scheme in ("equal", "prop", "sqrt"):
+            for metric in ("hsp", "wsp"):
+                pred, meas = mvs.metrics[scheme][metric]
+                assert pred == pytest.approx(meas, rel=0.12), (scheme, metric)
+
+    def test_render(self, mvs):
+        text = ablation.render_model_vs_sim(mvs)
+        assert "Model vs simulator" in text
+
+
+class TestEnforcementAblation:
+    def test_arrival_free_attains_target(self, runner):
+        """Sec. IV-B: with the paper's arrival-free tags, the light app
+        attains its (demand-capped) share under Equal."""
+        res = ablation.enforcement_ablation(runner)
+        assert res.share_arrival_free == pytest.approx(res.target_share, rel=0.2)
+
+    def test_arrival_free_at_least_as_good(self, runner):
+        """The paper's modification never hurts the light app relative to
+        arrival-coupled DSTF."""
+        res = ablation.enforcement_ablation(runner)
+        assert res.share_arrival_free >= res.share_arrival_coupled - 0.01
+
+
+class TestProfilerAblation:
+    def test_stalled_mode_beats_pending_for_light_apps(self, runner):
+        """The STFM-style gating is the more accurate estimator overall
+        on a heterogeneous mix (raw pending-counting over-attributes
+        interference to light apps)."""
+        res = ablation.profiler_ablation(runner)
+        assert res.errors["stalled"] <= res.errors["pending"] + 0.05
+
+    def test_both_modes_bounded(self, runner):
+        res = ablation.profiler_ablation(runner)
+        for mode, err in res.errors.items():
+            assert err < 0.5, (mode, err)
+
+
+class TestPriorityEnforcement:
+    def test_both_enforcements_agree_on_wsp(self, runner):
+        """Strict priority and knapsack-as-shares are two realizations of
+        the same allocation (paper Sec. III-D): Wsp within 10%."""
+        res = ablation.priority_enforcement_ablation(runner)
+        assert res.wsp_shares == pytest.approx(res.wsp_strict, rel=0.10)
+
+    def test_starvation_under_both(self, runner):
+        """The lowest-priority app is starved under either realization."""
+        res = ablation.priority_enforcement_ablation(runner)
+        assert res.apc_strict.min() < 0.1 * res.apc_strict.max()
+        assert res.apc_shares.min() < 0.2 * res.apc_shares.max()
+
+
+class TestOnlineVsStatic:
+    def test_online_close_to_static(self, runner):
+        """Fully-online operation (Sec. IV-C profiling, no alone-run
+        oracle) must achieve >= 90% of the static-profile metric."""
+        res = ablation.online_vs_static_ablation(runner)
+        assert res.relative_gap > 0.90, res
+
+    def test_online_shares_converge_toward_static(self, runner):
+        res = ablation.online_vs_static_ablation(runner)
+        np.testing.assert_allclose(res.beta_online, res.beta_static, atol=0.12)
+
+    def test_metric_matches_scheme(self, runner):
+        res = ablation.online_vs_static_ablation(runner, scheme_name="prop")
+        assert res.metric == "minf"
+
+
+class TestChannelScaling:
+    def test_two_scaling_modes_equivalent(self, runner):
+        """6.4 GB/s via 2x bus frequency vs via 2 channels: delivered
+        bandwidth within 5% and per-app distribution within 10% -- the
+        justification for the paper's frequency-only scaling in Fig. 4."""
+        res = ablation.channel_scaling_ablation(runner)
+        assert res.throughput_ratio == pytest.approx(1.0, abs=0.05)
+        np.testing.assert_allclose(
+            res.apc_two_channels, res.apc_fast_bus, rtol=0.10
+        )
+
+    def test_both_modes_deliver_more_than_baseline(self, runner):
+        res = ablation.channel_scaling_ablation(runner)
+        base = runner.run("hetero-6", "nopart").sim.total_apc
+        assert res.total_apc_fast_bus > base * 1.3
+        assert res.total_apc_two_channels > base * 1.3

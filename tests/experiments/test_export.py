@@ -1,0 +1,111 @@
+"""Tests for the machine-readable exhibit exports (experiments.export)."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.experiments import export, figure1, figure3, table3, table4
+from repro.util.errors import ConfigurationError
+
+
+class TestSerializers:
+    def test_csv_roundtrip(self):
+        records = [{"a": 1, "b": "x"}, {"a": 2, "b": "y"}]
+        text = export.records_to_csv(records)
+        back = list(csv.DictReader(io.StringIO(text)))
+        assert back == [{"a": "1", "b": "x"}, {"a": "2", "b": "y"}]
+
+    def test_json_roundtrip(self):
+        records = [{"a": 1.5, "b": "x"}]
+        assert json.loads(export.records_to_json(records)) == records
+
+    def test_empty_rejected(self):
+        with pytest.raises(ConfigurationError):
+            export.records_to_csv([])
+        with pytest.raises(ConfigurationError):
+            export.records_to_json([])
+
+    def test_inconsistent_columns_rejected(self):
+        with pytest.raises(ConfigurationError):
+            export.records_to_csv([{"a": 1}, {"b": 2}])
+
+    def test_write_records(self, tmp_path):
+        csv_path, json_path = export.write_records(
+            [{"k": 1}], tmp_path, "thing"
+        )
+        assert csv_path.read_text().startswith("k\n")
+        assert json.loads(json_path.read_text()) == [{"k": 1}]
+
+
+class TestExhibitFlatteners:
+    def test_figure1_records(self, runner):
+        result = figure1.run(runner)
+        records = export.figure1_records(result)
+        assert len(records) == len(figure1.FIG1_SCHEMES) * 4
+        assert {r["metric"] for r in records} == {"hsp", "minf", "wsp", "ipcsum"}
+        # values match the result object
+        sample = records[0]
+        assert result.normalized[sample["scheme"]][sample["metric"]] == (
+            sample["normalized_value"]
+        )
+
+    def test_figure2_records(self, runner):
+        from repro.experiments import figure2
+
+        result = figure2.run(runner, mixes=("hetero-5", "homo-1"))
+        records = export.figure2_records(result)
+        assert len(records) == 2 * len(figure2.FIG2_SCHEMES) * 4
+        groups = {r["mix"]: r["group"] for r in records}
+        assert groups["hetero-5"] == "hetero"
+        assert groups["homo-1"] == "homo"
+
+    def test_figure3_records(self, runner):
+        result = figure3.run(runner)
+        records = export.figure3_records(result)
+        assert len(records) == 6
+        assert {r["mix"] for r in records} == {"Mix-1", "Mix-2"}
+
+    def test_table3_records(self, runner):
+        result = table3.run(runner)
+        records = export.table3_records(result)
+        assert len(records) == 16
+        lbm = next(r for r in records if r["name"] == "lbm")
+        assert lbm["intensity"] == "high"
+        assert lbm["apkc_rel_error"] < 0.15
+
+    def test_table4_records(self, runner):
+        result = table4.run(runner)
+        records = export.table4_records(result)
+        assert len(records) == 14
+        assert sum(r["heterogeneous"] for r in records) == 7
+
+    def test_csv_export_of_real_exhibit(self, runner, tmp_path):
+        result = figure1.run(runner)
+        csv_path, json_path = export.write_records(
+            export.figure1_records(result), tmp_path, "figure1"
+        )
+        rows = list(csv.DictReader(io.StringIO(csv_path.read_text())))
+        assert len(rows) == 20
+
+
+class TestFigure4Records:
+    def test_flattener_on_synthetic_result(self):
+        from repro.experiments.figure4 import Figure4Result
+
+        result = Figure4Result(
+            gains={
+                "3.2GB/s x4cores": {"hsp": 1.04, "minf": 1.49},
+                "6.4GB/s x8cores": {"hsp": 1.08, "minf": 1.70},
+            },
+            mixes=("hetero-6",),
+        )
+        records = export.figure4_records(result)
+        assert len(records) == 4
+        assert {r["scale_point"] for r in records} == set(result.gains)
+        row = next(
+            r for r in records
+            if r["scale_point"] == "6.4GB/s x8cores" and r["metric"] == "minf"
+        )
+        assert row["gain_over_equal"] == 1.70

@@ -1,0 +1,51 @@
+"""Shape tests for the heuristic-vs-optimal extension experiment."""
+
+import pytest
+
+from repro.experiments import extension
+from repro.experiments.figure2 import OPTIMAL_FOR
+
+TEST_MIXES = ("hetero-5", "hetero-6")
+
+
+@pytest.fixture(scope="session")
+def ext(runner):
+    return extension.run(runner, mixes=TEST_MIXES)
+
+
+class TestBracketing:
+    @pytest.mark.parametrize("metric", sorted(OPTIMAL_FOR))
+    def test_heuristics_never_beat_derived_optimum(self, ext, metric):
+        """No heuristic exceeds the metric's derived-optimal scheme (the
+        analytical model's optimality claim, tested against schedulers it
+        never saw)."""
+        opt = ext.average(OPTIMAL_FOR[metric], metric)
+        for h in extension.HEURISTICS:
+            assert ext.average(h, metric) <= opt * 1.05, (metric, h)
+
+    @pytest.mark.parametrize("h", extension.HEURISTICS)
+    def test_heuristics_improve_fairness_over_nopart(self, ext, h):
+        """Both heuristics were built for QoS: they must beat FCFS on
+        the fairness-flavoured metrics."""
+        assert ext.average(h, "minf") > 1.0, h
+        assert ext.average(h, "hsp") > 1.0, h
+
+    def test_heuristics_avoid_priority_starvation(self, ext):
+        """Unlike the throughput-optimal priority schemes, the heuristics
+        keep fairness far above zero -- the paper's point that optimal
+        throughput *requires* accepting starvation."""
+        for h in extension.HEURISTICS:
+            assert ext.average(h, "minf") > 0.5
+        assert ext.average("prio_apc", "minf") < 0.2
+
+    def test_brackets_structure(self, ext):
+        brackets = ext.brackets()
+        assert set(brackets) == set(OPTIMAL_FOR)
+        for metric, (np_v, heur, opt) in brackets.items():
+            assert np_v == 1.0
+            assert heur <= opt * 1.05, metric
+
+    def test_render(self, ext):
+        text = extension.render(ext)
+        assert "bracketing" in text
+        assert "parbs" in text and "tcm" in text

@@ -1,0 +1,48 @@
+"""Shape tests for Figure 1 (repro.experiments.figure1).
+
+These assert the paper's Sec. II-B claims on the motivating workload.
+"""
+
+import pytest
+
+from repro.experiments import figure1
+
+
+@pytest.fixture(scope="session")
+def fig1(runner):
+    return figure1.run(runner)
+
+
+class TestFigure1Shape:
+    def test_square_root_wins_hsp(self, fig1):
+        assert fig1.best_scheme("hsp") == "sqrt"
+
+    def test_proportional_wins_fairness(self, fig1):
+        assert fig1.best_scheme("minf") == "prop"
+
+    def test_priority_wins_throughput(self, fig1):
+        assert fig1.best_scheme("wsp") in ("prio_apc", "prio_api")
+        assert fig1.best_scheme("ipcsum") in ("prio_api", "prio_apc")
+
+    def test_equal_optimal_for_nothing(self, fig1):
+        """Paper: Equal improves things but is optimal for no metric."""
+        for metric in ("hsp", "minf", "wsp", "ipcsum"):
+            assert fig1.best_scheme(metric) != "equal"
+
+    def test_equal_improves_throughput_over_nopart(self, fig1):
+        assert fig1.normalized["equal"]["wsp"] > 1.0
+        assert fig1.normalized["equal"]["ipcsum"] > 1.0
+
+    def test_priority_schemes_starve(self, fig1):
+        for s in ("prio_apc", "prio_api"):
+            assert fig1.normalized[s]["minf"] < 0.2
+            assert fig1.normalized[s]["hsp"] < 0.2
+
+    def test_all_five_schemes_present(self, fig1):
+        assert set(fig1.normalized) == set(figure1.FIG1_SCHEMES)
+
+    def test_render_contains_winners(self, fig1):
+        text = figure1.render(fig1)
+        assert "hsp: sqrt" in text
+        assert "minf: prop" in text
+        assert "Figure 1" in text

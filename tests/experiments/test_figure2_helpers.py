@@ -1,0 +1,71 @@
+"""Unit tests for Figure2Result's analysis helpers (no simulation)."""
+
+import pytest
+
+from repro.experiments.figure2 import FIG2_SCHEMES, Figure2Result, OPTIMAL_FOR
+
+
+def synthetic_grid() -> Figure2Result:
+    """Hand-built grid with known averages and spreads."""
+    metrics = ("hsp", "minf", "wsp", "ipcsum")
+
+    def row(base: float) -> dict:
+        return {
+            s: {m: base + 0.1 * i for m in metrics}
+            for i, s in enumerate(FIG2_SCHEMES)
+        }
+
+    return Figure2Result(
+        grid={
+            "homo-1": row(1.0),
+            "homo-2": row(1.2),
+            "hetero-1": row(2.0),
+            "hetero-2": row(3.0),
+        }
+    )
+
+
+class TestMixPartitions:
+    def test_hetero_and_homo_mixes_derived_from_grid(self):
+        r = synthetic_grid()
+        assert r.hetero_mixes == ("hetero-1", "hetero-2")
+        assert r.homo_mixes == ("homo-1", "homo-2")
+
+    def test_averages(self):
+        r = synthetic_grid()
+        # scheme index 0 ("equal"): values 2.0 and 3.0 on hetero mixes
+        assert r.hetero_average("equal", "hsp") == pytest.approx(2.5)
+        assert r.homo_average("equal", "hsp") == pytest.approx(1.1)
+
+    def test_average_over_explicit_mixes(self):
+        r = synthetic_grid()
+        assert r.average(("homo-1",), "prop", "wsp") == pytest.approx(1.1)
+
+
+class TestSpread:
+    def test_spread_is_max_minus_min_across_schemes(self):
+        r = synthetic_grid()
+        # per mix the six schemes span base .. base+0.5
+        assert r.spread(("homo-1",), "hsp") == pytest.approx(0.5)
+        assert r.spread(("hetero-1", "hetero-2"), "hsp") == pytest.approx(0.5)
+
+
+class TestHeadline:
+    def test_headline_uses_optimal_mapping(self):
+        r = synthetic_grid()
+        headline = r.headline()
+        assert set(headline) == set(OPTIMAL_FOR)
+        for metric, (over_np, over_eq) in headline.items():
+            scheme = OPTIMAL_FOR[metric]
+            assert over_np == pytest.approx(r.hetero_average(scheme, metric))
+            assert over_eq == pytest.approx(
+                over_np / r.hetero_average("equal", metric)
+            )
+
+    def test_optimal_for_matches_paper(self):
+        assert OPTIMAL_FOR == {
+            "hsp": "sqrt",
+            "minf": "prop",
+            "wsp": "prio_apc",
+            "ipcsum": "prio_api",
+        }

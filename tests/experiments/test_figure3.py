@@ -1,0 +1,58 @@
+"""Shape tests for the QoS experiment (repro.experiments.figure3)."""
+
+import pytest
+
+from repro.experiments import figure3
+
+
+@pytest.fixture(scope="session")
+def fig3(runner):
+    return figure3.run(runner)
+
+
+class TestQoSGuarantee:
+    @pytest.mark.parametrize("mix", ["Mix-1", "Mix-2"])
+    def test_guaranteed_ipc_hits_target(self, fig3, mix):
+        """Sec. VI-B: the QoS partition pins hmmer at ~0.6 IPC."""
+        row = fig3.row(mix, "wsp")
+        assert row.qos_ipc_guaranteed == pytest.approx(
+            figure3.QOS_IPC_TARGET, rel=0.10
+        )
+
+    def test_nopart_does_not_regulate(self, fig3):
+        """Under No_partitioning hmmer's IPC deviates from the target in
+        at least one mix (paper: below in one, above in the other)."""
+        deviations = [
+            abs(fig3.row(mix, "wsp").qos_ipc_nopart - figure3.QOS_IPC_TARGET)
+            for mix in ("Mix-1", "Mix-2")
+        ]
+        assert max(deviations) > 0.05
+
+    def test_mix1_nopart_crushes_hmmer(self, fig3):
+        """Mix-1 contains lbm+libquantum: under FCFS hmmer lands *below*
+        target; Mix-2's light companions leave it above."""
+        assert fig3.row("Mix-1", "wsp").qos_ipc_nopart < figure3.QOS_IPC_TARGET
+        assert fig3.row("Mix-2", "wsp").qos_ipc_nopart > figure3.QOS_IPC_TARGET
+
+    @pytest.mark.parametrize("objective", ["wsp", "ipcsum"])
+    def test_best_effort_improves_over_nopart_mix1(self, fig3, objective):
+        """The best-effort group's throughput metrics are 'largely
+        improved' compared to No_partitioning (paper Fig. 3) -- Mix-1,
+        where FCFS is the bad baseline."""
+        assert fig3.row("Mix-1", objective).best_effort_gain > 1.0
+
+    def test_best_effort_hsp_not_collapsed(self, fig3):
+        """Hsp of Mix-1's best-effort group: the QoS reservation takes
+        bandwidth away, and Mix-1's best-effort members are three heavy
+        apps that FCFS already balances, so the gain hovers around 1.0
+        (our FCFS baseline is kinder than the paper's here; see
+        EXPERIMENTS.md).  It must at least not collapse."""
+        assert fig3.row("Mix-1", "hsp").best_effort_gain > 0.85
+
+    def test_all_rows_present(self, fig3):
+        assert len(fig3.rows) == 2 * 3
+
+    def test_render(self, fig3):
+        text = figure3.render(fig3)
+        assert "hmmer" in text
+        assert "Mix-1" in text and "Mix-2" in text

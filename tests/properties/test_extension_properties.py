@@ -1,0 +1,126 @@
+"""Property-based tests for the extension modules (weighted, frontier)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AnalyticalModel,
+    AppProfile,
+    Workload,
+    pareto_points,
+    power_family_frontier,
+)
+from repro.core.bandwidth import capped_allocation
+from repro.core.model import OperatingPoint
+from repro.core.weighted import (
+    WeightedHarmonicSpeedup,
+    WeightedPriorityAPC,
+    WeightedSquareRootPartitioning,
+    WeightedWeightedSpeedup,
+)
+
+
+@st.composite
+def workload_bw_weights(draw):
+    n = draw(st.integers(2, 6))
+    apps = [
+        AppProfile(
+            f"a{i}",
+            api=draw(st.floats(1e-3, 0.06)),
+            apc_alone=draw(st.floats(5e-4, 0.0095)),
+        )
+        for i in range(n)
+    ]
+    wl = Workload.of("hyp", apps)
+    total = float(wl.apc_alone.sum())
+    b = draw(st.floats(total * 0.1, total * 0.9))
+    w = np.array([draw(st.floats(0.1, 10.0)) for _ in range(n)])
+    return wl, b, w
+
+
+class TestWeightedOptimality:
+    @given(workload_bw_weights(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_sqrt_beats_random(self, wbw, seed):
+        """No random feasible partition beats the weighted square-root
+        scheme on the weighted harmonic speedup."""
+        wl, b, w = wbw
+        metric = WeightedHarmonicSpeedup(w)
+        model = AnalyticalModel(wl, b)
+        best = model.evaluate(metric, WeightedSquareRootPartitioning(w))
+        rng = np.random.default_rng(seed)
+        beta = rng.dirichlet(np.ones(wl.n))
+        alloc = capped_allocation(beta, b, wl.apc_alone)
+        challenger = OperatingPoint(wl, alloc).evaluate(metric)
+        assert challenger <= best + 1e-9
+
+    @given(workload_bw_weights(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=50, deadline=None)
+    def test_weighted_priority_beats_random(self, wbw, seed):
+        wl, b, w = wbw
+        metric = WeightedWeightedSpeedup(w)
+        model = AnalyticalModel(wl, b)
+        best = model.evaluate(metric, WeightedPriorityAPC(w))
+        rng = np.random.default_rng(seed)
+        beta = rng.dirichlet(np.ones(wl.n))
+        alloc = capped_allocation(beta, b, wl.apc_alone)
+        challenger = OperatingPoint(wl, alloc).evaluate(metric)
+        assert challenger <= best + 1e-9
+
+    @given(workload_bw_weights())
+    @settings(max_examples=50, deadline=None)
+    def test_weight_scaling_invariance(self, wbw):
+        """Scaling all weights by a constant changes neither the optimal
+        shares nor the metric value."""
+        wl, b, w = wbw
+        s1 = WeightedSquareRootPartitioning(w).beta(wl)
+        s2 = WeightedSquareRootPartitioning(w * 7.3).beta(wl)
+        np.testing.assert_allclose(s1, s2, rtol=1e-9)
+        m1 = WeightedHarmonicSpeedup(w)
+        m2 = WeightedHarmonicSpeedup(w * 7.3)
+        ipc = wl.ipc_alone * 0.4
+        assert m1(ipc, wl.ipc_alone) == pytest.approx(m2(ipc, wl.ipc_alone))
+
+
+class TestFrontierProperties:
+    @given(workload_bw_weights())
+    @settings(max_examples=40, deadline=None)
+    def test_pareto_points_are_mutually_nondominated(self, wbw):
+        wl, b, _ = wbw
+        points = power_family_frontier(wl, b, alphas=np.linspace(0, 1.2, 13))
+        frontier = pareto_points(points, "minf", "wsp")
+        assert frontier
+        for p in frontier:
+            for q in frontier:
+                if p is q:
+                    continue
+                dominated = (
+                    q["minf"] >= p["minf"] and q["wsp"] >= p["wsp"]
+                ) and (q["minf"] > p["minf"] or q["wsp"] > p["wsp"])
+                assert not dominated
+
+    @given(workload_bw_weights())
+    @settings(max_examples=40, deadline=None)
+    def test_frontier_metric_values_bounded_by_derived_optima(self, wbw):
+        """No power-family member exceeds the derived optimum of any
+        paper metric (the family is a subset of feasible partitions)."""
+        from repro.core import (
+            HarmonicWeightedSpeedup,
+            MinFairness,
+            ProportionalPartitioning,
+            SquareRootPartitioning,
+        )
+
+        wl, b, _ = wbw
+        model = AnalyticalModel(wl, b)
+        best_hsp = model.evaluate(HarmonicWeightedSpeedup(), SquareRootPartitioning())
+        best_minf = model.evaluate(MinFairness(), ProportionalPartitioning())
+        best_wsp = model.max_weighted_speedup()
+        for p in power_family_frontier(wl, b, alphas=np.linspace(0, 1.5, 10)):
+            assert p["hsp"] <= best_hsp + 1e-9
+            assert p["minf"] <= best_minf + 1e-9
+            assert p["wsp"] <= best_wsp + 1e-9

@@ -1,0 +1,125 @@
+"""Metamorphic properties of the full simulator.
+
+Rather than asserting absolute values, these tests assert how measured
+quantities must *move* under controlled input transformations -- the
+relations any credible memory-system simulator has to satisfy:
+
+* more bandwidth never hurts anyone (same workload, faster bus);
+* adding a competitor never helps the incumbents (under FCFS);
+* raising an app's share never lowers its bandwidth (under STF);
+* raising MLP never lowers an app's alone-mode throughput;
+* scaling every app's demand together preserves proportional fairness.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    CoreSpec,
+    FCFSScheduler,
+    SimConfig,
+    StartTimeFairScheduler,
+    ddr2_400,
+    ddr2_800,
+    run_alone,
+    simulate,
+)
+
+CFG = SimConfig(warmup_cycles=50_000, measure_cycles=250_000, seed=13)
+
+
+def spec(name: str, api: float, ipc: float, mlp: int) -> CoreSpec:
+    return CoreSpec(name=name, api=api, ipc_peak=ipc, mlp=mlp, write_fraction=0.1)
+
+
+MIX = [
+    spec("h1", 0.05, 0.4, 16),
+    spec("h2", 0.03, 0.3, 12),
+    spec("m1", 0.01, 0.5, 4),
+    spec("l1", 0.004, 0.6, 2),
+]
+
+
+class TestMoreBandwidthNeverHurts:
+    def test_every_app_apc_non_decreasing(self):
+        base = simulate(MIX, lambda n: FCFSScheduler(n), CFG)
+        fast = simulate(
+            MIX,
+            lambda n: FCFSScheduler(n),
+            dataclasses.replace(CFG, dram=ddr2_800()),
+        )
+        # small tolerance: scheduling order changes slightly with timing
+        assert np.all(fast.apc_shared >= base.apc_shared * 0.97)
+
+    def test_total_apc_strictly_increases_when_saturated(self):
+        base = simulate(MIX, lambda n: FCFSScheduler(n), CFG)
+        fast = simulate(
+            MIX,
+            lambda n: FCFSScheduler(n),
+            dataclasses.replace(CFG, dram=ddr2_800()),
+        )
+        assert fast.total_apc > base.total_apc * 1.3
+
+
+class TestCompetitionNeverHelps:
+    def test_adding_app_lowers_or_keeps_incumbent_ipcs(self):
+        three = MIX[:3]
+        base = simulate(three, lambda n: FCFSScheduler(n), CFG)
+        crowded = simulate(
+            three + [spec("intruder", 0.05, 0.4, 16)],
+            lambda n: FCFSScheduler(n),
+            CFG,
+        )
+        for i in range(3):
+            assert crowded.ipc_shared[i] <= base.ipc_shared[i] * 1.03, i
+
+    def test_alone_is_an_upper_bound(self):
+        shared = simulate(MIX, lambda n: FCFSScheduler(n), CFG)
+        for i, s in enumerate(MIX):
+            alone = run_alone(s, CFG)
+            assert shared.ipc_shared[i] <= alone.ipc * 1.05, s.name
+
+
+class TestMonotoneShares:
+    @pytest.mark.parametrize("bumped", [0, 1])
+    def test_raising_share_never_lowers_apc(self, bumped):
+        pair = [MIX[0], MIX[1]]
+        results = []
+        for share in (0.3, 0.5, 0.7):
+            beta = np.array([share, 1 - share]) if bumped == 0 else np.array(
+                [1 - share, share]
+            )
+            sim = simulate(
+                pair, lambda n, b=beta: StartTimeFairScheduler(n, b), CFG
+            )
+            results.append(sim.apc_shared[bumped])
+        assert results[0] <= results[1] * 1.03
+        assert results[1] <= results[2] * 1.03
+
+
+class TestMonotoneMLP:
+    def test_deeper_mlp_never_slows_alone_run(self):
+        apcs = []
+        for mlp in (2, 4, 8, 16):
+            s = spec("x", 0.03, 0.5, mlp)
+            apcs.append(run_alone(s, CFG).apc)
+        for a, b in zip(apcs, apcs[1:]):
+            assert b >= a * 0.98
+
+
+class TestScaleInvariance:
+    def test_identical_apps_get_equal_service(self):
+        quad = [spec(f"t{i}", 0.04, 0.4, 12) for i in range(4)]
+        sim = simulate(quad, lambda n: FCFSScheduler(n), CFG)
+        mean = sim.apc_shared.mean()
+        assert np.all(np.abs(sim.apc_shared - mean) / mean < 0.08)
+
+    def test_seed_changes_noise_not_structure(self):
+        a = simulate(MIX, lambda n: FCFSScheduler(n), CFG)
+        b = simulate(
+            MIX, lambda n: FCFSScheduler(n), dataclasses.replace(CFG, seed=77)
+        )
+        # per-app APCs agree across seeds within sampling noise
+        np.testing.assert_allclose(a.apc_shared, b.apc_shared, rtol=0.15)

@@ -1,0 +1,234 @@
+"""Property-based tests (hypothesis) for the analytical model.
+
+These are the machine-checked versions of the paper's mathematical
+claims: optimality of the derived schemes, the Cauchy dominance
+relations, and the feasibility invariants of every allocation path.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import (
+    AnalyticalModel,
+    AppProfile,
+    HarmonicWeightedSpeedup,
+    MinFairness,
+    PriorityAPC,
+    PriorityAPI,
+    ProportionalPartitioning,
+    SquareRootPartitioning,
+    SumOfIPCs,
+    WeightedSpeedup,
+    Workload,
+    cauchy_dominance_holds,
+    default_schemes,
+    hsp_square_root,
+    solve_fractional_knapsack,
+)
+from repro.core.bandwidth import capped_allocation
+from repro.core.closed_form import sqrt_allocation_is_uncapped
+
+
+# ----------------------------------------------------------------------
+# strategies
+# ----------------------------------------------------------------------
+@st.composite
+def workloads(draw, min_apps: int = 2, max_apps: int = 8) -> Workload:
+    n = draw(st.integers(min_apps, max_apps))
+    apps = []
+    for i in range(n):
+        api = draw(st.floats(1e-4, 0.08, allow_nan=False))
+        apc = draw(st.floats(1e-4, 0.0098, allow_nan=False))
+        apps.append(AppProfile(f"a{i}", api=api, apc_alone=apc))
+    return Workload.of("hyp", apps)
+
+
+@st.composite
+def workload_and_bandwidth(draw) -> tuple[Workload, float]:
+    wl = draw(workloads())
+    total = float(wl.apc_alone.sum())
+    b = draw(st.floats(total * 0.05, total * 0.95, allow_nan=False))
+    return wl, b
+
+
+@st.composite
+def shares(draw, n: int) -> np.ndarray:
+    raw = [draw(st.floats(0.01, 1.0)) for _ in range(n)]
+    arr = np.array(raw)
+    return arr / arr.sum()
+
+
+# ----------------------------------------------------------------------
+# feasibility invariants
+# ----------------------------------------------------------------------
+class TestAllocationInvariants:
+    @given(workload_and_bandwidth())
+    @settings(max_examples=80, deadline=None)
+    def test_every_scheme_feasible(self, wl_b):
+        wl, b = wl_b
+        for scheme in default_schemes().values():
+            alloc = scheme.allocate(wl, b)
+            assert np.all(alloc >= -1e-12)
+            assert np.all(alloc <= wl.apc_alone + 1e-12)
+            target = min(b, float(wl.apc_alone.sum()))
+            assert alloc.sum() == pytest.approx(target, rel=1e-6)
+
+    @given(workload_and_bandwidth())
+    @settings(max_examples=60, deadline=None)
+    def test_water_filling_order_free(self, wl_b):
+        """Capped allocation must not depend on app order: permuting the
+        workload permutes the allocation identically."""
+        wl, b = wl_b
+        beta = SquareRootPartitioning().beta(wl)
+        alloc = capped_allocation(beta, b, wl.apc_alone)
+        perm = np.random.default_rng(0).permutation(wl.n)
+        alloc_p = capped_allocation(beta[perm], b, wl.apc_alone[perm])
+        np.testing.assert_allclose(alloc_p, alloc[perm], rtol=1e-9)
+
+
+# ----------------------------------------------------------------------
+# optimality of the derived schemes
+# ----------------------------------------------------------------------
+class TestDerivedOptimality:
+    @given(workload_and_bandwidth(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_sqrt_beats_random_partitions_on_hsp(self, wl_b, seed):
+        """No random feasible share vector beats Square_root on Hsp."""
+        wl, b = wl_b
+        model = AnalyticalModel(wl, b)
+        best = model.evaluate(HarmonicWeightedSpeedup(), SquareRootPartitioning())
+        rng = np.random.default_rng(seed)
+        beta = rng.dirichlet(np.ones(wl.n))
+        alloc = capped_allocation(beta, b, wl.apc_alone)
+        from repro.core import OperatingPoint
+
+        challenger = OperatingPoint(wl, alloc).evaluate(HarmonicWeightedSpeedup())
+        assert challenger <= best + 1e-9
+
+    @given(workload_and_bandwidth(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_proportional_beats_random_on_minfairness(self, wl_b, seed):
+        wl, b = wl_b
+        model = AnalyticalModel(wl, b)
+        best = model.evaluate(MinFairness(), ProportionalPartitioning())
+        rng = np.random.default_rng(seed)
+        beta = rng.dirichlet(np.ones(wl.n))
+        alloc = capped_allocation(beta, b, wl.apc_alone)
+        from repro.core import OperatingPoint
+
+        challenger = OperatingPoint(wl, alloc).evaluate(MinFairness())
+        assert challenger <= best + 1e-9
+
+    @given(workload_and_bandwidth(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_knapsack_beats_random_on_wsp(self, wl_b, seed):
+        wl, b = wl_b
+        model = AnalyticalModel(wl, b)
+        best = model.evaluate(WeightedSpeedup(), PriorityAPC())
+        rng = np.random.default_rng(seed)
+        beta = rng.dirichlet(np.ones(wl.n))
+        alloc = capped_allocation(beta, b, wl.apc_alone)
+        from repro.core import OperatingPoint
+
+        challenger = OperatingPoint(wl, alloc).evaluate(WeightedSpeedup())
+        assert challenger <= best + 1e-9
+
+    @given(workload_and_bandwidth(), st.integers(0, 2**31 - 1))
+    @settings(max_examples=60, deadline=None)
+    def test_knapsack_beats_random_on_ipcsum(self, wl_b, seed):
+        wl, b = wl_b
+        model = AnalyticalModel(wl, b)
+        best = model.evaluate(SumOfIPCs(), PriorityAPI())
+        rng = np.random.default_rng(seed)
+        beta = rng.dirichlet(np.ones(wl.n))
+        alloc = capped_allocation(beta, b, wl.apc_alone)
+        from repro.core import OperatingPoint
+
+        challenger = OperatingPoint(wl, alloc).evaluate(SumOfIPCs())
+        assert challenger <= best + 1e-9
+
+
+# ----------------------------------------------------------------------
+# closed-form relations
+# ----------------------------------------------------------------------
+class TestClosedFormProperties:
+    @given(workload_and_bandwidth())
+    @settings(max_examples=100, deadline=None)
+    def test_cauchy_dominance(self, wl_b):
+        wl, b = wl_b
+        assert cauchy_dominance_holds(wl, b)
+
+    @given(workload_and_bandwidth())
+    @settings(max_examples=60, deadline=None)
+    def test_eq4_matches_explicit_when_uncapped(self, wl_b):
+        wl, b = wl_b
+        if not sqrt_allocation_is_uncapped(wl, b):
+            return
+        model = AnalyticalModel(wl, b)
+        explicit = model.evaluate(HarmonicWeightedSpeedup(), SquareRootPartitioning())
+        assert hsp_square_root(wl, b) == pytest.approx(explicit, rel=1e-9)
+
+    @given(workload_and_bandwidth())
+    @settings(max_examples=60, deadline=None)
+    def test_proportional_equalizes_speedups(self, wl_b):
+        wl, b = wl_b
+        model = AnalyticalModel(wl, b)
+        s = model.operating_point(ProportionalPartitioning()).speedups
+        np.testing.assert_allclose(s, s[0], rtol=1e-6)
+
+    @given(workload_and_bandwidth())
+    @settings(max_examples=60, deadline=None)
+    def test_hsp_never_exceeds_wsp(self, wl_b):
+        """Harmonic mean <= arithmetic mean, for every scheme."""
+        wl, b = wl_b
+        model = AnalyticalModel(wl, b)
+        for scheme in default_schemes().values():
+            op = model.operating_point(scheme)
+            assert op.evaluate(HarmonicWeightedSpeedup()) <= (
+                op.evaluate(WeightedSpeedup()) + 1e-9
+            )
+
+
+# ----------------------------------------------------------------------
+# knapsack properties
+# ----------------------------------------------------------------------
+class TestKnapsackProperties:
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=1, max_size=10),
+        st.lists(st.floats(0.01, 5.0), min_size=1, max_size=10),
+        st.floats(0.0, 30.0),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_greedy_exchange_optimality(self, values, caps, budget):
+        n = min(len(values), len(caps))
+        v, c = np.array(values[:n]), np.array(caps[:n])
+        sol = solve_fractional_knapsack(v, c, budget)
+        # exchange argument: moving epsilon from any taken item to any
+        # other with headroom never increases the objective
+        eps = 1e-6
+        for i in range(n):
+            if sol.quantities[i] < eps:
+                continue
+            for j in range(n):
+                if i == j or sol.quantities[j] > c[j] - eps:
+                    continue
+                delta = (v[j] - v[i]) * eps
+                assert delta <= 1e-9
+
+    @given(
+        st.lists(st.floats(0.01, 10.0), min_size=2, max_size=8),
+        st.floats(0.01, 5.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_objective_monotone_in_budget(self, values, cap):
+        v = np.array(values)
+        c = np.full(len(v), cap)
+        objectives = [
+            solve_fractional_knapsack(v, c, b).objective
+            for b in (0.1, 0.5, 1.0, 2.0)
+        ]
+        assert objectives == sorted(objectives)

@@ -1,0 +1,150 @@
+"""Unit tests for the functional cache hierarchy (repro.sim.cache)."""
+
+import pytest
+
+from repro.sim.cache import AccessOutcome, Cache, CacheConfig, CacheHierarchy
+from repro.util.errors import ConfigurationError
+
+
+class TestCacheConfig:
+    def test_table2_l1_geometry(self):
+        """Table II: 32KB 2-way, 64 B lines -> 256 sets."""
+        cfg = CacheConfig(size_bytes=32 * 1024, ways=2)
+        assert cfg.n_sets == 256
+
+    def test_table2_l2_geometry(self):
+        """Table II: 256KB 8-way -> 512 sets."""
+        cfg = CacheConfig(size_bytes=256 * 1024, ways=8)
+        assert cfg.n_sets == 512
+
+    def test_indivisible_geometry_rejected(self):
+        with pytest.raises(ConfigurationError):
+            CacheConfig(size_bytes=1000, ways=3)
+
+
+class TestSingleCache:
+    def test_cold_miss_then_hit(self):
+        c = Cache(CacheConfig(size_bytes=1024, ways=2, line_bytes=64))
+        hit, _ = c.access(5, False)
+        assert not hit
+        hit, _ = c.access(5, False)
+        assert hit
+        assert c.hits == 1 and c.misses == 1
+
+    def test_lru_eviction_order(self):
+        # 2-way, pick three lines mapping to the same set
+        c = Cache(CacheConfig(size_bytes=256, ways=2, line_bytes=64))  # 2 sets
+        a, b, d = 0, 2, 4  # all map to set 0
+        c.access(a, False)
+        c.access(b, False)
+        c.access(a, False)  # a is now MRU
+        c.access(d, False)  # evicts b (LRU)
+        assert c.contains(a)
+        assert not c.contains(b)
+        assert c.contains(d)
+
+    def test_dirty_eviction_reports_writeback(self):
+        c = Cache(CacheConfig(size_bytes=256, ways=2, line_bytes=64))
+        c.access(0, True)  # dirty
+        c.access(2, False)
+        _, victim = c.access(4, False)  # evicts line 0 (dirty)
+        assert victim == 0
+        assert c.writebacks == 1
+
+    def test_clean_eviction_no_writeback(self):
+        c = Cache(CacheConfig(size_bytes=256, ways=2, line_bytes=64))
+        c.access(0, False)
+        c.access(2, False)
+        _, victim = c.access(4, False)
+        assert victim is None
+
+    def test_write_hit_marks_dirty(self):
+        c = Cache(CacheConfig(size_bytes=256, ways=2, line_bytes=64))
+        c.access(0, False)
+        c.access(0, True)  # hit, now dirty
+        c.access(2, False)
+        _, victim = c.access(4, False)
+        assert victim == 0
+
+    def test_miss_rate(self):
+        c = Cache(CacheConfig(size_bytes=1024, ways=2))
+        for addr in range(8):
+            c.access(addr, False)
+        for addr in range(8):
+            c.access(addr, False)
+        assert c.miss_rate == pytest.approx(0.5)
+
+
+class TestHierarchy:
+    def test_default_is_table2(self):
+        h = CacheHierarchy()
+        assert h.l1.config.size_bytes == 32 * 1024
+        assert h.l2.config.size_bytes == 256 * 1024
+
+    def test_l1_hit(self):
+        h = CacheHierarchy()
+        h.access(1)
+        out = h.access(1)
+        assert out.hit_level == "l1"
+        assert not out.is_offchip
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = CacheHierarchy(
+            l1=CacheConfig(size_bytes=128, ways=1, line_bytes=64),  # 2 sets
+            l2=CacheConfig(size_bytes=1024, ways=4, line_bytes=64),
+        )
+        h.access(0)
+        h.access(2)  # evicts 0 from the 1-way L1 set; 0 still in L2
+        out = h.access(0)
+        assert out.hit_level == "l2"
+
+    def test_memory_miss_counts_offchip(self):
+        h = CacheHierarchy()
+        out = h.access(123)
+        assert out.hit_level == "memory"
+        assert h.offchip_reads == 1
+
+    def test_working_set_within_l2_generates_no_steady_traffic(self):
+        h = CacheHierarchy()
+        lines = list(range(1000))  # 64 KB: fits L2, not L1
+        for addr in lines:
+            h.access(addr)
+        before = h.offchip_accesses
+        for _ in range(5):
+            for addr in lines:
+                h.access(addr)
+        assert h.offchip_accesses == before  # all hits in L1/L2
+
+    def test_streaming_misses_every_line(self):
+        h = CacheHierarchy()
+        n = 50_000
+        for addr in range(10_000_000, 10_000_000 + n):
+            out = h.access(addr)
+        # every access compulsory-misses (ignoring the tiny tail in-cache)
+        assert h.offchip_reads == n
+
+    def test_dirty_working_set_writebacks(self):
+        h = CacheHierarchy(
+            l1=CacheConfig(size_bytes=128, ways=1, line_bytes=64),
+            l2=CacheConfig(size_bytes=256, ways=1, line_bytes=64),  # 4 sets
+        )
+        # write lines, then stream far past them to force dirty evictions
+        for addr in range(8):
+            h.access(addr, is_write=True)
+        for addr in range(100, 140):
+            h.access(addr, is_write=False)
+        assert h.offchip_writes > 0
+
+    def test_apki(self):
+        h = CacheHierarchy()
+        for addr in range(1_000_000, 1_000_100):
+            h.access(addr)
+        assert h.apki(instructions=10_000) == pytest.approx(10.0)
+
+    def test_apki_rejects_nonpositive_instructions(self):
+        with pytest.raises(ConfigurationError):
+            CacheHierarchy().apki(0)
+
+    def test_outcome_dataclass(self):
+        out = AccessOutcome(hit_level="memory", writeback=True)
+        assert out.is_offchip and out.writeback

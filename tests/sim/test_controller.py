@@ -1,0 +1,192 @@
+"""Tests for online adaptive re-partitioning (repro.sim.controller)
+and phase-changing workloads (repro.sim.cpu.CorePhase).
+
+Together they exercise the last paragraph of paper Sec. IV-C: periodic
+APC_alone profiling feeding share updates that track application
+behaviour changes.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.partitioning import (
+    PriorityAPC,
+    ProportionalPartitioning,
+    SquareRootPartitioning,
+)
+from repro.sim import (
+    AdaptiveController,
+    CorePhase,
+    CoreSpec,
+    SimConfig,
+    StartTimeFairScheduler,
+    run_alone,
+    simulate,
+)
+from repro.util.errors import ConfigurationError, SimulationError
+
+
+def heavy(name="heavy") -> CoreSpec:
+    return CoreSpec(name=name, api=0.05, ipc_peak=0.5, mlp=16, write_fraction=0.1)
+
+
+def light(name="light") -> CoreSpec:
+    return CoreSpec(name=name, api=0.004, ipc_peak=0.5, mlp=2)
+
+
+CFG = SimConfig(
+    warmup_cycles=100_000,
+    measure_cycles=400_000,
+    seed=5,
+    epoch_cycles=50_000.0,
+)
+
+
+class TestCorePhase:
+    def test_params_at_walks_phases(self):
+        spec = CoreSpec(
+            name="p", api=0.01, ipc_peak=1.0, mlp=4,
+            phases=(CorePhase(1000.0, 0.02, 0.5), CorePhase(2000.0, 0.03, 0.25)),
+        )
+        assert spec.params_at(0.0) == (0.01, 1.0)
+        assert spec.params_at(1500.0) == (0.02, 0.5)
+        assert spec.params_at(5000.0) == (0.03, 0.25)
+
+    def test_unsorted_phases_rejected(self):
+        with pytest.raises(SimulationError):
+            CoreSpec(
+                name="p", api=0.01, ipc_peak=1.0, mlp=4,
+                phases=(CorePhase(2000.0, 0.02, 0.5), CorePhase(1000.0, 0.03, 0.25)),
+            )
+
+    def test_invalid_phase_values(self):
+        with pytest.raises(ConfigurationError):
+            CorePhase(0.0, -0.1, 1.0)
+        with pytest.raises(SimulationError):
+            CorePhase(-1.0, 0.1, 1.0)
+
+    def test_phased_core_changes_measured_rate(self):
+        """An app that turns memory-hungry mid-run shows the blended APC
+        over a window spanning the transition."""
+        calm = CoreSpec(name="c", api=0.004, ipc_peak=0.5, mlp=8)
+        phased = dataclasses.replace(
+            calm, phases=(CorePhase(300_000.0, 0.04, 0.5),)
+        )
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=600_000, seed=9)
+        calm_run = run_alone(calm, cfg)
+        phased_run = run_alone(phased, cfg)
+        assert phased_run.apc > 2.0 * calm_run.apc
+
+
+class TestAdaptiveControllerUnit:
+    def test_requires_share_based_scheme(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveController(PriorityAPC(), [0.01, 0.02])
+
+    def test_rejects_bad_smoothing(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveController(
+                SquareRootPartitioning(), [0.01], smoothing=0.0
+            )
+
+    def test_rejects_nonpositive_api(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveController(SquareRootPartitioning(), [0.01, 0.0])
+
+    def test_names_length_checked(self):
+        with pytest.raises(ConfigurationError):
+            AdaptiveController(
+                SquareRootPartitioning(), [0.01, 0.02], names=["only-one"]
+            )
+
+    def test_no_update_before_estimates(self):
+        from repro.sim.profiler import OnlineProfiler
+
+        ctrl = AdaptiveController(SquareRootPartitioning(), [0.01, 0.02])
+        profiler = OnlineProfiler(2, peak_apc=0.01)  # estimates still NaN
+        sched = StartTimeFairScheduler(2, np.array([0.5, 0.5]))
+        ctrl(1000.0, profiler, sched)
+        assert ctrl.latest_beta is None
+        np.testing.assert_allclose(sched.beta, [0.5, 0.5])
+
+
+class TestAdaptiveControllerIntegration:
+    def test_converges_to_static_partition(self):
+        """On a stationary workload, online re-partitioning must converge
+        to the shares a static alone-run profile gives (Sec. IV-C: the
+        estimate inaccuracy 'will not affect the efficiency')."""
+        specs = [heavy(), light()]
+        scheme = SquareRootPartitioning()
+        ctrl = AdaptiveController(
+            scheme, [s.api for s in specs], names=[s.name for s in specs]
+        )
+        result = simulate(
+            specs,
+            lambda n: StartTimeFairScheduler(n, np.full(n, 0.5)),
+            CFG,
+            repartition_hook=ctrl,
+        )
+        assert ctrl.latest_beta is not None
+
+        # static reference shares from true alone profiles
+        from repro.core.apps import AppProfile, Workload
+
+        truth = Workload.of(
+            "truth",
+            [
+                AppProfile(s.name, api=s.api, apc_alone=run_alone(s, CFG).apc)
+                for s in specs
+            ],
+        )
+        np.testing.assert_allclose(
+            ctrl.latest_beta, scheme.beta(truth), atol=0.08
+        )
+
+    def test_adaptation_tracks_phase_change(self):
+        """When the light app turns heavy mid-run, a Proportional
+        controller must shift bandwidth toward it."""
+        morphing = dataclasses.replace(
+            light("morph"),
+            mlp=16,
+            phases=(CorePhase(250_000.0, 0.05, 0.5),),
+        )
+        specs = [heavy(), morphing]
+        ctrl = AdaptiveController(
+            ProportionalPartitioning(),
+            # API changes at the phase boundary; use the late-phase value
+            # (the paper measures API online; we declare it)
+            [0.05, 0.05],
+            smoothing=1.0,
+        )
+        cfg = dataclasses.replace(CFG, warmup_cycles=0, measure_cycles=500_000)
+        simulate(
+            specs,
+            lambda n: StartTimeFairScheduler(n, np.full(n, 0.5)),
+            cfg,
+            repartition_hook=ctrl,
+        )
+        assert len(ctrl.history) >= 2
+        early_beta = ctrl.history[1][1]
+        late_beta = ctrl.history[-1][1]
+        # the morphing app's share must grow substantially after its phase
+        assert late_beta[1] > early_beta[1] + 0.15
+
+    def test_smoothing_damps_updates(self):
+        specs = [heavy(), light()]
+        raw = AdaptiveController(SquareRootPartitioning(), [s.api for s in specs])
+        smooth = AdaptiveController(
+            SquareRootPartitioning(), [s.api for s in specs], smoothing=0.2
+        )
+        for ctrl in (raw, smooth):
+            simulate(
+                specs,
+                lambda n: StartTimeFairScheduler(n, np.full(n, 0.5)),
+                CFG,
+                repartition_hook=ctrl,
+            )
+        # both settle near the same shares eventually
+        np.testing.assert_allclose(
+            raw.latest_beta, smooth.latest_beta, atol=0.1
+        )

@@ -1,0 +1,213 @@
+"""Integration-grade tests for the simulation engine (repro.sim.engine)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.cpu import CoreSpec
+from repro.sim.dram.config import ddr2_400, ddr2_800, DRAMConfig
+from repro.sim.engine import Engine, SimConfig, run_alone, simulate
+from repro.sim.mc.fcfs import FCFSScheduler
+from repro.sim.mc.priority import PriorityScheduler
+from repro.sim.mc.stf import StartTimeFairScheduler
+from repro.sim.stream import StreamSpec
+from repro.util.errors import ConfigurationError
+
+
+def heavy(name="heavy") -> CoreSpec:
+    return CoreSpec(name=name, api=0.05, ipc_peak=0.5, mlp=16, write_fraction=0.1)
+
+
+def light(name="light") -> CoreSpec:
+    return CoreSpec(name=name, api=0.004, ipc_peak=0.5, mlp=2)
+
+
+CFG = SimConfig(warmup_cycles=50_000, measure_cycles=300_000, seed=5)
+
+
+class TestSimConfig:
+    def test_end_cycle(self):
+        assert CFG.end_cycle == 350_000
+
+    def test_invalid_windows(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(warmup_cycles=-1)
+        with pytest.raises(ConfigurationError):
+            SimConfig(measure_cycles=0)
+
+    def test_invalid_interference_mode(self):
+        with pytest.raises(ConfigurationError):
+            SimConfig(interference_mode="sometimes")
+
+    def test_scheduler_size_mismatch(self):
+        with pytest.raises(ConfigurationError):
+            Engine([heavy(), light()], FCFSScheduler(1), CFG)
+
+
+class TestConservation:
+    def test_bandwidth_cap_respected(self):
+        """Total measured APC can never exceed the channel peak."""
+        specs = [heavy(f"h{i}") for i in range(4)]
+        res = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        assert res.total_apc <= ddr2_400().peak_apc + 1e-9
+
+    def test_ipc_apc_coupling(self):
+        """Eq. (1): measured API (accesses/instructions) equals the spec
+        API within sampling noise, under any scheduler."""
+        specs = [heavy(), light()]
+        res = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        for app, spec in zip(res.apps, specs):
+            assert app.api_measured == pytest.approx(spec.api, rel=0.15)
+
+    def test_alone_run_faster_than_shared(self):
+        cfg = CFG
+        alone = run_alone(heavy(), cfg)
+        shared = simulate(
+            [heavy(), heavy("heavy2")], lambda n: FCFSScheduler(n), cfg
+        )
+        assert shared.apps[0].ipc < alone.ipc
+
+    def test_bus_utilization_saturated_by_heavies(self):
+        specs = [heavy(f"h{i}") for i in range(4)]
+        res = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        assert res.bus_utilization > 0.9
+
+    def test_instructions_positive(self):
+        res = simulate([heavy(), light()], lambda n: FCFSScheduler(n), CFG)
+        assert all(a.instructions > 0 for a in res.apps)
+
+
+class TestShareEnforcement:
+    def test_stf_enforces_shares_for_backlogged_apps(self):
+        """Two identical saturating apps at 0.75/0.25 shares must measure
+        APCs in ratio ~3:1 (Sec. IV-B enforcement)."""
+        specs = [heavy("a"), heavy("b")]
+        beta = np.array([0.75, 0.25])
+        res = simulate(specs, lambda n: StartTimeFairScheduler(n, beta), CFG)
+        ratio = res.apps[0].apc / res.apps[1].apc
+        assert ratio == pytest.approx(3.0, rel=0.1)
+
+    def test_work_conservation_spillover(self):
+        """A light app cannot use its 50% share; the heavy app absorbs
+        the slack (capped water-filling behaviour)."""
+        specs = [heavy(), light()]
+        beta = np.array([0.5, 0.5])
+        res = simulate(specs, lambda n: StartTimeFairScheduler(n, beta), CFG)
+        light_demand = run_alone(light(), CFG).apc
+        assert res.apps[1].apc == pytest.approx(light_demand, rel=0.15)
+        assert res.apps[0].apc > 0.5 * res.total_apc
+
+    def test_priority_starves_low_rank(self):
+        specs = [heavy("hi"), heavy("lo")]
+        res = simulate(specs, lambda n: PriorityScheduler(n, [0, 1]), CFG)
+        assert res.apps[0].apc > 5 * res.apps[1].apc
+
+    def test_equal_shares_protect_light_app(self):
+        specs = [heavy(), light()]
+        fcfs = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        equal = simulate(
+            specs, lambda n: StartTimeFairScheduler(n, np.array([0.5, 0.5])), CFG
+        )
+        assert equal.apps[1].ipc > fcfs.apps[1].ipc
+
+
+class TestDeterminism:
+    def test_same_seed_identical_results(self):
+        specs = [heavy(), light()]
+        r1 = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        r2 = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        np.testing.assert_array_equal(r1.apc_shared, r2.apc_shared)
+        np.testing.assert_array_equal(r1.ipc_shared, r2.ipc_shared)
+
+    def test_different_seed_differs(self):
+        import dataclasses
+
+        specs = [heavy(), light()]
+        r1 = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        r2 = simulate(
+            specs, lambda n: FCFSScheduler(n),
+            dataclasses.replace(CFG, seed=99),
+        )
+        assert not np.array_equal(r1.apc_shared, r2.apc_shared)
+
+
+class TestBandwidthScaling:
+    def test_double_bus_doubles_saturated_throughput(self):
+        import dataclasses
+
+        specs = [heavy(f"h{i}") for i in range(4)]
+        r32 = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        cfg64 = dataclasses.replace(CFG, dram=ddr2_800())
+        r64 = simulate(specs, lambda n: FCFSScheduler(n), cfg64)
+        assert r64.total_apc == pytest.approx(2 * r32.total_apc, rel=0.05)
+
+
+class TestProfilerIntegration:
+    def test_alone_estimates_close_to_truth(self):
+        """Sec. IV-C: estimated APC_alone within ~25% of the real alone
+        run, under contention, for every app."""
+        specs = [heavy(), light()]
+        truth = np.array([run_alone(s, CFG).apc for s in specs])
+        res = simulate(
+            specs, lambda n: StartTimeFairScheduler(n, np.array([0.5, 0.5])), CFG
+        )
+        err = np.abs(res.apc_alone_est - truth) / truth
+        assert np.all(err < 0.25), (res.apc_alone_est, truth)
+
+    def test_estimates_capped_at_peak(self):
+        specs = [heavy(f"h{i}") for i in range(4)]
+        res = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        assert np.all(res.apc_alone_est <= ddr2_400().peak_apc + 1e-12)
+
+
+class TestEpochHook:
+    def test_repartition_hook_called(self):
+        import dataclasses
+
+        calls = []
+
+        def hook(now, profiler, scheduler):
+            calls.append(now)
+            scheduler.update_shares(np.array([0.6, 0.4]))
+
+        cfg = dataclasses.replace(CFG, epoch_cycles=100_000.0)
+        specs = [heavy(), light()]
+        simulate(
+            specs,
+            lambda n: StartTimeFairScheduler(n, np.array([0.5, 0.5])),
+            cfg,
+            repartition_hook=hook,
+        )
+        assert len(calls) == 3  # epochs at 100k, 200k, 300k (end 350k)
+
+    def test_epoch_updates_profiler_estimates(self):
+        import dataclasses
+
+        seen = []
+
+        def hook(now, profiler, scheduler):
+            seen.append(profiler.estimates.copy())
+
+        cfg = dataclasses.replace(CFG, epoch_cycles=100_000.0)
+        simulate([heavy(), light()], lambda n: FCFSScheduler(n), cfg,
+                 repartition_hook=hook)
+        assert not np.any(np.isnan(seen[-1]))
+
+
+class TestResultStructure:
+    def test_names_and_shapes(self):
+        specs = [heavy(), light()]
+        res = simulate(specs, lambda n: FCFSScheduler(n), CFG)
+        assert res.names == ("heavy", "light")
+        assert res.apc_shared.shape == (2,)
+        assert res.window_cycles == CFG.measure_cycles
+
+    def test_speedups_validation(self):
+        res = simulate([heavy()], lambda n: FCFSScheduler(n), CFG)
+        with pytest.raises(ConfigurationError):
+            res.speedups(np.ones(3))
+
+    def test_estimated_profiles_roundtrip(self):
+        res = simulate([heavy(), light()], lambda n: FCFSScheduler(n), CFG)
+        wl = res.estimated_profiles(api=np.array([0.05, 0.004]))
+        assert wl.n == 2
+        np.testing.assert_allclose(wl.apc_alone, res.apc_alone_est)

@@ -1,0 +1,111 @@
+"""Engine edge-case tests: degenerate windows, extreme workloads."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.sim import (
+    CoreSpec,
+    FCFSScheduler,
+    SimConfig,
+    StartTimeFairScheduler,
+    run_alone,
+    simulate,
+)
+from repro.util.errors import ConfigurationError
+
+
+def spec(**kw) -> CoreSpec:
+    base = dict(name="x", api=0.02, ipc_peak=0.5, mlp=4)
+    base.update(kw)
+    return CoreSpec(**base)
+
+
+class TestDegenerateWindows:
+    def test_zero_warmup(self):
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=100_000, seed=2)
+        res = run_alone(spec(), cfg)
+        assert res.accesses > 0
+        assert res.ipc > 0
+
+    def test_tiny_window_still_valid(self):
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=5_000, seed=2)
+        res = run_alone(spec(), cfg)
+        assert res.window_cycles == 5_000
+        assert res.apc >= 0
+
+    def test_epoch_equal_to_window(self):
+        calls = []
+        cfg = SimConfig(
+            warmup_cycles=0, measure_cycles=100_000, seed=2,
+            epoch_cycles=100_000.0,
+        )
+        simulate(
+            [spec()], lambda n: FCFSScheduler(n), cfg,
+            repartition_hook=lambda now, p, s: calls.append(now),
+        )
+        assert calls == [100_000.0]
+
+    def test_epoch_longer_than_run_never_fires(self):
+        calls = []
+        cfg = SimConfig(
+            warmup_cycles=0, measure_cycles=50_000, seed=2,
+            epoch_cycles=200_000.0,
+        )
+        simulate(
+            [spec()], lambda n: FCFSScheduler(n), cfg,
+            repartition_hook=lambda now, p, s: calls.append(now),
+        )
+        assert calls == []
+
+
+class TestExtremeWorkloads:
+    def test_write_only_app(self):
+        """write_fraction=1.0: the core is throttled purely by its posted
+        write queue; everything still conserves."""
+        s = spec(write_fraction=1.0, write_queue_cap=4)
+        cfg = SimConfig(warmup_cycles=10_000, measure_cycles=150_000, seed=3)
+        res = run_alone(s, cfg)
+        assert res.writes > 0
+        assert res.reads == 0
+        assert res.apc > 0
+
+    def test_mlp_one_serializes(self):
+        """mlp=1: one outstanding miss; alone APC ~= 1/(latency + think)."""
+        s = spec(mlp=1, api=0.05, ipc_peak=2.0)
+        cfg = SimConfig(warmup_cycles=10_000, measure_cycles=200_000, seed=3)
+        res = run_alone(s, cfg)
+        # round trip ~ 275 cycles + tiny think -> APC in the 1/400..1/250 range
+        assert 0.0022 < res.apc < 0.004, res.apc
+
+    def test_extremely_light_app(self):
+        s = spec(api=1e-4, ipc_peak=1.0)
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=400_000, seed=3)
+        res = run_alone(s, cfg)
+        assert res.ipc == pytest.approx(1.0, rel=0.05)
+
+    def test_sixteen_identical_cores(self):
+        specs = [spec(name=f"c{i}") for i in range(16)]
+        cfg = SimConfig(warmup_cycles=20_000, measure_cycles=150_000, seed=3)
+        res = simulate(
+            specs,
+            lambda n: StartTimeFairScheduler(n, np.full(n, 1 / n)),
+            cfg,
+        )
+        assert res.n == 16
+        assert res.total_apc <= 0.01 + 1e-9
+        # equal shares + identical apps -> near-equal APCs
+        assert res.apc_shared.std() / res.apc_shared.mean() < 0.1
+
+    def test_single_app_zero_interference(self):
+        cfg = SimConfig(warmup_cycles=10_000, measure_cycles=150_000, seed=3)
+        res = run_alone(spec(), cfg)
+        assert res.interference_cycles == 0.0
+
+    def test_one_core_engine_requires_nonempty(self):
+        from repro.sim.engine import Engine
+
+        cfg = SimConfig()
+        with pytest.raises(ConfigurationError):
+            Engine([], FCFSScheduler(1), cfg)

@@ -1,0 +1,124 @@
+"""Unit tests for the online APC_alone profiler (repro.sim.profiler)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.profiler import OnlineProfiler
+from repro.sim.stats import AppCounters
+from repro.util.errors import ConfigurationError
+
+
+def counters(n_acc=0, interference=0.0) -> AppCounters:
+    c = AppCounters()
+    c.reads_served = n_acc
+    c.interference_cycles = interference
+    return c
+
+
+class TestEstimation:
+    def test_eq12_13_basic(self):
+        """est = N / (T - T_interference)."""
+        p = OnlineProfiler(1, peak_apc=0.01)
+        p.begin_epoch(0.0, [counters()])
+        est = p.close_epoch(1000.0, [counters(n_acc=5, interference=0.0)])
+        assert est[0] == pytest.approx(5 / 1000.0)
+
+    def test_interference_removed(self):
+        p = OnlineProfiler(1, peak_apc=0.01)
+        p.begin_epoch(0.0, [counters()])
+        est = p.close_epoch(1000.0, [counters(n_acc=5, interference=500.0)])
+        assert est[0] == pytest.approx(5 / 500.0)
+
+    def test_clamped_to_peak(self):
+        p = OnlineProfiler(1, peak_apc=0.01)
+        p.begin_epoch(0.0, [counters()])
+        est = p.close_epoch(1000.0, [counters(n_acc=900, interference=990.0)])
+        assert est[0] == pytest.approx(0.01)
+
+    def test_interference_floor(self):
+        """T_alone is floored at one cycle (no negative/zero division)."""
+        p = OnlineProfiler(1, peak_apc=0.01)
+        p.begin_epoch(0.0, [counters()])
+        est = p.close_epoch(1000.0, [counters(n_acc=5, interference=2000.0)])
+        assert np.isfinite(est[0])
+
+    def test_idle_app_keeps_previous_estimate(self):
+        p = OnlineProfiler(1, peak_apc=0.01)
+        c = counters(n_acc=5)
+        p.begin_epoch(0.0, [counters()])
+        p.close_epoch(1000.0, [c])
+        first = p.estimates[0]
+        # next epoch with no new accesses
+        p.close_epoch(2000.0, [c])
+        assert p.estimates[0] == first
+
+    def test_estimates_start_nan(self):
+        p = OnlineProfiler(2, peak_apc=0.01)
+        assert np.all(np.isnan(p.estimates))
+
+    def test_writes_counted(self):
+        p = OnlineProfiler(1, peak_apc=0.01)
+        c = AppCounters()
+        c.reads_served = 3
+        c.writes_served = 2
+        p.begin_epoch(0.0, [AppCounters()])
+        est = p.close_epoch(1000.0, [c])
+        assert est[0] == pytest.approx(5 / 1000.0)
+
+
+class TestEpochManagement:
+    def test_deltas_are_per_epoch(self):
+        p = OnlineProfiler(1, peak_apc=1.0)
+        c = AppCounters()
+        c.reads_served = 10
+        p.begin_epoch(0.0, [c])
+        c.reads_served = 30
+        est = p.close_epoch(100.0, [c])
+        assert est[0] == pytest.approx(20 / 100.0)
+        # a second epoch sees only the new delta
+        c.reads_served = 40
+        est = p.close_epoch(200.0, [c])
+        assert est[0] == pytest.approx(10 / 100.0)
+
+    def test_zero_length_epoch_rejected(self):
+        p = OnlineProfiler(1, peak_apc=1.0)
+        p.begin_epoch(5.0, [AppCounters()])
+        with pytest.raises(ConfigurationError):
+            p.close_epoch(5.0, [AppCounters()])
+
+    def test_needs_positive_apps(self):
+        with pytest.raises(ConfigurationError):
+            OnlineProfiler(0, peak_apc=1.0)
+
+
+class TestFallback:
+    def test_estimate_or_fills_nans(self):
+        p = OnlineProfiler(2, peak_apc=1.0)
+        fallback = np.array([0.5, 0.7])
+        np.testing.assert_allclose(p.estimate_or(fallback), fallback)
+
+    def test_estimate_or_keeps_real_estimates(self):
+        p = OnlineProfiler(2, peak_apc=1.0)
+        c0, c1 = counters(n_acc=10), counters(n_acc=0)
+        p.begin_epoch(0.0, [counters(), counters()])
+        p.close_epoch(100.0, [c0, c1])
+        out = p.estimate_or(np.array([9.9, 0.7]))
+        assert out[0] == pytest.approx(0.1)
+        assert out[1] == pytest.approx(0.7)
+
+
+class TestCounterArithmetic:
+    def test_snapshot_independence(self):
+        c = AppCounters()
+        c.reads_served = 5
+        snap = c.snapshot()
+        c.reads_served = 9
+        assert snap.reads_served == 5
+
+    def test_minus(self):
+        a, b = AppCounters(), AppCounters()
+        a.reads_served, b.reads_served = 10, 4
+        a.instructions, b.instructions = 100.0, 40.0
+        d = a.minus(b)
+        assert d.reads_served == 6
+        assert d.instructions == pytest.approx(60.0)

@@ -1,0 +1,107 @@
+"""Unit tests for the miss-address stream generator (repro.sim.stream)."""
+
+import numpy as np
+import pytest
+
+from repro.sim.dram.address import AddressMapper
+from repro.sim.dram.config import ddr2_400
+from repro.sim.stream import MissAddressStream, StreamSpec
+from repro.util.rng import RngStream
+
+
+def make_stream(row_locality=0.5, footprint=512, slot=0, seed=3) -> MissAddressStream:
+    return MissAddressStream(
+        ddr2_400(),
+        StreamSpec(row_locality=row_locality, footprint_rows=footprint),
+        slot,
+        RngStream(seed, f"s{slot}"),
+    )
+
+
+class TestStreamSpec:
+    def test_validation(self):
+        with pytest.raises(Exception):
+            StreamSpec(row_locality=1.5)
+        with pytest.raises(Exception):
+            StreamSpec(footprint_rows=0)
+
+
+class TestAddressProperties:
+    def test_addresses_decode_within_geometry(self):
+        stream = make_stream()
+        mapper = AddressMapper(ddr2_400())
+        for _ in range(500):
+            d = mapper.decode(stream.next_address())
+            assert 0 <= d.bank < 8
+            assert 0 <= d.rank < 4
+            assert 0 <= d.col < 128
+
+    def test_rows_stay_in_footprint(self):
+        stream = make_stream(footprint=64, slot=2)
+        mapper = AddressMapper(ddr2_400())
+        rows = {mapper.decode(stream.next_address()).row for _ in range(1000)}
+        assert all(stream.row_base <= r < stream.row_base + 64 for r in rows)
+
+    def test_disjoint_slots_disjoint_rows(self):
+        s0, s1 = make_stream(slot=0, footprint=128), make_stream(slot=1, footprint=128)
+        mapper = AddressMapper(ddr2_400())
+        rows0 = {mapper.decode(s0.next_address()).row for _ in range(300)}
+        rows1 = {mapper.decode(s1.next_address()).row for _ in range(300)}
+        assert rows0.isdisjoint(rows1)
+
+    def test_banks_spread_uniformly(self):
+        stream = make_stream(row_locality=0.0)
+        mapper = AddressMapper(ddr2_400())
+        banks = [mapper.bank_index(mapper.decode(stream.next_address()))
+                 for _ in range(3200)]
+        counts = np.bincount(banks, minlength=32)
+        # each of 32 banks expects ~100 hits; allow generous slack
+        assert counts.min() > 50 and counts.max() < 170
+
+
+class TestRowLocality:
+    def _run_fraction(self, p: float) -> float:
+        stream = make_stream(row_locality=p, seed=11)
+        mapper = AddressMapper(ddr2_400())
+        prev = None
+        same = 0
+        n = 4000
+        for _ in range(n):
+            d = mapper.decode(stream.next_address())
+            if prev is not None and d.row == prev.row and d.bank == prev.bank:
+                same += 1
+            prev = d
+        return same / n
+
+    def test_zero_locality_rarely_repeats_row(self):
+        assert self._run_fraction(0.0) < 0.02
+
+    def test_high_locality_mostly_repeats_row(self):
+        # p=0.8 minus end-of-row breaks
+        assert self._run_fraction(0.8) > 0.7
+
+    def test_locality_monotone(self):
+        assert self._run_fraction(0.2) < self._run_fraction(0.6)
+
+    def test_row_runs_advance_columns(self):
+        stream = make_stream(row_locality=1.0, seed=5)
+        mapper = AddressMapper(ddr2_400())
+        d1 = mapper.decode(stream.next_address())
+        d2 = mapper.decode(stream.next_address())
+        if d1.col + 1 < ddr2_400().lines_per_row:
+            assert d2.col == d1.col + 1
+            assert d2.row == d1.row
+
+
+class TestDeterminism:
+    def test_same_seed_same_sequence(self):
+        a, b = make_stream(seed=42), make_stream(seed=42)
+        assert [a.next_address() for _ in range(50)] == [
+            b.next_address() for _ in range(50)
+        ]
+
+    def test_different_slots_differ(self):
+        a, b = make_stream(slot=0, seed=42), make_stream(slot=1, seed=42)
+        assert [a.next_address() for _ in range(20)] != [
+            b.next_address() for _ in range(20)
+        ]

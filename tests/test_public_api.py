@@ -1,0 +1,69 @@
+"""Public-API surface tests: every documented export exists and matches
+``__all__`` (guards against accidental export regressions)."""
+
+import importlib
+
+import pytest
+
+PACKAGES = [
+    "repro",
+    "repro.core",
+    "repro.sim",
+    "repro.sim.dram",
+    "repro.sim.mc",
+    "repro.workloads",
+    "repro.experiments",
+    "repro.util",
+]
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_exports_resolve(package):
+    mod = importlib.import_module(package)
+    assert hasattr(mod, "__all__"), package
+    for name in mod.__all__:
+        assert hasattr(mod, name), f"{package}.{name} missing"
+
+
+@pytest.mark.parametrize("package", PACKAGES)
+def test_all_entries_unique(package):
+    mod = importlib.import_module(package)
+    assert len(set(mod.__all__)) == len(mod.__all__)
+
+
+def test_top_level_quickstart_surface():
+    """The README quickstart imports exactly these names."""
+    import repro
+
+    for name in ("AnalyticalModel", "AppProfile", "Workload",
+                 "QoSPartitioner", "QoSTarget", "OperatingPoint"):
+        assert hasattr(repro, name)
+
+
+def test_version_is_pep440ish():
+    import repro
+
+    parts = repro.__version__.split(".")
+    assert len(parts) >= 2
+    assert all(p.isdigit() for p in parts)
+
+
+def test_readme_mentions_every_example():
+    import pathlib
+
+    root = pathlib.Path(__file__).parent.parent
+    readme = (root / "README.md").read_text()
+    for example in (root / "examples").glob("*.py"):
+        assert example.name in readme, f"README missing {example.name}"
+
+
+def test_design_md_lists_every_core_module():
+    import pathlib
+
+    root = pathlib.Path(__file__).parent.parent
+    design = (root / "DESIGN.md").read_text()
+    core = root / "src" / "repro" / "core"
+    for module in core.glob("*.py"):
+        if module.name == "__init__.py":
+            continue
+        assert module.name in design, f"DESIGN.md missing core/{module.name}"

@@ -1,0 +1,101 @@
+"""Tests for random mix construction (repro.workloads.randmix)."""
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.workloads.randmix import (
+    benchmarks_by_intensity,
+    mix_by_classes,
+    mix_with_rsd,
+    random_mix,
+)
+
+
+class TestGroups:
+    def test_groups_partition_table3(self):
+        groups = benchmarks_by_intensity()
+        names = sorted(sum(groups.values(), []))
+        from repro.workloads.spec import TABLE3
+
+        assert names == sorted(TABLE3)
+
+    def test_group_sizes_match_paper(self):
+        groups = benchmarks_by_intensity()
+        assert len(groups["high"]) == 1  # lbm
+        assert len(groups["middle"]) == 7
+        assert len(groups["low"]) == 8
+
+
+class TestRandomMix:
+    def test_deterministic_per_seed(self):
+        m1, _ = random_mix(seed=5)
+        m2, _ = random_mix(seed=5)
+        assert m1 == m2
+
+    def test_different_seeds_differ(self):
+        assert random_mix(seed=1)[0] != random_mix(seed=2)[0]
+
+    def test_no_duplicates_by_default(self):
+        members, _ = random_mix(n_apps=8, seed=3)
+        assert len(set(members)) == 8
+
+    def test_duplicates_allowed_when_requested(self):
+        members, wl = random_mix(n_apps=20, seed=3, allow_duplicates=True)
+        assert len(members) == 20
+        assert wl.n == 20
+
+    def test_too_many_distinct_rejected(self):
+        with pytest.raises(ConfigurationError):
+            random_mix(n_apps=17)
+
+    def test_workload_profiles_from_table3(self):
+        members, wl = random_mix(seed=9)
+        from repro.workloads.spec import TABLE3
+
+        for name, app in zip(members, wl):
+            assert app.apc_alone == pytest.approx(
+                TABLE3[name].apc_alone_target
+            )
+
+
+class TestMixByClasses:
+    def test_respects_classes(self):
+        members, _ = mix_by_classes(("high", "middle", "low", "low"), seed=2)
+        from repro.workloads.spec import TABLE3
+
+        classes = [TABLE3[m].intensity for m in members]
+        assert classes == ["high", "middle", "low", "low"]
+
+    def test_no_repeats_within_mix(self):
+        members, _ = mix_by_classes(("low",) * 8, seed=2)
+        assert len(set(members)) == 8
+
+    def test_exhausted_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mix_by_classes(("high", "high"), seed=2)  # only lbm is high
+
+    def test_unknown_class_rejected(self):
+        with pytest.raises(ConfigurationError):
+            mix_by_classes(("extreme",), seed=2)
+
+
+class TestMixWithRsd:
+    def test_hetero_band(self):
+        members, wl = mix_with_rsd(30.0, 1000.0, seed=4)
+        assert wl.heterogeneity > 30.0
+
+    def test_homo_band(self):
+        members, wl = mix_with_rsd(0.0, 30.0, seed=4)
+        assert wl.heterogeneity <= 30.0
+
+    def test_narrow_band_reachable(self):
+        _, wl = mix_with_rsd(40.0, 60.0, seed=4)
+        assert 40.0 <= wl.heterogeneity <= 60.0
+
+    def test_impossible_band_raises(self):
+        with pytest.raises(ConfigurationError):
+            mix_with_rsd(0.0, 0.01, seed=4, max_tries=50)
+
+    def test_invalid_band(self):
+        with pytest.raises(ConfigurationError):
+            mix_with_rsd(10.0, 5.0)

@@ -1,0 +1,105 @@
+"""Unit tests for the reference-stream generators (repro.workloads.refgen)."""
+
+import pytest
+
+from repro.sim.cache import CacheHierarchy
+from repro.util.errors import ConfigurationError
+from repro.util.rng import RngStream
+from repro.workloads.refgen import ReferenceStream, RefStreamSpec, measure_apki
+
+
+class TestRefStreamSpec:
+    def test_defaults_valid(self):
+        RefStreamSpec()
+
+    def test_validation(self):
+        with pytest.raises(Exception):
+            RefStreamSpec(streaming_fraction=1.5)
+        with pytest.raises(Exception):
+            RefStreamSpec(refs_per_instr=0.0)
+
+
+class TestReferenceStream:
+    def test_streaming_addresses_never_repeat(self):
+        spec = RefStreamSpec(streaming_fraction=1.0)
+        stream = ReferenceStream(spec, RngStream(1, "t"))
+        addrs = [stream.next_reference()[0] for _ in range(100)]
+        assert len(set(addrs)) == 100
+
+    def test_working_set_bounded(self):
+        spec = RefStreamSpec(streaming_fraction=0.0, working_set_lines=100)
+        stream = ReferenceStream(spec, RngStream(1, "t"))
+        addrs = [stream.next_reference()[0] for _ in range(1000)]
+        assert max(addrs) < 100
+
+    def test_store_fraction(self):
+        spec = RefStreamSpec(store_fraction=0.4)
+        stream = ReferenceStream(spec, RngStream(1, "t"))
+        stores = sum(stream.next_reference()[1] for _ in range(3000))
+        assert stores / 3000 == pytest.approx(0.4, abs=0.05)
+
+    def test_hot_set_is_skewed(self):
+        """The u^2 transform must bias references toward low line indices
+        (temporal-locality skew)."""
+        spec = RefStreamSpec(streaming_fraction=0.0, working_set_lines=1000)
+        stream = ReferenceStream(spec, RngStream(1, "t"))
+        addrs = [stream.next_reference()[0] for _ in range(4000)]
+        low = sum(a < 250 for a in addrs)  # top quartile of the u^2 law: 50%
+        assert low / 4000 == pytest.approx(0.5, abs=0.05)
+
+
+class TestApkiCalibration:
+    def test_pure_cache_resident_gives_near_zero_apki(self):
+        spec = RefStreamSpec(streaming_fraction=0.0, working_set_lines=256)
+        apki = measure_apki(spec, instructions=50_000)
+        assert apki < 0.2
+
+    def test_pure_streaming_gives_refs_rate_apki(self):
+        """Every streaming reference misses: APKI ~= refs_per_instr x 1000
+        (stores disabled so writebacks don't inflate the count)."""
+        spec = RefStreamSpec(
+            streaming_fraction=1.0, refs_per_instr=0.05, store_fraction=0.0
+        )
+        apki = measure_apki(spec, instructions=50_000)
+        assert apki == pytest.approx(50.0, rel=0.02)
+
+    def test_apki_monotone_in_streaming_fraction(self):
+        apkis = [
+            measure_apki(
+                RefStreamSpec(streaming_fraction=f, working_set_lines=512),
+                instructions=30_000,
+            )
+            for f in (0.0, 0.05, 0.2)
+        ]
+        assert apkis[0] < apkis[1] < apkis[2]
+
+    def test_large_working_set_spills_l2(self):
+        """A working set far beyond 256 KB L2 misses even without streaming."""
+        small = measure_apki(
+            RefStreamSpec(streaming_fraction=0.0, working_set_lines=1024),
+            instructions=30_000,
+        )
+        big = measure_apki(
+            RefStreamSpec(streaming_fraction=0.0, working_set_lines=64_000),
+            instructions=30_000,
+        )
+        assert big > small + 1.0
+
+    def test_table3_like_point_is_reachable(self):
+        """A modest streaming fraction reproduces a libquantum-class APKI
+        (~34) from raw references + the Table II hierarchy."""
+        spec = RefStreamSpec(
+            refs_per_instr=0.35, streaming_fraction=0.097, working_set_lines=512
+        )
+        apki = measure_apki(spec, instructions=60_000)
+        assert apki == pytest.approx(34.0, rel=0.15)
+
+    def test_stores_generate_writebacks(self):
+        h = CacheHierarchy()
+        spec = RefStreamSpec(streaming_fraction=0.3, store_fraction=0.5)
+        measure_apki(spec, instructions=30_000, hierarchy=h)
+        assert h.offchip_writes > 0
+
+    def test_invalid_instructions(self):
+        with pytest.raises(ConfigurationError):
+            measure_apki(RefStreamSpec(), instructions=0)
