@@ -1,8 +1,10 @@
 # Convenience targets for the repro project.
 
 PYTHON ?= python
+BENCH_JSON ?= benchmarks/out/bench_current.json
 
-.PHONY: install test properties benchmarks experiments scorecard examples clean
+.PHONY: install test properties benchmarks bench bench-compare bench-baseline \
+	experiments scorecard examples clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +17,22 @@ properties:
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only
+
+# engine micro-benchmarks only (fast); writes machine-readable stats
+bench:
+	@mkdir -p benchmarks/out
+	$(PYTHON) -m pytest benchmarks/test_bench_micro.py --benchmark-only \
+		--benchmark-json=$(BENCH_JSON)
+
+# gate: fail when any micro-benchmark mean regresses >25% vs the baseline
+bench-compare: bench
+	$(PYTHON) benchmarks/compare_bench.py benchmarks/bench_baseline.json \
+		$(BENCH_JSON)
+
+# refresh the committed runtime baseline (run on a quiet machine)
+bench-baseline:
+	$(PYTHON) -m pytest benchmarks/test_bench_micro.py --benchmark-only \
+		--benchmark-json=benchmarks/bench_baseline.json
 
 experiments:
 	$(PYTHON) -m repro.experiments all

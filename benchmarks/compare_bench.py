@@ -1,0 +1,80 @@
+"""Compare a pytest-benchmark JSON run against a committed baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py BASELINE.json CURRENT.json [--threshold 0.25]
+
+Exits non-zero when any benchmark's mean runtime regressed by more than
+the threshold (default 25%) relative to the baseline, or when a
+baseline benchmark is missing from the current run.  Speedups and
+in-tolerance drift are reported but never fail.
+
+The committed baseline (``benchmarks/bench_baseline.json``) is distinct
+from ``benchmarks/baseline.json``, which pins *exhibit numbers* for the
+result-regression gate -- this file gates *runtime* only.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+
+def load_means(path: str) -> dict[str, float]:
+    with open(path, "r", encoding="utf-8") as fh:
+        data = json.load(fh)
+    return {b["name"]: float(b["stats"]["mean"]) for b in data["benchmarks"]}
+
+
+def compare(
+    baseline: dict[str, float],
+    current: dict[str, float],
+    threshold: float,
+) -> list[str]:
+    """Human-readable report lines; regressions are prefixed FAIL."""
+    lines = []
+    for name in sorted(baseline):
+        base = baseline[name]
+        if name not in current:
+            lines.append(f"FAIL {name}: missing from current run")
+            continue
+        cur = current[name]
+        ratio = cur / base if base > 0 else float("inf")
+        verdict = "FAIL" if ratio > 1.0 + threshold else "  ok"
+        lines.append(
+            f"{verdict} {name}: {base * 1e3:.1f} ms -> {cur * 1e3:.1f} ms "
+            f"({ratio:.2f}x of baseline)"
+        )
+    for name in sorted(set(current) - set(baseline)):
+        lines.append(f" new {name}: {current[name] * 1e3:.1f} ms (no baseline)")
+    return lines
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline")
+    parser.add_argument("current")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.25,
+        help="allowed fractional mean-runtime regression (default 0.25)",
+    )
+    args = parser.parse_args(argv)
+
+    lines = compare(
+        load_means(args.baseline), load_means(args.current), args.threshold
+    )
+    print("\n".join(lines))
+    failed = [ln for ln in lines if ln.startswith("FAIL")]
+    if failed:
+        print(f"\n{len(failed)} benchmark(s) regressed beyond "
+              f"{args.threshold * 100:.0f}%")
+        return 1
+    print("\nall benchmarks within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

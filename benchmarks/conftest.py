@@ -13,6 +13,7 @@ same exhibits at full fidelity.
 
 from __future__ import annotations
 
+import os
 import pathlib
 
 import pytest
@@ -21,6 +22,20 @@ from repro.experiments.runner import Runner
 from repro.sim.engine import SimConfig
 
 OUT_DIR = pathlib.Path(__file__).parent / "out"
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_profile_cache(tmp_path_factory):
+    """Divert the persistent profiling cache to a session-temporary
+    directory: benchmark timings must not depend on whatever a previous
+    run left in the user's cache."""
+    prev = os.environ.get("REPRO_CACHE_DIR")
+    os.environ["REPRO_CACHE_DIR"] = str(tmp_path_factory.mktemp("profile-cache"))
+    yield
+    if prev is None:
+        os.environ.pop("REPRO_CACHE_DIR", None)
+    else:
+        os.environ["REPRO_CACHE_DIR"] = prev
 
 
 def bench_config(dram=None, seed: int = 7) -> SimConfig:

@@ -73,6 +73,7 @@ def run_exhibit(
     quick: bool = False,
     export_dir: str | None = None,
     parallel: bool = False,
+    workers: int | None = None,
 ) -> str:
     """Run one exhibit and return its rendered text."""
     runner = Runner(_default_config(quick))
@@ -89,9 +90,9 @@ def run_exhibit(
             from repro.experiments.parallel import ParallelRunner
             from repro.workloads.mixes import HETERO_MIXES, HOMO_MIXES
 
-            grid = ParallelRunner(_default_config(quick)).normalized_grid(
-                HOMO_MIXES + HETERO_MIXES, FIG2_SCHEMES
-            )
+            grid = ParallelRunner(
+                _default_config(quick), max_workers=workers
+            ).normalized_grid(HOMO_MIXES + HETERO_MIXES, FIG2_SCHEMES)
             result = Figure2Result(grid=grid)
         else:
             result = figure2.run(runner)
@@ -198,6 +199,13 @@ def main(argv: list[str] | None = None) -> int:
         help="fan the simulation grid out across CPU cores (figure2)",
     )
     parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for --parallel (default: all CPU cores)",
+    )
+    parser.add_argument(
         "--update",
         action="store_true",
         help="regression: overwrite the golden baseline with fresh numbers",
@@ -235,6 +243,7 @@ def main(argv: list[str] | None = None) -> int:
                 quick=args.quick,
                 export_dir=args.export,
                 parallel=args.parallel,
+                workers=args.workers,
             )
         )
         print(f"[{name} took {time.time() - t0:.1f}s]\n")

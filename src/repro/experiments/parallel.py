@@ -21,6 +21,7 @@ Design notes (per the repo's HPC guidance):
 
 from __future__ import annotations
 
+import os
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
@@ -29,6 +30,7 @@ import numpy as np
 from repro.core.apps import AppProfile, Workload
 from repro.experiments.runner import Runner, SchemeRun
 from repro.sim.engine import SimConfig, simulate
+from repro.util.cache import SimCache, config_digest
 from repro.util.errors import ConfigurationError
 from repro.workloads.mixes import mix_core_specs
 
@@ -112,10 +114,25 @@ class ParallelRunner:
             raise ConfigurationError("max_workers must be >= 1")
         self.max_workers = max_workers
 
+    def _chunksize(self, n_tasks: int) -> int:
+        """Batch tasks per pool dispatch: ~4 chunks per worker balances
+        IPC overhead against load imbalance (simulations vary severalfold
+        in runtime across mixes/schemes)."""
+        workers = self.max_workers or os.cpu_count() or 1
+        return max(1, n_tasks // (workers * 4))
+
     def _profile_all(
         self, mixes: tuple[str, ...], copies: int, pool: ProcessPoolExecutor
     ) -> dict[str, tuple[float, float]]:
-        """Deduplicated alone-mode profiling, fanned out first."""
+        """Deduplicated alone-mode profiling, fanned out first.
+
+        The persistent profile cache is consulted in the parent before
+        fanning out, so only genuinely unprofiled benchmarks cost a
+        worker simulation; fresh results are written back parent-side
+        (one writer, no cross-process races on the same entry).
+        """
+        from repro.workloads.spec import benchmark
+
         bench_names = sorted(
             {
                 s.name.split("#")[0]
@@ -123,10 +140,24 @@ class ParallelRunner:
                 for s in mix_core_specs(mix, copies)
             }
         )
-        tasks = [(name, self.sim_config) for name in bench_names]
+        cache = SimCache()
         table: dict[str, tuple[float, float]] = {}
-        for name, apc, ipc in pool.map(profile_task, tasks):
-            table[name] = (apc, ipc)
+        keys: dict[str, str] = {}
+        for name in bench_names:
+            keys[name] = config_digest(
+                "alone-point", benchmark(name).core_spec(), self.sim_config
+            )
+            stored = cache.get(keys[name])
+            if stored is not None:
+                table[name] = (stored["apc_alone"], stored["ipc_alone"])
+        misses = [n for n in bench_names if n not in table]
+        tasks = [(name, self.sim_config) for name in misses]
+        if tasks:
+            for name, apc, ipc in pool.map(
+                profile_task, tasks, chunksize=self._chunksize(len(tasks))
+            ):
+                table[name] = (apc, ipc)
+                cache.put(keys[name], {"apc_alone": apc, "ipc_alone": ipc})
         return table
 
     def run_grid(
@@ -148,7 +179,9 @@ class ParallelRunner:
                 for scheme in grid.schemes
             ]
             out: dict[str, dict[str, SchemeRun]] = {m: {} for m in grid.mixes}
-            for key, run in pool.map(run_task, tasks):
+            for key, run in pool.map(
+                run_task, tasks, chunksize=self._chunksize(len(tasks))
+            ):
                 out[key[0]][key[1]] = run
         return out
 

@@ -40,6 +40,7 @@ from repro.sim.mc.fcfs import FCFSScheduler
 from repro.sim.mc.priority import PriorityScheduler
 from repro.sim.mc.stf import StartTimeFairScheduler
 from repro.sim.stats import SimResult
+from repro.util.cache import SimCache, config_digest
 from repro.util.errors import ConfigurationError
 from repro.workloads.mixes import mix_core_specs
 
@@ -106,35 +107,52 @@ class Runner:
                 f"beta_source must be 'measured' or 'paper', got {beta_source!r}"
             )
         self.beta_source = beta_source
-        self._alone_cache: dict[tuple, tuple[float, float]] = {}
+        self._alone_cache: dict[str, tuple[float, float]] = {}
         self._run_cache: dict[tuple, SchemeRun] = {}
         self.schemes: dict[str, PartitioningScheme] = default_schemes()
+        #: persistent alone-profile cache (set to a disabled/diverted
+        #: instance via REPRO_NO_CACHE / REPRO_CACHE_DIR)
+        self.disk_cache = SimCache()
 
     # ------------------------------------------------------------------
     # profiling
     # ------------------------------------------------------------------
-    def _alone_key(self, spec: CoreSpec) -> tuple:
-        cfg = self.sim_config
-        return (
-            spec.name.split("#")[0],  # copies share the base benchmark
-            cfg.dram.name,
-            cfg.dram.burst_cycles,
-            cfg.warmup_cycles,
-            cfg.measure_cycles,
-            cfg.seed,
-        )
+    def _alone_key(self, spec: CoreSpec) -> str:
+        """Digest of everything the alone run depends on.
+
+        The full core spec and sim config are hashed field-by-field --
+        keying on convenient summaries (a DRAM config's name, say) would
+        collide two configurations that share a label but differ in a
+        timing parameter, silently reusing the wrong profile.
+        """
+        base_spec = replace(spec, name=spec.name.split("#")[0])
+        return config_digest("alone-point", base_spec, self.sim_config)
 
     def alone_point(self, spec: CoreSpec) -> tuple[float, float]:
-        """(apc_alone, ipc_alone) measured for one core spec (cached)."""
+        """(apc_alone, ipc_alone) measured for one core spec.
+
+        Memoized twice: per-runner in memory, and across processes in
+        the persistent :class:`~repro.util.cache.SimCache` (so a second
+        figure regeneration performs zero alone-mode simulations).
+        """
         key = self._alone_key(spec)
-        if key not in self._alone_cache:
-            base_spec = replace(spec, name=spec.name.split("#")[0])
-            result = simulate(
-                [base_spec], lambda n: FCFSScheduler(n), self.sim_config
-            )
-            app = result.apps[0]
-            self._alone_cache[key] = (app.apc, app.ipc)
-        return self._alone_cache[key]
+        point = self._alone_cache.get(key)
+        if point is None:
+            stored = self.disk_cache.get(key)
+            if stored is not None:
+                point = (stored["apc_alone"], stored["ipc_alone"])
+            else:
+                base_spec = replace(spec, name=spec.name.split("#")[0])
+                result = simulate(
+                    [base_spec], lambda n: FCFSScheduler(n), self.sim_config
+                )
+                app = result.apps[0]
+                point = (app.apc, app.ipc)
+                self.disk_cache.put(
+                    key, {"apc_alone": point[0], "ipc_alone": point[1]}
+                )
+            self._alone_cache[key] = point
+        return point
 
     def profiles(self, specs: Sequence[CoreSpec]) -> Workload:
         """Measured alone-mode profiles for a set of core specs."""

@@ -102,6 +102,31 @@ class CoreSpec:
 class CoreSim:
     """Dynamic state of one core during a simulation run."""
 
+    __slots__ = (
+        "core_id",
+        "spec",
+        "addresses",
+        "rng",
+        "_g",
+        "_wf",
+        "_mlp",
+        "_wq_cap",
+        "_phased",
+        "_inv_api",
+        "_ipc_peak",
+        "outstanding_reads",
+        "pending_writes",
+        "running",
+        "_instr",
+        "_gap_start",
+        "_gap_cycles",
+        "_gap_instr",
+        "n_reads",
+        "n_writes",
+        "stall_cycles",
+        "_stall_start",
+    )
+
     def __init__(
         self,
         core_id: int,
@@ -113,6 +138,15 @@ class CoreSim:
         self.spec = spec
         self.addresses = address_stream
         self.rng = rng
+        # hot-path bindings: the RngStream wrapper and dataclass lookups
+        # cost more than the draws themselves at ~1 access / 20 cycles
+        self._g = rng.generator
+        self._wf = spec.write_fraction
+        self._mlp = spec.mlp
+        self._wq_cap = spec.write_queue_cap
+        self._phased = bool(spec.phases)
+        self._inv_api = 1.0 / spec.api
+        self._ipc_peak = spec.ipc_peak
 
         self.outstanding_reads = 0
         self.pending_writes = 0
@@ -148,9 +182,20 @@ class CoreSim:
         return self._begin_gap(now)
 
     def _begin_gap(self, now: float) -> float:
-        """Draw the next inter-access gap; returns the access cycle."""
-        api, ipc_peak = self.spec.params_at(now)
-        gap_instr = self.rng.exponential(1.0 / api)
+        """Draw the next inter-access gap; returns the access cycle.
+
+        Gap draws interleave with the read/write coin flips on one bit
+        stream, so they stay scalar in original order (batching would
+        reorder bit consumption and change every downstream timestamp);
+        the per-draw overhead is trimmed instead by binding the raw
+        generator and precomputing ``1/api`` for the phase-less case.
+        """
+        if self._phased:
+            api, ipc_peak = self.spec.params_at(now)
+            inv_api = 1.0 / api
+        else:
+            inv_api, ipc_peak = self._inv_api, self._ipc_peak
+        gap_instr = float(self._g.exponential(inv_api))
         self._gap_instr = gap_instr
         self._gap_cycles = gap_instr / ipc_peak
         self._gap_start = now
@@ -158,8 +203,8 @@ class CoreSim:
 
     def _can_run(self) -> bool:
         return (
-            self.outstanding_reads < self.spec.mlp
-            and self.pending_writes < self.spec.write_queue_cap
+            self.outstanding_reads < self._mlp
+            and self.pending_writes < self._wq_cap
         )
 
     def generate_access(self, now: float) -> tuple[Request, float | None]:
@@ -176,13 +221,11 @@ class CoreSim:
         self._gap_instr = 0.0
         self._gap_cycles = 0.0
 
-        is_write = self.rng.random() < self.spec.write_fraction
-        req = Request(
-            app_id=self.core_id,
-            line_addr=self.addresses.next_address(),
-            is_write=is_write,
-            created=now,
-        )
+        is_write = self._g.random() < self._wf
+        # the stream hands back decoded coordinates alongside the
+        # address, so the controller never pays a decode round-trip
+        addr, channel, bank, row = self.addresses.next_access()
+        req = Request(self.core_id, addr, is_write, now, channel, bank, row)
         if is_write:
             self.pending_writes += 1
             self.n_writes += 1
@@ -190,7 +233,7 @@ class CoreSim:
             self.outstanding_reads += 1
             self.n_reads += 1
 
-        if self._can_run():
+        if self.outstanding_reads < self._mlp and self.pending_writes < self._wq_cap:
             return req, self._begin_gap(now)
         self.running = False
         self._stall_start = now

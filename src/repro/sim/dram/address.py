@@ -26,7 +26,7 @@ def _bits_for(n: int) -> int:
     return n.bit_length() - 1
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class DecodedAddress:
     """One line address split into DRAM coordinates."""
 
@@ -38,7 +38,12 @@ class DecodedAddress:
 
 
 class AddressMapper:
-    """Bit-slicing mapper driven by ``DRAMConfig.address_map``."""
+    """Bit-slicing mapper driven by ``DRAMConfig.address_map``.
+
+    Shifts and masks are precomputed per field at construction: decoding
+    happens once per simulated off-chip access, so the hot path is plain
+    shift/mask arithmetic with no per-call dict or loop.
+    """
 
     def __init__(self, config: DRAMConfig, row_space: int = 16384) -> None:
         self.config = config
@@ -52,30 +57,36 @@ class AddressMapper:
         self.row_space = row_space
         #: total line-address bits consumed
         self.address_bits = sum(self._widths.values())
+        # per-field (shift, mask): fields are listed MSB-first in
+        # address_map, so the last entry occupies the least-significant bits
+        shift = 0
+        shifts: dict[str, tuple[int, int]] = {}
+        for name in reversed(self.config.address_map):
+            width = self._widths[name]
+            shifts[name] = (shift, (1 << width) - 1)
+            shift += width
+        self.field_layout = shifts
+        self._ch_shift, self._ch_mask = shifts["channel"]
+        self._rank_shift, self._rank_mask = shifts["rank"]
+        self._bank_shift, self._bank_mask = shifts["bank"]
+        self._row_shift, self._row_mask = shifts["row"]
+        self._col_shift, self._col_mask = shifts["col"]
 
     def decode(self, line_addr: int) -> DecodedAddress:
         """Split a line address into (channel, rank, bank, row, col)."""
         if line_addr < 0:
             raise ConfigurationError(f"line address must be >= 0, got {line_addr}")
-        fields: dict[str, int] = {}
-        shift = 0
-        # fields are listed MSB-first in address_map; consume LSB-first
-        for name in reversed(self.config.address_map):
-            width = self._widths[name]
-            fields[name] = (line_addr >> shift) & ((1 << width) - 1)
-            shift += width
         return DecodedAddress(
-            channel=fields["channel"],
-            rank=fields["rank"],
-            bank=fields["bank"],
-            row=fields["row"],
-            col=fields["col"],
+            channel=(line_addr >> self._ch_shift) & self._ch_mask,
+            rank=(line_addr >> self._rank_shift) & self._rank_mask,
+            bank=(line_addr >> self._bank_shift) & self._bank_mask,
+            row=(line_addr >> self._row_shift) & self._row_mask,
+            col=(line_addr >> self._col_shift) & self._col_mask,
         )
 
     def encode(self, decoded: DecodedAddress) -> int:
         """Inverse of :meth:`decode` (used by generators and tests)."""
         addr = 0
-        shift = 0
         values = {
             "channel": decoded.channel,
             "rank": decoded.rank,
@@ -83,15 +94,13 @@ class AddressMapper:
             "row": decoded.row,
             "col": decoded.col,
         }
-        for name in reversed(self.config.address_map):
-            width = self._widths[name]
+        for name, (shift, mask) in self.field_layout.items():
             value = values[name]
-            if not (0 <= value < (1 << width)):
+            if not (0 <= value <= mask):
                 raise ConfigurationError(
-                    f"{name}={value} out of range for {width}-bit field"
+                    f"{name}={value} out of range for {mask.bit_length()}-bit field"
                 )
             addr |= value << shift
-            shift += width
         return addr
 
     def bank_index(self, decoded: DecodedAddress) -> int:

@@ -10,12 +10,12 @@ Table II) auto-precharges after every access, so ``open_row`` stays
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 __all__ = ["Bank"]
 
 
-@dataclass
+@dataclass(slots=True)
 class Bank:
     """State machine for one DRAM bank (close- and open-page)."""
 

@@ -22,7 +22,7 @@ the bank-conflict effects that matter for partitioning behaviour.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from typing import NamedTuple
 
 from repro.sim.dram.bank import Bank
 from repro.sim.dram.config import DRAMConfig
@@ -32,9 +32,13 @@ from repro.util.errors import SimulationError
 __all__ = ["Channel", "IssueResult"]
 
 
-@dataclass(frozen=True)
-class IssueResult:
-    """Timing outcome of committing one request to the channel."""
+class IssueResult(NamedTuple):
+    """Timing outcome of committing one request to the channel.
+
+    A NamedTuple rather than a frozen dataclass: one is built per data
+    burst and frozen-dataclass construction (``object.__setattr__`` per
+    field) showed up in the event-loop profile.
+    """
 
     data_start: float
     data_end: float
@@ -43,7 +47,36 @@ class IssueResult:
 
 
 class Channel:
-    """One DRAM channel: banks + data bus."""
+    """One DRAM channel: banks + data bus.
+
+    Timing scalars are copied out of the config at construction and the
+    close-page command path (the paper's baseline) is special-cased: the
+    channel is touched a handful of times per data burst, every ~100 CPU
+    cycles, so dataclass field lookups on ``DRAMConfig`` were a
+    measurable slice of the event loop.
+    """
+
+    __slots__ = (
+        "config",
+        "index",
+        "banks",
+        "bus_free",
+        "bus_busy_cycles",
+        "n_served",
+        "_last_was_write",
+        "_next_refresh",
+        "n_refreshes",
+        "_close_page",
+        "_burst",
+        "_act_to_data",
+        "_cl",
+        "_trp",
+        "_twr",
+        "_twtr",
+        "_trtw",
+        "_trefi",
+        "_trfc",
+    )
 
     def __init__(self, config: DRAMConfig, index: int = 0) -> None:
         self.config = config
@@ -62,6 +95,17 @@ class Channel:
             config.trefi_cycles if config.trefi_cycles > 0 else float("inf")
         )
         self.n_refreshes: int = 0
+        # hot-path copies of the timing parameters
+        self._close_page = config.page_policy == "close"
+        self._burst = config.burst_cycles
+        self._act_to_data = config.trcd_cycles + config.cl_cycles
+        self._cl = config.cl_cycles
+        self._trp = config.trp_cycles
+        self._twr = config.twr_cycles
+        self._twtr = config.twtr_cycles
+        self._trtw = config.trtw_cycles
+        self._trefi = config.trefi_cycles
+        self._trfc = config.trfc_cycles
 
     # ------------------------------------------------------------------
     def _command_timing(self, bank: Bank, row: int, now: float) -> tuple[float, bool, bool]:
@@ -69,25 +113,23 @@ class Channel:
 
         Returns ``(earliest_data, activated, row_hit)``.
         """
-        cfg = self.config
         start = max(now, bank.ready_time)
-        if cfg.page_policy == "close":
-            return start + cfg.trcd_cycles + cfg.cl_cycles, True, False
+        if self._close_page:
+            return start + self._act_to_data, True, False
         # open-page
-        if bank.is_row_hit(row):
-            return start + cfg.cl_cycles, False, True
-        if bank.open_row is None:
-            return start + cfg.trcd_cycles + cfg.cl_cycles, True, False
+        open_row = bank.open_row
+        if open_row == row and open_row is not None:
+            return start + self._cl, False, True
+        if open_row is None:
+            return start + self._act_to_data, True, False
         # row conflict: precharge, then activate
-        return start + cfg.trp_cycles + cfg.trcd_cycles + cfg.cl_cycles, True, False
+        return start + self._trp + self._act_to_data, True, False
 
     def _turnaround(self, is_write: bool) -> float:
         """Bus turnaround penalty for switching burst direction."""
         if self._last_was_write is None or self._last_was_write == is_write:
             return 0.0
-        return (
-            self.config.twtr_cycles if self._last_was_write else self.config.trtw_cycles
-        )
+        return self._twtr if self._last_was_write else self._trtw
 
     def _apply_refresh(self, data_start: float) -> float:
         """Delay ``data_start`` past any refresh blackout it collides with.
@@ -97,15 +139,14 @@ class Channel:
         the blackout is pushed past it.  Catch-up is lazy (driven by
         traffic), which is accurate enough for throughput accounting.
         """
-        cfg = self.config
-        while data_start + cfg.burst_cycles > self._next_refresh:
-            if data_start >= self._next_refresh + cfg.trfc_cycles:
+        while data_start + self._burst > self._next_refresh:
+            if data_start >= self._next_refresh + self._trfc:
                 # traffic gap already covered this blackout; advance it
-                self._next_refresh += cfg.trefi_cycles
+                self._next_refresh += self._trefi
                 self.n_refreshes += 1
                 continue
-            data_start = self._next_refresh + cfg.trfc_cycles
-            self._next_refresh += cfg.trefi_cycles
+            data_start = self._next_refresh + self._trfc
+            self._next_refresh += self._trefi
             self.n_refreshes += 1
         return data_start
 
@@ -126,6 +167,10 @@ class Channel:
         reads/writes and dodge the turnaround cost entirely.
         """
         bank = self.banks[bank_index]
+        if self._close_page:
+            ready = bank.ready_time
+            start = now if now > ready else ready
+            return start + self._act_to_data <= deadline + 1e-9
         earliest, _, _ = self._command_timing(bank, row, now)
         return earliest <= deadline + 1e-9
 
@@ -142,22 +187,24 @@ class Channel:
         """
         if now < 0:
             raise SimulationError(f"issue at negative cycle {now}")
-        cfg = self.config
         bank = self.banks[request.bank]
+        is_write = request.is_write
         earliest_data, activated, row_hit = self._command_timing(
             bank, request.row, now
         )
-        data_start = max(
-            earliest_data, self.bus_free + self._turnaround(request.is_write)
+        bus_earliest = self.bus_free + self._turnaround(is_write)
+        data_start = (
+            earliest_data if earliest_data > bus_earliest else bus_earliest
         )
-        data_start = self._apply_refresh(data_start)
-        data_end = data_start + cfg.burst_cycles
+        if data_start + self._burst > self._next_refresh:
+            data_start = self._apply_refresh(data_start)
+        data_end = data_start + self._burst
         if data_start < self.bus_free - 1e-9:
             raise SimulationError("data bus double-booked")
 
-        recovery = cfg.twr_cycles if request.is_write else 0.0
-        if cfg.page_policy == "close":
-            bank.ready_time = data_end + recovery + cfg.trp_cycles
+        recovery = self._twr if is_write else 0.0
+        if self._close_page:
+            bank.ready_time = data_end + recovery + self._trp
             bank.open_row = None
         else:
             # Row remains open.  Column commands to an open row pipeline:
@@ -165,20 +212,21 @@ class Channel:
             # so a following row *hit* can start its data back-to-back
             # (ready + CL == data_end).  Writes add recovery before the
             # bank accepts anything else.
-            bank.ready_time = max(data_start, data_end + recovery - cfg.cl_cycles)
+            bank.ready_time = max(data_start, data_end + recovery - self._cl)
             bank.open_row = request.row
 
-        bank.record_access(data_start, data_end, activated=activated, row_hit=row_hit)
+        # Bank.record_access, inlined (one call per data burst)
+        bank.n_accesses += 1
+        if activated:
+            bank.n_activates += 1
+        if row_hit:
+            bank.n_row_hits += 1
+        bank.busy_cycles += data_end - data_start
         self.bus_free = data_end
-        self.bus_busy_cycles += cfg.burst_cycles
+        self.bus_busy_cycles += self._burst
         self.n_served += 1
-        self._last_was_write = request.is_write
-        return IssueResult(
-            data_start=data_start,
-            data_end=data_end,
-            bank_ready=bank.ready_time,
-            row_hit=row_hit,
-        )
+        self._last_was_write = is_write
+        return IssueResult(data_start, data_end, bank.ready_time, row_hit)
 
     # ------------------------------------------------------------------
     def utilization(self, window_cycles: float) -> float:

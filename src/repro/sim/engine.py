@@ -121,6 +121,22 @@ class Engine:
         self._heap: list[tuple[float, int, int, object]] = []
         self._seq = itertools.count()
         self._pump_scheduled = [False] * config.dram.n_channels
+        # pump-loop constants (invariant across the whole run)
+        dram_cfg = config.dram
+        self._lookahead = dram_cfg.trcd_cycles + dram_cfg.cl_cycles
+        if dram_cfg.page_policy == "open":
+            self._lookahead += dram_cfg.trp_cycles
+        self._open_page = dram_cfg.page_policy == "open"
+        self._stall_gated = config.interference_mode == "stalled"
+        self._mc_cycles = dram_cfg.mc_cycles
+        # Hot-path mirrors of per-app state, kept as plain lists: the
+        # interference loop below touches every app on every data burst,
+        # and list indexing beats attribute chains there.  ``_running``
+        # shadows ``CoreSim.running``; ``_interf`` is the sole
+        # interference accumulator, folded into ``AppCounters`` at the
+        # points that read them (epoch, warmup snapshot, finalize).
+        self._running = [False] * len(self.specs)
+        self._interf = [0.0] * len(self.specs)
         self.now = 0.0
         # snapshots taken at the warmup boundary
         self._warmup_snapshot: list[AppCounters] | None = None
@@ -143,13 +159,20 @@ class Engine:
     def _handle_miss(self, core_id: int, now: float) -> None:
         core = self.cores[core_id]
         req, next_access = core.generate_access(now)
-        self.counters[core_id].instructions = core.instructions_at(now)
-        self.dram.decode(req)
+        # requests arrive pre-decoded: the address stream stamps
+        # channel/bank/row at creation (it owns the same AddressMapper
+        # layout), so no decode round-trip here.  Instruction counters
+        # are refreshed lazily at the points that read them (epoch,
+        # warmup snapshot, finalize), not per miss.
         self.scheduler.enqueue(req, now)
         # the pump itself reschedules to the right slot if the bus is busy
         self._schedule_pump(now, req.channel)
         if next_access is not None:
-            self._push(next_access, _P_MISS, core_id)
+            heapq.heappush(
+                self._heap, (next_access, _P_MISS, next(self._seq), core_id)
+            )
+        else:
+            self._running[core_id] = False
 
     def _handle_pump(self, now: float, channel_index: int) -> None:
         """Issue requests on one channel while its bus schedule has room.
@@ -166,42 +189,80 @@ class Engine:
         global, only the candidate set is channel-filtered.
         """
         self._pump_scheduled[channel_index] = False
-        cfg = self.config.dram
-        chan_filter = channel_index if cfg.n_channels > 1 else None
+        scheduler = self.scheduler
+        running = self._running
+        interf = self._interf
+        chan_filter = channel_index if self.config.dram.n_channels > 1 else None
         # open-page conflicts pay precharge+activate before CAS, so the
         # controller must commit further ahead to keep the bus gapless
-        lookahead = cfg.trcd_cycles + cfg.cl_cycles
-        if cfg.page_policy == "open":
-            lookahead += cfg.trp_cycles
+        lookahead = self._lookahead
         channel = self.dram.channels[channel_index]
-        while self.scheduler.has_pending(chan_filter):
+        open_page = self._open_page
+        stall_gated = self._stall_gated
+        while scheduler.has_pending(chan_filter):
             if channel.bus_free > now + lookahead + 1e-9:
                 self._schedule_pump(channel.bus_free - lookahead, channel_index)
                 return
             bus_free_before = channel.bus_free
-            deadline = max(now, bus_free_before)
+            deadline = now if now > bus_free_before else bus_free_before
+            # would the bank deliver the moment the bus frees?  Bank
+            # state is frozen until the issue below, so the probe is
+            # memoized per bank (close-page timing is row-independent)
+            # or per (bank, row) within this iteration -- a select may
+            # probe ~queue-depth requests but only ~bank-count answers
+            # exist.
+            memo: dict = {}
+            chan_bank_ready = channel.bank_ready_by
+            if open_page:
 
-            def bank_ready(r: Request) -> bool:
-                # would the bank deliver the moment the bus frees?
-                return self.dram.bank_ready_by(r, now, deadline)
+                def bank_ready(r: Request) -> bool:
+                    key = (r.bank, r.row)
+                    hit = memo.get(key)
+                    if hit is None:
+                        hit = memo[key] = chan_bank_ready(
+                            r.bank, r.row, now, deadline
+                        )
+                    return hit
 
-            req = self.scheduler.select(now, bank_ready, chan_filter)
+            else:
+
+                def bank_ready(r: Request) -> bool:
+                    key = r.bank
+                    hit = memo.get(key)
+                    if hit is None:
+                        hit = memo[key] = chan_bank_ready(
+                            r.bank, r.row, now, deadline
+                        )
+                    return hit
+
+            req = scheduler.select(now, bank_ready, chan_filter)
             if req is None:  # pragma: no cover - defensive
                 return
-            stall_gated = self.config.interference_mode == "stalled"
-            blocked = [
-                a
-                for a in self.scheduler.pending_apps(chan_filter)
-                if a != req.app_id
-                and (not stall_gated or self.cores[a].is_memory_stalled)
-            ]
-            result = self.dram.issue(req, now)
+            result = channel.issue(req, now)
+            req.issued = now
+            completed = req.completed = result.data_end + self._mc_cycles
             # others' queued requests were blocked for the bus time this
-            # request consumed (its burst plus any bank-wait bubble)
-            span = result.data_end - max(now, bus_free_before)
-            for a in blocked:
-                self.counters[a].interference_cycles += span
-            self._push(req.completed, _P_COMPLETE, req)
+            # request consumed (its burst plus any bank-wait bubble);
+            # the issue above only touches DRAM state, so reading the
+            # queues after it sees the same pending set select saw
+            span = result.data_end - deadline
+            rid = req.app_id
+            if chan_filter is None:
+                if stall_gated:
+                    for a, q in enumerate(scheduler.queues):
+                        if q and a != rid and not running[a]:
+                            interf[a] += span
+                else:
+                    for a, q in enumerate(scheduler.queues):
+                        if q and a != rid:
+                            interf[a] += span
+            else:
+                for a in scheduler.pending_apps(chan_filter):
+                    if a != rid and (not stall_gated or not running[a]):
+                        interf[a] += span
+            heapq.heappush(
+                self._heap, (completed, _P_COMPLETE, next(self._seq), req)
+            )
 
     def _handle_complete(self, req: Request, now: float) -> None:
         core = self.cores[req.app_id]
@@ -215,11 +276,16 @@ class Engine:
             c.reads_served += 1
             resumed = core.complete_read(now)
         if resumed is not None:
-            self._push(resumed, _P_MISS, req.app_id)
+            self._running[req.app_id] = True
+            heapq.heappush(
+                self._heap, (resumed, _P_MISS, next(self._seq), req.app_id)
+            )
 
     def _handle_epoch(self, now: float) -> None:
+        interf = self._interf
         for i, core in enumerate(self.cores):
             self.counters[i].instructions = core.instructions_at(now)
+            self.counters[i].interference_cycles = interf[i]
         self.profiler.close_epoch(now, self.counters)
         if self.repartition_hook is not None:
             self.repartition_hook(now, self.profiler, self.scheduler)
@@ -235,6 +301,7 @@ class Engine:
         cfg = self.config
         for i, core in enumerate(self.cores):
             first = core.start(0.0)
+            self._running[i] = True
             self._push(first, _P_MISS, i)
         self.profiler.begin_epoch(0.0, self.counters)
         if cfg.epoch_cycles is not None:
@@ -246,11 +313,17 @@ class Engine:
         if warmup_done:
             self._take_warmup_snapshot(0.0)
 
-        while self._heap:
-            time, prio, _seq, payload = self._heap[0]
-            if time > end + 1e-9:
+        heap = self._heap
+        heappop = heapq.heappop
+        handle_complete = self._handle_complete
+        handle_miss = self._handle_miss
+        handle_pump = self._handle_pump
+        end_guard = end + 1e-9
+        while heap:
+            time, prio, _seq, payload = heap[0]
+            if time > end_guard:
                 break
-            heapq.heappop(self._heap)
+            heappop(heap)
             if time < self.now - 1e-6:
                 raise SimulationError(
                     f"time went backwards: {time} < {self.now}"
@@ -258,13 +331,14 @@ class Engine:
             if not warmup_done and time >= warmup:
                 self._take_warmup_snapshot(warmup)
                 warmup_done = True
-            self.now = max(self.now, time)
+            if time > self.now:
+                self.now = time
             if prio == _P_COMPLETE:
-                self._handle_complete(payload, time)  # type: ignore[arg-type]
+                handle_complete(payload, time)  # type: ignore[arg-type]
             elif prio == _P_MISS:
-                self._handle_miss(payload, time)  # type: ignore[arg-type]
+                handle_miss(payload, time)  # type: ignore[arg-type]
             elif prio == _P_PUMP:
-                self._handle_pump(time, payload)  # type: ignore[arg-type]
+                handle_pump(time, payload)  # type: ignore[arg-type]
             elif prio == _P_EPOCH:
                 self._handle_epoch(time)
             else:  # pragma: no cover - defensive
@@ -275,8 +349,10 @@ class Engine:
         return self._finalize(end)
 
     def _take_warmup_snapshot(self, now: float) -> None:
+        interf = self._interf
         for i, core in enumerate(self.cores):
             self.counters[i].instructions = core.instructions_at(now)
+            self.counters[i].interference_cycles = interf[i]
         self._warmup_snapshot = [c.snapshot() for c in self.counters]
         self._warmup_bus_busy = sum(
             ch.bus_busy_cycles for ch in self.dram.channels
@@ -288,6 +364,7 @@ class Engine:
         apps = []
         for i, core in enumerate(self.cores):
             self.counters[i].instructions = core.instructions_at(end)
+            self.counters[i].interference_cycles = self._interf[i]
             delta = self.counters[i].minus(self._warmup_snapshot[i])
             accesses = delta.reads_served + delta.writes_served
             mean_lat = (

@@ -14,6 +14,14 @@ Within one application requests may be served slightly out of order
 (around busy banks); they are independent cache lines, so this is safe
 and is what hardware does.  *Across* applications the service order is
 exactly the policy under study.
+
+Queue indexing: the engine probes ``has_pending``/``pending_apps`` on
+every pump event, so both are backed by per-(app, channel) pending
+counters maintained incrementally in :meth:`enqueue`/:meth:`_take`
+rather than by scanning the queues (the scans made a saturated channel
+degrade quadratically with queue depth).  A request's ``channel`` must
+therefore be final before it is enqueued (the cores decode addresses at
+request creation).
 """
 
 from __future__ import annotations
@@ -48,31 +56,46 @@ class Scheduler(ABC):
         self.total_queued = 0
         self.n_enqueued = 0
         self.n_served = 0
+        #: per-app {channel: pending count} -- the queue index
+        self._chan_pending: list[dict[int, int]] = [{} for _ in range(n_apps)]
+        #: {channel: pending count} across all apps
+        self._chan_total: dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def enqueue(self, request: Request, now: float) -> None:
         """Accept a request into its application's queue."""
         request.enqueued = now
-        self.queues[request.app_id].append(request)
+        app_id = request.app_id
+        self.queues[app_id].append(request)
         self.total_queued += 1
         self.n_enqueued += 1
+        chan = request.channel
+        counts = self._chan_pending[app_id]
+        counts[chan] = counts.get(chan, 0) + 1
+        self._chan_total[chan] = self._chan_total.get(chan, 0) + 1
 
     def has_pending(self, channel: int | None = None) -> bool:
         """Any queued request (optionally: targeting one channel)."""
         if channel is None:
             return self.total_queued > 0
-        return any(
-            req.channel == channel for q in self.queues for req in q
-        )
+        return self._chan_total.get(channel, 0) > 0
 
     def pending_apps(self, channel: int | None = None) -> Iterator[int]:
         """Applications with at least one queued request (per channel)."""
-        for app_id, q in enumerate(self.queues):
-            if channel is None:
+        if channel is None:
+            for app_id, q in enumerate(self.queues):
                 if q:
                     yield app_id
-            elif any(req.channel == channel for req in q):
-                yield app_id
+        else:
+            for app_id, counts in enumerate(self._chan_pending):
+                if counts.get(channel, 0):
+                    yield app_id
+
+    def pending_count(self, app_id: int, channel: int | None = None) -> int:
+        """Queued requests of one app (optionally: targeting one channel)."""
+        if channel is None:
+            return len(self.queues[app_id])
+        return self._chan_pending[app_id].get(channel, 0)
 
     def queue_depth(self, app_id: int) -> int:
         return len(self.queues[app_id])
@@ -99,28 +122,56 @@ class Scheduler(ABC):
 
     def _requests(self, app_id: int, channel: int | None) -> Iterator[Request]:
         """App's queued requests, oldest first, filtered by channel."""
+        if channel is None:
+            yield from self.queues[app_id]
+            return
         for req in self.queues[app_id]:
-            if self._in_channel(req, channel):
+            if req.channel == channel:
                 yield req
 
     def _oldest_ready(
         self, app_id: int, ready: ReadyProbe, channel: int | None = None
     ) -> Request | None:
         """Oldest request of ``app_id`` that passes the readiness probe."""
-        for req in self._requests(app_id, channel):
-            if ready(req):
+        if channel is None:
+            for req in self.queues[app_id]:
+                if ready(req):
+                    return req
+            return None
+        for req in self.queues[app_id]:
+            if req.channel == channel and ready(req):
                 return req
         return None
 
     def _take(self, req: Request) -> Request:
         """Remove a specific request from its queue."""
         q = self.queues[req.app_id]
-        try:
-            q.remove(req)
-        except ValueError:  # pragma: no cover - defensive
-            raise SimulationError(f"request {req.seq} not queued") from None
+        # schedulers usually take the head (FIFO order within an app)
+        if q and q[0] is req:
+            q.popleft()
+        else:
+            try:
+                q.remove(req)
+            except ValueError:  # pragma: no cover - defensive
+                raise SimulationError(f"request {req.seq} not queued") from None
         self.total_queued -= 1
         self.n_served += 1
+        chan = req.channel
+        counts = self._chan_pending[req.app_id]
+        left = counts.get(chan, 0) - 1
+        if left <= 0:
+            if left < 0:  # pragma: no cover - defensive
+                raise SimulationError(
+                    f"channel index underflow for app {req.app_id}"
+                )
+            del counts[chan]
+        else:
+            counts[chan] = left
+        total = self._chan_total[chan] - 1
+        if total:
+            self._chan_total[chan] = total
+        else:
+            del self._chan_total[chan]
         return req
 
     def _pop_head(self, app_id: int, channel: int | None = None) -> Request:

@@ -7,14 +7,26 @@ Under FCFS, memory-intensive applications keep many requests queued and
 capture bandwidth roughly in proportion to their in-flight request
 counts, starving low-intensity applications -- exactly the behaviour the
 paper's motivation section describes.
+
+Selection walks the per-app FIFO queues in global age order (a lazy
+k-way merge -- each queue is already age-sorted) and stops at the first
+bank-ready request: on a saturated channel this probes one bank instead
+of every queued request, which is what keeps the scan linear rather
+than quadratic in queue depth.
 """
 
 from __future__ import annotations
+
+import heapq
 
 from repro.sim.mc.base import ReadyProbe, Scheduler, _always_ready
 from repro.sim.request import Request
 
 __all__ = ["FCFSScheduler"]
+
+
+def _age_key(req: Request) -> tuple[float, int]:
+    return (req.enqueued, req.seq)
 
 
 class FCFSScheduler(Scheduler):
@@ -28,19 +40,27 @@ class FCFSScheduler(Scheduler):
         ready: ReadyProbe = _always_ready,
         channel: int | None = None,
     ) -> Request | None:
-        best_any: Request | None = None
-        best_ready: Request | None = None
-        for app_id in range(self.n_apps):
-            for req in self._requests(app_id, channel):
-                key = (req.enqueued, req.seq)
-                if best_any is None or key < (best_any.enqueued, best_any.seq):
-                    best_any = req
-                if ready(req) and (
-                    best_ready is None
-                    or key < (best_ready.enqueued, best_ready.seq)
-                ):
-                    best_ready = req
-        chosen = best_ready or best_any
-        if chosen is None:
-            return None
-        return self._take(chosen)
+        if channel is None:
+            if not self.total_queued:
+                return None
+            lanes = [q for q in self.queues if q]
+        else:
+            if not self._chan_total.get(channel, 0):
+                return None
+            chan_pending = self._chan_pending
+            lanes = [
+                self._requests(a, channel)
+                for a in range(self.n_apps)
+                if chan_pending[a].get(channel, 0)
+            ]
+        # oldest-first scan with early exit: the first ready request IS
+        # the oldest ready one, and the very first request is the
+        # fallback when nothing is ready
+        oldest: Request | None = None
+        for req in heapq.merge(*lanes, key=_age_key):
+            if ready(req):
+                return self._take(req)
+            if oldest is None:
+                oldest = req
+        assert oldest is not None  # guarded by the pending checks above
+        return self._take(oldest)

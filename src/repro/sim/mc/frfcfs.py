@@ -15,9 +15,11 @@ never open rows and it degenerates to (first-ready) FCFS.
 
 from __future__ import annotations
 
+import heapq
 from typing import Callable
 
 from repro.sim.mc.base import ReadyProbe, Scheduler, _always_ready
+from repro.sim.mc.fcfs import _age_key
 from repro.sim.request import Request
 
 __all__ = ["FRFCFSScheduler"]
@@ -58,25 +60,29 @@ class FRFCFSScheduler(Scheduler):
         ready: ReadyProbe = _always_ready,
         channel: int | None = None,
     ) -> Request | None:
+        # single age-ordered scan (lazy merge of the age-sorted per-app
+        # queues): the first request is the oldest, the first ready one
+        # is the oldest ready, and the scan stops at the first ready row
+        # hit -- nothing younger can beat it on any criterion
         oldest: Request | None = None
         oldest_ready: Request | None = None
         oldest_hit: Request | None = None
-        for app_id in range(self.n_apps):
-            for req in self._requests(app_id, channel):
-                key = (req.enqueued, req.seq)
-                if oldest is None or key < (oldest.enqueued, oldest.seq):
-                    oldest = req
-                if ready(req):
-                    if oldest_ready is None or key < (
-                        oldest_ready.enqueued,
-                        oldest_ready.seq,
-                    ):
-                        oldest_ready = req
-                    if self.row_hit_probe(req) and (
-                        oldest_hit is None
-                        or key < (oldest_hit.enqueued, oldest_hit.seq)
-                    ):
-                        oldest_hit = req
+        lanes = [
+            self._requests(a, channel)
+            for a in range(self.n_apps)
+            if self.pending_count(a, channel)
+        ]
+        for req in heapq.merge(*lanes, key=_age_key):
+            if oldest is None:
+                oldest = req
+            if oldest_ready is None and ready(req):
+                oldest_ready = req
+                if self.row_hit_probe(req):
+                    oldest_hit = req
+                    break
+            elif oldest_ready is not None and ready(req) and self.row_hit_probe(req):
+                oldest_hit = req
+                break
         if oldest is None:
             return None
         # starvation guard: very old requests win over row hits

@@ -78,12 +78,17 @@ class PriorityScheduler(Scheduler):
                     best = head
             if best is not None:
                 return self._take(best)
-        for app_id in self.priority_order:
+        # the pending-count index skips empty priority levels outright
+        pending = [
+            app_id
+            for app_id in self.priority_order
+            if self.pending_count(app_id, channel)
+        ]
+        for app_id in pending:
             req = self._oldest_ready(app_id, ready, channel)
             if req is not None:
                 return self._take(req)
         # nothing bank-ready: highest-priority head eats the bank stall
-        for app_id in self.priority_order:
-            for req in self._requests(app_id, channel):
-                return self._take(req)
+        for app_id in pending:
+            return self._pop_head(app_id, channel)
         return None

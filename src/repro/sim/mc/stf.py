@@ -22,6 +22,10 @@ match the capped water-filling of the analytical model).  Bank-busy
 requests are skipped in favour of the next-smallest-tag application
 (bank-level parallelism), falling back to the policy winner's head when
 nothing is ready.
+
+Tags and strides live in plain Python lists on the select path (numpy
+scalar indexing costs ~10x a list index at this grain); ``tags`` /
+``beta`` remain numpy views for callers.
 """
 
 from __future__ import annotations
@@ -63,9 +67,12 @@ class StartTimeFairScheduler(Scheduler):
     ) -> None:
         super().__init__(n_apps)
         self.arrival_coupled = arrival_coupled
-        self.tags = np.zeros(n_apps, dtype=float)
+        self._tags: list[float] = [0.0] * n_apps
         self._virtual_now = 0.0
         self._beta = np.ones(n_apps) / n_apps
+        # a zero-share app pays an effectively infinite stride, pushing it
+        # behind everyone with a real share (pure best-effort service)
+        self._strides: list[float] = [float(n_apps)] * n_apps
         self.update_shares(beta)
 
     # ------------------------------------------------------------------
@@ -79,10 +86,18 @@ class StartTimeFairScheduler(Scheduler):
         if np.any(b < 0) or not np.isclose(b.sum(), 1.0, atol=1e-6):
             raise ConfigurationError(f"beta must be >= 0 and sum to 1, got {b}")
         self._beta = b.copy()
+        self._strides = [
+            1.0 / share if share > 0 else 1e18 for share in self._beta
+        ]
 
     @property
     def beta(self) -> np.ndarray:
         return self._beta.copy()
+
+    @property
+    def tags(self) -> np.ndarray:
+        """Current virtual start-time tags (copy, one per app)."""
+        return np.array(self._tags)
 
     # ------------------------------------------------------------------
     def select(
@@ -91,11 +106,21 @@ class StartTimeFairScheduler(Scheduler):
         ready: ReadyProbe = _always_ready,
         channel: int | None = None,
     ) -> Request | None:
-        pending = sorted(
-            self.pending_apps(channel), key=lambda a: (self.tags[a], a)
-        )
+        if channel is None:
+            queues = self.queues
+            pending = [a for a in range(self.n_apps) if queues[a]]
+        else:
+            chan_pending = self._chan_pending
+            pending = [
+                a
+                for a in range(self.n_apps)
+                if chan_pending[a].get(channel, 0)
+            ]
         if not pending:
             return None
+        # stable sort on tags == ordering by (tag, app_id): ``pending``
+        # is built in ascending app order
+        pending.sort(key=self._tags.__getitem__)
         for app_id in pending:
             req = self._oldest_ready(app_id, ready, channel)
             if req is not None:
@@ -107,14 +132,15 @@ class StartTimeFairScheduler(Scheduler):
         return self._pop_head(app_id, channel)
 
     def _advance_tag(self, app_id: int) -> None:
-        share = self._beta[app_id]
-        # a zero-share app pays an effectively infinite stride, pushing it
-        # behind everyone with a real share (pure best-effort service)
-        stride = 1.0 / share if share > 0 else 1e18
+        stride = self._strides[app_id]
+        tags = self._tags
         if self.arrival_coupled:
             # original DSTF: credit from idle periods is forfeited
-            self.tags[app_id] = max(self.tags[app_id], self._virtual_now) + stride
+            tag = max(tags[app_id], self._virtual_now) + stride
+            tags[app_id] = tag
         else:
             # the paper's modification: tags only depend on service received
-            self.tags[app_id] += stride
-        self._virtual_now = max(self._virtual_now, self.tags[app_id] - stride)
+            tag = tags[app_id] + stride
+            tags[app_id] = tag
+        if tag - stride > self._virtual_now:
+            self._virtual_now = tag - stride

@@ -8,22 +8,31 @@ from dataclasses import dataclass, field
 __all__ = ["Request"]
 
 _seq_counter = itertools.count()
+_next_seq = _seq_counter.__next__
 
 
-@dataclass
+@dataclass(eq=False, slots=True)
 class Request:
     """One off-chip memory access (a last-level-cache miss or writeback).
 
     Timestamps are CPU cycles; ``-1`` means "not yet".  ``seq`` is a
     global monotonically increasing tiebreaker so scheduler decisions are
     fully deterministic.
+
+    ``__slots__`` keeps the per-event allocation cost down: the engine
+    creates one Request per off-chip access, and attribute access on the
+    scheduler hot paths is measurably faster without a ``__dict__``.
+    Equality is identity (``eq=False``): every request is unique (seq),
+    and queue removal must not pay a field-by-field comparison per
+    element scanned.
     """
 
     app_id: int
     line_addr: int
     is_write: bool
     created: float
-    #: decoded DRAM coordinates, filled in by the controller
+    #: decoded DRAM coordinates, filled in at creation (cores) or by the
+    #: controller's :meth:`repro.sim.dram.system.DRAMSystem.decode`
     channel: int = 0
     bank: int = 0
     row: int = 0
@@ -33,7 +42,7 @@ class Request:
     issued: float = -1.0
     #: cycle the data transfer completed
     completed: float = -1.0
-    seq: int = field(default_factory=lambda: next(_seq_counter))
+    seq: int = field(default_factory=_next_seq)
 
     @property
     def queue_delay(self) -> float:

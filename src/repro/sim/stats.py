@@ -19,7 +19,7 @@ from repro.util.errors import ConfigurationError
 __all__ = ["AppCounters", "AppWindowResult", "SimResult"]
 
 
-@dataclass
+@dataclass(slots=True)
 class AppCounters:
     """Cumulative per-app counters (monotone during a run)."""
 

@@ -1,0 +1,164 @@
+"""Persistent, content-addressed cache for profiling simulations.
+
+Alone-mode profiling runs (``APC_alone`` / ``IPC_alone`` measurement,
+paper Sec. V-B) are pure functions of their configuration: the same
+``CoreSpec`` + ``SimConfig`` (DRAM geometry/timings, windows, seed)
+always produces the same numbers.  They are also the repeated cost when
+regenerating figures -- every exhibit re-profiles the same ~16
+benchmarks.  This module caches those results on disk, keyed by a
+digest of the *full* configuration:
+
+* :func:`config_digest` hashes a canonical JSON rendering of nested
+  dataclasses (every field, recursively), so two configurations that
+  differ in any parameter -- even two ``DRAMConfig`` s that share a
+  ``name`` but differ in a timing -- get distinct keys.  A schema
+  version is mixed in so cache entries are invalidated wholesale when
+  the digest scheme changes.
+* :class:`SimCache` stores one small JSON file per key and writes
+  atomically (temp file + ``os.replace``) so concurrent writers -- e.g.
+  the process pool in :mod:`repro.experiments.parallel` racing on the
+  same benchmark -- can never leave a torn file; last writer wins with
+  an identical payload.
+
+Environment:
+
+``REPRO_CACHE_DIR``
+    Overrides the cache directory (default:
+    ``$XDG_CACHE_HOME/repro-bandwidth-model``, falling back to
+    ``~/.cache/repro-bandwidth-model``).
+``REPRO_NO_CACHE``
+    Any non-empty value disables reads and writes entirely.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import pathlib
+import tempfile
+
+__all__ = ["config_digest", "SimCache", "SCHEMA_VERSION"]
+
+#: bump when the digest scheme or stored payload layout changes
+SCHEMA_VERSION = 1
+
+_APP_DIR = "repro-bandwidth-model"
+
+
+def _canonical(obj):
+    """Render a config object as plain JSON-able data, deterministically.
+
+    Dataclasses are expanded field-by-field (recursively) and tagged
+    with their class name so two different config types with identical
+    fields cannot collide.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        out = {"__class__": type(obj).__name__}
+        for f in dataclasses.fields(obj):
+            out[f.name] = _canonical(getattr(obj, f.name))
+        return out
+    if isinstance(obj, dict):
+        return {str(k): _canonical(v) for k, v in sorted(obj.items())}
+    if isinstance(obj, (list, tuple)):
+        return [_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    if hasattr(obj, "tolist"):  # numpy scalars/arrays, defensively
+        return _canonical(obj.tolist())
+    raise TypeError(f"cannot digest {type(obj).__name__!r} into a cache key")
+
+
+def config_digest(*parts) -> str:
+    """SHA-256 digest of a sequence of configuration objects.
+
+    Pass every input that influences the result (a purpose tag, the
+    core spec, the sim config, ...); any field-level difference changes
+    the digest.
+    """
+    payload = json.dumps(
+        [SCHEMA_VERSION, [_canonical(p) for p in parts]],
+        sort_keys=True,
+        separators=(",", ":"),
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
+
+
+def _default_dir() -> pathlib.Path:
+    env = os.environ.get("REPRO_CACHE_DIR")
+    if env:
+        return pathlib.Path(env)
+    xdg = os.environ.get("XDG_CACHE_HOME")
+    base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
+    return base / _APP_DIR
+
+
+class SimCache:
+    """On-disk key -> JSON-dict store for simulation results.
+
+    Corrupt or unreadable entries behave as misses (the value is
+    recomputable by construction), and all I/O errors on ``put`` are
+    swallowed: the cache is an accelerator, never a correctness
+    dependency.
+    """
+
+    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+        self.enabled = not os.environ.get("REPRO_NO_CACHE")
+        self.directory = pathlib.Path(directory) if directory else _default_dir()
+
+    # ------------------------------------------------------------------
+    def path_for(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> dict | None:
+        """The stored payload for ``key``, or ``None`` on any miss."""
+        if not self.enabled:
+            return None
+        try:
+            with open(self.path_for(key), "r", encoding="utf-8") as fh:
+                value = json.load(fh)
+        except (OSError, ValueError):
+            return None
+        return value if isinstance(value, dict) else None
+
+    def put(self, key: str, value: dict) -> None:
+        """Store ``value`` under ``key`` atomically (rename-into-place)."""
+        if not self.enabled:
+            return
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            fd, tmp = tempfile.mkstemp(
+                prefix=f".{key[:16]}-", suffix=".tmp", dir=self.directory
+            )
+            try:
+                with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                    json.dump(value, fh)
+                os.replace(tmp, self.path_for(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except OSError:
+            return
+
+    def clear(self) -> int:
+        """Delete all cache entries; returns the number removed."""
+        removed = 0
+        try:
+            entries = list(self.directory.glob("*.json"))
+        except OSError:
+            return 0
+        for path in entries:
+            try:
+                path.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "enabled" if self.enabled else "disabled"
+        return f"SimCache({str(self.directory)!r}, {state})"

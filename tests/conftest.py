@@ -8,6 +8,14 @@ import pytest
 from repro.core import AppProfile, Workload
 
 
+@pytest.fixture(autouse=True)
+def _isolated_profile_cache(tmp_path, monkeypatch):
+    """Point the persistent profiling cache (repro.util.cache) at a
+    per-test directory so tests never read or pollute the user's real
+    cache (and never see entries from a previous test run)."""
+    monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "profile-cache"))
+
+
 @pytest.fixture
 def hetero_workload() -> Workload:
     """A 4-app heterogeneous workload (mirrors the paper's hetero-5:

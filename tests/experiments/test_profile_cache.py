@@ -1,0 +1,128 @@
+"""The persistent profiling cache eliminates repeat alone-mode runs.
+
+Acceptance property for the cache subsystem: regenerating a figure a
+second time (fresh :class:`Runner`, same configuration, same cache
+directory) performs **zero** alone-mode simulations -- every profile is
+served from disk.  Verified by counting actual ``simulate`` calls.
+"""
+
+from __future__ import annotations
+
+import repro.experiments.runner as runner_mod
+from repro.experiments.parallel import ParallelRunner
+from repro.experiments.runner import Runner
+from repro.sim.engine import SimConfig
+from repro.sim.engine import simulate as _real_simulate
+from repro.util.cache import SimCache
+from repro.workloads.mixes import mix_core_specs
+
+_QUICK = SimConfig(warmup_cycles=5_000.0, measure_cycles=40_000.0, seed=7)
+
+
+class _CountingSimulate:
+    """Wraps the real ``simulate``, tallying alone (1-core) calls."""
+
+    def __init__(self):
+        self.alone_calls = 0
+        self.shared_calls = 0
+
+    def __call__(self, specs, factory, config):
+        if len(list(specs)) == 1:
+            self.alone_calls += 1
+        else:
+            self.shared_calls += 1
+        return _real_simulate(specs, factory, config)
+
+
+def test_second_regeneration_runs_zero_alone_sims(monkeypatch):
+    specs = mix_core_specs("hetero-5")
+
+    first = _CountingSimulate()
+    monkeypatch.setattr(runner_mod, "simulate", first)
+    r1 = Runner(_QUICK)
+    r1.run("hetero-5", "equal")
+    assert first.alone_calls == len(specs)  # cold cache: one per benchmark
+    assert first.shared_calls == 1
+
+    second = _CountingSimulate()
+    monkeypatch.setattr(runner_mod, "simulate", second)
+    r2 = Runner(_QUICK)  # fresh runner: in-memory caches are empty
+    rerun = r2.run("hetero-5", "equal")
+    assert second.alone_calls == 0  # everything served from disk
+    assert second.shared_calls == 1  # shared-mode runs are not disk-cached
+
+    base = r1.run("hetero-5", "equal")
+    assert rerun.metrics == base.metrics  # cache hit == recompute
+
+
+def test_cache_respects_opt_out(monkeypatch):
+    monkeypatch.setenv("REPRO_NO_CACHE", "1")
+    specs = mix_core_specs("hetero-2")
+
+    for _ in range(2):
+        counting = _CountingSimulate()
+        monkeypatch.setattr(runner_mod, "simulate", counting)
+        Runner(_QUICK).profiles(specs)
+        assert counting.alone_calls == len(specs)  # never cached
+
+
+def test_different_sim_config_is_a_cache_miss(monkeypatch):
+    counting = _CountingSimulate()
+    monkeypatch.setattr(runner_mod, "simulate", counting)
+    Runner(_QUICK).profiles(mix_core_specs("hetero-5"))
+    warm = counting.alone_calls
+    assert warm > 0
+
+    other = SimConfig(
+        warmup_cycles=5_000.0, measure_cycles=40_000.0, seed=8
+    )  # seed differs -> full config digest differs
+    Runner(other).profiles(mix_core_specs("hetero-5"))
+    assert counting.alone_calls == 2 * warm
+
+
+class _ForbiddenPool:
+    """Stands in for the process pool; any dispatch is a failure."""
+
+    def map(self, fn, tasks, chunksize=1):  # pragma: no cover - guard
+        raise AssertionError("profiling fanned out despite a warm cache")
+
+
+class _InlinePool:
+    """Runs pool.map serially in-process (no worker spawn cost)."""
+
+    def __init__(self):
+        self.dispatched = 0
+
+    def map(self, fn, tasks, chunksize=1):
+        tasks = list(tasks)
+        self.dispatched += len(tasks)
+        return [fn(t) for t in tasks]
+
+
+def test_parallel_profiling_uses_the_shared_cache():
+    pr = ParallelRunner(_QUICK, max_workers=2)
+    pool = _InlinePool()
+    table = pr._profile_all(("hetero-5",), 1, pool)
+    assert pool.dispatched == len(table) > 0
+
+    # warm cache: a second profiling pass must not dispatch anything
+    again = pr._profile_all(("hetero-5",), 1, _ForbiddenPool())
+    assert again == table
+
+    # and the serial Runner reads the same entries (shared key scheme)
+    r = Runner(_QUICK)
+    for spec in mix_core_specs("hetero-5"):
+        assert r.disk_cache.get(r._alone_key(spec)) is not None
+
+
+def test_chunksize_scales_with_grid_and_workers():
+    pr = ParallelRunner(_QUICK, max_workers=2)
+    assert pr._chunksize(0) == 1
+    assert pr._chunksize(7) == 1
+    assert pr._chunksize(16) == 2
+    assert pr._chunksize(98) == 12
+
+
+def test_runner_exposes_cache_instance():
+    r = Runner(_QUICK)
+    assert isinstance(r.disk_cache, SimCache)

@@ -1,0 +1,105 @@
+"""Property tests for the scheduler's per-(app, channel) queue index.
+
+``Scheduler.has_pending`` / ``pending_apps`` / ``pending_count`` are
+backed by incrementally maintained counters (updated in ``enqueue`` /
+``_take``) instead of queue scans.  These tests drive random
+enqueue/serve interleavings through real scheduler subclasses and
+check the indexed answers against a brute-force scan of the actual
+queues after every single operation.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.mc.base import Scheduler
+from repro.sim.mc.fcfs import FCFSScheduler
+from repro.sim.mc.priority import PriorityScheduler
+from repro.sim.mc.stf import StartTimeFairScheduler
+from repro.sim.request import Request
+
+N_APPS = 4
+N_CHANNELS = 3
+
+# one operation: (app, channel, serve?, serve_channel)
+_ops = st.lists(
+    st.tuples(
+        st.integers(0, N_APPS - 1),
+        st.integers(0, N_CHANNELS - 1),
+        st.booleans(),
+        st.one_of(st.none(), st.integers(0, N_CHANNELS - 1)),
+    ),
+    max_size=80,
+)
+
+
+def _brute_has_pending(sched: Scheduler, channel: int | None) -> bool:
+    return any(
+        channel is None or r.channel == channel for q in sched.queues for r in q
+    )
+
+
+def _brute_pending_apps(sched: Scheduler, channel: int | None) -> list[int]:
+    return [
+        a
+        for a, q in enumerate(sched.queues)
+        if any(channel is None or r.channel == channel for r in q)
+    ]
+
+
+def _brute_count(sched: Scheduler, app: int, channel: int | None) -> int:
+    return sum(
+        1 for r in sched.queues[app] if channel is None or r.channel == channel
+    )
+
+
+def _check_index(sched: Scheduler) -> None:
+    for ch in (None, *range(N_CHANNELS)):
+        assert sched.has_pending(ch) == _brute_has_pending(sched, ch)
+        assert list(sched.pending_apps(ch)) == _brute_pending_apps(sched, ch)
+        for app in range(N_APPS):
+            assert sched.pending_count(app, ch) == _brute_count(sched, app, ch)
+    assert sched.total_queued == sum(len(q) for q in sched.queues)
+
+
+def _drive(sched: Scheduler, ops) -> None:
+    now = 0.0
+    n = 0
+    for app, chan, serve, serve_chan in ops:
+        now += 1.0
+        if serve and sched.total_queued:
+            sched.select(now, channel=serve_chan)
+        else:
+            req = Request(app, n, bool(n % 5 == 0), now, channel=chan)
+            n += 1
+            sched.enqueue(req, now)
+        _check_index(sched)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_fcfs_index_matches_bruteforce(ops):
+    _drive(FCFSScheduler(N_APPS), ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_stf_index_matches_bruteforce(ops):
+    beta = np.full(N_APPS, 1.0 / N_APPS)
+    _drive(StartTimeFairScheduler(N_APPS, beta), ops)
+
+
+@settings(max_examples=60, deadline=None)
+@given(ops=_ops)
+def test_priority_index_matches_bruteforce(ops):
+    _drive(PriorityScheduler(N_APPS, list(range(N_APPS))), ops)
+
+
+@settings(max_examples=40, deadline=None)
+@given(ops=_ops)
+def test_served_plus_queued_is_conserved(ops):
+    sched = FCFSScheduler(N_APPS)
+    _drive(sched, ops)
+    assert sched.n_enqueued == sched.n_served + sched.total_queued

@@ -1,0 +1,110 @@
+"""Regression: batched stream generation reproduces pre-change sequences.
+
+``golden_stream.json`` pins 300-element address sequences (and one
+core's full arrival timeline) produced by the *scalar* pre-optimization
+generators.  The batched draw (:meth:`MissAddressStream._draw_bounded`
+reading raw PCG64 words on the power-of-two fast path) must emit the
+exact same integers in the exact same order, and the core's
+exponential-gap/write-coin interleaving must be untouched -- otherwise
+every simulation timestamp downstream silently shifts.
+
+The recipes below must stay byte-for-byte what generated the fixture.
+"""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro.sim.cpu import CorePhase, CoreSim, CoreSpec
+from repro.sim.dram.config import DRAMConfig, ddr2_400
+from repro.sim.stream import MissAddressStream, StreamSpec
+from repro.util.rng import RngStream
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "golden_stream.json"
+_GOLDEN = json.loads(GOLDEN_PATH.read_text())
+
+
+def _stream_cases() -> dict[str, MissAddressStream]:
+    cases = {
+        "default": (ddr2_400(), StreamSpec()),
+        "local": (ddr2_400(), StreamSpec(row_locality=0.9, footprint_rows=32)),
+        "banked": (ddr2_400(), StreamSpec(bank_set=(0, 5, 9, 30))),
+        "two_chan": (
+            DRAMConfig(name="2ch", n_channels=2),
+            StreamSpec(row_locality=0.3),
+        ),
+    }
+    return {
+        name: MissAddressStream(cfg, spec, 2, RngStream(42, f"stream.{name}"))
+        for name, (cfg, spec) in cases.items()
+    }
+
+
+@pytest.mark.parametrize("name", sorted(_GOLDEN["addresses"]))
+def test_address_sequences_bit_identical(name):
+    stream = _stream_cases()[name]
+    golden = _GOLDEN["addresses"][name]
+    produced = [int(stream.next_address()) for _ in golden]
+    assert produced == golden
+
+
+def test_arrival_timeline_bit_identical():
+    spec = CoreSpec(
+        name="g",
+        api=0.01,
+        ipc_peak=2.0,
+        mlp=10**9,
+        write_fraction=0.2,
+        write_queue_cap=10**9,
+        phases=(CorePhase(start_cycle=30_000.0, api=0.05, ipc_peak=0.5),),
+    )
+    core = CoreSim(
+        0,
+        spec,
+        MissAddressStream(ddr2_400(), StreamSpec(), 0, RngStream(42, "s")),
+        RngStream(42, "core.g"),
+    )
+    golden = _GOLDEN["arrivals"]
+    times, writes, line_addrs = [], [], []
+    t = core.start(0.0)
+    for _ in golden["times"]:
+        times.append(repr(float(t)))
+        req, nxt = core.generate_access(t)
+        writes.append(req.is_write)
+        line_addrs.append(req.line_addr)
+        t = nxt
+    assert times == golden["times"]
+    assert writes == golden["writes"]
+    assert line_addrs == golden["line_addrs"]
+
+
+# ----------------------------------------------------------------------
+# the raw-word recipe vs numpy's own bounded-integer implementation
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(10))
+@pytest.mark.parametrize(
+    "spec",
+    [
+        StreamSpec(),  # pow2 everywhere, includes a bound of 1 (channels)
+        StreamSpec(footprint_rows=32),
+        StreamSpec(bank_set=(0, 5, 9, 30)),  # 4-element flat-slot draw
+        StreamSpec(bank_set=(1, 2, 6)),  # non-pow2 bound -> fallback path
+        StreamSpec(footprint_rows=300),  # non-pow2 row span -> fallback
+    ],
+    ids=["default", "small", "banked4", "banked3", "rows300"],
+)
+def test_draw_bounded_matches_generator_integers(seed, spec):
+    """Property promised in the stream module docstring: the fast path
+    is bit-identical to per-call ``Generator.integers``, including the
+    32-bit half-word buffer surviving interleaved full-word draws."""
+    stream = MissAddressStream(ddr2_400(), spec, 1, RngStream(seed, "a"))
+    ref = RngStream(seed, "a").generator
+    bounds = np.asarray(stream._bounds)
+    for i in range(200):
+        assert stream._draw_bounded() == ref.integers(0, bounds).tolist()
+        if i % 3 == 0:  # interleave whole-word draws like row-locality does
+            assert stream._g.random() == ref.random()

@@ -1,0 +1,102 @@
+"""Unit tests for the persistent profiling cache (repro.util.cache)."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.sim.cpu import CoreSpec
+from repro.sim.dram.config import DRAMConfig
+from repro.sim.engine import SimConfig
+from repro.util.cache import SimCache, config_digest
+
+
+class TestConfigDigest:
+    def test_deterministic_for_equal_configs(self):
+        a = config_digest("alone-point", SimConfig(seed=3))
+        b = config_digest("alone-point", SimConfig(seed=3))
+        assert a == b and len(a) == 64
+
+    def test_seed_changes_key(self):
+        assert config_digest(SimConfig(seed=3)) != config_digest(SimConfig(seed=4))
+
+    def test_same_name_different_timing_distinct(self):
+        """The bug the digest fixes: two DRAM configs sharing a name but
+        differing in a timing parameter must not share a cache entry."""
+        fast = DRAMConfig(name="ddr", trcd_cycles=10.0)
+        slow = DRAMConfig(name="ddr", trcd_cycles=20.0)
+        assert config_digest(fast) != config_digest(slow)
+
+    def test_nested_dataclass_fields_reach_the_key(self):
+        base = CoreSpec(name="x", api=0.01, ipc_peak=1.0, mlp=8)
+        tweaked = dataclasses.replace(
+            base, stream=dataclasses.replace(base.stream, row_locality=0.9)
+        )
+        assert config_digest(base) != config_digest(tweaked)
+
+    def test_purpose_tag_distinguishes_uses(self):
+        cfg = SimConfig()
+        assert config_digest("alone-point", cfg) != config_digest("other", cfg)
+
+    def test_unhashable_type_rejected(self):
+        with pytest.raises(TypeError):
+            config_digest(object())
+
+
+class TestSimCache:
+    def test_round_trip(self, tmp_path):
+        cache = SimCache(tmp_path)
+        cache.put("k1", {"apc_alone": 0.004, "ipc_alone": 0.5})
+        assert cache.get("k1") == {"apc_alone": 0.004, "ipc_alone": 0.5}
+
+    def test_missing_key_is_none(self, tmp_path):
+        assert SimCache(tmp_path).get("nope") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = SimCache(tmp_path)
+        cache.put("k", {"v": 1})
+        cache.path_for("k").write_text("{ not json")
+        assert cache.get("k") is None
+
+    def test_non_dict_payload_is_a_miss(self, tmp_path):
+        cache = SimCache(tmp_path)
+        cache.path_for("k").parent.mkdir(parents=True, exist_ok=True)
+        cache.path_for("k").write_text(json.dumps([1, 2]))
+        assert cache.get("k") is None
+
+    def test_put_leaves_no_temp_files(self, tmp_path):
+        cache = SimCache(tmp_path)
+        for i in range(5):
+            cache.put(f"k{i}", {"v": i})
+        leftovers = [p for p in tmp_path.iterdir() if p.suffix != ".json"]
+        assert leftovers == []
+
+    def test_overwrite_is_atomic_replace(self, tmp_path):
+        cache = SimCache(tmp_path)
+        cache.put("k", {"v": 1})
+        cache.put("k", {"v": 2})
+        assert cache.get("k") == {"v": 2}
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_env_opt_out_disables_io(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = SimCache(tmp_path / "never")
+        assert not cache.enabled
+        cache.put("k", {"v": 1})
+        assert cache.get("k") is None
+        assert not (tmp_path / "never").exists()
+
+    def test_env_dir_override(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_CACHE_DIR", str(tmp_path / "diverted"))
+        cache = SimCache()
+        assert cache.directory == tmp_path / "diverted"
+
+    def test_clear_removes_entries(self, tmp_path):
+        cache = SimCache(tmp_path)
+        for i in range(3):
+            cache.put(f"k{i}", {"v": i})
+        assert cache.clear() == 3
+        assert cache.get("k0") is None
+        assert cache.clear() == 0
