@@ -4,7 +4,7 @@ PYTHON ?= python
 BENCH_JSON ?= benchmarks/out/bench_current.json
 
 .PHONY: install test properties benchmarks bench bench-compare bench-baseline \
-	experiments scorecard examples clean
+	experiments scorecard examples serve bench-service clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -33,6 +33,14 @@ bench-compare: bench
 bench-baseline:
 	$(PYTHON) -m pytest benchmarks/test_bench_micro.py --benchmark-only \
 		--benchmark-json=benchmarks/bench_baseline.json
+
+# partitioning-advisor HTTP service (see docs/SERVICE.md)
+serve:
+	$(PYTHON) -m repro.service
+
+# load generator: batched vs unbatched RPS + latency percentiles
+bench-service:
+	$(PYTHON) benchmarks/bench_service.py
 
 experiments:
 	$(PYTHON) -m repro.experiments all

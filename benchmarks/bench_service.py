@@ -1,0 +1,221 @@
+#!/usr/bin/env python
+"""Load generator for repro.service: batched vs unbatched throughput.
+
+Two comparisons, both on the closed-form (``sqrt``) endpoint:
+
+1. **Solve path** -- the naive one-request-one-solve loop (exactly what
+   the server runs with ``--no-batch``) against the micro-batched
+   vectorized kernel (one stacked numpy solve per group).  This isolates
+   the speedup the service's batching exists to capture, without HTTP
+   framing noise.  The acceptance bar is >= 5x.
+
+2. **HTTP path** -- an in-process server on an ephemeral port, hammered
+   by concurrent asyncio clients, once with micro-batching enabled and
+   once without.  Reports RPS and p50/p99 latency for each mode.
+
+Run:
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --requests 2000 --clients 32
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import statistics
+import time
+
+import numpy as np
+
+from repro.service.batching import solve_partition_rows
+from repro.service.client import AsyncServiceClient
+from repro.service.config import ServiceConfig
+from repro.service.protocol import parse_partition_request, partition_response
+from repro.service.server import PartitionService, _solve_one_partition
+
+
+def make_requests(count: int, n_apps: int, seed: int = 7, with_metrics: bool = False):
+    """Distinct parsed sqrt-scheme requests (no two hit the same cache key).
+
+    By default the requests carry no ``api`` vector, so responses skip
+    the (scalar, per-row) metric computation and the comparison isolates
+    the allocation solve itself; ``--with-metrics`` adds it back.
+    """
+    rng = np.random.default_rng(seed)
+    requests = []
+    for _ in range(count):
+        payload = {
+            "scheme": "sqrt",
+            "apc_alone": rng.uniform(1e-4, 0.02, size=n_apps).tolist(),
+            "bandwidth": float(rng.uniform(5e-3, 0.05)),
+        }
+        if with_metrics:
+            payload["api"] = rng.uniform(1e-3, 0.08, size=n_apps).tolist()
+        requests.append(parse_partition_request(payload))
+    return requests
+
+
+def pctl(samples, q):
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    rank = max(0, min(len(ordered) - 1, round(q / 100 * len(ordered)) - 1))
+    return ordered[rank]
+
+
+# ----------------------------------------------------------------------
+# 1. solve path: naive loop vs vectorized micro-batch
+# ----------------------------------------------------------------------
+def bench_solver(requests, batch_size: int):
+    t0 = time.perf_counter()
+    naive = [
+        partition_response(r, _solve_one_partition(r), batch_size=1)
+        for r in requests
+    ]
+    naive_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    batched = []
+    for start in range(0, len(requests), batch_size):
+        chunk = requests[start : start + batch_size]
+        rows = solve_partition_rows(chunk)
+        batched.extend(
+            partition_response(r, row, batch_size=len(chunk))
+            for r, row in zip(chunk, rows)
+        )
+    batched_s = time.perf_counter() - t0
+
+    for a, b in zip(naive, batched):
+        assert a["apc_shared"] == b["apc_shared"], "batched solve diverged"
+
+    count = len(requests)
+    naive_rps = count / naive_s
+    batched_rps = count / batched_s
+    print(f"solve path ({count} sqrt requests, batch={batch_size}):")
+    print(f"  naive one-request-one-solve : {naive_rps:10.0f} solves/s")
+    print(f"  micro-batched vectorized    : {batched_rps:10.0f} solves/s")
+    print(f"  speedup                     : {batched_rps / naive_rps:10.1f}x")
+    return batched_rps / naive_rps
+
+
+# ----------------------------------------------------------------------
+# 2. HTTP path: in-process server, concurrent clients
+# ----------------------------------------------------------------------
+async def drive_http(payloads, clients: int, batching: bool, max_wait_ms: float):
+    config = ServiceConfig(
+        port=0,
+        batching=batching,
+        cache=False,
+        max_wait_ms=max_wait_ms,
+        max_batch_size=256,
+    )
+    service = PartitionService(config)
+    await service.start()
+    latencies: list[float] = []
+    try:
+        shards = [payloads[i::clients] for i in range(clients)]
+
+        async def worker(shard):
+            async with AsyncServiceClient(port=service.port) as client:
+                for payload in shard:
+                    t0 = time.perf_counter()
+                    await client.partition(
+                        payload["apc_alone"],
+                        payload["bandwidth"],
+                        scheme=payload["scheme"],
+                        api=payload.get("api"),
+                    )
+                    latencies.append((time.perf_counter() - t0) * 1e3)
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(worker(s) for s in shards if s))
+        elapsed = time.perf_counter() - t0
+    finally:
+        await service.stop()
+    return len(payloads) / elapsed, latencies
+
+
+async def drive_http_batch_endpoint(payloads, clients: int, chunk: int):
+    """Client-side batching: /v1/partition/batch with ``chunk`` per call."""
+    config = ServiceConfig(port=0, batching=False, cache=False)
+    service = PartitionService(config)
+    await service.start()
+    latencies: list[float] = []
+    try:
+        calls = [payloads[i : i + chunk] for i in range(0, len(payloads), chunk)]
+        shards = [calls[i::clients] for i in range(clients)]
+
+        async def worker(shard):
+            async with AsyncServiceClient(port=service.port) as client:
+                for call in shard:
+                    t0 = time.perf_counter()
+                    await client.partition_batch(call)
+                    latencies.append((time.perf_counter() - t0) * 1e3)
+
+        t0 = time.perf_counter()
+        await asyncio.gather(*(worker(s) for s in shards if s))
+        elapsed = time.perf_counter() - t0
+    finally:
+        await service.stop()
+    return len(payloads) / elapsed, latencies
+
+
+def bench_http(requests, clients: int, max_wait_ms: float, chunk: int):
+    payloads = []
+    for r in requests:
+        payload = {
+            "scheme": r.scheme,
+            "apc_alone": list(r.apc_alone),
+            "bandwidth": r.bandwidth,
+        }
+        if r.api is not None:
+            payload["api"] = list(r.api)
+        payloads.append(payload)
+    print(f"\nhttp path ({len(payloads)} requests, {clients} concurrent clients):")
+    for label, batching in (("unbatched", False), ("micro-batched", True)):
+        rps, lat = asyncio.run(drive_http(payloads, clients, batching, max_wait_ms))
+        print(
+            f"  {label:14s}: {rps:8.0f} req/s   "
+            f"p50 {pctl(lat, 50):6.2f} ms   p99 {pctl(lat, 99):6.2f} ms   "
+            f"mean {statistics.mean(lat):6.2f} ms"
+        )
+    rps, lat = asyncio.run(drive_http_batch_endpoint(payloads, clients, chunk))
+    print(
+        f"  batch endpoint: {rps:8.0f} req/s   "
+        f"p50 {pctl(lat, 50):6.2f} ms/call   p99 {pctl(lat, 99):6.2f} ms/call   "
+        f"({chunk} requests per call)"
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--requests", type=int, default=1024, help="total requests")
+    parser.add_argument("--apps", type=int, default=8, help="apps per request")
+    parser.add_argument("--clients", type=int, default=16, help="concurrent clients")
+    parser.add_argument("--batch", type=int, default=128, help="solver batch size")
+    parser.add_argument(
+        "--max-wait-ms", type=float, default=2.0, help="micro-batch window"
+    )
+    parser.add_argument(
+        "--with-metrics",
+        action="store_true",
+        help="include api vectors so responses compute all four metrics",
+    )
+    parser.add_argument(
+        "--skip-http", action="store_true", help="solver comparison only"
+    )
+    args = parser.parse_args(argv)
+
+    requests = make_requests(args.requests, args.apps, with_metrics=args.with_metrics)
+    speedup = bench_solver(requests, args.batch)
+    if not args.skip_http:
+        bench_http(requests, args.clients, args.max_wait_ms, args.batch)
+    if speedup < 5.0:
+        print(f"\nWARNING: solve-path speedup {speedup:.1f}x below the 5x target")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -17,6 +17,20 @@ from repro.core.bandwidth import (
     greedy_allocation,
     normalize_shares,
 )
+from repro.core.batch import (
+    BATCH_SCHEMES,
+    BatchKnapsackSolution,
+    batch_allocate,
+    batch_capped_allocation,
+    batch_greedy_allocation,
+    batch_hsp_proportional,
+    batch_hsp_square_root,
+    batch_power_allocation,
+    batch_qos_plan,
+    batch_solve_fractional_knapsack,
+    batch_wsp_proportional,
+    batch_wsp_square_root,
+)
 from repro.core.closed_form import (
     cauchy_dominance_holds,
     hsp_proportional,
@@ -73,6 +87,18 @@ __all__ = [
     "capped_allocation",
     "greedy_allocation",
     "normalize_shares",
+    "BATCH_SCHEMES",
+    "BatchKnapsackSolution",
+    "batch_allocate",
+    "batch_capped_allocation",
+    "batch_greedy_allocation",
+    "batch_hsp_proportional",
+    "batch_hsp_square_root",
+    "batch_power_allocation",
+    "batch_qos_plan",
+    "batch_solve_fractional_knapsack",
+    "batch_wsp_proportional",
+    "batch_wsp_square_root",
     "cauchy_dominance_holds",
     "hsp_proportional",
     "hsp_square_root",

@@ -1,0 +1,486 @@
+"""Vectorized batch solvers over stacks of partitioning problems.
+
+The scalar API in :mod:`repro.core` answers one question at a time:
+given a workload (``APC_alone`` / ``API`` vectors) and a bandwidth
+``B``, what is the allocation under scheme X?  A serving system
+(:mod:`repro.service`) receives many such questions concurrently and
+wants to answer them in one numpy pass.  This module provides the
+batch counterparts, operating on stacked ``(n_requests, n_apps)``
+arrays with a per-request bandwidth vector ``(n_requests,)``.
+
+Float identity
+--------------
+Every batch kernel performs, row by row, *exactly the same floating
+point operations in the same order* as its scalar counterpart
+(:func:`repro.core.bandwidth.capped_allocation`,
+:func:`repro.core.bandwidth.greedy_allocation`,
+:func:`repro.core.knapsack.solve_fractional_knapsack`, the closed
+forms of :mod:`repro.core.closed_form`).  Iteration is over *rounds*
+or *priority positions* (bounded by ``n_apps``), vectorized across
+requests, so the per-row arithmetic sequence is unchanged.  The
+service relies on this: a micro-batched solve must be bit-identical to
+the single-request solve it replaces, and ``tests/service/
+test_batch_identity.py`` asserts exact equality.
+
+The exception is :func:`batch_qos_plan`: the scalar
+:class:`~repro.core.qos.QoSPartitioner` re-packs the best-effort apps
+into a dense sub-workload while the batch kernel masks them in place,
+which can reassociate numpy's pairwise summations; agreement there is
+to ~1 ulp, not bit-exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "as_request_matrix",
+    "batch_capped_allocation",
+    "batch_greedy_allocation",
+    "batch_power_allocation",
+    "batch_priority_order",
+    "batch_allocate",
+    "BatchKnapsackSolution",
+    "batch_solve_fractional_knapsack",
+    "batch_hsp_square_root",
+    "batch_wsp_square_root",
+    "batch_hsp_proportional",
+    "batch_wsp_proportional",
+    "batch_qos_plan",
+    "BATCH_SCHEMES",
+]
+
+#: scheme-name -> power-family exponent for the share-based schemes
+_POWER_ALPHA = {
+    "equal": 0.0,
+    "sqrt": 0.5,
+    "twothirds": 2.0 / 3.0,
+    "prop": 1.0,
+    "nopart": 1.3,
+}
+
+#: scheme names accepted by :func:`batch_allocate`
+BATCH_SCHEMES: tuple[str, ...] = (
+    "equal",
+    "prop",
+    "sqrt",
+    "twothirds",
+    "prio_apc",
+    "prio_api",
+    "nopart",
+)
+
+
+def as_request_matrix(name: str, arr) -> np.ndarray:
+    """Validate/convert to a finite, non-empty ``(n_requests, n_apps)`` float array."""
+    a = np.asarray(arr, dtype=float)
+    if a.ndim == 1:
+        a = a[None, :]
+    if a.ndim != 2 or a.shape[0] == 0 or a.shape[1] == 0:
+        raise ConfigurationError(
+            f"{name} must be a non-empty (n_requests, n_apps) array, got shape {a.shape}"
+        )
+    if not np.all(np.isfinite(a)):
+        raise ConfigurationError(f"{name} must be finite")
+    return a
+
+
+def _as_budget_vector(name: str, b, n_requests: int) -> np.ndarray:
+    vec = np.asarray(b, dtype=float)
+    if vec.ndim == 0:
+        vec = np.full(n_requests, float(vec))
+    if vec.shape != (n_requests,):
+        raise ConfigurationError(
+            f"{name} must be scalar or shape ({n_requests},), got {vec.shape}"
+        )
+    if not np.all(np.isfinite(vec)):
+        raise ConfigurationError(f"{name} must be finite")
+    return vec.copy()
+
+
+# ----------------------------------------------------------------------
+# share-based schemes: capped water-filling
+# ----------------------------------------------------------------------
+def batch_capped_allocation(
+    beta: np.ndarray,
+    total_bandwidth,
+    apc_alone: np.ndarray,
+    *,
+    work_conserving: bool = True,
+) -> np.ndarray:
+    """Row-wise :func:`repro.core.bandwidth.capped_allocation`.
+
+    ``beta`` and ``apc_alone`` are ``(k, n)``; ``total_bandwidth`` is a
+    scalar or ``(k,)`` vector.  Returns the ``(k, n)`` APC allocations.
+    """
+    beta = as_request_matrix("beta", beta)
+    demand = as_request_matrix("apc_alone", apc_alone)
+    if beta.shape != demand.shape:
+        raise ConfigurationError(
+            f"beta and apc_alone shape mismatch: {beta.shape} vs {demand.shape}"
+        )
+    k, n = beta.shape
+    budget = _as_budget_vector("total_bandwidth", total_bandwidth, k)
+    if np.any(budget <= 0):
+        raise ConfigurationError("total_bandwidth must be > 0 for every request")
+    row_sums = beta.sum(axis=1)
+    if not np.allclose(row_sums, 1.0, atol=1e-9):
+        raise ConfigurationError("each beta row must sum to 1")
+
+    if not work_conserving:
+        return np.minimum(beta * budget[:, None], demand)
+
+    alloc = np.zeros_like(demand)
+    remaining = budget
+    active = beta > 0
+    # Rows whose scalar loop would have exited keep this mask set so no
+    # further round mutates them (freezing preserves bit-identity).
+    done = np.zeros(k, dtype=bool)
+    for _ in range(n):
+        done |= (remaining <= 1e-15) | ~active.any(axis=1)
+        if done.all():
+            break
+        weights = np.where(active, beta, 0.0)
+        total_w = weights.sum(axis=1)
+        done |= total_w <= 0
+        if done.all():
+            break
+        safe_w = np.where(total_w > 0, total_w, 1.0)
+        slice_ = remaining[:, None] * weights / safe_w[:, None]
+        take = np.minimum(slice_, demand - alloc)
+        take[done] = 0.0
+        alloc += take
+        remaining = remaining - take.sum(axis=1)
+        newly_capped = active & (demand - alloc <= 1e-15)
+        done |= ~newly_capped.any(axis=1)
+        active &= ~newly_capped
+    return alloc
+
+
+def batch_power_allocation(
+    apc_alone: np.ndarray,
+    total_bandwidth,
+    alpha: float,
+    *,
+    work_conserving: bool = True,
+) -> np.ndarray:
+    """Row-wise power-family allocation ``beta_i ~ APC_alone,i ** alpha``.
+
+    Covers Equal (0), Square_root (0.5), 2/3_power (2/3), Proportional
+    (1) and the No_partitioning stand-in (gamma > 1).
+    """
+    if not np.isfinite(alpha):
+        raise ConfigurationError(f"alpha must be finite, got {alpha!r}")
+    a = as_request_matrix("apc_alone", apc_alone)
+    w = a**alpha
+    if np.any(w < 0) or not np.all(np.isfinite(w)):
+        raise ConfigurationError("power weights must be finite and >= 0")
+    totals = w.sum(axis=1)
+    if np.any(totals <= 0):
+        raise ConfigurationError("share weights must not all be zero")
+    beta = w / totals[:, None]
+    return batch_capped_allocation(
+        beta, total_bandwidth, a, work_conserving=work_conserving
+    )
+
+
+# ----------------------------------------------------------------------
+# priority schemes: greedy fill
+# ----------------------------------------------------------------------
+def batch_priority_order(scheme: str, apc_alone: np.ndarray, api: np.ndarray | None):
+    """Per-row priority order for ``prio_apc`` / ``prio_api``."""
+    if scheme == "prio_apc":
+        return np.argsort(as_request_matrix("apc_alone", apc_alone), axis=1, kind="stable")
+    if scheme == "prio_api":
+        if api is None:
+            raise ConfigurationError("prio_api needs the api matrix")
+        return np.argsort(as_request_matrix("api", api), axis=1, kind="stable")
+    raise ConfigurationError(f"not a priority scheme: {scheme!r}")
+
+
+def batch_greedy_allocation(
+    order: np.ndarray,
+    total_bandwidth,
+    apc_alone: np.ndarray,
+) -> np.ndarray:
+    """Row-wise :func:`repro.core.bandwidth.greedy_allocation`.
+
+    ``order`` is ``(k, n)`` app indices per request, highest priority
+    first; the fill walks priority positions, vectorized over requests,
+    so each row sees the scalar op sequence exactly.
+    """
+    demand = as_request_matrix("apc_alone", apc_alone)
+    k, n = demand.shape
+    order = np.asarray(order, dtype=int)
+    if order.shape != (k, n):
+        raise ConfigurationError(
+            f"order must have shape {(k, n)}, got {order.shape}"
+        )
+    budget = _as_budget_vector("total_bandwidth", total_bandwidth, k)
+    if np.any(budget <= 0):
+        raise ConfigurationError("total_bandwidth must be > 0 for every request")
+    alloc = np.zeros_like(demand)
+    remaining = budget
+    rows = np.arange(k)
+    for j in range(n):
+        idx = order[:, j]
+        take = np.minimum(remaining, demand[rows, idx])
+        alloc[rows, idx] = take
+        remaining = remaining - take
+    return alloc
+
+
+def batch_allocate(
+    scheme: str,
+    apc_alone: np.ndarray,
+    total_bandwidth,
+    *,
+    api: np.ndarray | None = None,
+    work_conserving: bool = True,
+) -> np.ndarray:
+    """Dispatch a stacked allocation solve to the right batch kernel.
+
+    Row ``i`` of the result equals
+    ``scheme_by_name(scheme).allocate(workload_i, B_i)`` bit-for-bit.
+    """
+    apc_alone = as_request_matrix("apc_alone", apc_alone)
+    if not np.all(apc_alone > 0):
+        # mirror AppProfile's validation: a zero APC_alone app would
+        # produce infinite power-family weights downstream
+        raise ConfigurationError("apc_alone must be > 0")
+    if scheme in _POWER_ALPHA:
+        return batch_power_allocation(
+            apc_alone,
+            total_bandwidth,
+            _POWER_ALPHA[scheme],
+            work_conserving=work_conserving,
+        )
+    if scheme in ("prio_apc", "prio_api"):
+        order = batch_priority_order(scheme, apc_alone, api)
+        return batch_greedy_allocation(order, total_bandwidth, apc_alone)
+    raise ConfigurationError(
+        f"unknown scheme {scheme!r}; available: {sorted(BATCH_SCHEMES)}"
+    )
+
+
+# ----------------------------------------------------------------------
+# fractional knapsack
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class BatchKnapsackSolution:
+    """Stacked result of :func:`batch_solve_fractional_knapsack`."""
+
+    #: per-request per-item quantities, shape (k, n)
+    quantities: np.ndarray
+    #: per-request objective values ``sum_i v_i q_i``, shape (k,)
+    objective: np.ndarray
+    #: per-request fill order (highest density first), shape (k, n)
+    fill_order: np.ndarray
+    #: per-request index of the partially filled item, -1 if none, shape (k,)
+    split_item: np.ndarray
+
+    @property
+    def used_capacity(self) -> np.ndarray:
+        return self.quantities.sum(axis=1)
+
+
+def batch_solve_fractional_knapsack(
+    values: np.ndarray,
+    capacities: np.ndarray,
+    budgets,
+) -> BatchKnapsackSolution:
+    """Row-wise :func:`repro.core.knapsack.solve_fractional_knapsack`.
+
+    Quantities match the scalar solver bit-for-bit (same greedy walk);
+    the stacked ``objective`` is an elementwise-product row sum, which
+    can differ from the scalar solver's BLAS ``np.dot`` by ~1 ulp.
+    """
+    v = as_request_matrix("values", values)
+    cap = as_request_matrix("capacities", capacities)
+    if v.shape != cap.shape:
+        raise ConfigurationError(
+            f"values/capacities shape mismatch: {v.shape} vs {cap.shape}"
+        )
+    if np.any(cap < 0):
+        raise ConfigurationError("capacities must be >= 0")
+    k, n = v.shape
+    budget = _as_budget_vector("budgets", budgets, k)
+    if np.any(budget < 0):
+        raise ConfigurationError("budgets must be >= 0")
+
+    order = np.argsort(-v, axis=1, kind="stable")
+    q = np.zeros_like(cap)
+    remaining = budget
+    split = np.full(k, -1, dtype=int)
+    rows = np.arange(k)
+    for j in range(n):
+        idx = order[:, j]
+        item_cap = cap[rows, idx]
+        take = np.minimum(remaining, item_cap)
+        q[rows, idx] = take
+        # A partial fill (possible only while budget remains) drains the
+        # row's budget to exactly zero, so later positions take nothing;
+        # only the split bookkeeping needs the explicit mask.
+        partial = (remaining > 0) & (take < item_cap) & (split == -1)
+        split[partial] = idx[partial]
+        remaining = remaining - take
+    return BatchKnapsackSolution(
+        quantities=q,
+        objective=(v * q).sum(axis=1),
+        fill_order=order,
+        split_item=split,
+    )
+
+
+# ----------------------------------------------------------------------
+# closed forms (paper Eqs. 4, 6, 8), stacked
+# ----------------------------------------------------------------------
+def batch_hsp_square_root(apc_alone: np.ndarray, total_bandwidth) -> np.ndarray:
+    """Eq. (4) per row: ``N * B / (sum_i sqrt(a_i))^2``."""
+    a = as_request_matrix("apc_alone", apc_alone)
+    b = _as_budget_vector("total_bandwidth", total_bandwidth, a.shape[0])
+    s = np.sqrt(a).sum(axis=1)
+    return a.shape[1] * b / (s * s)
+
+
+def batch_wsp_square_root(apc_alone: np.ndarray, total_bandwidth) -> np.ndarray:
+    """Self-consistent Eq. (6) per row (see :mod:`repro.core.closed_form`)."""
+    a = as_request_matrix("apc_alone", apc_alone)
+    b = _as_budget_vector("total_bandwidth", total_bandwidth, a.shape[0])
+    return (
+        b
+        / a.shape[1]
+        * np.sum(1.0 / np.sqrt(a), axis=1)
+        / np.sum(np.sqrt(a), axis=1)
+    )
+
+
+def batch_hsp_proportional(apc_alone: np.ndarray, total_bandwidth) -> np.ndarray:
+    """Eq. (8) per row: ``B / sum_i a_i``."""
+    a = as_request_matrix("apc_alone", apc_alone)
+    b = _as_budget_vector("total_bandwidth", total_bandwidth, a.shape[0])
+    return b / a.sum(axis=1)
+
+
+def batch_wsp_proportional(apc_alone: np.ndarray, total_bandwidth) -> np.ndarray:
+    """Eq. (8) per row (Wsp equals Hsp under Proportional)."""
+    return batch_hsp_proportional(apc_alone, total_bandwidth)
+
+
+# ----------------------------------------------------------------------
+# QoS plans (paper Sec. III-G), stacked
+# ----------------------------------------------------------------------
+def batch_qos_plan(
+    apc_alone: np.ndarray,
+    api: np.ndarray,
+    ipc_targets: np.ndarray,
+    total_bandwidth,
+    *,
+    objective: str = "wsp",
+) -> dict:
+    """Stacked QoS-guaranteed partitioning.
+
+    Parameters
+    ----------
+    apc_alone, api:
+        ``(k, n)`` workload matrices.
+    ipc_targets:
+        ``(k, n)`` matrix of IPC guarantees; NaN marks best-effort apps.
+    total_bandwidth:
+        Scalar or ``(k,)`` bandwidth per request.
+    objective:
+        Best-effort objective: ``hsp`` (Square_root), ``minf``
+        (Proportional), ``wsp`` (Priority_APC knapsack) or ``ipcsum``
+        (Priority_API knapsack).
+
+    Returns a dict of stacked arrays: ``apc_shared`` (k, n), ``b_qos``
+    (k,), ``b_best_effort`` (k,), and boolean masks ``feasible`` (k,)
+    and ``qos_mask`` (k, n).  Infeasible rows (a target above the app's
+    standalone IPC, or reservations exceeding B) get a zero allocation
+    and ``feasible=False`` instead of raising, so one bad request never
+    poisons a batch.
+    """
+    a = as_request_matrix("apc_alone", apc_alone)
+    p = as_request_matrix("api", api)
+    if a.shape != p.shape:
+        raise ConfigurationError(
+            f"apc_alone/api shape mismatch: {a.shape} vs {p.shape}"
+        )
+    t = np.asarray(ipc_targets, dtype=float)
+    if t.ndim == 1:
+        t = t[None, :]
+    if t.shape != a.shape:
+        raise ConfigurationError(
+            f"ipc_targets must have shape {a.shape}, got {t.shape}"
+        )
+    if np.any(a <= 0) or np.any(p <= 0):
+        raise ConfigurationError("apc_alone and api must be positive")
+    k, n = a.shape
+    budget = _as_budget_vector("total_bandwidth", total_bandwidth, k)
+    if np.any(budget <= 0):
+        raise ConfigurationError("total_bandwidth must be > 0 for every request")
+    if objective not in ("hsp", "minf", "wsp", "ipcsum"):
+        raise ConfigurationError(
+            f"unknown best-effort objective {objective!r}; "
+            "available: ['hsp', 'ipcsum', 'minf', 'wsp']"
+        )
+
+    qos_mask = ~np.isnan(t)
+    if not qos_mask.any():
+        raise ConfigurationError("each QoS request needs at least one target")
+    targets = np.where(qos_mask, t, 0.0)
+    if np.any(targets < 0) or not np.all(np.isfinite(targets)):
+        raise ConfigurationError("ipc_targets must be finite and >= 0")
+    ipc_alone = a / p
+
+    # B_QoS,i = IPC_target,i * API_i (Sec. III-G); Eq. (11) remainder.
+    reservations = np.where(qos_mask, targets * p, 0.0)
+    b_qos = reservations.sum(axis=1)
+    b_be = budget - b_qos
+    feasible = (b_be >= -1e-12) & ~np.any(
+        qos_mask & (targets > ipc_alone + 1e-12), axis=1
+    ) & qos_mask.any(axis=1)
+    b_be = np.maximum(b_be, 0.0)
+
+    be_mask = ~qos_mask
+    apc = reservations.copy()
+    has_be = be_mask.any(axis=1) & (b_be > 0) & feasible
+    if has_be.any():
+        # Mask QoS apps out of the best-effort solve in place: zero
+        # weight/capacity means they receive nothing extra.
+        be_a = np.where(be_mask, a, 0.0)
+        n_be = be_mask.sum(axis=1)
+        if objective in ("hsp", "minf"):
+            alpha = 0.5 if objective == "hsp" else 1.0
+            w = np.where(be_mask, a**alpha, 0.0)
+            beta = w / np.where(has_be, w.sum(axis=1), 1.0)[:, None]
+            rows = np.where(has_be)[0]
+            apc_be = batch_capped_allocation(
+                beta[rows], b_be[rows], be_a[rows]
+            )
+        else:
+            # Masked (QoS) items get value 0 and capacity 0: wherever the
+            # greedy walk places them, they take nothing.
+            if objective == "wsp":
+                v = np.where(be_mask, 1.0 / (np.maximum(n_be, 1)[:, None] * a), 0.0)
+            else:  # ipcsum
+                v = np.where(be_mask, 1.0 / p, 0.0)
+            rows = np.where(has_be)[0]
+            apc_be = batch_solve_fractional_knapsack(
+                v[rows], be_a[rows], b_be[rows]
+            ).quantities
+        apc[rows] = np.where(be_mask[rows], apc_be, apc[rows])
+
+    apc[~feasible] = 0.0
+    return {
+        "apc_shared": apc,
+        "b_qos": b_qos,
+        "b_best_effort": b_be,
+        "feasible": feasible,
+        "qos_mask": qos_mask,
+        "objective": objective,
+    }

@@ -47,7 +47,10 @@ __all__ = [
 def hsp_square_root(workload: Workload, total_bandwidth: float) -> float:
     """Eq. (4): the maximum harmonic weighted speedup."""
     s = np.sqrt(workload.apc_alone).sum()
-    return float(workload.n * total_bandwidth / s**2)
+    # s * s, not s**2: scalar np.float64.__pow__ routes through libm pow
+    # and can be 1 ulp off the exact product, which would break bit
+    # identity with the vectorized batch kernel (repro.core.batch).
+    return float(workload.n * total_bandwidth / (s * s))
 
 
 def wsp_square_root(workload: Workload, total_bandwidth: float) -> float:

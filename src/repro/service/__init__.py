@@ -1,0 +1,36 @@
+"""Online partitioning-advisor service (``python -m repro.service``).
+
+Serves the paper's optimal bandwidth-partitioning schemes over
+HTTP/JSON at high request rates by micro-batching concurrent solves
+into vectorized :mod:`repro.core.batch` kernels.  See
+``docs/SERVICE.md`` for the protocol and tuning guide.
+"""
+
+from repro.service.batching import MicroBatcher
+from repro.service.cache import ResultCache
+from repro.service.client import AsyncServiceClient, ServiceClient, ServiceError
+from repro.service.config import ServiceConfig
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PartitionRequest,
+    QoSRequest,
+    parse_partition_request,
+    parse_qos_request,
+)
+from repro.service.server import PartitionService, serve
+
+__all__ = [
+    "AsyncServiceClient",
+    "MicroBatcher",
+    "PartitionRequest",
+    "PartitionService",
+    "QoSRequest",
+    "ResultCache",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "parse_partition_request",
+    "parse_qos_request",
+    "serve",
+]

@@ -1,0 +1,84 @@
+"""CLI entry point: ``python -m repro.service`` / ``repro-serve``."""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import contextlib
+import signal
+import sys
+
+from repro.service.config import ServiceConfig
+from repro.service.server import PartitionService
+
+
+def build_parser() -> argparse.ArgumentParser:
+    defaults = ServiceConfig()
+    parser = argparse.ArgumentParser(
+        prog="repro-serve",
+        description="Serve the bandwidth-partitioning advisor over HTTP/JSON.",
+    )
+    parser.add_argument("--host", default=defaults.host)
+    parser.add_argument("--port", type=int, default=defaults.port,
+                        help="listen port (0 picks a free one)")
+    parser.add_argument("--max-batch", type=int, default=defaults.max_batch_size,
+                        help="max solves coalesced into one vectorized pass")
+    parser.add_argument("--max-wait-ms", type=float, default=defaults.max_wait_ms,
+                        help="max time the first request waits for companions")
+    parser.add_argument("--no-batch", action="store_true",
+                        help="solve each request individually (baseline mode)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the content-addressed result cache")
+    parser.add_argument("--disk-cache", action="store_true",
+                        help="persist cached results via repro.util.cache")
+    parser.add_argument("--timeout", type=float, default=defaults.request_timeout_s,
+                        help="per-request wall-clock budget in seconds")
+    return parser
+
+
+def config_from_args(args: argparse.Namespace) -> ServiceConfig:
+    return ServiceConfig(
+        host=args.host,
+        port=args.port,
+        max_batch_size=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        batching=not args.no_batch,
+        cache=not args.no_cache,
+        disk_cache=args.disk_cache,
+        request_timeout_s=args.timeout,
+    )
+
+
+async def _run(config: ServiceConfig) -> None:
+    service = PartitionService(config)
+    await service.start()
+    stop = asyncio.Event()
+    loop = asyncio.get_running_loop()
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        with contextlib.suppress(NotImplementedError, RuntimeError):
+            loop.add_signal_handler(sig, stop.set)
+    mode = "micro-batched" if config.batching else "unbatched"
+    print(
+        f"repro-serve listening on http://{config.host}:{service.port} "
+        f"({mode}, max_batch={config.max_batch_size}, "
+        f"max_wait={config.max_wait_ms}ms)",
+        flush=True,
+    )
+    try:
+        await stop.wait()
+    finally:
+        print("repro-serve: draining and shutting down", flush=True)
+        await service.stop()
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        asyncio.run(_run(config_from_args(args)))
+    except KeyboardInterrupt:
+        pass
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

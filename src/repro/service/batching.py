@@ -1,0 +1,179 @@
+"""Micro-batching: coalesce concurrent solves into one vectorized pass.
+
+Requests arriving while a solve window is open are queued; the
+collector drains the queue until either ``max_batch_size`` requests
+are gathered or ``max_wait_ms`` has elapsed since the first one, then
+groups compatible requests (same scheme, app count and flags), stacks
+their arrays into ``(batch, n_apps)`` matrices and runs one
+:mod:`repro.core.batch` kernel per group.  Each waiter's future
+resolves to its own row, which is bit-identical to what the scalar
+solver would have produced (see ``repro/core/batch.py``).
+
+Under light load the window closes immediately after the lone request
+(the queue is empty), so the added latency is bounded by
+``max_wait_ms`` and only ever paid when there is company to wait for.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.batch import batch_allocate, batch_qos_plan
+from repro.service.protocol import PartitionRequest, QoSRequest
+
+__all__ = ["MicroBatcher", "solve_partition_rows", "solve_qos_rows"]
+
+
+def solve_partition_rows(requests: list[PartitionRequest]) -> list[np.ndarray]:
+    """Solve a group of compatible partition requests in one pass."""
+    first = requests[0]
+    apc_alone = np.array([r.apc_alone for r in requests], dtype=float)
+    bandwidth = np.array([r.bandwidth for r in requests], dtype=float)
+    api = None
+    if first.scheme == "prio_api":
+        api = np.array([r.api for r in requests], dtype=float)
+    alloc = batch_allocate(
+        first.scheme,
+        apc_alone,
+        bandwidth,
+        api=api,
+        work_conserving=first.work_conserving,
+    )
+    return [alloc[i] for i in range(len(requests))]
+
+
+def solve_qos_rows(requests: list[QoSRequest]) -> list[dict]:
+    """Solve a group of compatible QoS requests in one pass."""
+    first = requests[0]
+    plan = batch_qos_plan(
+        np.array([r.apc_alone for r in requests], dtype=float),
+        np.array([r.api for r in requests], dtype=float),
+        np.array([r.ipc_targets for r in requests], dtype=float),
+        np.array([r.bandwidth for r in requests], dtype=float),
+        objective=first.objective,
+    )
+    return [
+        {
+            "apc_shared": plan["apc_shared"][i],
+            "b_qos": plan["b_qos"][i],
+            "b_best_effort": plan["b_best_effort"][i],
+            "feasible": bool(plan["feasible"][i]),
+            "qos_mask": plan["qos_mask"][i],
+        }
+        for i in range(len(requests))
+    ]
+
+
+@dataclass
+class _Pending:
+    request: PartitionRequest | QoSRequest
+    future: asyncio.Future = field(repr=False)
+
+
+class MicroBatcher:
+    """Queue + collector task turning concurrent submits into batches."""
+
+    def __init__(
+        self,
+        *,
+        max_batch_size: int = 64,
+        max_wait_ms: float = 2.0,
+        on_batch=None,
+    ) -> None:
+        self.max_batch_size = max_batch_size
+        self.max_wait_s = max_wait_ms / 1000.0
+        self._on_batch = on_batch
+        self._queue: asyncio.Queue[_Pending] | None = None
+        self._task: asyncio.Task | None = None
+
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        if self._task is not None:
+            return
+        self._queue = asyncio.Queue()
+        self._task = asyncio.create_task(self._collect(), name="micro-batcher")
+
+    async def stop(self) -> None:
+        """Cancel the collector and fail any requests still queued."""
+        if self._task is None:
+            return
+        self._task.cancel()
+        try:
+            await self._task
+        except asyncio.CancelledError:
+            pass
+        self._task = None
+        while self._queue is not None and not self._queue.empty():
+            pending = self._queue.get_nowait()
+            if not pending.future.done():
+                pending.future.set_exception(
+                    ConnectionError("service shutting down")
+                )
+        self._queue = None
+
+    @property
+    def running(self) -> bool:
+        return self._task is not None and not self._task.done()
+
+    # ------------------------------------------------------------------
+    async def submit(self, request: PartitionRequest | QoSRequest):
+        """Enqueue one request; resolves to its row of the batch solve."""
+        if self._queue is None:
+            raise RuntimeError("MicroBatcher is not running (call start())")
+        future = asyncio.get_running_loop().create_future()
+        self._queue.put_nowait(_Pending(request, future))
+        return await future
+
+    # ------------------------------------------------------------------
+    async def _collect(self) -> None:
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            batch = [await self._queue.get()]
+            deadline = loop.time() + self.max_wait_s
+            while len(batch) < self.max_batch_size:
+                # Fast path: drain whatever is already queued without
+                # yielding; only sleep out the window when the queue is
+                # empty and the batch still has room.
+                try:
+                    batch.append(self._queue.get_nowait())
+                    continue
+                except asyncio.QueueEmpty:
+                    pass
+                remaining = deadline - loop.time()
+                if remaining <= 0:
+                    break
+                try:
+                    batch.append(
+                        await asyncio.wait_for(self._queue.get(), remaining)
+                    )
+                except asyncio.TimeoutError:
+                    break
+            self._solve_batch(batch)
+
+    def _solve_batch(self, batch: list[_Pending]) -> None:
+        # Drop waiters that gave up (per-request timeout, lost client).
+        live = [p for p in batch if not p.future.done()]
+        if self._on_batch is not None and live:
+            self._on_batch(len(live))
+        groups: dict[tuple, list[_Pending]] = {}
+        for pending in live:
+            groups.setdefault(pending.request.group_key, []).append(pending)
+        for key, members in groups.items():
+            requests = [p.request for p in members]
+            try:
+                if key[0] == "partition":
+                    rows = solve_partition_rows(requests)
+                else:
+                    rows = solve_qos_rows(requests)
+            except Exception as exc:  # surface to every waiter, keep serving
+                for p in members:
+                    if not p.future.done():
+                        p.future.set_exception(exc)
+                continue
+            for p, row in zip(members, rows):
+                if not p.future.done():
+                    p.future.set_result((row, len(members)))

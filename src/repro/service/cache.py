@@ -1,0 +1,77 @@
+"""Content-addressed result cache for solved requests.
+
+Two layers: a bounded in-memory LRU (always on when caching is
+enabled) and an optional persistent layer backed by
+:class:`repro.util.cache.SimCache`, sharing its directory conventions
+(``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``) under a ``service/``
+subdirectory.  Keys are :func:`repro.util.cache.config_digest` hashes
+of the canonical request, so two requests that mean the same thing hit
+the same entry regardless of field order.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+from repro.util.cache import CacheStats, SimCache
+
+__all__ = ["ResultCache", "default_disk_cache"]
+
+
+def default_disk_cache() -> SimCache:
+    """A SimCache under ``<cache-dir>/service`` (shares env overrides)."""
+    return SimCache(SimCache().directory / "service")
+
+
+class ResultCache:
+    """LRU of request-digest -> response dict, with optional disk layer.
+
+    Stored values are the cache-independent part of a response body
+    (no ``cached``/``batch_size`` envelope fields); callers re-wrap on
+    the way out.
+    """
+
+    def __init__(self, capacity: int = 4096, disk: SimCache | None = None) -> None:
+        if capacity <= 0:
+            raise ValueError(f"capacity must be > 0, got {capacity}")
+        self.capacity = capacity
+        self.disk = disk
+        self.stats = CacheStats()
+        self._entries: OrderedDict[str, dict] = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: str) -> dict | None:
+        value = self._entries.get(key)
+        if value is not None:
+            self._entries.move_to_end(key)
+            self.stats.hits += 1
+            return value
+        if self.disk is not None:
+            value = self.disk.get(key)
+            if value is not None:
+                # promote so the next lookup is a memory hit
+                self._store(key, value)
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def put(self, key: str, value: dict) -> None:
+        self._store(key, value)
+        self.stats.puts += 1
+        if self.disk is not None:
+            self.disk.put(key, value)
+
+    def _store(self, key: str, value: dict) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+
+    def snapshot(self) -> dict:
+        out = dict(self.stats.as_dict(), size=len(self), capacity=self.capacity)
+        if self.disk is not None:
+            out["disk"] = self.disk.cache_stats()
+        return out

@@ -1,0 +1,265 @@
+"""Client library for the partitioning-advisor service.
+
+Two flavours over the same JSON protocol:
+
+* :class:`ServiceClient` -- blocking, built on ``http.client``, for
+  scripts and notebooks.
+* :class:`AsyncServiceClient` -- asyncio streams with keep-alive, one
+  in-flight request per client (open several for concurrency, as the
+  load generator does).
+
+Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
+and the server's structured error type/message.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import http.client
+import json
+
+from repro.util.errors import ReproError
+
+__all__ = ["ServiceError", "ServiceClient", "AsyncServiceClient"]
+
+
+class ServiceError(ReproError):
+    """A non-2xx response from the advisor service."""
+
+    def __init__(self, status: int, error_type: str, message: str) -> None:
+        super().__init__(f"[{status} {error_type}] {message}")
+        self.status = status
+        self.error_type = error_type
+
+    @classmethod
+    def from_response(cls, status: int, payload) -> "ServiceError":
+        if isinstance(payload, dict) and isinstance(payload.get("error"), dict):
+            err = payload["error"]
+            return cls(status, str(err.get("type", "Error")), str(err.get("message", "")))
+        return cls(status, "Error", str(payload))
+
+
+def _partition_payload(apc_alone, bandwidth, scheme, api, metrics, work_conserving):
+    payload = {
+        "scheme": scheme,
+        "apc_alone": list(apc_alone),
+        "bandwidth": float(bandwidth),
+    }
+    if api is not None:
+        payload["api"] = list(api)
+    if metrics is not None:
+        payload["metrics"] = list(metrics)
+    if not work_conserving:
+        payload["work_conserving"] = False
+    return payload
+
+
+def _qos_payload(apc_alone, api, bandwidth, targets, objective):
+    return {
+        "apc_alone": list(apc_alone),
+        "api": list(api),
+        "bandwidth": float(bandwidth),
+        "targets": [
+            {"app": int(app), "ipc_target": float(ipc)} for app, ipc in targets
+        ],
+        "objective": objective,
+    }
+
+
+class ServiceClient:
+    """Blocking keep-alive client (one TCP connection, serial requests)."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8737, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._conn: http.client.HTTPConnection | None = None
+
+    # ------------------------------------------------------------------
+    def _request(self, method: str, path: str, payload=None):
+        body = json.dumps(payload).encode("utf-8") if payload is not None else None
+        headers = {"Content-Type": "application/json"} if body else {}
+        for attempt in (0, 1):
+            if self._conn is None:
+                self._conn = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._conn.request(method, path, body=body, headers=headers)
+                response = self._conn.getresponse()
+                raw = response.read()
+                break
+            except (http.client.HTTPException, ConnectionError, OSError):
+                # a keep-alive connection the server already closed;
+                # reconnect once before giving up
+                self.close()
+                if attempt:
+                    raise
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        if response.status >= 400:
+            raise ServiceError.from_response(response.status, data)
+        return data
+
+    # ------------------------------------------------------------------
+    def partition(
+        self,
+        apc_alone,
+        bandwidth,
+        *,
+        scheme: str = "sqrt",
+        api=None,
+        metrics=None,
+        work_conserving: bool = True,
+    ) -> dict:
+        """Solve one partitioning problem; returns the response body."""
+        return self._request(
+            "POST",
+            "/v1/partition",
+            _partition_payload(apc_alone, bandwidth, scheme, api, metrics, work_conserving),
+        )
+
+    def partition_batch(self, requests: list[dict]) -> list[dict]:
+        """Solve many problems in one call; returns the result list."""
+        return self._request("POST", "/v1/partition/batch", {"requests": requests})[
+            "results"
+        ]
+
+    def qos(self, apc_alone, api, bandwidth, targets, *, objective: str = "wsp") -> dict:
+        """Plan a QoS-guaranteed partition.
+
+        ``targets`` is an iterable of ``(app_index, ipc_target)`` pairs.
+        """
+        return self._request(
+            "POST", "/v1/qos", _qos_payload(apc_alone, api, bandwidth, targets, objective)
+        )
+
+    def healthz(self) -> dict:
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        return self._request("GET", "/metrics")
+
+    def close(self) -> None:
+        if self._conn is not None:
+            try:
+                self._conn.close()
+            finally:
+                self._conn = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class AsyncServiceClient:
+    """Asyncio keep-alive client; serializes requests over one socket."""
+
+    def __init__(self, host: str = "127.0.0.1", port: int = 8737, timeout: float = 30.0):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._reader: asyncio.StreamReader | None = None
+        self._writer: asyncio.StreamWriter | None = None
+        self._lock = asyncio.Lock()
+
+    # ------------------------------------------------------------------
+    async def _connect(self) -> None:
+        self._reader, self._writer = await asyncio.open_connection(
+            self.host, self.port, limit=1 << 22
+        )
+
+    async def _roundtrip(self, method: str, path: str, body: bytes):
+        assert self._reader is not None and self._writer is not None
+        head = (
+            f"{method} {path} HTTP/1.1\r\n"
+            f"Host: {self.host}:{self.port}\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n"
+            "\r\n"
+        )
+        self._writer.write(head.encode("latin-1") + body)
+        await self._writer.drain()
+        status_line = await self._reader.readline()
+        if not status_line:
+            raise ConnectionError("server closed the connection")
+        status = int(status_line.split(b" ", 2)[1])
+        length = 0
+        while True:
+            line = await self._reader.readline()
+            if line in (b"\r\n", b""):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            if name.strip().lower() == "content-length":
+                length = int(value.strip())
+        raw = await self._reader.readexactly(length) if length else b""
+        return status, raw
+
+    async def _request(self, method: str, path: str, payload=None):
+        body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        async with self._lock:
+            for attempt in (0, 1):
+                if self._reader is None:
+                    await self._connect()
+                try:
+                    status, raw = await asyncio.wait_for(
+                        self._roundtrip(method, path, body), self.timeout
+                    )
+                    break
+                except (ConnectionError, asyncio.IncompleteReadError):
+                    await self.aclose()
+                    if attempt:
+                        raise
+        data = json.loads(raw.decode("utf-8")) if raw else {}
+        if status >= 400:
+            raise ServiceError.from_response(status, data)
+        return data
+
+    # ------------------------------------------------------------------
+    async def partition(
+        self,
+        apc_alone,
+        bandwidth,
+        *,
+        scheme: str = "sqrt",
+        api=None,
+        metrics=None,
+        work_conserving: bool = True,
+    ) -> dict:
+        return await self._request(
+            "POST",
+            "/v1/partition",
+            _partition_payload(apc_alone, bandwidth, scheme, api, metrics, work_conserving),
+        )
+
+    async def partition_batch(self, requests: list[dict]) -> list[dict]:
+        out = await self._request("POST", "/v1/partition/batch", {"requests": requests})
+        return out["results"]
+
+    async def qos(self, apc_alone, api, bandwidth, targets, *, objective: str = "wsp") -> dict:
+        return await self._request(
+            "POST", "/v1/qos", _qos_payload(apc_alone, api, bandwidth, targets, objective)
+        )
+
+    async def healthz(self) -> dict:
+        return await self._request("GET", "/healthz")
+
+    async def metrics(self) -> dict:
+        return await self._request("GET", "/metrics")
+
+    async def aclose(self) -> None:
+        if self._writer is not None:
+            try:
+                self._writer.close()
+                await self._writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+        self._reader = None
+        self._writer = None
+
+    async def __aenter__(self) -> "AsyncServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.aclose()

@@ -1,0 +1,60 @@
+"""Configuration for the partitioning-advisor service."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.util.errors import ConfigurationError
+from repro.util.validation import check_positive
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Tunables for :class:`repro.service.server.PartitionService`.
+
+    The two batching knobs trade latency for throughput: an arriving
+    request waits at most ``max_wait_ms`` for companions before the
+    coalesced batch (capped at ``max_batch_size``) is solved in one
+    vectorized numpy pass.
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8737
+
+    #: coalesce at most this many concurrent solves into one numpy pass
+    max_batch_size: int = 64
+    #: how long the first request of a batch waits for companions
+    max_wait_ms: float = 2.0
+    #: disable to solve each request individually (the naive baseline mode)
+    batching: bool = True
+
+    #: wall-clock budget per request before a 504 is returned
+    request_timeout_s: float = 10.0
+
+    #: content-addressed result caching (memory LRU + optional disk)
+    cache: bool = True
+    cache_capacity: int = 4096
+    #: layer a persistent repro.util.cache.SimCache under the LRU
+    disk_cache: bool = False
+
+    #: reject request bodies larger than this (bytes)
+    max_body_bytes: int = 1 << 20
+    #: per-request cap on /v1/partition/batch fan-in
+    max_requests_per_call: int = 1024
+    #: ring-buffer size for the latency percentiles in /metrics
+    latency_window: int = 2048
+    #: seconds to let in-flight requests finish during shutdown
+    shutdown_grace_s: float = 5.0
+
+    def __post_init__(self) -> None:
+        check_positive("max_batch_size", self.max_batch_size)
+        check_positive("max_wait_ms", self.max_wait_ms)
+        check_positive("request_timeout_s", self.request_timeout_s)
+        check_positive("cache_capacity", self.cache_capacity)
+        check_positive("max_body_bytes", self.max_body_bytes)
+        check_positive("max_requests_per_call", self.max_requests_per_call)
+        check_positive("latency_window", self.latency_window)
+        if self.shutdown_grace_s < 0:
+            raise ConfigurationError("shutdown_grace_s must be >= 0")
+        if not (0 <= self.port <= 65535):
+            raise ConfigurationError(f"port must be in [0, 65535], got {self.port}")

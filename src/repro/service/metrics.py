@@ -1,0 +1,107 @@
+"""Operational counters for the advisor service (the ``/metrics`` body).
+
+Everything here runs on the event loop thread, so plain ints and
+deques are safe without locks.  Latency percentiles are computed over
+a bounded ring buffer per endpoint: recent-window percentiles are what
+an operator tuning the batching knobs actually wants, and the memory
+bound keeps a long-lived server flat.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["EndpointStats", "ServiceMetrics"]
+
+
+def _percentile(sorted_values: list[float], q: float) -> float:
+    """Nearest-rank percentile of an ascending list (q in [0, 1])."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1, round(q * (len(sorted_values) - 1))))
+    return sorted_values[rank]
+
+
+@dataclass
+class EndpointStats:
+    """Request counters + a latency ring buffer for one endpoint."""
+
+    window: int = 2048
+    requests: int = 0
+    errors: int = 0
+    timeouts: int = 0
+    latencies_ms: deque = field(default_factory=deque)
+
+    def observe(self, latency_ms: float, *, error: bool = False, timeout: bool = False) -> None:
+        self.requests += 1
+        if error:
+            self.errors += 1
+        if timeout:
+            self.timeouts += 1
+        self.latencies_ms.append(latency_ms)
+        while len(self.latencies_ms) > self.window:
+            self.latencies_ms.popleft()
+
+    def snapshot(self) -> dict:
+        window = sorted(self.latencies_ms)
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "latency_ms": {
+                "window": len(window),
+                "mean": sum(window) / len(window) if window else 0.0,
+                "p50": _percentile(window, 0.50),
+                "p90": _percentile(window, 0.90),
+                "p99": _percentile(window, 0.99),
+                "max": window[-1] if window else 0.0,
+            },
+        }
+
+
+class ServiceMetrics:
+    """All service counters, snapshotted by ``GET /metrics``."""
+
+    def __init__(self, latency_window: int = 2048) -> None:
+        self._latency_window = latency_window
+        self._started = time.monotonic()
+        self.endpoints: dict[str, EndpointStats] = {}
+        # micro-batcher counters
+        self.batches = 0
+        self.batched_requests = 0
+        self.max_batch_size = 0
+
+    def endpoint(self, path: str) -> EndpointStats:
+        stats = self.endpoints.get(path)
+        if stats is None:
+            stats = self.endpoints[path] = EndpointStats(window=self._latency_window)
+        return stats
+
+    def observe_request(
+        self, path: str, latency_ms: float, *, error: bool = False, timeout: bool = False
+    ) -> None:
+        self.endpoint(path).observe(latency_ms, error=error, timeout=timeout)
+
+    def observe_batch(self, size: int) -> None:
+        self.batches += 1
+        self.batched_requests += size
+        self.max_batch_size = max(self.max_batch_size, size)
+
+    def snapshot(self, *, cache: dict | None = None) -> dict:
+        return {
+            "uptime_s": time.monotonic() - self._started,
+            "endpoints": {
+                path: stats.snapshot() for path, stats in sorted(self.endpoints.items())
+            },
+            "batching": {
+                "batches": self.batches,
+                "batched_requests": self.batched_requests,
+                "max_batch_size": self.max_batch_size,
+                "mean_batch_size": (
+                    self.batched_requests / self.batches if self.batches else 0.0
+                ),
+            },
+            "cache": cache,
+        }

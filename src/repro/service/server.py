@@ -1,0 +1,405 @@
+"""Asyncio HTTP/JSON server exposing the partitioning advisor.
+
+Stdlib-only: a hand-rolled HTTP/1.1 layer over ``asyncio.start_server``
+(keep-alive, Content-Length framing) in front of a small router.
+
+Endpoints
+---------
+``GET  /healthz``             liveness + uptime
+``GET  /metrics``             counters snapshot (JSON)
+``POST /v1/partition``        one solve (micro-batched when enabled)
+``POST /v1/partition/batch``  many solves in one call (always stacked)
+``POST /v1/qos``              QoS-guaranteed plan (Sec. III-G)
+
+Every request gets a wall-clock budget (``request_timeout_s`` -> 504)
+and failures map to structured JSON errors: 400 for malformed input,
+422 for infeasible QoS problems, 413/404/405 for transport-level
+misuse, 500 for anything else.  ``stop()`` drains in-flight requests
+for a grace period before tearing connections down.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import time
+
+import numpy as np
+
+from repro.core.partitioning import scheme_by_name
+from repro.core.apps import AppProfile, Workload
+from repro.service.batching import MicroBatcher, solve_partition_rows, solve_qos_rows
+from repro.service.cache import ResultCache, default_disk_cache
+from repro.service.config import ServiceConfig
+from repro.service.metrics import ServiceMetrics
+from repro.service.protocol import (
+    PartitionRequest,
+    error_body,
+    parse_partition_request,
+    parse_qos_request,
+    partition_response,
+    qos_response,
+)
+from repro.util.errors import ConfigurationError, InfeasibleError
+
+__all__ = ["PartitionService", "serve"]
+
+_JSON_HEADERS = "Content-Type: application/json\r\n"
+
+
+class PartitionService:
+    """The advisor service: router, micro-batcher, cache and counters."""
+
+    def __init__(self, config: ServiceConfig | None = None) -> None:
+        self.config = config or ServiceConfig()
+        self.metrics = ServiceMetrics(latency_window=self.config.latency_window)
+        self.cache: ResultCache | None = None
+        if self.config.cache:
+            disk = default_disk_cache() if self.config.disk_cache else None
+            self.cache = ResultCache(self.config.cache_capacity, disk=disk)
+        self.batcher: MicroBatcher | None = None
+        if self.config.batching:
+            self.batcher = MicroBatcher(
+                max_batch_size=self.config.max_batch_size,
+                max_wait_ms=self.config.max_wait_ms,
+                on_batch=self.metrics.observe_batch,
+            )
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> None:
+        """Bind the listener (port 0 picks a free port) and start batching."""
+        if self._server is not None:
+            raise RuntimeError("service already started")
+        if self.batcher is not None:
+            await self.batcher.start()
+        self._server = await asyncio.start_server(
+            self._on_client,
+            host=self.config.host,
+            port=self.config.port,
+            limit=self.config.max_body_bytes + 8192,
+        )
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful when configured with port 0)."""
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("service is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        await self._server.serve_forever()
+
+    async def stop(self) -> None:
+        """Graceful shutdown: stop accepting, drain, then tear down."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            done, pending = await asyncio.wait(
+                self._connections, timeout=self.config.shutdown_grace_s
+            )
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+        if self.batcher is not None:
+            await self.batcher.stop()
+
+    # ------------------------------------------------------------------
+    # HTTP transport
+    # ------------------------------------------------------------------
+    async def _on_client(self, reader: asyncio.StreamReader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        while True:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except asyncio.IncompleteReadError:
+                return  # client closed between requests
+            method, path, headers, bad = _parse_head(head)
+            if bad is not None:
+                await _write_response(writer, 400, error_body("BadRequest", bad))
+                return
+            length = int(headers.get("content-length", "0") or "0")
+            if length > self.config.max_body_bytes:
+                await _write_response(
+                    writer,
+                    413,
+                    error_body(
+                        "PayloadTooLarge",
+                        f"body of {length} bytes exceeds the "
+                        f"{self.config.max_body_bytes} byte limit",
+                    ),
+                )
+                return
+            body = await reader.readexactly(length) if length else b""
+
+            started = time.perf_counter()
+            timed_out = False
+            try:
+                status, payload = await asyncio.wait_for(
+                    self.handle(method, path, body),
+                    timeout=self.config.request_timeout_s,
+                )
+            except asyncio.TimeoutError:
+                timed_out = True
+                status, payload = 504, error_body(
+                    "Timeout",
+                    f"request exceeded {self.config.request_timeout_s}s",
+                )
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            self.metrics.observe_request(
+                path, latency_ms, error=status >= 400, timeout=timed_out
+            )
+            keep_alive = headers.get("connection", "keep-alive") != "close"
+            await _write_response(writer, status, payload, keep_alive=keep_alive)
+            if not keep_alive:
+                return
+
+    # ------------------------------------------------------------------
+    # routing (transport-free; exercised directly by unit tests)
+    # ------------------------------------------------------------------
+    async def handle(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+        try:
+            if path == "/healthz":
+                if method != "GET":
+                    return _method_not_allowed(method)
+                return 200, {
+                    "status": "ok",
+                    "uptime_s": self.metrics.snapshot()["uptime_s"],
+                    "batching": self.batcher is not None,
+                }
+            if path == "/metrics":
+                if method != "GET":
+                    return _method_not_allowed(method)
+                cache = self.cache.snapshot() if self.cache is not None else None
+                return 200, self.metrics.snapshot(cache=cache)
+            if path == "/v1/partition":
+                if method != "POST":
+                    return _method_not_allowed(method)
+                return 200, await self._handle_partition(_parse_json(body))
+            if path == "/v1/partition/batch":
+                if method != "POST":
+                    return _method_not_allowed(method)
+                return 200, await self._handle_partition_batch(_parse_json(body))
+            if path == "/v1/qos":
+                if method != "POST":
+                    return _method_not_allowed(method)
+                return 200, await self._handle_qos(_parse_json(body))
+            return 404, error_body("NotFound", f"no route for {path!r}")
+        except ConfigurationError as exc:
+            return 400, error_body("ConfigurationError", str(exc))
+        except InfeasibleError as exc:
+            return 422, error_body("InfeasibleError", str(exc))
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+            return 500, error_body("InternalError", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # endpoint handlers
+    # ------------------------------------------------------------------
+    async def _handle_partition(self, obj) -> dict:
+        request = parse_partition_request(obj)
+        key = request.cache_key() if self.cache is not None else None
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return dict(hit, cached=True, batch_size=0)
+        if self.batcher is not None:
+            row, batch_size = await self.batcher.submit(request)
+        else:
+            row, batch_size = _solve_one_partition(request), 1
+        response = partition_response(request, row, batch_size=batch_size)
+        if key is not None:
+            self.cache.put(key, _cacheable(response))
+        return response
+
+    async def _handle_partition_batch(self, obj) -> dict:
+        if not isinstance(obj, dict) or "requests" not in obj:
+            raise ConfigurationError("body must be {\"requests\": [...]}")
+        raw = obj["requests"]
+        if not isinstance(raw, list) or not raw:
+            raise ConfigurationError("requests must be a non-empty array")
+        if len(raw) > self.config.max_requests_per_call:
+            raise ConfigurationError(
+                f"at most {self.config.max_requests_per_call} requests per "
+                f"call, got {len(raw)}"
+            )
+        requests = [parse_partition_request(o) for o in raw]
+        results: list[dict | None] = [None] * len(requests)
+
+        to_solve: list[tuple[int, PartitionRequest, str | None]] = []
+        for i, request in enumerate(requests):
+            key = request.cache_key() if self.cache is not None else None
+            if key is not None:
+                hit = self.cache.get(key)
+                if hit is not None:
+                    results[i] = dict(hit, cached=True, batch_size=0)
+                    continue
+            to_solve.append((i, request, key))
+
+        # The call itself is already a batch: stack by group directly
+        # instead of routing through the collector window.
+        groups: dict[tuple, list[tuple[int, PartitionRequest, str | None]]] = {}
+        for entry in to_solve:
+            groups.setdefault(entry[1].group_key, []).append(entry)
+        for members in groups.values():
+            rows = solve_partition_rows([request for _, request, _ in members])
+            for (i, request, key), row in zip(members, rows):
+                response = partition_response(
+                    request, row, batch_size=len(members)
+                )
+                if key is not None:
+                    self.cache.put(key, _cacheable(response))
+                results[i] = response
+        return {"results": results}
+
+    async def _handle_qos(self, obj) -> dict:
+        request = parse_qos_request(obj)
+        key = request.cache_key() if self.cache is not None else None
+        if key is not None:
+            hit = self.cache.get(key)
+            if hit is not None:
+                return dict(hit, cached=True, batch_size=0)
+        if self.batcher is not None:
+            row, batch_size = await self.batcher.submit(request)
+        else:
+            row, batch_size = solve_qos_rows([request])[0], 1
+        response = qos_response(request, row, batch_size=batch_size)
+        if key is not None:
+            self.cache.put(key, _cacheable(response))
+        return response
+
+
+def _solve_one_partition(request: PartitionRequest) -> np.ndarray:
+    """The naive path: one scalar solve per request (no stacking)."""
+    api = request.api if request.api is not None else (1.0,) * request.n_apps
+    workload = Workload.of(
+        "request",
+        [
+            AppProfile(f"app{i}", api=api[i], apc_alone=request.apc_alone[i])
+            for i in range(request.n_apps)
+        ],
+    )
+    return scheme_by_name(request.scheme).allocate(
+        workload, request.bandwidth, work_conserving=request.work_conserving
+    )
+
+
+def _cacheable(response: dict) -> dict:
+    """Strip the per-solve envelope before storing a response."""
+    return {k: v for k, v in response.items() if k not in ("cached", "batch_size")}
+
+
+def _parse_json(body: bytes):
+    try:
+        return json.loads(body.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ConfigurationError(f"body is not valid JSON: {exc}") from None
+
+
+def _method_not_allowed(method: str) -> tuple[int, dict]:
+    return 405, error_body("MethodNotAllowed", f"method {method} not allowed")
+
+
+def _parse_head(head: bytes):
+    """Parse the request line + headers; returns (method, path, headers, err)."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 cannot fail
+        return "", "", {}, "undecodable request head"
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        return "", "", {}, f"malformed request line {lines[0]!r}"
+    method, path = parts[0], parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            return "", "", {}, f"malformed header line {line!r}"
+        headers[name.strip().lower()] = value.strip().lower()
+    return method, path, headers, None
+
+
+async def _write_response(
+    writer, status: int, payload: dict, *, keep_alive: bool = True
+) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    reason = {
+        200: "OK",
+        400: "Bad Request",
+        404: "Not Found",
+        405: "Method Not Allowed",
+        413: "Payload Too Large",
+        422: "Unprocessable Entity",
+        500: "Internal Server Error",
+        504: "Gateway Timeout",
+    }.get(status, "Error")
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"{_JSON_HEADERS}"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+async def serve(
+    config: ServiceConfig | None = None,
+    *,
+    stop_event: asyncio.Event | None = None,
+    ready: asyncio.Event | None = None,
+    on_ready=None,
+) -> None:
+    """Run a service until ``stop_event`` is set (or forever).
+
+    ``ready`` is set (and ``on_ready(service)`` called) once the
+    listener is bound -- used by in-process embedders and the load
+    generator to learn the ephemeral port.
+    """
+    service = PartitionService(config)
+    await service.start()
+    if on_ready is not None:
+        on_ready(service)
+    if ready is not None:
+        ready.set()
+    try:
+        if stop_event is None:
+            await service.serve_forever()
+        else:
+            await stop_event.wait()
+    except asyncio.CancelledError:
+        pass
+    finally:
+        await service.stop()

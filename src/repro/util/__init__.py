@@ -1,5 +1,6 @@
-"""Shared utilities: errors, validation helpers, deterministic RNG streams."""
+"""Shared utilities: errors, validation, RNG streams, persistent cache."""
 
+from repro.util.cache import CacheStats, SimCache, config_digest
 from repro.util.errors import (
     ConfigurationError,
     InfeasibleError,
@@ -15,6 +16,9 @@ from repro.util.validation import (
 )
 
 __all__ = [
+    "CacheStats",
+    "SimCache",
+    "config_digest",
     "ReproError",
     "ConfigurationError",
     "InfeasibleError",

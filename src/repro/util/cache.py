@@ -39,7 +39,7 @@ import os
 import pathlib
 import tempfile
 
-__all__ = ["config_digest", "SimCache", "SCHEMA_VERSION"]
+__all__ = ["config_digest", "CacheStats", "SimCache", "SCHEMA_VERSION"]
 
 #: bump when the digest scheme or stored payload layout changes
 SCHEMA_VERSION = 1
@@ -94,6 +94,39 @@ def _default_dir() -> pathlib.Path:
     return base / _APP_DIR
 
 
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss/put counters for one cache instance.
+
+    ``hits``/``misses`` count :meth:`SimCache.get` outcomes (a disabled
+    cache counts every lookup as a miss); ``puts`` counts successful
+    stores.  Counters are cumulative over the instance's lifetime.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when idle)."""
+        total = self.lookups
+        return self.hits / total if total else 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "lookups": self.lookups,
+            "hit_rate": self.hit_rate,
+        }
+
+
 class SimCache:
     """On-disk key -> JSON-dict store for simulation results.
 
@@ -106,6 +139,7 @@ class SimCache:
     def __init__(self, directory: str | os.PathLike | None = None) -> None:
         self.enabled = not os.environ.get("REPRO_NO_CACHE")
         self.directory = pathlib.Path(directory) if directory else _default_dir()
+        self.stats = CacheStats()
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> pathlib.Path:
@@ -114,13 +148,19 @@ class SimCache:
     def get(self, key: str) -> dict | None:
         """The stored payload for ``key``, or ``None`` on any miss."""
         if not self.enabled:
+            self.stats.misses += 1
             return None
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as fh:
                 value = json.load(fh)
         except (OSError, ValueError):
+            self.stats.misses += 1
             return None
-        return value if isinstance(value, dict) else None
+        if not isinstance(value, dict):
+            self.stats.misses += 1
+            return None
+        self.stats.hits += 1
+        return value
 
     def put(self, key: str, value: dict) -> None:
         """Store ``value`` under ``key`` atomically (rename-into-place)."""
@@ -135,6 +175,7 @@ class SimCache:
                 with os.fdopen(fd, "w", encoding="utf-8") as fh:
                     json.dump(value, fh)
                 os.replace(tmp, self.path_for(key))
+                self.stats.puts += 1
             except BaseException:
                 try:
                     os.unlink(tmp)
@@ -158,6 +199,10 @@ class SimCache:
             except OSError:
                 pass
         return removed
+
+    def cache_stats(self) -> dict:
+        """Counter snapshot: ``{hits, misses, puts, lookups, hit_rate}``."""
+        return self.stats.as_dict()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "enabled" if self.enabled else "disabled"

@@ -1,0 +1,179 @@
+"""Edge cases for the solvers the service exposes.
+
+Degenerate inputs -- zero bandwidth, a single app, all-equal
+``APC_alone`` (priority ties), a zero ``APC_alone`` -- must produce
+either a graceful, finite result or a *typed* error
+(:class:`ConfigurationError`), never NaNs or silent garbage.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import (
+    SCHEME_ORDER,
+    AppProfile,
+    Workload,
+    scheme_by_name,
+    solve_fractional_knapsack,
+)
+from repro.core.batch import batch_allocate, batch_solve_fractional_knapsack
+from repro.core.closed_form import (
+    hsp_proportional,
+    hsp_square_root,
+    wsp_proportional,
+    wsp_square_root,
+)
+from repro.core.metrics import metric_by_name
+from repro.core.optimizer import optimize_partition
+from repro.util.errors import ConfigurationError
+
+CLOSED_FORMS = (hsp_square_root, wsp_square_root, hsp_proportional, wsp_proportional)
+
+
+def workload(apcs, apis=None):
+    apis = apis if apis is not None else [0.02] * len(apcs)
+    return Workload.of(
+        "w", [AppProfile(f"a{i}", api=apis[i], apc_alone=apcs[i]) for i in range(len(apcs))]
+    )
+
+
+# ----------------------------------------------------------------------
+# B = 0: typed error from solvers, graceful zero from closed forms
+# ----------------------------------------------------------------------
+class TestZeroBandwidth:
+    @pytest.mark.parametrize("scheme", SCHEME_ORDER)
+    def test_schemes_reject_zero_bandwidth(self, scheme):
+        with pytest.raises(ConfigurationError):
+            scheme_by_name(scheme).allocate(workload([0.004, 0.002]), 0.0)
+
+    def test_optimizer_rejects_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            optimize_partition(workload([0.004, 0.002]), 0.0, metric_by_name("hsp"))
+
+    @pytest.mark.parametrize("fn", CLOSED_FORMS, ids=lambda f: f.__name__)
+    def test_closed_forms_degrade_to_zero_speedup(self, fn):
+        value = fn(workload([0.004, 0.002]), 0.0)
+        assert value == 0.0  # no bandwidth, no progress -- but no NaN
+
+    def test_knapsack_zero_budget_takes_nothing(self):
+        sol = solve_fractional_knapsack(
+            np.array([1.0, 2.0]), np.array([0.5, 0.5]), 0.0
+        )
+        assert sol.quantities.tolist() == [0.0, 0.0]
+        assert sol.objective == 0.0
+        assert sol.split_item == -1
+
+    def test_knapsack_negative_budget_is_typed_error(self):
+        with pytest.raises(ConfigurationError):
+            solve_fractional_knapsack(np.array([1.0]), np.array([0.5]), -0.1)
+
+    def test_batch_kernels_reject_zero_bandwidth(self):
+        with pytest.raises(ConfigurationError):
+            batch_allocate("sqrt", np.full((2, 3), 0.004), np.array([0.01, 0.0]))
+
+
+# ----------------------------------------------------------------------
+# single app: everything goes to it (up to its demand)
+# ----------------------------------------------------------------------
+class TestSingleApp:
+    @pytest.mark.parametrize("scheme", SCHEME_ORDER)
+    def test_schemes_give_single_app_min_of_b_and_demand(self, scheme):
+        w = workload([0.004])
+        alloc = scheme_by_name(scheme).allocate(w, 0.01)
+        assert alloc.tolist() == [0.004]  # capped at APC_alone
+        starved = scheme_by_name(scheme).allocate(w, 0.001)
+        assert starved.tolist() == [0.001]
+
+    def test_optimizer_single_app(self):
+        opt = optimize_partition(workload([0.004]), 0.002, metric_by_name("hsp"))
+        assert opt.apc_shared.tolist() == pytest.approx([0.002])
+        assert np.isfinite(opt.objective)
+
+    @pytest.mark.parametrize("fn", CLOSED_FORMS, ids=lambda f: f.__name__)
+    def test_closed_forms_single_app_unit_speedup(self, fn):
+        # one app, B = APC_alone: running exactly as fast as standalone
+        assert fn(workload([0.004]), 0.004) == pytest.approx(1.0)
+
+    def test_knapsack_single_item(self):
+        sol = solve_fractional_knapsack(np.array([2.0]), np.array([0.5]), 0.2)
+        assert sol.quantities.tolist() == [0.2]
+        assert sol.split_item == 0
+
+
+# ----------------------------------------------------------------------
+# all-equal APC_alone: priority ties must break by index, stably
+# ----------------------------------------------------------------------
+class TestPriorityTies:
+    def test_prio_apc_ties_fill_in_index_order(self):
+        w = workload([0.005] * 4)
+        alloc = scheme_by_name("prio_apc").allocate(w, 0.012)
+        assert alloc.tolist() == [0.005, 0.005, 0.002, 0.0]
+
+    def test_prio_api_ties_fill_in_index_order(self):
+        w = workload([0.005] * 4, apis=[0.02] * 4)
+        alloc = scheme_by_name("prio_api").allocate(w, 0.012)
+        assert alloc.tolist() == [0.005, 0.005, 0.002, 0.0]
+
+    def test_knapsack_value_ties_stable_by_index(self):
+        sol = solve_fractional_knapsack(
+            np.array([1.0, 1.0, 1.0]), np.array([0.5, 0.5, 0.5]), 0.75
+        )
+        assert sol.fill_order.tolist() == [0, 1, 2]
+        assert sol.quantities.tolist() == [0.5, 0.25, 0.0]
+        assert sol.split_item == 1
+
+    @pytest.mark.parametrize("scheme", ["sqrt", "prop", "equal"])
+    def test_weighted_schemes_split_ties_equally(self, scheme):
+        w = workload([0.005] * 4)
+        alloc = scheme_by_name(scheme).allocate(w, 0.012)
+        np.testing.assert_allclose(alloc, 0.003)
+        assert np.isfinite(alloc).all()
+
+    def test_batch_ties_match_scalar(self):
+        apc = np.full((3, 4), 0.005)
+        bandwidth = np.array([0.012, 0.012, 0.012])
+        stacked = batch_allocate("prio_apc", apc, bandwidth)
+        assert stacked[0].tolist() == [0.005, 0.005, 0.002, 0.0]
+        assert np.array_equal(stacked[0], stacked[2])
+
+
+# ----------------------------------------------------------------------
+# APC_alone = 0: rejected at construction, never NaN downstream
+# ----------------------------------------------------------------------
+class TestZeroApcAlone:
+    def test_app_profile_rejects_zero_apc_alone(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile("a", api=0.01, apc_alone=0.0)
+
+    def test_app_profile_rejects_negative_and_nan(self):
+        with pytest.raises(ConfigurationError):
+            AppProfile("a", api=0.01, apc_alone=-0.004)
+        with pytest.raises(ConfigurationError):
+            AppProfile("a", api=0.01, apc_alone=float("nan"))
+
+    def test_batch_kernels_reject_nonpositive_apc(self):
+        bad = np.array([[0.004, 0.0], [0.004, 0.002]])
+        with pytest.raises(ConfigurationError):
+            batch_allocate("sqrt", bad, np.array([0.01, 0.01]))
+
+    def test_knapsack_zero_capacity_item_is_skipped_not_nan(self):
+        sol = solve_fractional_knapsack(
+            np.array([1.0, 2.0]), np.array([0.0, 0.5]), 0.3
+        )
+        assert sol.quantities.tolist() == [0.0, 0.3]
+        assert np.isfinite(sol.objective)
+
+    def test_batch_knapsack_zero_capacity_matches_scalar(self):
+        values = np.array([[1.0, 2.0]])
+        caps = np.array([[0.0, 0.5]])
+        sol = batch_solve_fractional_knapsack(values, caps, np.array([0.3]))
+        ref = solve_fractional_knapsack(values[0], caps[0], 0.3)
+        assert np.array_equal(sol.quantities[0], ref.quantities)
+
+    def test_knapsack_rejects_non_finite_inputs(self):
+        with pytest.raises(ConfigurationError):
+            solve_fractional_knapsack(np.array([np.nan]), np.array([0.5]), 0.1)
+        with pytest.raises(ConfigurationError):
+            solve_fractional_knapsack(np.array([1.0]), np.array([np.inf]), 0.1)

@@ -1,0 +1,82 @@
+"""ResultCache: LRU behaviour, disk promotion, and stats accounting."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.service.cache import ResultCache
+from repro.util.cache import SimCache
+
+
+class TestResultCacheLRU:
+    def test_round_trip_and_counters(self):
+        cache = ResultCache(capacity=4)
+        assert cache.get("a") is None
+        cache.put("a", {"v": 1})
+        assert cache.get("a") == {"v": 1}
+        assert cache.stats.hits == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hit_rate == pytest.approx(0.5)
+
+    def test_eviction_is_least_recently_used(self):
+        cache = ResultCache(capacity=2)
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})
+        cache.get("a")  # refresh a; b is now the LRU entry
+        cache.put("c", {"v": 3})
+        assert cache.get("b") is None
+        assert cache.get("a") == {"v": 1}
+        assert cache.get("c") == {"v": 3}
+        assert len(cache) == 2
+
+    def test_overwrite_does_not_grow(self):
+        cache = ResultCache(capacity=3)
+        cache.put("a", {"v": 1})
+        cache.put("a", {"v": 2})
+        assert len(cache) == 1
+        assert cache.get("a") == {"v": 2}
+
+    def test_zero_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            ResultCache(capacity=0)
+
+    def test_snapshot_shape(self):
+        cache = ResultCache(capacity=8)
+        cache.put("a", {"v": 1})
+        cache.get("a")
+        cache.get("b")
+        snap = cache.snapshot()
+        assert snap["hits"] == 1
+        assert snap["misses"] == 1
+        assert snap["puts"] == 1
+        assert snap["size"] == 1
+        assert snap["capacity"] == 8
+        assert "disk" not in snap
+
+
+class TestResultCacheDiskLayer:
+    def test_disk_hit_promotes_to_memory(self, tmp_path):
+        disk = SimCache(tmp_path)
+        warm = ResultCache(capacity=4, disk=disk)
+        warm.put("k", {"v": 42})
+
+        # a fresh process with an empty memory layer finds it on disk
+        cold = ResultCache(capacity=4, disk=SimCache(tmp_path))
+        assert cold.get("k") == {"v": 42}
+        assert cold.stats.hits == 1
+        # promoted: second lookup hits memory even with disk gone
+        cold.disk = None
+        assert cold.get("k") == {"v": 42}
+
+    def test_snapshot_includes_disk_stats(self, tmp_path):
+        cache = ResultCache(capacity=4, disk=SimCache(tmp_path))
+        cache.put("k", {"v": 1})
+        snap = cache.snapshot()
+        assert snap["disk"]["puts"] == 1
+
+    def test_memory_eviction_falls_back_to_disk(self, tmp_path):
+        cache = ResultCache(capacity=1, disk=SimCache(tmp_path))
+        cache.put("a", {"v": 1})
+        cache.put("b", {"v": 2})  # evicts a from memory, not from disk
+        assert cache.get("a") == {"v": 1}

@@ -17,6 +17,7 @@ FAST_EXAMPLES = [
     "quickstart.py",
     "datacenter_consolidation.py",
     "fairness_throughput_frontier.py",
+    "service_quickstart.py",
 ]
 
 
@@ -54,6 +55,7 @@ def test_all_examples_exist():
         "trace_replay_workflow.py",
         "online_adaptation.py",
         "shared_l2_partitioning.py",
+        "service_quickstart.py",
     }
     found = {p.name for p in EXAMPLES.glob("*.py")}
     assert expected <= found

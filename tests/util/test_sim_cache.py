@@ -10,7 +10,7 @@ import pytest
 from repro.sim.cpu import CoreSpec
 from repro.sim.dram.config import DRAMConfig
 from repro.sim.engine import SimConfig
-from repro.util.cache import SimCache, config_digest
+from repro.util.cache import CacheStats, SimCache, config_digest
 
 
 class TestConfigDigest:
@@ -100,3 +100,51 @@ class TestSimCache:
         assert cache.clear() == 3
         assert cache.get("k0") is None
         assert cache.clear() == 0
+
+
+class TestCacheStats:
+    def test_fresh_stats_are_zero(self):
+        stats = CacheStats()
+        assert (stats.hits, stats.misses, stats.puts) == (0, 0, 0)
+        assert stats.lookups == 0
+        assert stats.hit_rate == 0.0
+
+    def test_hit_miss_put_counting(self, tmp_path):
+        cache = SimCache(tmp_path)
+        assert cache.get("k") is None  # miss
+        cache.put("k", {"v": 1})  # put
+        assert cache.get("k") == {"v": 1}  # hit
+        assert cache.get("k") == {"v": 1}  # hit
+        assert cache.stats.misses == 1
+        assert cache.stats.puts == 1
+        assert cache.stats.hits == 2
+        assert cache.stats.lookups == 3
+        assert cache.stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_corrupt_entry_counts_as_miss(self, tmp_path):
+        cache = SimCache(tmp_path)
+        cache.put("k", {"v": 1})
+        cache.path_for("k").write_text("{ not json")
+        assert cache.get("k") is None
+        assert cache.stats.misses == 1
+
+    def test_disabled_cache_counts_misses(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_NO_CACHE", "1")
+        cache = SimCache(tmp_path)
+        cache.put("k", {"v": 1})
+        assert cache.get("k") is None
+        assert cache.stats.puts == 0
+        assert cache.stats.misses == 1
+
+    def test_cache_stats_helper_shape(self, tmp_path):
+        cache = SimCache(tmp_path)
+        cache.get("nope")
+        cache.put("k", {"v": 1})
+        cache.get("k")
+        assert cache.cache_stats() == {
+            "hits": 1,
+            "misses": 1,
+            "puts": 1,
+            "lookups": 2,
+            "hit_rate": 0.5,
+        }
