@@ -4,7 +4,7 @@ PYTHON ?= python
 BENCH_JSON ?= benchmarks/out/bench_current.json
 
 .PHONY: install test properties benchmarks bench bench-compare bench-baseline \
-	experiments scorecard examples serve bench-service clean
+	experiments scorecard examples serve bench-service bench-obs clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -41,6 +41,10 @@ serve:
 # load generator: batched vs unbatched RPS + latency percentiles
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+# telemetry overhead gate: instrumented engine vs REPRO_OBS=off (<=3%)
+bench-obs:
+	$(PYTHON) benchmarks/bench_obs.py
 
 experiments:
 	$(PYTHON) -m repro.experiments all

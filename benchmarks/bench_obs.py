@@ -1,0 +1,113 @@
+#!/usr/bin/env python
+"""Telemetry overhead gate: instrumented engine vs ``REPRO_OBS=off``.
+
+The ``repro.obs`` contract is that tracing never taxes the hot path:
+spans mark *phases* (a handful per run), counters are flushed once per
+run from plain locals, and the disabled path is one attribute read.
+This benchmark enforces that contract -- it times identical engine runs
+with tracing fully on (sample=1) and fully off, interleaved A/B/A/B so
+thermal drift and allocator state hit both sides equally, and fails if
+the enabled mean exceeds the disabled mean by more than the threshold.
+
+Run (CI runs exactly this):
+
+    PYTHONPATH=src python benchmarks/bench_obs.py
+    PYTHONPATH=src python benchmarks/bench_obs.py --repeats 9 --threshold 3.0
+    PYTHONPATH=src python benchmarks/bench_obs.py --trace out/sample.trace.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import statistics
+import sys
+import time
+
+from repro import obs
+from repro.sim.cpu import CoreSpec
+from repro.sim.engine import SimConfig, simulate
+from repro.sim.mc.fcfs import FCFSScheduler
+
+
+def workload():
+    return [
+        CoreSpec(name="h0", api=0.04, ipc_peak=0.4, mlp=12),
+        CoreSpec(name="h1", api=0.03, ipc_peak=0.5, mlp=8),
+        CoreSpec(name="l0", api=0.005, ipc_peak=0.6, mlp=2),
+        CoreSpec(name="l1", api=0.004, ipc_peak=0.5, mlp=2),
+    ]
+
+
+def one_run(config: SimConfig) -> float:
+    t0 = time.perf_counter()
+    simulate(workload(), lambda n: FCFSScheduler(n), config)
+    return time.perf_counter() - t0
+
+
+def measure(repeats: int, config: SimConfig) -> tuple[list[float], list[float]]:
+    """Interleaved on/off timings (a warmup pair first, discarded)."""
+    on: list[float] = []
+    off: list[float] = []
+    for i in range(repeats + 1):
+        obs.configure(enabled=True, sample=1.0)
+        t_on = one_run(config)
+        obs.configure(enabled=False)
+        t_off = one_run(config)
+        if i == 0:
+            continue  # warmup pair: imports, allocator, branch caches
+        on.append(t_on)
+        off.append(t_off)
+        obs.tracer().clear()  # keep the ring from skewing later repeats
+    return on, off
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--repeats", type=int, default=7,
+                        help="timed A/B pairs (default 7, plus 1 warmup)")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="max allowed mean overhead, percent (default 3)")
+    parser.add_argument("--measure-cycles", type=float, default=400_000.0,
+                        help="simulated cycles per run (default 400k)")
+    parser.add_argument("--trace", default=None, metavar="PATH",
+                        help="also write one instrumented run's Chrome trace")
+    args = parser.parse_args(argv)
+
+    config = SimConfig(
+        warmup_cycles=50_000.0,
+        measure_cycles=args.measure_cycles,
+        seed=11,
+        epoch_cycles=100_000.0,  # exercise the scheduler_round spans too
+    )
+
+    obs.reset()
+    on, off = measure(args.repeats, config)
+    mean_on = statistics.mean(on)
+    mean_off = statistics.mean(off)
+    overhead = 100.0 * (mean_on - mean_off) / mean_off
+
+    print(f"runs per side      : {len(on)}")
+    print(f"tracing on   mean  : {mean_on * 1000.0:8.2f} ms  "
+          f"(stdev {statistics.stdev(on) * 1000.0:.2f})")
+    print(f"tracing off  mean  : {mean_off * 1000.0:8.2f} ms  "
+          f"(stdev {statistics.stdev(off) * 1000.0:.2f})")
+    print(f"overhead           : {overhead:+8.2f} %  (threshold "
+          f"{args.threshold:.1f} %)")
+
+    if args.trace:
+        obs.reset()
+        obs.configure(enabled=True, sample=1.0)
+        simulate(workload(), lambda n: FCFSScheduler(n), config)
+        obs.write_chrome_trace(args.trace, obs.tracer().spans())
+        print(f"sample trace       : {args.trace} "
+              f"({len(obs.tracer())} spans)")
+
+    if overhead > args.threshold:
+        print("FAIL: telemetry overhead above threshold", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

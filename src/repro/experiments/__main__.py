@@ -246,7 +246,18 @@ def main(argv: list[str] | None = None) -> int:
                 workers=args.workers,
             )
         )
-        print(f"[{name} took {time.time() - t0:.1f}s]\n")
+        elapsed = time.time() - t0
+        if args.export is not None:
+            # provenance beside the artifacts: config digest, git rev,
+            # interpreter versions, and where the wall-clock went
+            from repro.obs import RunManifest
+
+            manifest = RunManifest.create(
+                name, _default_config(args.quick), {"quick": args.quick}
+            )
+            manifest.add_timing(name, elapsed)
+            print(f"[manifest {manifest.write(args.export)}]")
+        print(f"[{name} took {elapsed:.1f}s]\n")
     return 0
 
 

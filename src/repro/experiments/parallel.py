@@ -22,11 +22,13 @@ Design notes (per the repo's HPC guidance):
 from __future__ import annotations
 
 import os
+import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 
 import numpy as np
 
+from repro import obs
 from repro.core.apps import AppProfile, Workload
 from repro.experiments.runner import Runner, SchemeRun
 from repro.sim.engine import SimConfig, simulate
@@ -35,6 +37,43 @@ from repro.util.errors import ConfigurationError
 from repro.workloads.mixes import mix_core_specs
 
 __all__ = ["ParallelRunner", "profile_task", "run_task"]
+
+
+def _worker_obs_init() -> None:
+    """Pool initializer: drop any span ring state inherited via fork.
+
+    Without this, forked workers would ship the parent's pre-fork spans
+    back with their first task and the merged timeline would duplicate
+    them.
+    """
+    obs.tracer().clear()
+
+
+def profile_task_obs(args):
+    """``profile_task`` + telemetry: returns (result, worker spans).
+
+    ``parent_id`` stitches the worker's spans under the parent
+    process's phase span, so the merged trace is one tree even though
+    the work ran in another process.
+    """
+    inner, parent_id = args
+    with obs.span(
+        "parallel.profile_task", attrs={"bench": inner[0]}, parent_id=parent_id
+    ):
+        out = profile_task(inner)
+    return out, obs.tracer().drain()
+
+
+def run_task_obs(args):
+    """``run_task`` + telemetry: returns (result, worker spans)."""
+    inner, parent_id = args
+    with obs.span(
+        "parallel.run_task",
+        attrs={"mix": inner[0], "scheme": inner[1]},
+        parent_id=parent_id,
+    ):
+        out = run_task(inner)
+    return out, obs.tracer().drain()
 
 
 # ----------------------------------------------------------------------
@@ -121,6 +160,29 @@ class ParallelRunner:
         workers = self.max_workers or os.cpu_count() or 1
         return max(1, n_tasks // (workers * 4))
 
+    # ------------------------------------------------------------------
+    # telemetry plumbing
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _ingest_worker_spans(spans, task_name: str) -> float:
+        """Merge worker spans into this process's tracer.
+
+        Returns the busy worker-microseconds of the task-level spans
+        (the utilization numerator).
+        """
+        obs.tracer().ingest(spans)
+        return sum(s.dur_us for s in spans if s.name == task_name)
+
+    def _observe_phase(self, busy_us: float, n_tasks: int, wall_s: float) -> None:
+        """Tasks counter + measured worker-utilization gauge."""
+        reg = obs.registry()
+        reg.counter("parallel.tasks").inc(n_tasks)
+        workers = self.max_workers or os.cpu_count() or 1
+        if wall_s > 0 and busy_us > 0:
+            reg.gauge("parallel.worker_utilization").set(
+                min(1.0, busy_us / 1e6 / (workers * wall_s))
+            )
+
     def _profile_all(
         self, mixes: tuple[str, ...], copies: int, pool: ProcessPoolExecutor
     ) -> dict[str, tuple[float, float]]:
@@ -151,13 +213,24 @@ class ParallelRunner:
             if stored is not None:
                 table[name] = (stored["apc_alone"], stored["ipc_alone"])
         misses = [n for n in bench_names if n not in table]
-        tasks = [(name, self.sim_config) for name in misses]
-        if tasks:
-            for name, apc, ipc in pool.map(
-                profile_task, tasks, chunksize=self._chunksize(len(tasks))
-            ):
-                table[name] = (apc, ipc)
-                cache.put(keys[name], {"apc_alone": apc, "ipc_alone": ipc})
+        if misses:
+            t0 = time.perf_counter()
+            with obs.span(
+                "parallel.profile", attrs={"benchmarks": len(misses)}
+            ) as phase:
+                tasks = [
+                    ((name, self.sim_config), phase.span_id) for name in misses
+                ]
+                busy_us = 0.0
+                for (name, apc, ipc), spans in pool.map(
+                    profile_task_obs, tasks, chunksize=self._chunksize(len(tasks))
+                ):
+                    table[name] = (apc, ipc)
+                    cache.put(keys[name], {"apc_alone": apc, "ipc_alone": ipc})
+                    busy_us += self._ingest_worker_spans(
+                        spans, "parallel.profile_task"
+                    )
+            self._observe_phase(busy_us, len(misses), time.perf_counter() - t0)
         return table
 
     def run_grid(
@@ -171,18 +244,37 @@ class ParallelRunner:
         grid = _Grid(tuple(mixes), tuple(scheme_names), copies)
         if not grid.mixes or not grid.schemes:
             raise ConfigurationError("empty grid")
-        with ProcessPoolExecutor(max_workers=self.max_workers) as pool:
+        workers = self.max_workers or os.cpu_count() or 1
+        obs.registry().gauge("parallel.workers").set(workers)
+        with ProcessPoolExecutor(
+            max_workers=self.max_workers, initializer=_worker_obs_init
+        ) as pool:
             alone_table = self._profile_all(grid.mixes, copies, pool)
-            tasks = [
-                (mix, scheme, copies, self.sim_config, alone_table)
-                for mix in grid.mixes
-                for scheme in grid.schemes
-            ]
-            out: dict[str, dict[str, SchemeRun]] = {m: {} for m in grid.mixes}
-            for key, run in pool.map(
-                run_task, tasks, chunksize=self._chunksize(len(tasks))
-            ):
-                out[key[0]][key[1]] = run
+            t0 = time.perf_counter()
+            with obs.span(
+                "parallel.grid",
+                attrs={
+                    "mixes": len(grid.mixes),
+                    "schemes": len(grid.schemes),
+                    "copies": copies,
+                },
+            ) as phase:
+                tasks = [
+                    ((mix, scheme, copies, self.sim_config, alone_table),
+                     phase.span_id)
+                    for mix in grid.mixes
+                    for scheme in grid.schemes
+                ]
+                out: dict[str, dict[str, SchemeRun]] = {m: {} for m in grid.mixes}
+                busy_us = 0.0
+                for (key, run), spans in pool.map(
+                    run_task_obs, tasks, chunksize=self._chunksize(len(tasks))
+                ):
+                    out[key[0]][key[1]] = run
+                    busy_us += self._ingest_worker_spans(
+                        spans, "parallel.run_task"
+                    )
+            self._observe_phase(busy_us, len(tasks), time.perf_counter() - t0)
         return out
 
     def normalized_grid(

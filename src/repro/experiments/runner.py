@@ -25,6 +25,7 @@ from typing import Callable, Iterable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.core.apps import AppProfile, Workload
 from repro.core.metrics import ALL_METRICS
 from repro.core.partitioning import (
@@ -137,21 +138,29 @@ class Runner:
         """
         key = self._alone_key(spec)
         point = self._alone_cache.get(key)
+        reg = obs.registry()
         if point is None:
             stored = self.disk_cache.get(key)
             if stored is not None:
                 point = (stored["apc_alone"], stored["ipc_alone"])
+                reg.counter("profile.cache_hits", layer="disk").inc()
             else:
+                reg.counter("profile.cache_misses").inc()
                 base_spec = replace(spec, name=spec.name.split("#")[0])
-                result = simulate(
-                    [base_spec], lambda n: FCFSScheduler(n), self.sim_config
-                )
+                with obs.span(
+                    "runner.profile", attrs={"bench": base_spec.name}
+                ):
+                    result = simulate(
+                        [base_spec], lambda n: FCFSScheduler(n), self.sim_config
+                    )
                 app = result.apps[0]
                 point = (app.apc, app.ipc)
                 self.disk_cache.put(
                     key, {"apc_alone": point[0], "ipc_alone": point[1]}
                 )
             self._alone_cache[key] = point
+        else:
+            reg.counter("profile.cache_hits", layer="memory").inc()
         return point
 
     def profiles(self, specs: Sequence[CoreSpec]) -> Workload:
@@ -197,29 +206,34 @@ class Runner:
         if key in self._run_cache:
             return self._run_cache[key]
 
-        specs = mix_core_specs(mix, copies)
-        if self.beta_source == "paper":
-            from repro.workloads.mixes import mix_paper_workload
+        with obs.span(
+            "runner.point",
+            attrs={"mix": mix, "scheme": scheme_name, "copies": copies},
+        ):
+            specs = mix_core_specs(mix, copies)
+            if self.beta_source == "paper":
+                from repro.workloads.mixes import mix_paper_workload
 
-            profiles = mix_paper_workload(mix, copies)
-            ipc_alone = profiles.ipc_alone
-            apc_alone = profiles.apc_alone
-        else:
-            profiles = self.profiles(specs)
-            ipc_alone = np.array(
-                [self.alone_point(s)[1] for s in specs], dtype=float
+                profiles = mix_paper_workload(mix, copies)
+                ipc_alone = profiles.ipc_alone
+                apc_alone = profiles.apc_alone
+            else:
+                profiles = self.profiles(specs)
+                ipc_alone = np.array(
+                    [self.alone_point(s)[1] for s in specs], dtype=float
+                )
+                apc_alone = profiles.apc_alone
+
+            factory = self.scheduler_factory(scheme_name, profiles)
+            sim = simulate(specs, factory, self.sim_config)
+            run = SchemeRun(
+                mix=mix,
+                scheme=scheme_name,
+                sim=sim,
+                ipc_alone=ipc_alone,
+                apc_alone=apc_alone,
             )
-            apc_alone = profiles.apc_alone
-
-        factory = self.scheduler_factory(scheme_name, profiles)
-        sim = simulate(specs, factory, self.sim_config)
-        run = SchemeRun(
-            mix=mix,
-            scheme=scheme_name,
-            sim=sim,
-            ipc_alone=ipc_alone,
-            apc_alone=apc_alone,
-        )
+        obs.registry().counter("runner.points").inc()
         self._run_cache[key] = run
         return run
 

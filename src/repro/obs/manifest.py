@@ -1,0 +1,119 @@
+"""Per-run provenance manifest written next to experiment outputs.
+
+A figure regenerated six months from now is only debuggable if the
+run recorded what produced it: the exact configuration digest (the same
+content-address the profiling cache keys on), the git revision, the
+interpreter and numpy versions, and where the wall-clock went.
+:class:`RunManifest` captures all of that in one small JSON file,
+``<name>.manifest.json``, beside the run's artifacts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import pathlib
+import platform
+import subprocess
+import sys
+import time
+
+__all__ = ["RunManifest", "git_revision"]
+
+
+def git_revision(cwd: str | os.PathLike | None = None) -> str | None:
+    """Current ``HEAD`` hash (+ ``-dirty`` suffix), or None outside git."""
+    try:
+        rev = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if rev.returncode != 0:
+            return None
+        out = rev.stdout.strip()
+        dirty = subprocess.run(
+            ["git", "status", "--porcelain"],
+            cwd=cwd,
+            capture_output=True,
+            text=True,
+            timeout=5,
+        )
+        if dirty.returncode == 0 and dirty.stdout.strip():
+            out += "-dirty"
+        return out
+    except (OSError, subprocess.SubprocessError):
+        return None
+
+
+def _numpy_version() -> str | None:
+    try:
+        import numpy
+
+        return numpy.__version__
+    except Exception:  # noqa: BLE001 - numpy genuinely optional here
+        return None
+
+
+@dataclasses.dataclass
+class RunManifest:
+    """Everything needed to reproduce (or distrust) one run."""
+
+    name: str
+    config_digest: str | None = None
+    git_rev: str | None = None
+    python: str = ""
+    numpy: str | None = None
+    platform: str = ""
+    argv: list[str] = dataclasses.field(default_factory=list)
+    created_unix: float = 0.0
+    created_iso: str = ""
+    timings_s: dict[str, float] = dataclasses.field(default_factory=dict)
+    extra: dict = dataclasses.field(default_factory=dict)
+
+    @classmethod
+    def create(
+        cls,
+        name: str,
+        *config_parts,
+        argv: list[str] | None = None,
+        extra: dict | None = None,
+    ) -> "RunManifest":
+        """Stamp a manifest for ``name``; hash ``config_parts`` if given."""
+        digest = None
+        if config_parts:
+            from repro.util.cache import config_digest
+
+            digest = config_digest("run-manifest", *config_parts)
+        now = time.time()
+        return cls(
+            name=name,
+            config_digest=digest,
+            git_rev=git_revision(),
+            python=sys.version.split()[0],
+            numpy=_numpy_version(),
+            platform=platform.platform(),
+            argv=list(argv if argv is not None else sys.argv),
+            created_unix=now,
+            created_iso=time.strftime("%Y-%m-%dT%H:%M:%S%z", time.localtime(now)),
+            extra=dict(extra or {}),
+        )
+
+    def add_timing(self, phase: str, seconds: float) -> None:
+        self.timings_s[phase] = float(seconds)
+
+    def as_dict(self) -> dict:
+        return dataclasses.asdict(self)
+
+    def write(self, directory: str | os.PathLike) -> pathlib.Path:
+        """Write ``<directory>/<name>.manifest.json``; returns the path."""
+        directory = pathlib.Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        path = directory / f"{self.name}.manifest.json"
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(self.as_dict(), fh, indent=2, sort_keys=True)
+            fh.write("\n")
+        return path

@@ -21,6 +21,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro import obs
 from repro.core.batch import batch_allocate, batch_qos_plan
 from repro.service.protocol import PartitionRequest, QoSRequest
 
@@ -71,6 +72,10 @@ def solve_qos_rows(requests: list[QoSRequest]) -> list[dict]:
 class _Pending:
     request: PartitionRequest | QoSRequest
     future: asyncio.Future = field(repr=False)
+    #: submitter's open span (the request's queue-wait), so the solve
+    #: span can parent under it even though the collector is a
+    #: different asyncio task with its own context
+    span_id: int | None = None
 
 
 class MicroBatcher:
@@ -124,7 +129,9 @@ class MicroBatcher:
         if self._queue is None:
             raise RuntimeError("MicroBatcher is not running (call start())")
         future = asyncio.get_running_loop().create_future()
-        self._queue.put_nowait(_Pending(request, future))
+        self._queue.put_nowait(
+            _Pending(request, future, span_id=obs.current_span_id())
+        )
         return await future
 
     # ------------------------------------------------------------------
@@ -165,10 +172,15 @@ class MicroBatcher:
         for key, members in groups.items():
             requests = [p.request for p in members]
             try:
-                if key[0] == "partition":
-                    rows = solve_partition_rows(requests)
-                else:
-                    rows = solve_qos_rows(requests)
+                with obs.span(
+                    "service.solve",
+                    attrs={"kind": key[0], "batch": len(members), "batched": True},
+                    parent_id=members[0].span_id,
+                ):
+                    if key[0] == "partition":
+                        rows = solve_partition_rows(requests)
+                    else:
+                        rows = solve_qos_rows(requests)
             except Exception as exc:  # surface to every waiter, keep serving
                 for p in members:
                     if not p.future.done():

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 
+from repro import obs
 from repro.util.cache import CacheStats, SimCache
 
 __all__ = ["ResultCache", "default_disk_cache"]
@@ -20,7 +21,9 @@ __all__ = ["ResultCache", "default_disk_cache"]
 
 def default_disk_cache() -> SimCache:
     """A SimCache under ``<cache-dir>/service`` (shares env overrides)."""
-    return SimCache(SimCache().directory / "service")
+    return SimCache(
+        SimCache().directory / "service", metric_name="service-disk"
+    )
 
 
 class ResultCache:
@@ -38,6 +41,10 @@ class ResultCache:
         self.disk = disk
         self.stats = CacheStats()
         self._entries: OrderedDict[str, dict] = OrderedDict()
+        reg = obs.registry()
+        self._obs_hits = reg.counter("cache.hits", cache="service")
+        self._obs_misses = reg.counter("cache.misses", cache="service")
+        self._obs_puts = reg.counter("cache.puts", cache="service")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -47,6 +54,7 @@ class ResultCache:
         if value is not None:
             self._entries.move_to_end(key)
             self.stats.hits += 1
+            self._obs_hits.inc()
             return value
         if self.disk is not None:
             value = self.disk.get(key)
@@ -54,13 +62,16 @@ class ResultCache:
                 # promote so the next lookup is a memory hit
                 self._store(key, value)
                 self.stats.hits += 1
+                self._obs_hits.inc()
                 return value
         self.stats.misses += 1
+        self._obs_misses.inc()
         return None
 
     def put(self, key: str, value: dict) -> None:
         self._store(key, value)
         self.stats.puts += 1
+        self._obs_puts.inc()
         if self.disk is not None:
             self.disk.put(key, value)
 

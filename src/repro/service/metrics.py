@@ -5,6 +5,16 @@ deques are safe without locks.  Latency percentiles are computed over
 a bounded ring buffer per endpoint: recent-window percentiles are what
 an operator tuning the batching knobs actually wants, and the memory
 bound keeps a long-lived server flat.
+
+Since the :mod:`repro.obs` unification, every observation is mirrored
+into the process-wide :class:`~repro.obs.registry.MetricsRegistry`
+(``service.requests``, ``service.errors``, ``service.timeouts``,
+``service.latency_ms``, ``service.batches``, ...), so the same series
+show up in the Prometheus/JSON exporters alongside engine, runner and
+cache telemetry.  The ``/metrics`` JSON keeps its original field names
+-- the snapshot shape here is an API.  Registry labels bucket rare
+request paths as ``other`` past a small cap: paths are client
+controlled and label cardinality must stay bounded.
 """
 
 from __future__ import annotations
@@ -13,7 +23,12 @@ import time
 from collections import deque
 from dataclasses import dataclass, field
 
+from repro import obs
+
 __all__ = ["EndpointStats", "ServiceMetrics"]
+
+#: at most this many distinct path label values before bucketing as "other"
+_MAX_PATH_LABELS = 16
 
 
 def _percentile(sorted_values: list[float], q: float) -> float:
@@ -26,7 +41,15 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 
 @dataclass
 class EndpointStats:
-    """Request counters + a latency ring buffer for one endpoint."""
+    """Request counters + a latency ring buffer for one endpoint.
+
+    ``timeout=True`` implies an error: a timed-out request increments
+    both ``timeouts`` and ``errors`` exactly once, whether or not the
+    caller also passes ``error=True`` (it does -- a 504 status is an
+    error status; the old contract double-counted nothing but silently
+    *under*-counted errors for callers that passed only
+    ``timeout=True``).
+    """
 
     window: int = 2048
     requests: int = 0
@@ -36,10 +59,10 @@ class EndpointStats:
 
     def observe(self, latency_ms: float, *, error: bool = False, timeout: bool = False) -> None:
         self.requests += 1
-        if error:
-            self.errors += 1
         if timeout:
             self.timeouts += 1
+        if error or timeout:
+            self.errors += 1
         self.latencies_ms.append(latency_ms)
         while len(self.latencies_ms) > self.window:
             self.latencies_ms.popleft()
@@ -64,10 +87,16 @@ class EndpointStats:
 class ServiceMetrics:
     """All service counters, snapshotted by ``GET /metrics``."""
 
-    def __init__(self, latency_window: int = 2048) -> None:
+    def __init__(
+        self,
+        latency_window: int = 2048,
+        registry: obs.MetricsRegistry | None = None,
+    ) -> None:
         self._latency_window = latency_window
         self._started = time.monotonic()
+        self.registry = registry if registry is not None else obs.registry()
         self.endpoints: dict[str, EndpointStats] = {}
+        self._path_labels: set[str] = set()
         # micro-batcher counters
         self.batches = 0
         self.batched_requests = 0
@@ -79,15 +108,39 @@ class ServiceMetrics:
             stats = self.endpoints[path] = EndpointStats(window=self._latency_window)
         return stats
 
+    def _path_label(self, path: str) -> str:
+        """A bounded label value for ``path`` (rare paths -> 'other')."""
+        if path in self._path_labels:
+            return path
+        if len(self._path_labels) < _MAX_PATH_LABELS:
+            self._path_labels.add(path)
+            return path
+        return "other"
+
     def observe_request(
         self, path: str, latency_ms: float, *, error: bool = False, timeout: bool = False
     ) -> None:
         self.endpoint(path).observe(latency_ms, error=error, timeout=timeout)
+        reg = self.registry
+        label = self._path_label(path)
+        reg.counter("service.requests", path=label).inc()
+        if timeout:
+            reg.counter("service.timeouts", path=label).inc()
+        if error or timeout:
+            reg.counter("service.errors", path=label).inc()
+        reg.histogram(
+            "service.latency_ms", reservoir=self._latency_window, path=label
+        ).observe(latency_ms)
 
     def observe_batch(self, size: int) -> None:
         self.batches += 1
         self.batched_requests += size
         self.max_batch_size = max(self.max_batch_size, size)
+        reg = self.registry
+        reg.counter("service.batches").inc()
+        reg.counter("service.batched_requests").inc(size)
+        reg.histogram("service.batch_size").observe(size)
+        reg.gauge("service.max_batch_size").set(self.max_batch_size)
 
     def snapshot(self, *, cache: dict | None = None) -> dict:
         return {

@@ -26,6 +26,7 @@ import time
 
 import numpy as np
 
+from repro import obs
 from repro.core.partitioning import scheme_by_name
 from repro.core.apps import AppProfile, Workload
 from repro.service.batching import MicroBatcher, solve_partition_rows, solve_qos_rows
@@ -159,25 +160,31 @@ class PartitionService:
                 return
             body = await reader.readexactly(length) if length else b""
 
-            started = time.perf_counter()
-            timed_out = False
-            try:
-                status, payload = await asyncio.wait_for(
-                    self.handle(method, path, body),
-                    timeout=self.config.request_timeout_s,
+            with obs.span(
+                "service.request", attrs={"path": path, "method": method}
+            ):
+                started = time.perf_counter()
+                timed_out = False
+                try:
+                    status, payload = await asyncio.wait_for(
+                        self.handle(method, path, body),
+                        timeout=self.config.request_timeout_s,
+                    )
+                except asyncio.TimeoutError:
+                    timed_out = True
+                    status, payload = 504, error_body(
+                        "Timeout",
+                        f"request exceeded {self.config.request_timeout_s}s",
+                    )
+                latency_ms = (time.perf_counter() - started) * 1000.0
+                self.metrics.observe_request(
+                    path, latency_ms, error=status >= 400, timeout=timed_out
                 )
-            except asyncio.TimeoutError:
-                timed_out = True
-                status, payload = 504, error_body(
-                    "Timeout",
-                    f"request exceeded {self.config.request_timeout_s}s",
-                )
-            latency_ms = (time.perf_counter() - started) * 1000.0
-            self.metrics.observe_request(
-                path, latency_ms, error=status >= 400, timeout=timed_out
-            )
-            keep_alive = headers.get("connection", "keep-alive") != "close"
-            await _write_response(writer, status, payload, keep_alive=keep_alive)
+                keep_alive = headers.get("connection", "keep-alive") != "close"
+                with obs.span("service.serialize", attrs={"status": status}):
+                    await _write_response(
+                        writer, status, payload, keep_alive=keep_alive
+                    )
             if not keep_alive:
                 return
 
@@ -198,7 +205,12 @@ class PartitionService:
                 if method != "GET":
                     return _method_not_allowed(method)
                 cache = self.cache.snapshot() if self.cache is not None else None
-                return 200, self.metrics.snapshot(cache=cache)
+                body_out = self.metrics.snapshot(cache=cache)
+                # additive: the unified repro.obs registry (batcher,
+                # caches, engine, ... series) -- existing fields above
+                # keep their names and shapes
+                body_out["obs"] = self.metrics.registry.snapshot()
+                return 200, body_out
             if path == "/v1/partition":
                 if method != "POST":
                     return _method_not_allowed(method)
@@ -232,9 +244,11 @@ class PartitionService:
             if hit is not None:
                 return dict(hit, cached=True, batch_size=0)
         if self.batcher is not None:
-            row, batch_size = await self.batcher.submit(request)
+            with obs.span("service.queue_wait", attrs={"kind": "partition"}):
+                row, batch_size = await self.batcher.submit(request)
         else:
-            row, batch_size = _solve_one_partition(request), 1
+            with obs.span("service.solve", attrs={"batched": False}):
+                row, batch_size = _solve_one_partition(request), 1
         response = partition_response(request, row, batch_size=batch_size)
         if key is not None:
             self.cache.put(key, _cacheable(response))
@@ -270,7 +284,14 @@ class PartitionService:
         for entry in to_solve:
             groups.setdefault(entry[1].group_key, []).append(entry)
         for members in groups.values():
-            rows = solve_partition_rows([request for _, request, _ in members])
+            with obs.span(
+                "service.solve",
+                attrs={"kind": "partition", "batch": len(members),
+                       "batched": True},
+            ):
+                rows = solve_partition_rows(
+                    [request for _, request, _ in members]
+                )
             for (i, request, key), row in zip(members, rows):
                 response = partition_response(
                     request, row, batch_size=len(members)
@@ -288,9 +309,11 @@ class PartitionService:
             if hit is not None:
                 return dict(hit, cached=True, batch_size=0)
         if self.batcher is not None:
-            row, batch_size = await self.batcher.submit(request)
+            with obs.span("service.queue_wait", attrs={"kind": "qos"}):
+                row, batch_size = await self.batcher.submit(request)
         else:
-            row, batch_size = solve_qos_rows([request])[0], 1
+            with obs.span("service.solve", attrs={"batched": False}):
+                row, batch_size = solve_qos_rows([request])[0], 1
         response = qos_response(request, row, batch_size=batch_size)
         if key is not None:
             self.cache.put(key, _cacheable(response))

@@ -30,6 +30,7 @@ from typing import Callable, Sequence
 
 import numpy as np
 
+from repro import obs
 from repro.sim.cpu import CoreSim, CoreSpec
 from repro.sim.dram.config import DRAMConfig, ddr2_400
 from repro.sim.dram.system import DRAMSystem
@@ -141,6 +142,10 @@ class Engine:
         # snapshots taken at the warmup boundary
         self._warmup_snapshot: list[AppCounters] | None = None
         self._warmup_bus_busy = 0.0
+        # telemetry: accumulated locally (never per-event registry
+        # traffic on the hot loop), flushed once in _finalize
+        self._n_events = 0
+        self._n_epochs = 0
 
     # ------------------------------------------------------------------
     # event plumbing
@@ -282,13 +287,15 @@ class Engine:
             )
 
     def _handle_epoch(self, now: float) -> None:
+        self._n_epochs += 1
         interf = self._interf
-        for i, core in enumerate(self.cores):
-            self.counters[i].instructions = core.instructions_at(now)
-            self.counters[i].interference_cycles = interf[i]
-        self.profiler.close_epoch(now, self.counters)
-        if self.repartition_hook is not None:
-            self.repartition_hook(now, self.profiler, self.scheduler)
+        with obs.span("engine.scheduler_round", attrs={"cycle": now}):
+            for i, core in enumerate(self.cores):
+                self.counters[i].instructions = core.instructions_at(now)
+                self.counters[i].interference_cycles = interf[i]
+            self.profiler.close_epoch(now, self.counters)
+            if self.repartition_hook is not None:
+                self.repartition_hook(now, self.profiler, self.scheduler)
         if self.config.epoch_cycles is not None:
             nxt = now + self.config.epoch_cycles
             if nxt < self.config.end_cycle - 1e-9:
@@ -298,6 +305,18 @@ class Engine:
     # run
     # ------------------------------------------------------------------
     def run(self) -> SimResult:
+        with obs.span(
+            "engine.run",
+            attrs={
+                "scheduler": self.scheduler.name,
+                "apps": len(self.specs),
+                "dram": self.config.dram.name,
+                "seed": self.config.seed,
+            },
+        ):
+            return self._run()
+
+    def _run(self) -> SimResult:
         cfg = self.config
         for i, core in enumerate(self.cores):
             first = core.start(0.0)
@@ -312,7 +331,13 @@ class Engine:
         warmup_done = warmup <= 0
         if warmup_done:
             self._take_warmup_snapshot(0.0)
+        # the warmup->measure boundary is mid-loop, so the phase spans
+        # use the imperative begin()/end() lifecycle
+        phase = obs.span(
+            "engine.measure" if warmup_done else "engine.warmup"
+        ).begin()
 
+        n_events = 0
         heap = self._heap
         heappop = heapq.heappop
         handle_complete = self._handle_complete
@@ -324,6 +349,7 @@ class Engine:
             if time > end_guard:
                 break
             heappop(heap)
+            n_events += 1
             if time < self.now - 1e-6:
                 raise SimulationError(
                     f"time went backwards: {time} < {self.now}"
@@ -331,6 +357,8 @@ class Engine:
             if not warmup_done and time >= warmup:
                 self._take_warmup_snapshot(warmup)
                 warmup_done = True
+                phase.end()
+                phase = obs.span("engine.measure").begin()
             if time > self.now:
                 self.now = time
             if prio == _P_COMPLETE:
@@ -344,6 +372,8 @@ class Engine:
             else:  # pragma: no cover - defensive
                 raise SimulationError(f"unknown event priority {prio}")
 
+        phase.end()
+        self._n_events = n_events
         if not warmup_done:
             raise SimulationError("simulation ended before the warmup boundary")
         return self._finalize(end)
@@ -391,6 +421,11 @@ class Engine:
             - self._warmup_bus_busy
         )
         n_ch = self.config.dram.n_channels
+        reg = obs.registry()
+        reg.counter("engine.runs").inc()
+        reg.counter("engine.events").inc(self._n_events)
+        reg.counter("engine.epochs").inc(self._n_epochs)
+        reg.counter("engine.simulated_cycles").inc(window)
         return SimResult(
             apps=tuple(apps),
             window_cycles=window,

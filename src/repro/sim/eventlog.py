@@ -131,3 +131,74 @@ class EventLog:
 
     def __len__(self) -> int:
         return len(self.events)
+
+    # ------------------------------------------------------------------
+    # export
+    # ------------------------------------------------------------------
+    def to_obs_trace(
+        self,
+        *,
+        origin_us: float = 0.0,
+        cycles_per_us: float = 1000.0,
+        pid: int | None = None,
+    ) -> list[dict]:
+        """Chrome trace-event dicts for the logged scheduler activity.
+
+        Feed the result to ``repro.obs.write_chrome_trace(path, spans,
+        extra_events=log.to_obs_trace(...))`` and the scheduler timeline
+        lands in the same Perfetto file as the ``repro.obs`` spans --
+        one unified view per run.  Each app gets its own track (``tid``
+        = app id): ``enqueue``/``grant`` become instant events and the
+        post-event queue depth becomes a counter series.
+
+        Cycles are mapped onto the trace's microsecond axis as
+        ``origin_us + cycle / cycles_per_us``; pass the wall-clock
+        start of the run's ``engine.run`` span as ``origin_us`` to
+        overlay cycle activity on the wall-clock spans, or leave the
+        defaults for a standalone cycle-domain timeline.
+        """
+        if pid is None:
+            import os
+
+            pid = os.getpid()
+        events: list[dict] = []
+        apps = set()
+        for e in self.events:
+            ts = origin_us + e.cycle / cycles_per_us
+            apps.add(e.app_id)
+            events.append(
+                {
+                    "name": e.kind,
+                    "ph": "i",
+                    "s": "t",
+                    "ts": ts,
+                    "pid": pid,
+                    "tid": e.app_id,
+                    "args": {
+                        "cycle": e.cycle,
+                        "seq": e.seq,
+                        "write": e.is_write,
+                        "queue_depth": e.queue_depth,
+                    },
+                }
+            )
+            events.append(
+                {
+                    "name": f"queue_depth[app{e.app_id}]",
+                    "ph": "C",
+                    "ts": ts,
+                    "pid": pid,
+                    "args": {"requests": e.queue_depth},
+                }
+            )
+        for app_id in sorted(apps):
+            events.append(
+                {
+                    "name": "thread_name",
+                    "ph": "M",
+                    "pid": pid,
+                    "tid": app_id,
+                    "args": {"name": f"app{app_id} scheduler"},
+                }
+            )
+        return events

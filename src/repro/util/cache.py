@@ -136,10 +136,24 @@ class SimCache:
     dependency.
     """
 
-    def __init__(self, directory: str | os.PathLike | None = None) -> None:
+    def __init__(
+        self,
+        directory: str | os.PathLike | None = None,
+        *,
+        metric_name: str = "sim",
+    ) -> None:
         self.enabled = not os.environ.get("REPRO_NO_CACHE")
         self.directory = pathlib.Path(directory) if directory else _default_dir()
         self.stats = CacheStats()
+        # mirror the counters into the process-wide telemetry registry
+        # (labelled per cache role, so /metrics and exporters see every
+        # cache in the process under one metric family)
+        from repro import obs
+
+        reg = obs.registry()
+        self._obs_hits = reg.counter("cache.hits", cache=metric_name)
+        self._obs_misses = reg.counter("cache.misses", cache=metric_name)
+        self._obs_puts = reg.counter("cache.puts", cache=metric_name)
 
     # ------------------------------------------------------------------
     def path_for(self, key: str) -> pathlib.Path:
@@ -149,17 +163,21 @@ class SimCache:
         """The stored payload for ``key``, or ``None`` on any miss."""
         if not self.enabled:
             self.stats.misses += 1
+            self._obs_misses.inc()
             return None
         try:
             with open(self.path_for(key), "r", encoding="utf-8") as fh:
                 value = json.load(fh)
         except (OSError, ValueError):
             self.stats.misses += 1
+            self._obs_misses.inc()
             return None
         if not isinstance(value, dict):
             self.stats.misses += 1
+            self._obs_misses.inc()
             return None
         self.stats.hits += 1
+        self._obs_hits.inc()
         return value
 
     def put(self, key: str, value: dict) -> None:
@@ -176,6 +194,7 @@ class SimCache:
                     json.dump(value, fh)
                 os.replace(tmp, self.path_for(key))
                 self.stats.puts += 1
+                self._obs_puts.inc()
             except BaseException:
                 try:
                     os.unlink(tmp)

@@ -76,3 +76,47 @@ class TestValidation:
     def test_bad_workers_rejected(self):
         with pytest.raises(ConfigurationError):
             ParallelRunner(QUICK, max_workers=0)
+
+
+class TestTelemetry:
+    """Worker spans ship back and merge into one coherent trace."""
+
+    SMALL = SimConfig(warmup_cycles=5_000.0, measure_cycles=40_000.0, seed=9)
+
+    @pytest.fixture(autouse=True)
+    def _fresh_obs(self):
+        from repro import obs
+
+        obs.reset()
+        obs.configure(enabled=True, sample=1.0)
+        yield
+        obs.reset()
+
+    def test_grid_merges_worker_spans_with_parents(self):
+        from repro import obs
+
+        ParallelRunner(self.SMALL, max_workers=2).run_grid(
+            ("homo-1",), ("nopart", "equal")
+        )
+        by_name = {}
+        for s in obs.tracer().spans():
+            by_name.setdefault(s.name, []).append(s)
+
+        grid = by_name["parallel.grid"][0]
+        run_tasks = by_name["parallel.run_task"]
+        assert len(run_tasks) == 2
+        assert all(t.parent_id == grid.span_id for t in run_tasks)
+        # the simulations really ran in other processes
+        assert all(t.pid != grid.pid for t in run_tasks)
+        # each worker task wraps its own engine.run
+        engine_parents = {s.parent_id for s in by_name["engine.run"]
+                          if s.pid != grid.pid}
+        assert engine_parents <= {t.span_id for t in run_tasks} | {
+            p.span_id for p in by_name.get("parallel.profile_task", [])
+        }
+
+        reg = obs.registry()
+        assert reg.get_value("parallel.workers") == 2.0
+        assert reg.get_value("parallel.tasks") >= 2.0
+        util = reg.get_value("parallel.worker_utilization")
+        assert 0.0 < util <= 1.0

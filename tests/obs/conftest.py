@@ -1,0 +1,16 @@
+"""Telemetry tests assert absolute values, so each test gets a clean
+process-global registry + tracer and fully-on tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs.reset()
+    obs.configure(enabled=True, sample=1.0)
+    yield
+    obs.reset()

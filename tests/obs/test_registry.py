@@ -1,0 +1,117 @@
+"""MetricsRegistry: instruments, labels, cardinality bound, exporters."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import obs
+from repro.obs.registry import CardinalityError, MetricsRegistry
+
+
+class TestInstruments:
+    def test_counter_accumulates(self):
+        reg = MetricsRegistry()
+        c = reg.counter("requests")
+        c.inc()
+        c.inc(4)
+        assert reg.get_value("requests") == 5.0
+
+    def test_counter_rejects_negative(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("requests").inc(-1)
+
+    def test_gauge_last_write_wins(self):
+        reg = MetricsRegistry()
+        g = reg.gauge("workers")
+        g.set(8)
+        g.set(4)
+        g.add(1)
+        assert reg.get_value("workers") == 5.0
+
+    def test_histogram_summary(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency")
+        for v in (1.0, 2.0, 3.0, 4.0):
+            h.observe(v)
+        snap = h.snapshot()
+        assert snap["count"] == 4
+        assert snap["sum"] == 10.0
+        assert snap["min"] == 1.0
+        assert snap["max"] == 4.0
+        assert snap["mean"] == 2.5
+        assert snap["p50"] == pytest.approx(3.0)  # nearest-rank
+
+    def test_histogram_window_is_bounded(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("latency", reservoir=8)
+        for v in range(100):
+            h.observe(float(v))
+        snap = h.snapshot()
+        assert snap["count"] == 100  # exact aggregates survive eviction
+        assert snap["window"] == 8
+        assert snap["p50"] >= 92.0  # window holds only the newest values
+
+    def test_same_labels_same_instrument(self):
+        reg = MetricsRegistry()
+        assert reg.counter("hits", cache="sim") is reg.counter(
+            "hits", cache="sim"
+        )
+        assert reg.counter("hits", cache="sim") is not reg.counter(
+            "hits", cache="service"
+        )
+
+    def test_kind_conflict_is_an_error(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="is a counter"):
+            reg.gauge("x")
+
+
+class TestCardinality:
+    def test_cap_raises_clear_error(self):
+        reg = MetricsRegistry(max_label_sets=4)
+        for i in range(4):
+            reg.counter("requests", path=f"/p{i}")
+        with pytest.raises(CardinalityError, match="cap 4"):
+            reg.counter("requests", path="/one-too-many")
+
+    def test_cap_is_per_name(self):
+        reg = MetricsRegistry(max_label_sets=2)
+        reg.counter("a", k="1")
+        reg.counter("a", k="2")
+        # a different metric name starts its own budget
+        reg.counter("b", k="1")
+        reg.counter("b", k="2")
+        with pytest.raises(CardinalityError):
+            reg.counter("b", k="3")
+
+
+class TestSnapshotAndExport:
+    def test_snapshot_shape(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", cache="sim").inc(3)
+        snap = reg.snapshot()
+        assert snap["hits"]["kind"] == "counter"
+        assert snap["hits"]["series"] == [
+            {"labels": {"cache": "sim"}, "value": 3.0}
+        ]
+
+    def test_prometheus_text_format(self):
+        reg = MetricsRegistry()
+        reg.counter("cache.hits", cache="sim").inc(2)
+        reg.gauge("parallel.workers").set(8)
+        h = reg.histogram("service.latency_ms", path="/v1/partition")
+        h.observe(1.5)
+        text = obs.prometheus_text(reg)
+        assert "# TYPE cache_hits counter" in text
+        assert 'cache_hits{cache="sim"} 2.0' in text
+        assert "# TYPE parallel_workers gauge" in text
+        assert "parallel_workers 8.0" in text
+        assert "# TYPE service_latency_ms summary" in text
+        assert 'service_latency_ms_count{path="/v1/partition"} 1' in text
+        assert 'quantile="0.5"' in text
+
+    def test_global_registry_is_process_wide(self):
+        obs.registry().counter("global.check").inc()
+        assert obs.registry().get_value("global.check") == 1.0

@@ -1,0 +1,143 @@
+"""Engine / runner / event-log wiring into repro.obs."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.experiments.runner import Runner
+from repro.sim.cpu import CoreSpec
+from repro.sim.engine import SimConfig, simulate
+from repro.sim.eventlog import EventLog
+from repro.sim.mc.fcfs import FCFSScheduler
+from repro.sim.request import Request
+
+
+@pytest.fixture(autouse=True)
+def _fresh_obs():
+    obs.reset()
+    obs.configure(enabled=True, sample=1.0)
+    yield
+    obs.reset()
+
+
+def _spec(name="app", api=0.02):
+    return CoreSpec(name=name, api=api, ipc_peak=0.5, mlp=8)
+
+
+CFG = SimConfig(warmup_cycles=10_000, measure_cycles=60_000, seed=3)
+
+
+class TestEngineSpans:
+    def test_run_span_wraps_warmup_and_measure(self):
+        simulate([_spec()], lambda n: FCFSScheduler(n), CFG)
+        by = {s.name: s for s in obs.tracer().spans()}
+        run = by["engine.run"]
+        assert run.attrs["scheduler"] == "fcfs"
+        assert run.attrs["apps"] == 1
+        assert run.attrs["seed"] == 3
+        assert by["engine.warmup"].parent_id == run.span_id
+        assert by["engine.measure"].parent_id == run.span_id
+        # warmup strictly precedes measurement
+        assert by["engine.warmup"].ts_us < by["engine.measure"].ts_us
+
+    def test_no_warmup_span_when_warmup_zero(self):
+        cfg = SimConfig(warmup_cycles=0, measure_cycles=60_000, seed=3)
+        simulate([_spec()], lambda n: FCFSScheduler(n), cfg)
+        names = [s.name for s in obs.tracer().spans()]
+        assert "engine.warmup" not in names
+        assert "engine.measure" in names
+
+    def test_scheduler_round_spans_per_epoch(self):
+        cfg = SimConfig(
+            warmup_cycles=0, measure_cycles=60_000, seed=3,
+            epoch_cycles=20_000,
+        )
+        simulate([_spec()], lambda n: FCFSScheduler(n), cfg)
+        rounds = obs.tracer().find("engine.scheduler_round")
+        assert len(rounds) >= 2
+        by = {s.name: s for s in obs.tracer().spans()}
+        for r in rounds:
+            assert r.parent_id == by["engine.measure"].span_id
+
+    def test_counters_flushed_once_per_run(self):
+        simulate([_spec()], lambda n: FCFSScheduler(n), CFG)
+        reg = obs.registry()
+        assert reg.get_value("engine.runs") == 1.0
+        assert reg.get_value("engine.events") > 100
+        assert reg.get_value("engine.simulated_cycles") == 60_000
+        simulate([_spec()], lambda n: FCFSScheduler(n), CFG)
+        assert reg.get_value("engine.runs") == 2.0
+
+    def test_disabled_tracing_still_counts(self):
+        obs.configure(enabled=False)
+        simulate([_spec()], lambda n: FCFSScheduler(n), CFG)
+        assert len(obs.tracer()) == 0
+        assert obs.registry().get_value("engine.runs") == 1.0
+
+
+class TestEventLogTrace:
+    def _log(self):
+        log = EventLog()
+        s = log.attach(FCFSScheduler(2))
+        s.enqueue(Request(app_id=0, line_addr=0, is_write=False, created=0.0), 10.0)
+        s.enqueue(Request(app_id=1, line_addr=1, is_write=True, created=0.0), 12.0)
+        s.select(20.0)
+        return log
+
+    def test_events_become_instants_and_counters(self):
+        events = self._log().to_obs_trace(pid=7)
+        instants = [e for e in events if e["ph"] == "i"]
+        counters = [e for e in events if e["ph"] == "C"]
+        metas = [e for e in events if e["ph"] == "M"]
+        assert {e["name"] for e in instants} == {"enqueue", "grant"}
+        assert all(e["pid"] == 7 for e in instants)
+        # per-app tracks, queue depth as a counter series
+        assert {e["tid"] for e in instants} == {0, 1}
+        assert counters and "queue_depth" in counters[0]["name"]
+        assert any("app" in m["args"]["name"] for m in metas)
+
+    def test_cycle_to_us_mapping(self):
+        events = self._log().to_obs_trace(origin_us=100.0, cycles_per_us=10.0)
+        first = [e for e in events if e["ph"] == "i"][0]
+        assert first["ts"] == pytest.approx(100.0 + 10.0 / 10.0)
+
+    def test_merges_with_spans_into_one_chrome_file(self, tmp_path):
+        simulate([_spec()], lambda n: FCFSScheduler(n), CFG)
+        path = tmp_path / "run.trace.json"
+        obs.write_chrome_trace(
+            path, obs.tracer().spans(), extra_events=self._log().to_obs_trace()
+        )
+        doc = json.loads(path.read_text())
+        phs = {e["ph"] for e in doc["traceEvents"]}
+        assert {"X", "i", "C", "M"} <= phs
+
+
+class TestRunnerWiring:
+    def test_profile_cache_counters_and_span(self):
+        runner = Runner(CFG)
+        runner.alone_point(_spec("bench"))
+        reg = obs.registry()
+        assert reg.get_value("profile.cache_misses") == 1.0
+        assert len(obs.tracer().find("runner.profile")) == 1
+        # second call hits the in-memory layer
+        runner.alone_point(_spec("bench"))
+        assert reg.get_value("profile.cache_hits", layer="memory") == 1.0
+        # a fresh runner sees the persistent layer instead
+        runner2 = Runner(CFG)
+        runner2.alone_point(_spec("bench"))
+        assert reg.get_value("profile.cache_hits", layer="disk") == 1.0
+        assert reg.get_value("profile.cache_misses") == 1.0
+
+    def test_run_point_span_and_counter(self):
+        runner = Runner(CFG)
+        runner.run("homo-1", "nopart")
+        assert obs.registry().get_value("runner.points") == 1.0
+        (point,) = obs.tracer().find("runner.point")
+        assert point.attrs == {"mix": "homo-1", "scheme": "nopart", "copies": 1}
+        # profiling runs nest under the point that triggered them
+        profiles = obs.tracer().find("runner.profile")
+        assert profiles
+        assert all(p.parent_id == point.span_id for p in profiles)

@@ -18,6 +18,7 @@ FAST_EXAMPLES = [
     "datacenter_consolidation.py",
     "fairness_throughput_frontier.py",
     "service_quickstart.py",
+    "trace_quickstart.py",
 ]
 
 
