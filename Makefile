@@ -4,7 +4,8 @@ PYTHON ?= python
 BENCH_JSON ?= benchmarks/out/bench_current.json
 
 .PHONY: install test properties benchmarks bench bench-compare bench-baseline \
-	experiments scorecard examples serve bench-service bench-obs clean
+	experiments scorecard examples serve bench-service bench-obs \
+	bench-sweep clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -46,8 +47,15 @@ bench-service:
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs.py
 
+# sweep-planner gates: >=30% dedup on the full exhibit registry, and
+# DAG dispatch wall-clock no slower than the legacy pool.map path;
+# writes benchmarks/out/BENCH_sweep.json + sweep_plan.json
+bench-sweep:
+	@mkdir -p benchmarks/out
+	BENCH_OUT_DIR=benchmarks/out $(PYTHON) benchmarks/bench_sweep.py
+
 experiments:
-	$(PYTHON) -m repro.experiments all
+	$(PYTHON) -m repro.experiments all --plan
 
 scorecard:
 	$(PYTHON) -m repro.experiments scorecard

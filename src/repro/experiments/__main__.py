@@ -14,7 +14,13 @@ Usage::
 
 Flags: ``--quick`` shrinks the measurement windows ~4x (smoke runs; more
 sampling noise); ``--export DIR`` writes tidy CSV/JSON artifacts;
-``--parallel`` fans the figure2 grid across CPU cores.
+``--plan`` compiles the requested exhibits into one deduplicated
+simulation DAG and executes it on the shared worker pool before
+assembling the outputs (``--plan-json PATH`` saves the compiled plan);
+``--parallel`` fans the figure2 grid across CPU cores via the legacy
+grid path.  ``--workers N`` (or ``REPRO_WORKERS``) sizes the shared
+dispatcher for every subcommand; setting a worker count implies
+``--plan`` unless ``--parallel`` was requested.
 """
 
 from __future__ import annotations
@@ -23,8 +29,8 @@ import argparse
 import sys
 import time
 
+from repro.experiments.plan import default_config
 from repro.experiments.runner import Runner
-from repro.sim.engine import SimConfig
 
 _EXHIBITS = (
     "figure1", "figure2", "figure3", "figure4", "table3", "table4",
@@ -32,18 +38,8 @@ _EXHIBITS = (
     "regression",
 )
 
-
-def _default_config(quick: bool, dram=None) -> SimConfig:
-    kwargs = {}
-    if dram is not None:
-        kwargs["dram"] = dram
-    if quick:
-        return SimConfig(
-            warmup_cycles=100_000.0, measure_cycles=250_000.0, seed=7, **kwargs
-        )
-    return SimConfig(
-        warmup_cycles=200_000.0, measure_cycles=1_000_000.0, seed=7, **kwargs
-    )
+# back-compat alias (pre-planner callers imported the underscore name)
+_default_config = default_config
 
 
 def _maybe_export(name: str, result, export_dir: str | None) -> str:
@@ -68,15 +64,28 @@ def _maybe_export(name: str, result, export_dir: str | None) -> str:
     return f"\n[exported {csv_path} and {json_path}]"
 
 
+def _runner_for(config, plan_results) -> Runner:
+    """A serial runner, pre-warmed with planned results when available."""
+    if plan_results is not None:
+        return plan_results.runner(config)
+    return Runner(config)
+
+
 def run_exhibit(
     name: str,
     quick: bool = False,
     export_dir: str | None = None,
     parallel: bool = False,
     workers: int | None = None,
+    plan_results=None,
 ) -> str:
-    """Run one exhibit and return its rendered text."""
-    runner = Runner(_default_config(quick))
+    """Run one exhibit and return its rendered text.
+
+    ``plan_results`` (a :class:`repro.experiments.dispatch.PlanResults`)
+    supplies pre-computed simulations; exhibits then only assemble, plus
+    their few dependent serial simulations.
+    """
+    runner = _runner_for(default_config(quick), plan_results)
     if name == "figure1":
         from repro.experiments import figure1
 
@@ -91,7 +100,7 @@ def run_exhibit(
             from repro.workloads.mixes import HETERO_MIXES, HOMO_MIXES
 
             grid = ParallelRunner(
-                _default_config(quick), max_workers=workers
+                default_config(quick), max_workers=workers
             ).normalized_grid(HOMO_MIXES + HETERO_MIXES, FIG2_SCHEMES)
             result = Figure2Result(grid=grid)
         else:
@@ -105,7 +114,9 @@ def run_exhibit(
     if name == "figure4":
         from repro.experiments import figure4
 
-        result = figure4.run(lambda dram: Runner(_default_config(quick, dram)))
+        result = figure4.run(
+            lambda dram: _runner_for(default_config(quick, dram), plan_results)
+        )
         return figure4.render(result) + _maybe_export(name, result, export_dir)
     if name == "table3":
         from repro.experiments import table3
@@ -155,11 +166,23 @@ def run_exhibit(
     if name == "extension":
         from repro.experiments import extension
 
-        return extension.render(extension.run(runner))
+        heuristic_sims = (
+            plan_results.heuristic_sims(default_config(quick))
+            if plan_results is not None
+            else None
+        )
+        return extension.render(
+            extension.run(runner, heuristic_sims=heuristic_sims)
+        )
     if name == "sensitivity":
         from repro.experiments import sensitivity
 
-        return sensitivity.render(sensitivity.run())
+        factory = (
+            (lambda cfg: plan_results.runner(cfg))
+            if plan_results is not None
+            else None
+        )
+        return sensitivity.render(sensitivity.run(runner_factory=factory))
     if name == "scorecard":
         from repro.experiments import scorecard
 
@@ -183,6 +206,29 @@ def run_exhibit(
     raise SystemExit(f"unknown exhibit {name!r}; choose from {_EXHIBITS + ('all',)}")
 
 
+def _execute_sweep(names, *, quick: bool, workers: int | None, plan_json):
+    """Compile + execute the deduplicated DAG for the named exhibits."""
+    from repro.experiments.dispatch import execute_plan
+    from repro.experiments.plan import PLANNABLE_EXHIBITS, compile_plan
+
+    plannable = tuple(n for n in names if n in PLANNABLE_EXHIBITS)
+    sweep = compile_plan(plannable, quick=quick)
+    print(sweep.summary())
+    if plan_json:
+        sweep.write(plan_json)
+        print(f"[plan written to {plan_json}]")
+    t0 = time.time()
+    results = execute_plan(sweep, max_workers=workers)
+    stats = results.stats
+    print(
+        f"[plan executed: {stats.n_tasks} simulations "
+        f"({stats.n_cache_hits} profile cache hits, {stats.n_steals} stolen, "
+        f"{stats.utilization * 100:.0f}% worker utilization) "
+        f"in {time.time() - t0:.1f}s on {stats.workers} workers]\n"
+    )
+    return results
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro-experiments", description=__doc__)
     parser.add_argument("exhibit", choices=_EXHIBITS + ("all",))
@@ -194,6 +240,18 @@ def main(argv: list[str] | None = None) -> int:
         help="also write tidy CSV/JSON artifacts for the exhibit into DIR",
     )
     parser.add_argument(
+        "--plan",
+        action="store_true",
+        help="compile the requested exhibits into one deduplicated "
+        "simulation DAG and execute it on the shared worker pool first",
+    )
+    parser.add_argument(
+        "--plan-json",
+        metavar="PATH",
+        default=None,
+        help="write the compiled plan (tasks, deps, dedup stats) to PATH",
+    )
+    parser.add_argument(
         "--parallel",
         action="store_true",
         help="fan the simulation grid out across CPU cores (figure2)",
@@ -203,7 +261,8 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="process-pool size for --parallel (default: all CPU cores)",
+        help="worker-pool size for --plan/--parallel (default: REPRO_WORKERS, "
+        "then all CPU cores); setting it implies --plan unless --parallel",
     )
     parser.add_argument(
         "--update",
@@ -212,10 +271,25 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
 
+    from repro.experiments.dispatch import resolve_workers
+
+    workers = resolve_workers(args.workers)
+    use_plan = args.plan or (workers is not None and not args.parallel)
+
     if args.exhibit == "regression":
         from repro.experiments import regression
 
-        runner = Runner(_default_config(args.quick))
+        plan_results = (
+            _execute_sweep(
+                ("regression",),
+                quick=args.quick,
+                workers=workers,
+                plan_json=args.plan_json,
+            )
+            if use_plan
+            else None
+        )
+        runner = _runner_for(default_config(args.quick), plan_results)
         current = regression.collect(runner)
         if args.update:
             regression.save_baseline(current, regression.BASELINE_PATH)
@@ -234,6 +308,13 @@ def main(argv: list[str] | None = None) -> int:
         if args.exhibit == "all"
         else (args.exhibit,)
     )
+    plan_results = (
+        _execute_sweep(
+            names, quick=args.quick, workers=workers, plan_json=args.plan_json
+        )
+        if use_plan
+        else None
+    )
     for name in names:
         t0 = time.time()
         print(f"=== {name} ===")
@@ -243,7 +324,8 @@ def main(argv: list[str] | None = None) -> int:
                 quick=args.quick,
                 export_dir=args.export,
                 parallel=args.parallel,
-                workers=args.workers,
+                workers=workers,
+                plan_results=plan_results,
             )
         )
         elapsed = time.time() - t0
@@ -253,7 +335,7 @@ def main(argv: list[str] | None = None) -> int:
             from repro.obs import RunManifest
 
             manifest = RunManifest.create(
-                name, _default_config(args.quick), {"quick": args.quick}
+                name, default_config(args.quick), {"quick": args.quick}
             )
             manifest.add_timing(name, elapsed)
             print(f"[manifest {manifest.write(args.export)}]")

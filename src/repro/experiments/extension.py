@@ -31,14 +31,29 @@ from repro.sim.mc.parbs import PARBSScheduler
 from repro.sim.mc.tcm import TCMScheduler
 from repro.workloads.mixes import HETERO_MIXES, mix_core_specs
 
-__all__ = ["HEURISTICS", "ExtensionResult", "run", "render"]
+__all__ = [
+    "HEURISTICS",
+    "HEURISTIC_FACTORIES",
+    "ExtensionResult",
+    "run",
+    "render",
+]
 
 HEURISTICS = ("parbs", "tcm")
 
-_FACTORIES = {
-    "parbs": lambda n: PARBSScheduler(n),
-    "tcm": lambda n: TCMScheduler(n),
-}
+
+def _parbs_factory(n: int) -> PARBSScheduler:
+    return PARBSScheduler(n)
+
+
+def _tcm_factory(n: int) -> TCMScheduler:
+    return TCMScheduler(n)
+
+
+#: module-level (picklable) factories -- the sweep dispatcher's workers
+#: resolve heuristic tasks through this same registry, so planned and
+#: serial extension runs construct identical schedulers
+HEURISTIC_FACTORIES = {"parbs": _parbs_factory, "tcm": _tcm_factory}
 
 
 @dataclass(frozen=True)
@@ -61,9 +76,19 @@ class ExtensionResult:
 
 
 def run(
-    runner: Runner, mixes: tuple[str, ...] = HETERO_MIXES
+    runner: Runner,
+    mixes: tuple[str, ...] = HETERO_MIXES,
+    *,
+    heuristic_sims: dict | None = None,
 ) -> ExtensionResult:
-    """Run heuristics + derived optima on the given mixes."""
+    """Run heuristics + derived optima on the given mixes.
+
+    ``heuristic_sims`` optionally supplies pre-computed heuristic
+    simulations keyed ``(mix, scheduler, copies)`` (the shape
+    :meth:`repro.experiments.dispatch.PlanResults.heuristic_sims`
+    returns); missing entries are simulated here.
+    """
+    heuristic_sims = heuristic_sims or {}
     grid: dict[str, dict[str, dict[str, float]]] = {}
     derived = sorted(set(OPTIMAL_FOR.values()))
     for mix in mixes:
@@ -77,7 +102,9 @@ def run(
             }
         specs = mix_core_specs(mix)
         for name in HEURISTICS:
-            sim = simulate(specs, _FACTORIES[name], runner.sim_config)
+            sim = heuristic_sims.get((mix, name, 1))
+            if sim is None:
+                sim = simulate(specs, HEURISTIC_FACTORIES[name], runner.sim_config)
             row[name] = {
                 m.name: (
                     m(sim.ipc_shared, base.ipc_alone) / base.metrics[m.name]

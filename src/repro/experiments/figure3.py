@@ -24,8 +24,7 @@ from repro.core.apps import AppProfile, Workload
 from repro.core.metrics import HarmonicWeightedSpeedup, SumOfIPCs, WeightedSpeedup
 from repro.core.qos import QoSPartitioner, QoSTarget
 from repro.experiments.report import format_table
-from repro.experiments.runner import Runner
-from repro.sim.mc.fcfs import FCFSScheduler
+from repro.experiments.runner import NOPART, Runner
 from repro.sim.mc.stf import StartTimeFairScheduler
 from repro.sim.engine import simulate
 from repro.workloads.mixes import QOS_MIXES, mix_core_specs
@@ -82,7 +81,10 @@ def run(runner: Runner) -> Figure3Result:
         )
         ipc_alone = np.array([runner.alone_point(s)[1] for s in specs])
 
-        nopart = simulate(specs, lambda n: FCFSScheduler(n), runner.sim_config)
+        # the runner's nopart operating point (memoized / plan-warmed);
+        # the QoS-guarded simulations below depend on its utilized
+        # bandwidth and therefore stay serial under the sweep planner
+        nopart = runner.run(mix, NOPART).sim
         be_alone = ipc_alone[be_idx]
 
         for objective in _OBJECTIVES:

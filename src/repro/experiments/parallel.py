@@ -17,6 +17,18 @@ Design notes (per the repo's HPC guidance):
 * results are plain dataclasses; ordering is restored by key, so the
   output is bit-identical to the serial :class:`~repro.experiments.runner.Runner`
   (asserted in the test-suite).
+
+Two dispatch strategies share the worker entry points below:
+
+``strategy="dag"`` (default)
+    Compiles the grid into a :func:`repro.experiments.plan.grid_plan`
+    and executes it on the shared cost-aware dispatcher
+    (:mod:`repro.experiments.dispatch`): persistent forkserver pool,
+    longest-expected-first dispatch, dependency-triggered work
+    stealing, shared-memory result transport.
+``strategy="map"``
+    The legacy two-phase ``pool.map`` path (profiles, then runs, with
+    static chunking).  Kept as the benchmark baseline and fallback.
 """
 
 from __future__ import annotations
@@ -143,21 +155,42 @@ class ParallelRunner:
         Forwarded to every worker (windows, seed, DRAM).
     max_workers:
         Process-pool size; ``None`` lets the executor pick (cpu_count).
+    strategy:
+        ``"dag"`` (default) routes the grid through the shared
+        cost-aware dispatcher; ``"map"`` keeps the legacy static
+        ``pool.map`` chunking (benchmark baseline).
     """
 
     def __init__(
-        self, sim_config: SimConfig | None = None, max_workers: int | None = None
+        self,
+        sim_config: SimConfig | None = None,
+        max_workers: int | None = None,
+        *,
+        strategy: str = "dag",
     ) -> None:
         self.sim_config = sim_config or SimConfig()
         if max_workers is not None and max_workers < 1:
             raise ConfigurationError("max_workers must be >= 1")
+        if strategy not in ("dag", "map"):
+            raise ConfigurationError(
+                f"unknown strategy {strategy!r}; expected 'dag' or 'map'"
+            )
         self.max_workers = max_workers
+        self.strategy = strategy
 
     def _chunksize(self, n_tasks: int) -> int:
         """Batch tasks per pool dispatch: ~4 chunks per worker balances
         IPC overhead against load imbalance (simulations vary severalfold
-        in runtime across mixes/schemes)."""
+        in runtime across mixes/schemes).
+
+        Small fan-outs dispatch with ``chunksize=1``: below ~4 tasks
+        per worker, batching can only strand a slow mix behind a
+        finished one (the long-tail imbalance), never amortize
+        anything worth having.
+        """
         workers = self.max_workers or os.cpu_count() or 1
+        if n_tasks <= workers * 4:
+            return 1
         return max(1, n_tasks // (workers * 4))
 
     # ------------------------------------------------------------------
@@ -246,6 +279,47 @@ class ParallelRunner:
             raise ConfigurationError("empty grid")
         workers = self.max_workers or os.cpu_count() or 1
         obs.registry().gauge("parallel.workers").set(workers)
+        if self.strategy == "dag":
+            return self._run_grid_dag(grid)
+        return self._run_grid_map(grid)
+
+    def _run_grid_dag(self, grid: _Grid) -> dict[str, dict[str, SchemeRun]]:
+        """Compile the grid to a plan and run it on the shared dispatcher.
+
+        The keeper is closed before returning: results stay valid (the
+        OS keeps unlinked segments alive while numpy views reference
+        them) and the memory is reclaimed as the views are collected.
+        """
+        from repro.experiments.dispatch import ShmKeeper, get_dispatcher
+        from repro.experiments.plan import grid_plan
+
+        plan = grid_plan(
+            grid.mixes, grid.schemes, self.sim_config, copies=grid.copies
+        )
+        dispatcher = get_dispatcher(self.max_workers)
+        keeper = ShmKeeper()
+        with obs.span(
+            "parallel.grid",
+            attrs={
+                "mixes": len(grid.mixes),
+                "schemes": len(grid.schemes),
+                "copies": grid.copies,
+            },
+        ) as phase:
+            results, _stats = dispatcher.execute(
+                plan, parent_span_id=phase.span_id, keeper=keeper
+            )
+        keeper.close()
+        out: dict[str, dict[str, SchemeRun]] = {m: {} for m in grid.mixes}
+        for digest, task in plan.tasks.items():
+            if task.kind == "run":
+                p = task.point
+                out[p.mix][p.scheme] = results[digest]
+        return out
+
+    def _run_grid_map(self, grid: _Grid) -> dict[str, dict[str, SchemeRun]]:
+        """Legacy static-chunked two-phase ``pool.map`` execution."""
+        copies = grid.copies
         with ProcessPoolExecutor(
             max_workers=self.max_workers, initializer=_worker_obs_init
         ) as pool:

@@ -1,0 +1,535 @@
+"""Cross-experiment sweep compiler: one deduplicated task DAG.
+
+Every ``repro-experiments`` exhibit is, underneath, a set of
+simulations drawn from the same design space: alone-mode *profile*
+points (one per benchmark per :class:`~repro.sim.engine.SimConfig`),
+shared-mode *run* points (one per (mix, scheme, copies, config)), and a
+few *heuristic-scheduler* points (PAR-BS / TCM for the extension
+study).  Run serially per exhibit -- today's ``repro-experiments all``
+-- the same points are simulated again and again: Figure 1 is a strict
+subset of Figure 2's grid, Table III/IV re-profile the benchmarks
+Figure 2 already profiled, the extension/predicted/scorecard/ablation
+studies all re-run slices of the main grid.
+
+This module *compiles* a set of exhibits into a single
+content-addressed task DAG:
+
+* every required simulation becomes a :class:`SimTask` keyed by a
+  :func:`~repro.util.cache.config_digest` of everything it depends on
+  (the same digests the persistent :class:`~repro.util.cache.SimCache`
+  uses, so disk-cached profiles short-circuit the DAG too);
+* identical tasks demanded by several exhibits collapse into one node,
+  and per-exhibit demand is recorded so the dedup ratio is measurable
+  (``parallel.dedup_ratio``);
+* profile tasks have no dependencies; run tasks depend on the profile
+  tasks of their mix (the alone table feeds the scheme's share/priority
+  computation), which is the DAG's only edge type.
+
+Execution lives in :mod:`repro.experiments.dispatch`; this module is
+pure bookkeeping (compiling a plan performs zero simulations).
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+
+from repro import obs
+from repro.sim.engine import SimConfig
+from repro.util.cache import config_digest
+
+__all__ = [
+    "ProfilePoint",
+    "RunPoint",
+    "HeuristicPoint",
+    "SimTask",
+    "SweepPlan",
+    "PLANNABLE_EXHIBITS",
+    "default_config",
+    "compile_plan",
+    "grid_plan",
+]
+
+
+def default_config(quick: bool = False, dram=None) -> SimConfig:
+    """The CLI's experiment configuration (single source of truth --
+    ``repro-experiments`` and the planner must agree on it exactly,
+    or planned tasks would not match what the exhibits demand)."""
+    kwargs = {}
+    if dram is not None:
+        kwargs["dram"] = dram
+    if quick:
+        return SimConfig(
+            warmup_cycles=100_000.0, measure_cycles=250_000.0, seed=7, **kwargs
+        )
+    return SimConfig(
+        warmup_cycles=200_000.0, measure_cycles=1_000_000.0, seed=7, **kwargs
+    )
+
+
+# ----------------------------------------------------------------------
+# points: the three simulation shapes the experiments draw from
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ProfilePoint:
+    """One alone-mode profiling simulation (benchmark x config)."""
+
+    bench: str
+    config: SimConfig
+
+    kind = "profile"
+
+    def digest(self) -> str:
+        # identical to Runner._alone_key / ParallelRunner's profile key,
+        # so the persistent SimCache serves planner tasks and vice versa
+        from repro.workloads.spec import benchmark
+
+        return config_digest(
+            "alone-point", benchmark(self.bench).core_spec(), self.config
+        )
+
+
+@dataclass(frozen=True)
+class RunPoint:
+    """One shared-mode simulation (mix x scheme x copies x config)."""
+
+    mix: str
+    scheme: str
+    copies: int
+    config: SimConfig
+
+    kind = "run"
+
+    def digest(self) -> str:
+        return config_digest(
+            "run-point", self.mix, self.scheme, self.copies, self.config
+        )
+
+
+@dataclass(frozen=True)
+class HeuristicPoint:
+    """One heuristic-scheduler simulation (PAR-BS / TCM extension)."""
+
+    mix: str
+    scheduler: str
+    copies: int
+    config: SimConfig
+
+    kind = "heuristic"
+
+    def digest(self) -> str:
+        return config_digest(
+            "heuristic-point", self.mix, self.scheduler, self.copies, self.config
+        )
+
+
+Point = ProfilePoint | RunPoint | HeuristicPoint
+
+
+@dataclass(frozen=True)
+class SimTask:
+    """One node of the compiled DAG: a content-addressed simulation."""
+
+    digest: str
+    point: Point
+    #: digests of tasks that must complete first (profile -> run edges)
+    deps: tuple[str, ...] = ()
+
+    @property
+    def kind(self) -> str:
+        return self.point.kind
+
+
+# ----------------------------------------------------------------------
+# per-exhibit demand: exactly the points each exhibit would simulate
+# ----------------------------------------------------------------------
+def _mix_benches(mixes) -> tuple[str, ...]:
+    from repro.workloads.mixes import mix_core_specs
+
+    return tuple(
+        sorted(
+            {
+                s.name.split("#")[0]
+                for mix in mixes
+                for s in mix_core_specs(mix, 1)
+            }
+        )
+    )
+
+
+def _profiles(mixes, cfg: SimConfig) -> list[ProfilePoint]:
+    return [ProfilePoint(b, cfg) for b in _mix_benches(mixes)]
+
+
+def _runs(mixes, schemes, cfg: SimConfig, copies: int = 1) -> list[RunPoint]:
+    return [
+        RunPoint(mix, scheme, copies, cfg)
+        for mix in mixes
+        for scheme in schemes
+    ]
+
+
+def _demand_figure1(cfg_for):
+    from repro.experiments.figure1 import FIG1_MIX, FIG1_SCHEMES
+    from repro.experiments.runner import NOPART
+
+    cfg = cfg_for()
+    mixes = (FIG1_MIX,)
+    return _profiles(mixes, cfg) + _runs(mixes, (NOPART,) + FIG1_SCHEMES, cfg), 0
+
+
+def _demand_figure2(cfg_for):
+    from repro.experiments.figure2 import FIG2_SCHEMES
+    from repro.experiments.runner import NOPART
+    from repro.workloads.mixes import HETERO_MIXES, HOMO_MIXES
+
+    cfg = cfg_for()
+    mixes = HOMO_MIXES + HETERO_MIXES
+    return _profiles(mixes, cfg) + _runs(mixes, (NOPART,) + FIG2_SCHEMES, cfg), 0
+
+
+def _demand_figure3(cfg_for):
+    from repro.experiments.runner import NOPART
+    from repro.workloads.mixes import QOS_MIXES
+
+    cfg = cfg_for()
+    mixes = tuple(QOS_MIXES)
+    # the six QoS-guarded simulations depend on the nopart operating
+    # point (plan.beta needs its utilized bandwidth) and stay serial
+    return _profiles(mixes, cfg) + _runs(mixes, (NOPART,), cfg), 6
+
+
+def _demand_figure4(cfg_for):
+    from repro.experiments.figure2 import OPTIMAL_FOR
+    from repro.experiments.figure4 import SCALE_POINTS
+    from repro.workloads.mixes import HETERO_MIXES
+
+    schemes = tuple(sorted(set(OPTIMAL_FOR.values()) | {"equal"}))
+    points: list[Point] = []
+    for _label, dram_factory, copies in SCALE_POINTS:
+        cfg = cfg_for(dram_factory())
+        points += _profiles(HETERO_MIXES, cfg)
+        points += _runs(HETERO_MIXES, schemes, cfg, copies=copies)
+    return points, 0
+
+
+def _demand_table3(cfg_for):
+    from repro.workloads.spec import TABLE3
+
+    cfg = cfg_for()
+    return [ProfilePoint(name, cfg) for name in TABLE3], 0
+
+
+def _demand_table4(cfg_for):
+    from repro.workloads.mixes import MIXES
+
+    cfg = cfg_for()
+    return _profiles(tuple(MIXES), cfg), 0
+
+
+def _demand_ablation(cfg_for):
+    from repro.core.partitioning import default_schemes
+
+    cfg = cfg_for()
+    mixes = ("hetero-5",)
+    # model_vs_sim runs every scheme on hetero-5; the remaining studies
+    # reuse those runs plus eight bespoke simulations (enforcement x2,
+    # profiler x2, priority-as-shares x1, online x1, channel-scaling x2)
+    return _profiles(mixes, cfg) + _runs(mixes, tuple(default_schemes()), cfg), 8
+
+
+def _demand_extension(cfg_for):
+    from repro.experiments.extension import HEURISTICS
+    from repro.experiments.figure2 import OPTIMAL_FOR
+    from repro.experiments.runner import NOPART
+    from repro.workloads.mixes import HETERO_MIXES
+
+    cfg = cfg_for()
+    schemes = (NOPART,) + tuple(sorted(set(OPTIMAL_FOR.values())))
+    points: list[Point] = _profiles(HETERO_MIXES, cfg)
+    points += _runs(HETERO_MIXES, schemes, cfg)
+    points += [
+        HeuristicPoint(mix, h, 1, cfg) for mix in HETERO_MIXES for h in HEURISTICS
+    ]
+    return points, 0
+
+
+def _demand_sensitivity(cfg_for):
+    from repro.experiments.figure2 import FIG2_SCHEMES
+    from repro.experiments.runner import NOPART
+    from repro.experiments.sensitivity import default_perturbations
+
+    mixes = ("hetero-5",)
+    points: list[Point] = []
+    for p in default_perturbations():
+        points += _profiles(mixes, p.sim_config)
+        points += _runs(mixes, (NOPART,) + FIG2_SCHEMES, p.sim_config)
+    return points, 0
+
+
+def _demand_predicted(cfg_for):
+    from repro.core.partitioning import default_schemes
+    from repro.workloads.mixes import HETERO_MIXES
+
+    cfg = cfg_for()
+    # compare_with_simulation simulates the first three hetero mixes,
+    # normalized to Equal (equal is one of the six default schemes)
+    mixes = HETERO_MIXES[:3]
+    return _profiles(mixes, cfg) + _runs(mixes, tuple(default_schemes()), cfg), 0
+
+
+def _demand_scorecard(cfg_for):
+    from repro.core.partitioning import default_schemes
+    from repro.experiments.figure2 import FIG2_SCHEMES
+
+    cfg = cfg_for()
+    fig1, _ = _demand_figure1(cfg_for)
+    t3, _ = _demand_table3(cfg_for)
+    t4, _ = _demand_table4(cfg_for)
+    fig3, fig3_serial = _demand_figure3(cfg_for)
+    reduced = ("hetero-4", "hetero-5", "hetero-6", "homo-1")
+    from repro.experiments.runner import NOPART
+
+    points = (
+        fig1
+        + t3
+        + t4
+        + _profiles(reduced, cfg)
+        + _runs(reduced, (NOPART,) + FIG2_SCHEMES, cfg)
+        + fig3
+        + _runs(("hetero-5",), tuple(default_schemes()), cfg)
+    )
+    return points, fig3_serial
+
+
+def _demand_regression(cfg_for):
+    from repro.core.partitioning import default_schemes
+    from repro.experiments.runner import NOPART
+
+    fig1, _ = _demand_figure1(cfg_for)
+    t3, _ = _demand_table3(cfg_for)
+    fig3, fig3_serial = _demand_figure3(cfg_for)
+    points = (
+        fig1
+        + t3
+        + _runs(("hetero-5",), tuple(default_schemes()) + (NOPART,), cfg_for())
+        + fig3
+    )
+    return points, fig3_serial
+
+
+_DEMANDS = {
+    "figure1": _demand_figure1,
+    "figure2": _demand_figure2,
+    "figure3": _demand_figure3,
+    "figure4": _demand_figure4,
+    "table3": _demand_table3,
+    "table4": _demand_table4,
+    "ablation": _demand_ablation,
+    "extension": _demand_extension,
+    "sensitivity": _demand_sensitivity,
+    "predicted": _demand_predicted,
+    "scorecard": _demand_scorecard,
+    "regression": _demand_regression,
+}
+
+#: every exhibit the compiler knows how to walk
+PLANNABLE_EXHIBITS: tuple[str, ...] = tuple(_DEMANDS)
+
+
+# ----------------------------------------------------------------------
+# the compiled plan
+# ----------------------------------------------------------------------
+@dataclass
+class SweepPlan:
+    """A deduplicated task DAG plus per-exhibit demand bookkeeping."""
+
+    #: digest -> task, in a topological order (profiles before runs)
+    tasks: dict[str, SimTask]
+    #: exhibit -> digests it demands (unique within the exhibit, as a
+    #: serial per-exhibit run memoizes within itself)
+    demand: dict[str, tuple[str, ...]]
+    #: exhibit -> simulations that stay serial during assembly (bespoke
+    #: dependent sims the DAG does not model, e.g. QoS-guarded runs)
+    serial_residue: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def n_unique(self) -> int:
+        return len(self.tasks)
+
+    @property
+    def n_demanded(self) -> int:
+        """Simulations a naive per-exhibit execution would perform."""
+        return sum(len(d) for d in self.demand.values())
+
+    @property
+    def dedup_ratio(self) -> float:
+        """Fraction of demanded simulations the plan eliminates."""
+        demanded = self.n_demanded
+        return 1.0 - self.n_unique / demanded if demanded else 0.0
+
+    def counts_by_kind(self) -> dict[str, int]:
+        out: dict[str, int] = {}
+        for t in self.tasks.values():
+            out[t.kind] = out.get(t.kind, 0) + 1
+        return out
+
+    def summary(self) -> str:
+        by_kind = ", ".join(
+            f"{k}={v}" for k, v in sorted(self.counts_by_kind().items())
+        )
+        residue = sum(self.serial_residue.values())
+        lines = [
+            f"sweep plan: {len(self.demand)} experiments, "
+            f"{self.n_demanded} demanded simulations -> "
+            f"{self.n_unique} unique tasks ({by_kind})",
+            f"  dedup ratio: {self.dedup_ratio * 100:.1f}% "
+            f"({self.n_demanded - self.n_unique} simulations eliminated; "
+            f"{residue} dependent sims stay serial during assembly)",
+        ]
+        for name, digests in self.demand.items():
+            lines.append(f"  {name:12s} demands {len(digests):4d} tasks")
+        return "\n".join(lines)
+
+    def to_json(self) -> dict:
+        """Machine-readable plan (the CI artifact)."""
+
+        def point_fields(p: Point) -> dict:
+            out = {"kind": p.kind}
+            if isinstance(p, ProfilePoint):
+                out["bench"] = p.bench
+            elif isinstance(p, RunPoint):
+                out.update(mix=p.mix, scheme=p.scheme, copies=p.copies)
+            else:
+                out.update(mix=p.mix, scheduler=p.scheduler, copies=p.copies)
+            out["config"] = {
+                "dram": p.config.dram.name,
+                "warmup_cycles": p.config.warmup_cycles,
+                "measure_cycles": p.config.measure_cycles,
+                "seed": p.config.seed,
+                "interference_mode": p.config.interference_mode,
+            }
+            return out
+
+        return {
+            "n_demanded": self.n_demanded,
+            "n_unique": self.n_unique,
+            "dedup_ratio": self.dedup_ratio,
+            "counts_by_kind": self.counts_by_kind(),
+            "serial_residue": dict(self.serial_residue),
+            "demand": {k: list(v) for k, v in self.demand.items()},
+            "tasks": {
+                d: {**point_fields(t.point), "deps": list(t.deps)}
+                for d, t in self.tasks.items()
+            },
+        }
+
+    def write(self, path) -> None:
+        import pathlib
+
+        p = pathlib.Path(path)
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
+
+
+def _deps_for(point: Point, profile_digests: dict[tuple[str, SimConfig], str]):
+    """Profile -> run dependency edges (the alone table feeds shares)."""
+    if not isinstance(point, RunPoint):
+        return ()
+    return tuple(
+        profile_digests[(b, point.config)]
+        for b in _mix_benches((point.mix,))
+        if (b, point.config) in profile_digests
+    )
+
+
+def compile_plan(
+    exhibits,
+    *,
+    quick: bool = False,
+    config_factory=None,
+) -> SweepPlan:
+    """Walk the requested exhibits and compile the deduplicated DAG.
+
+    ``config_factory(dram=None) -> SimConfig`` defaults to the CLI's
+    :func:`default_config` at the given ``quick`` setting; pass a
+    custom factory to plan at other window lengths (tests, benches).
+    """
+    from repro.util.errors import ConfigurationError
+
+    if config_factory is None:
+        def config_factory(dram=None, _q=quick):
+            return default_config(_q, dram)
+
+    names = tuple(exhibits)
+    unknown = [n for n in names if n not in _DEMANDS]
+    if unknown:
+        raise ConfigurationError(
+            f"cannot plan {unknown!r}; plannable: {PLANNABLE_EXHIBITS}"
+        )
+
+    with obs.span("plan.compile", attrs={"exhibits": len(names)}):
+        demand_points: dict[str, list[Point]] = {}
+        residue: dict[str, int] = {}
+        for name in names:
+            points, n_serial = _DEMANDS[name](config_factory)
+            # unique within the exhibit (serial runners memoize locally)
+            seen: dict[str, Point] = {}
+            for p in points:
+                seen.setdefault(p.digest(), p)
+            demand_points[name] = list(seen.values())
+            residue[name] = n_serial
+
+        # global dedup: profiles first (topological order), then the rest
+        profile_digests: dict[tuple[str, SimConfig], str] = {}
+        tasks: dict[str, SimTask] = {}
+        for points in demand_points.values():
+            for p in points:
+                if isinstance(p, ProfilePoint):
+                    d = p.digest()
+                    profile_digests[(p.bench, p.config)] = d
+                    if d not in tasks:
+                        tasks[d] = SimTask(digest=d, point=p)
+        for points in demand_points.values():
+            for p in points:
+                if isinstance(p, ProfilePoint):
+                    continue
+                d = p.digest()
+                if d not in tasks:
+                    tasks[d] = SimTask(
+                        digest=d, point=p, deps=_deps_for(p, profile_digests)
+                    )
+
+        plan = SweepPlan(
+            tasks=tasks,
+            demand={
+                name: tuple(p.digest() for p in points)
+                for name, points in demand_points.items()
+            },
+            serial_residue=residue,
+        )
+    obs.registry().gauge("parallel.dedup_ratio").set(plan.dedup_ratio)
+    return plan
+
+
+def grid_plan(
+    mixes, schemes, config: SimConfig, *, copies: int = 1
+) -> SweepPlan:
+    """A single-grid plan (ParallelRunner's workload, DAG-shaped)."""
+    mixes = tuple(mixes)
+    schemes = tuple(schemes)
+    profile_digests: dict[tuple[str, SimConfig], str] = {}
+    tasks: dict[str, SimTask] = {}
+    for p in _profiles(mixes, config):
+        d = p.digest()
+        profile_digests[(p.bench, p.config)] = d
+        tasks[d] = SimTask(digest=d, point=p)
+    for p in _runs(mixes, schemes, config, copies=copies):
+        d = p.digest()
+        if d not in tasks:
+            tasks[d] = SimTask(
+                digest=d, point=p, deps=_deps_for(p, profile_digests)
+            )
+    return SweepPlan(
+        tasks=tasks, demand={"grid": tuple(tasks)}, serial_residue={"grid": 0}
+    )

@@ -102,14 +102,22 @@ class SensitivityResult:
 def run(
     mix: str = "hetero-5",
     perturbations: tuple[Perturbation, ...] | None = None,
+    *,
+    runner_factory=None,
 ) -> SensitivityResult:
-    """Re-run the winners check under each perturbation."""
+    """Re-run the winners check under each perturbation.
+
+    ``runner_factory(sim_config) -> Runner`` lets callers supply
+    pre-warmed runners (the sweep planner executes each perturbation's
+    grid ahead of time); the default builds a fresh serial runner.
+    """
     from repro.experiments.figure2 import FIG2_SCHEMES
 
     perturbations = perturbations or default_perturbations()
+    runner_factory = runner_factory or Runner
     winners: dict[str, dict[str, str]] = {}
     for p in perturbations:
-        runner = Runner(p.sim_config)
+        runner = runner_factory(p.sim_config)
         norm = runner.normalized_metrics(mix, FIG2_SCHEMES)
         winners[p.name] = {
             metric: max(norm, key=lambda s: norm[s][metric])

@@ -39,7 +39,14 @@ import os
 import pathlib
 import tempfile
 
-__all__ = ["config_digest", "CacheStats", "SimCache", "SCHEMA_VERSION"]
+__all__ = [
+    "config_digest",
+    "atomic_write_json",
+    "default_cache_dir",
+    "CacheStats",
+    "SimCache",
+    "SCHEMA_VERSION",
+]
 
 #: bump when the digest scheme or stored payload layout changes
 SCHEMA_VERSION = 1
@@ -85,6 +92,38 @@ def config_digest(*parts) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
+def atomic_write_json(path: pathlib.Path, value) -> bool:
+    """Write ``value`` as JSON to ``path`` atomically; returns success.
+
+    The temp-file + ``os.replace`` dance guarantees a reader can never
+    observe a torn file, and concurrent writers simply race on the
+    final rename -- the loser's rename still succeeds (POSIX rename
+    replaces) and the survivors' contents are complete either way.
+    All I/O failures (including losing a directory-creation or
+    permission race) are swallowed and reported as ``False``: callers
+    treat these files as accelerators, never correctness dependencies.
+    """
+    path = pathlib.Path(path)
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            prefix=f".{path.stem[:16]}-", suffix=".tmp", dir=path.parent
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(value, fh)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+    except OSError:
+        return False
+    return True
+
+
 def _default_dir() -> pathlib.Path:
     env = os.environ.get("REPRO_CACHE_DIR")
     if env:
@@ -92,6 +131,16 @@ def _default_dir() -> pathlib.Path:
     xdg = os.environ.get("XDG_CACHE_HOME")
     base = pathlib.Path(xdg) if xdg else pathlib.Path.home() / ".cache"
     return base / _APP_DIR
+
+
+def default_cache_dir() -> pathlib.Path:
+    """The active cache directory (``REPRO_CACHE_DIR`` aware).
+
+    Sidecar files that want to live next to the cache entries (e.g. the
+    dispatcher's ``cost_model.json``) resolve their location through
+    this, so one environment variable relocates everything together.
+    """
+    return _default_dir()
 
 
 @dataclasses.dataclass
@@ -181,28 +230,21 @@ class SimCache:
         return value
 
     def put(self, key: str, value: dict) -> None:
-        """Store ``value`` under ``key`` atomically (rename-into-place)."""
+        """Store ``value`` under ``key`` atomically (rename-into-place).
+
+        Safe under concurrent writers: two ``repro-experiments``
+        invocations profiling the same benchmark race on the same entry
+        file, but each writes a private temp file and renames it into
+        place, so readers only ever see a complete entry; the losing
+        writer's rename simply replaces the winner's identical payload
+        (asserted by the concurrency regression test in
+        ``tests/util/test_sim_cache.py``).
+        """
         if not self.enabled:
             return
-        try:
-            self.directory.mkdir(parents=True, exist_ok=True)
-            fd, tmp = tempfile.mkstemp(
-                prefix=f".{key[:16]}-", suffix=".tmp", dir=self.directory
-            )
-            try:
-                with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                    json.dump(value, fh)
-                os.replace(tmp, self.path_for(key))
-                self.stats.puts += 1
-                self._obs_puts.inc()
-            except BaseException:
-                try:
-                    os.unlink(tmp)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            return
+        if atomic_write_json(self.path_for(key), value):
+            self.stats.puts += 1
+            self._obs_puts.inc()
 
     def clear(self) -> int:
         """Delete all cache entries; returns the number removed."""

@@ -68,6 +68,38 @@ class TestParallelMatchesSerial:
             assert par["hetero-5"]["equal"][metric] == pytest.approx(value)
 
 
+class TestMapStrategy:
+    """The legacy pool.map path stays available (benchmark baseline)."""
+
+    def test_map_grid_identical_to_serial(self):
+        mixes = ("hetero-5",)
+        schemes = ("nopart", "equal")
+        par = ParallelRunner(QUICK, max_workers=2, strategy="map").run_grid(
+            mixes, schemes
+        )
+        ser = Runner(QUICK).run_grid(mixes, schemes)
+        for mix in mixes:
+            for s in schemes:
+                assert par[mix][s].sim == ser[mix][s].sim
+                np.testing.assert_array_equal(
+                    par[mix][s].ipc_alone, ser[mix][s].ipc_alone
+                )
+
+
+class TestChunksize:
+    def test_small_fanout_dispatches_single_tasks(self):
+        """n_tasks <= workers * 4 must use chunksize=1, so one slow mix
+        cannot serialize a whole chunk behind it (long-tail fix)."""
+        runner = ParallelRunner(QUICK, max_workers=4)
+        for n in (1, 4, 15, 16):
+            assert runner._chunksize(n) == 1
+
+    def test_large_fanout_still_batches(self):
+        runner = ParallelRunner(QUICK, max_workers=4)
+        assert runner._chunksize(160) == 10
+        assert runner._chunksize(17) == 1  # floor just above the knee
+
+
 class TestValidation:
     def test_empty_grid_rejected(self):
         with pytest.raises(ConfigurationError):
@@ -76,6 +108,10 @@ class TestValidation:
     def test_bad_workers_rejected(self):
         with pytest.raises(ConfigurationError):
             ParallelRunner(QUICK, max_workers=0)
+
+    def test_bad_strategy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            ParallelRunner(QUICK, strategy="threads")
 
 
 class TestTelemetry:

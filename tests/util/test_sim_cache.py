@@ -10,7 +10,22 @@ import pytest
 from repro.sim.cpu import CoreSpec
 from repro.sim.dram.config import DRAMConfig
 from repro.sim.engine import SimConfig
-from repro.util.cache import CacheStats, SimCache, config_digest
+from repro.util.cache import (
+    CacheStats,
+    SimCache,
+    atomic_write_json,
+    config_digest,
+)
+
+
+def _hammer_same_key(directory: str, writer_id: int, n_writes: int) -> None:
+    """Worker: repeatedly overwrite one shared cache entry."""
+    cache = SimCache(directory)
+    for i in range(n_writes):
+        cache.put(
+            "shared-key",
+            {"apc_alone": float(writer_id), "ipc_alone": float(i), "n": 64},
+        )
 
 
 class TestConfigDigest:
@@ -148,3 +163,58 @@ class TestCacheStats:
             "lookups": 2,
             "hit_rate": 0.5,
         }
+
+
+class TestAtomicWriteJson:
+    def test_returns_true_and_writes(self, tmp_path):
+        path = tmp_path / "deep" / "value.json"
+        assert atomic_write_json(path, {"a": 1})
+        assert json.loads(path.read_text()) == {"a": 1}
+
+    def test_failure_reports_false(self, tmp_path):
+        target = tmp_path / "file-not-dir" / "x.json"
+        (tmp_path / "file-not-dir").write_text("occupied")
+        assert not atomic_write_json(target, {"a": 1})
+
+    def test_no_temp_residue(self, tmp_path):
+        for i in range(20):
+            atomic_write_json(tmp_path / "v.json", {"i": i})
+        assert [p.name for p in tmp_path.iterdir()] == ["v.json"]
+
+
+class TestConcurrentWriters:
+    """Two invocations profiling the same benchmark race on one entry
+    file; readers must never observe a torn entry (the regression the
+    atomic temp-file + rename in SimCache.put exists to prevent)."""
+
+    def test_same_key_hammering_never_tears(self, tmp_path):
+        import multiprocessing
+
+        ctx = multiprocessing.get_context("fork")
+        n_writers, n_writes = 3, 40
+        procs = [
+            ctx.Process(
+                target=_hammer_same_key, args=(str(tmp_path), w, n_writes)
+            )
+            for w in range(n_writers)
+        ]
+        for p in procs:
+            p.start()
+        reader = SimCache(tmp_path)
+        observed = 0
+        while any(p.is_alive() for p in procs):
+            value = reader.get("shared-key")
+            if value is not None:
+                # a torn write would json-decode-fail (-> None) or lose
+                # keys; every observed value must be complete
+                assert set(value) == {"apc_alone", "ipc_alone", "n"}
+                assert value["n"] == 64
+                observed += 1
+        for p in procs:
+            p.join()
+            assert p.exitcode == 0
+        assert observed > 0  # the reader really raced the writers
+        # the losing writers' temp files were cleaned up or renamed
+        assert [p.name for p in tmp_path.iterdir()] == ["shared-key.json"]
+        final = SimCache(tmp_path).get("shared-key")
+        assert final is not None and final["ipc_alone"] == float(n_writes - 1)
