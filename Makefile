@@ -5,7 +5,7 @@ BENCH_JSON ?= benchmarks/out/bench_current.json
 
 .PHONY: install test properties benchmarks bench bench-compare bench-baseline \
 	experiments scorecard examples serve bench-service bench-obs \
-	bench-sweep clean
+	bench-sweep lint typecheck clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -15,6 +15,21 @@ test:
 
 properties:
 	$(PYTHON) -m pytest tests/properties/ -q
+
+# domain-aware static analysis (stdlib-only; see docs/ANALYSIS.md) plus
+# ruff when it is installed
+lint:
+	$(PYTHON) -m repro.analysis src
+	@if command -v ruff >/dev/null 2>&1; then \
+		ruff check src; \
+	else \
+		echo "lint: ruff not installed here; skipping (CI enforces it)"; \
+	fi
+
+# mypy behind the monotonic error-count ratchet (analysis/mypy_ratchet.json);
+# skips with a notice when mypy is unavailable
+typecheck:
+	$(PYTHON) -m repro.analysis.ratchet check src/repro
 
 benchmarks:
 	$(PYTHON) -m pytest benchmarks/ --benchmark-only

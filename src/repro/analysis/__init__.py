@@ -1,0 +1,35 @@
+"""repro.analysis -- domain-aware static analysis for this repository.
+
+The package ships ``repro-lint`` (also ``python -m repro.analysis``): a
+stdlib-``ast`` lint pass whose rules encode the *domain* contracts the
+generic toolchain cannot see -- determinism of the simulator, numerical
+safety of the closed forms, IPC hygiene of the experiment layer, and
+call-graph-verified anchoring of every solver to the Eq. 2 conservation
+check.  ``repro.analysis.ratchet`` complements it with a monotonic
+mypy error-count gate.
+
+Programmatic use::
+
+    from repro.analysis import analyze_paths, load_config
+    result = analyze_paths([pathlib.Path("src")], load_config(None))
+    assert result.errors == 0
+
+See ``docs/ANALYSIS.md`` for the rule catalogue and suppression syntax.
+"""
+
+from repro.analysis.config import LintConfig, load_config
+from repro.analysis.diagnostics import Diagnostic, Severity
+from repro.analysis.engine import AnalysisResult, analyze_paths
+from repro.analysis.registry import Rule, all_rules, register
+
+__all__ = [
+    "AnalysisResult",
+    "Diagnostic",
+    "LintConfig",
+    "Rule",
+    "Severity",
+    "all_rules",
+    "analyze_paths",
+    "load_config",
+    "register",
+]

@@ -1,0 +1,136 @@
+"""``repro-lint`` -- the command-line front end of :mod:`repro.analysis`.
+
+Usage::
+
+    repro-lint [PATHS...]                 # lint (default: src)
+    repro-lint --format json src          # machine-readable report
+    repro-lint --list-rules               # rule catalogue
+    repro-lint --rule det-wallclock src   # run a subset of rules
+    python -m repro.analysis [...]        # same tool, module form
+
+Exit codes: ``0`` clean (warnings allowed unless ``--strict``), ``1``
+findings at error severity, ``2`` usage or internal failure.  The tool
+is stdlib-only by design so it runs in the most minimal environment
+the repo supports.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import sys
+from typing import Sequence
+
+from repro.analysis.config import find_pyproject, load_config
+from repro.analysis.engine import analyze_paths
+from repro.analysis.registry import all_rules
+from repro.analysis.reporters import render_json, render_text
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-lint",
+        description="Domain-aware static analysis for the bandwidth-model repo.",
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--output",
+        type=pathlib.Path,
+        default=None,
+        metavar="FILE",
+        help="write the report to FILE as well as stdout",
+    )
+    parser.add_argument(
+        "--rule",
+        action="append",
+        default=None,
+        metavar="RULE",
+        help="run only this rule (repeatable)",
+    )
+    parser.add_argument(
+        "--config",
+        type=pathlib.Path,
+        default=None,
+        metavar="PYPROJECT",
+        help="explicit pyproject.toml (default: nearest above the first path)",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="treat warnings as failures for the exit code",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print the rule catalogue and exit",
+    )
+    return parser
+
+
+def _list_rules() -> str:
+    lines = []
+    for rule_id, rule_cls in sorted(all_rules().items()):
+        scope = ", ".join(rule_cls.default_paths) or "everywhere"
+        lines.append(
+            f"{rule_id:22s} {rule_cls.severity.value:8s} [{scope}]\n"
+            f"{'':22s} {rule_cls.description}"
+        )
+    return "\n".join(lines)
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    if args.list_rules:
+        print(_list_rules())
+        return 0
+
+    paths = [pathlib.Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(
+            f"repro-lint: path does not exist: {missing[0]}", file=sys.stderr
+        )
+        return 2
+
+    if args.rule:
+        known = all_rules()
+        unknown = [r for r in args.rule if r not in known]
+        if unknown:
+            print(
+                f"repro-lint: unknown rule {unknown[0]!r}; "
+                f"known: {', '.join(sorted(known))}",
+                file=sys.stderr,
+            )
+            return 2
+
+    pyproject = args.config if args.config else find_pyproject(paths[0])
+    config = load_config(pyproject)
+
+    result = analyze_paths(paths, config, only_rules=args.rule)
+    report = (
+        render_json(result) if args.format == "json" else render_text(result)
+    )
+    print(report)
+    if args.output is not None:
+        args.output.parent.mkdir(parents=True, exist_ok=True)
+        args.output.write_text(report + "\n", encoding="utf-8")
+
+    failing = result.errors
+    if args.strict:
+        failing += result.warnings
+    return 1 if failing else 0

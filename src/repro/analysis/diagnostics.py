@@ -1,0 +1,70 @@
+"""Diagnostic records emitted by reprolint rules.
+
+A :class:`Diagnostic` is one finding at one source location.  Rules
+construct diagnostics with their *default* severity; the engine then
+applies any per-rule severity override from the project configuration
+(``[tool.reprolint.rules."<id>"] severity = ...``) before reporting, so
+a rule implementation never needs to consult the config itself.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+from typing import Any
+
+__all__ = ["Severity", "Diagnostic"]
+
+
+class Severity(enum.Enum):
+    """How seriously a finding gates the build.
+
+    ``ERROR`` findings make ``repro-lint`` exit nonzero; ``WARNING``
+    findings are reported but do not fail the run unless ``--strict``.
+    """
+
+    WARNING = "warning"
+    ERROR = "error"
+
+    @classmethod
+    def parse(cls, value: str) -> "Severity":
+        try:
+            return cls(value.lower())
+        except ValueError:
+            raise ValueError(
+                f"unknown severity {value!r}; expected 'warning' or 'error'"
+            ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class Diagnostic:
+    """One rule finding at one source location."""
+
+    #: rule identifier, e.g. ``det-wallclock``
+    rule: str
+    severity: Severity
+    #: path as given on the command line (kept relative when possible)
+    path: str
+    #: 1-based line, 0-based column -- matching :mod:`ast` node coordinates
+    line: int
+    col: int
+    message: str
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity.value,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}:{self.col + 1}: "
+            f"{self.severity.value}: {self.message} [{self.rule}]"
+        )
+
+    def sort_key(self) -> tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.rule)

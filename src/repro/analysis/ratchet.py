@@ -1,0 +1,194 @@
+"""Monotonic mypy error-count ratchet.
+
+The strict-typing goal lands incrementally: ``repro.core``,
+``repro.util`` and ``repro.analysis`` are held at (or near) zero mypy
+errors, while the larger legacy packages carry recorded ceilings in
+``analysis/mypy_ratchet.json``.  The contract is *monotonic*: a change
+may lower a package's error count, never raise it.  ``check`` fails CI
+on any regression; ``update`` rewrites the recorded counts after a
+clean-up so the new, lower ceiling becomes the law.
+
+The counting logic is a pure function over mypy's text output
+(``count_errors_by_package``), unit-tested on canned transcripts, so
+the gate's behaviour does not depend on having mypy importable --
+environments without mypy (this repo's offline container) skip with
+exit 0 and a notice, and CI, which installs mypy, enforces for them.
+
+Usage::
+
+    python -m repro.analysis.ratchet check   [--ratchet FILE] [PATHS...]
+    python -m repro.analysis.ratchet update  [--ratchet FILE] [PATHS...]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+from typing import Iterable, Sequence
+
+__all__ = [
+    "DEFAULT_RATCHET_PATH",
+    "count_errors_by_package",
+    "load_ratchet",
+    "compare_counts",
+    "run_mypy",
+    "main",
+]
+
+DEFAULT_RATCHET_PATH = pathlib.Path("analysis/mypy_ratchet.json")
+
+#: ``src/repro/sim/dram.py:41: error: ...`` (also windows separators)
+_ERROR_LINE = re.compile(
+    r"^(?P<path>[^:\n]+\.py)(?::\d+)+:\s*error:", re.MULTILINE
+)
+
+
+def _package_of(path: str) -> str:
+    """Map a reported file path to its ratchet bucket.
+
+    ``src/repro/sim/dram.py`` -> ``repro.sim``;  top-level modules like
+    ``src/repro/version.py`` -> ``repro``.  Paths outside a ``repro``
+    tree bucket under ``<other>`` so nothing is silently dropped.
+    """
+    parts = pathlib.PurePath(path.replace("\\", "/")).parts
+    if "repro" in parts:
+        i = parts.index("repro")
+        sub = parts[i : i + 2]
+        if len(sub) == 2 and not sub[1].endswith(".py"):
+            return ".".join(sub)
+        return "repro"
+    return "<other>"
+
+
+def count_errors_by_package(lines: Iterable[str] | str) -> dict[str, int]:
+    """Per-package mypy error counts from raw mypy stdout."""
+    text = lines if isinstance(lines, str) else "\n".join(lines)
+    counts: dict[str, int] = {}
+    for match in _ERROR_LINE.finditer(text):
+        package = _package_of(match.group("path"))
+        counts[package] = counts.get(package, 0) + 1
+    return dict(sorted(counts.items()))
+
+
+def load_ratchet(path: pathlib.Path) -> dict[str, int]:
+    data = json.loads(path.read_text(encoding="utf-8"))
+    ceilings = data.get("ceilings", data) if isinstance(data, dict) else {}
+    return {str(k): int(v) for k, v in ceilings.items()}
+
+
+def save_ratchet(path: pathlib.Path, counts: dict[str, int]) -> None:
+    payload = {
+        "_comment": (
+            "mypy error-count ceilings; counts may only go DOWN. "
+            "Regenerate with: python -m repro.analysis.ratchet update"
+        ),
+        "ceilings": dict(sorted(counts.items())),
+    }
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+
+
+def compare_counts(
+    current: dict[str, int], ceilings: dict[str, int]
+) -> list[str]:
+    """Human-readable regression list; empty means the gate passes.
+
+    Packages absent from the ratchet file default to a ceiling of 0, so
+    a brand-new package must start clean or be consciously admitted via
+    ``update``.
+    """
+    problems = []
+    for package, count in sorted(current.items()):
+        ceiling = ceilings.get(package, 0)
+        if count > ceiling:
+            problems.append(
+                f"{package}: {count} mypy error(s) > recorded ceiling {ceiling}"
+            )
+    return problems
+
+
+def run_mypy(paths: Sequence[str]) -> tuple[int, str] | None:
+    """(exit code, stdout) from mypy, or ``None`` when unavailable."""
+    if shutil.which("mypy") is None:
+        return None
+    proc = subprocess.run(
+        ["mypy", "--no-error-summary", *paths],
+        capture_output=True,
+        text=True,
+        check=False,
+    )
+    return proc.returncode, proc.stdout
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.ratchet",
+        description="Monotonic mypy error-count gate.",
+    )
+    parser.add_argument("command", choices=("check", "update"))
+    parser.add_argument(
+        "paths", nargs="*", default=["src/repro"], help="paths passed to mypy"
+    )
+    parser.add_argument(
+        "--ratchet",
+        type=pathlib.Path,
+        default=DEFAULT_RATCHET_PATH,
+        help=f"ratchet file (default: {DEFAULT_RATCHET_PATH})",
+    )
+    args = parser.parse_args(argv)
+
+    outcome = run_mypy(args.paths)
+    if outcome is None:
+        print(
+            "ratchet: mypy is not installed here; skipping "
+            "(CI installs and enforces it)"
+        )
+        return 0
+    returncode, stdout = outcome
+    if returncode not in (0, 1):
+        # usage/internal mypy failure: surface it, never mask it
+        print(stdout or f"ratchet: mypy failed with exit code {returncode}")
+        return 2
+    current = count_errors_by_package(stdout)
+
+    if args.command == "update":
+        save_ratchet(args.ratchet, current)
+        total = sum(current.values())
+        print(
+            f"ratchet: recorded {total} error(s) across "
+            f"{len(current)} package(s) in {args.ratchet}"
+        )
+        return 0
+
+    try:
+        ceilings = load_ratchet(args.ratchet)
+    except (OSError, ValueError) as exc:
+        print(f"ratchet: cannot read {args.ratchet}: {exc}")
+        return 2
+    problems = compare_counts(current, ceilings)
+    if problems:
+        print(stdout, end="")
+        for line in problems:
+            print(f"ratchet: REGRESSION {line}")
+        print("ratchet: fix the new errors (preferred) or, after a deliberate")
+        print("ratchet: decision, re-record: python -m repro.analysis.ratchet update")
+        return 1
+    improved = {
+        p: (ceilings[p], c)
+        for p, c in current.items()
+        if p in ceilings and c < ceilings[p]
+    }
+    for package, (old, new) in sorted(improved.items()):
+        print(f"ratchet: {package} improved {old} -> {new}; consider `update`")
+    total = sum(current.values())
+    print(f"ratchet: OK ({total} error(s), all within recorded ceilings)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

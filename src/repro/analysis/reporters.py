@@ -1,0 +1,49 @@
+"""Output renderers for reprolint results.
+
+Two formats: a human ``text`` report (one finding per line in
+``path:line:col: severity: message [rule]`` form, plus a summary) and a
+machine ``json`` report with a versioned schema, consumed by the CI
+artifact upload and by :mod:`tests.analysis` schema tests.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any
+
+from repro.analysis.engine import AnalysisResult
+
+__all__ = ["render_text", "render_json", "JSON_SCHEMA_VERSION"]
+
+#: bump when the JSON layout changes shape
+JSON_SCHEMA_VERSION = 1
+
+
+def render_text(result: AnalysisResult) -> str:
+    lines = [d.render() for d in result.diagnostics]
+    summary = (
+        f"{result.errors} error(s), {result.warnings} warning(s) "
+        f"in {result.files_analyzed} file(s)"
+    )
+    if result.suppressed:
+        summary += f" ({result.suppressed} suppressed inline)"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(result: AnalysisResult) -> str:
+    by_rule: dict[str, int] = {}
+    for diag in result.diagnostics:
+        by_rule[diag.rule] = by_rule.get(diag.rule, 0) + 1
+    payload: dict[str, Any] = {
+        "version": JSON_SCHEMA_VERSION,
+        "files_analyzed": result.files_analyzed,
+        "suppressed": result.suppressed,
+        "counts": {
+            "error": result.errors,
+            "warning": result.warnings,
+            "by_rule": dict(sorted(by_rule.items())),
+        },
+        "diagnostics": [d.as_dict() for d in result.diagnostics],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

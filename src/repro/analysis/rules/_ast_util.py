@@ -1,0 +1,66 @@
+"""Small AST helpers shared by the reprolint rules."""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.analysis.context import FileContext
+
+__all__ = [
+    "dotted_name",
+    "qualified_name",
+    "iter_calls",
+    "walk_with_function",
+]
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def qualified_name(ctx: FileContext, node: ast.AST) -> str | None:
+    """Dotted name with the leading segment resolved through imports.
+
+    With ``from datetime import datetime as dt``, the call ``dt.now()``
+    qualifies to ``datetime.datetime.now``; unresolvable heads are kept
+    verbatim so purely local names still produce a dotted string.
+    """
+    name = dotted_name(node)
+    if name is None:
+        return None
+    head, _, rest = name.partition(".")
+    origin = ctx.import_map.get(head)
+    if origin is None:
+        return name
+    return f"{origin}.{rest}" if rest else origin
+
+
+def iter_calls(tree: ast.AST) -> Iterator[ast.Call]:
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Call):
+            yield node
+
+
+def walk_with_function(
+    tree: ast.Module,
+) -> Iterator[tuple[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef | None]]:
+    """Every node paired with its innermost enclosing function (or None)."""
+
+    def visit(
+        node: ast.AST, func: ast.FunctionDef | ast.AsyncFunctionDef | None
+    ) -> Iterator[tuple[ast.AST, ast.FunctionDef | ast.AsyncFunctionDef | None]]:
+        yield node, func
+        inner = node if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)) else func
+        for child in ast.iter_child_nodes(node):
+            yield from visit(child, inner)
+
+    yield from visit(tree, None)

@@ -1,0 +1,97 @@
+"""Determinism rules: model and simulator code must be replayable.
+
+The reproduction's central promise is that every number in every figure
+is a pure function of its configuration (that is what makes the on-disk
+``SimCache`` sound and the paper's tables reproducible).  Wall-clock
+reads and unseeded random sources break that promise silently, so
+inside ``repro.sim`` and ``repro.core`` they are lint errors: randomness
+must flow from the seeded streams in :mod:`repro.util.rng`, and time
+must come from the simulated clock, never the host's.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import iter_calls, qualified_name
+
+__all__ = ["WallClockRule", "UnseededRngRule"]
+
+#: call targets that read the host clock or host-dependent time state
+_WALLCLOCK = {
+    "time.time",
+    "time.time_ns",
+    "time.monotonic",
+    "time.monotonic_ns",
+    "time.perf_counter",
+    "time.perf_counter_ns",
+    "datetime.datetime.now",
+    "datetime.datetime.utcnow",
+    "datetime.datetime.today",
+    "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    id = "det-wallclock"
+    description = (
+        "no wall-clock reads in model/simulator code; simulated time only"
+    )
+    default_paths = ("repro/sim", "repro/core")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for call in iter_calls(ctx.tree):
+            name = qualified_name(ctx, call.func)
+            if name in _WALLCLOCK:
+                yield self.diag(
+                    ctx,
+                    call,
+                    f"wall-clock read {name}() in deterministic code; "
+                    "results must be a pure function of the configuration "
+                    "(use the simulated clock, or move timing to repro.obs)",
+                )
+
+
+@register
+class UnseededRngRule(Rule):
+    id = "det-unseeded-rng"
+    description = (
+        "randomness must come from seeded streams (repro.util.rng), never "
+        "global or unseeded RNGs"
+    )
+    default_paths = ("repro/sim", "repro/core")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for call in iter_calls(ctx.tree):
+            name = qualified_name(ctx, call.func)
+            if name is None:
+                continue
+            if name in ("numpy.random.default_rng", "random.Random"):
+                if not call.args and not call.keywords:
+                    yield self.diag(
+                        ctx,
+                        call,
+                        f"{name}() without a seed is nondeterministic; "
+                        "derive a stream from repro.util.rng instead",
+                    )
+                continue
+            if name.startswith("numpy.random.") and name.count(".") == 2:
+                # the legacy module-level API mutates hidden global state
+                # (np.random.seed / rand / normal / shuffle ...)
+                yield self.diag(
+                    ctx,
+                    call,
+                    f"global-state RNG call {name}(); use a seeded "
+                    "Generator from repro.util.rng",
+                )
+            elif name.startswith("random.") and name.count(".") == 1:
+                yield self.diag(
+                    ctx,
+                    call,
+                    f"global-state RNG call {name}(); use a seeded "
+                    "stream from repro.util.rng",
+                )

@@ -1,0 +1,85 @@
+"""Exception-hygiene rule: no silent broad catches.
+
+``except Exception`` at a boundary that *re-raises* (cleanup-and-raise)
+or feeds a structured error path is fine; a broad catch that swallows
+is how cache corruption, IPC teardown races and worker crashes turn
+into wrong numbers instead of stack traces.  The rule flags bare
+``except:`` and ``except Exception/BaseException:`` handlers whose body
+contains no ``raise``.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+
+__all__ = ["BroadExceptRule"]
+
+_BROAD = {"Exception", "BaseException"}
+
+
+def _names_in_handler_type(node: ast.AST | None) -> list[str]:
+    if node is None:
+        return []
+    if isinstance(node, ast.Tuple):
+        names = []
+        for elt in node.elts:
+            names.extend(_names_in_handler_type(elt))
+        return names
+    if isinstance(node, ast.Name):
+        return [node.id]
+    if isinstance(node, ast.Attribute):
+        return [node.attr]
+    return []
+
+
+def _reraises(handler: ast.ExceptHandler) -> bool:
+    """Does the handler propagate rather than swallow?
+
+    ``raise`` propagates; so does transferring the caught exception into
+    a future/callback via ``*.set_exception(exc)`` -- the asyncio
+    batcher's way of delivering a solver failure to every waiter.
+    """
+    for node in ast.walk(handler):
+        if isinstance(node, ast.Raise):
+            return True
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "set_exception"
+        ):
+            return True
+    return False
+
+
+@register
+class BroadExceptRule(Rule):
+    id = "exc-broad"
+    description = (
+        "no swallowing bare/broad except handlers; catch specific "
+        "exceptions or re-raise"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                broad: str | None = "bare except"
+            else:
+                names = _names_in_handler_type(node.type)
+                hit = next((n for n in names if n in _BROAD), None)
+                broad = f"except {hit}" if hit else None
+            if broad is None or _reraises(node):
+                continue
+            yield self.diag(
+                ctx,
+                node,
+                f"{broad} swallows every failure here; catch the "
+                "specific exceptions this block can raise, or re-raise "
+                "after cleanup",
+            )

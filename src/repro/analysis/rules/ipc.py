@@ -1,0 +1,133 @@
+"""Concurrency / IPC hygiene rules.
+
+The experiment layer ships work to forkserver pools over POSIX shared
+memory and shares an on-disk result cache between racing processes.
+Three mistakes in that area are easy to make and expensive to debug,
+so they are lint rules: leaking a ``SharedMemory`` segment by never
+unlinking it, writing JSON into shared directories non-atomically
+(readers observe torn files), and mutable default arguments -- which
+are a general Python footgun but uniquely nasty here because default
+state mutated in the parent silently diverges from the forkserver
+children's copy.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import (
+    dotted_name,
+    iter_calls,
+    qualified_name,
+    walk_with_function,
+)
+
+__all__ = ["ShmUnlinkRule", "AtomicWriteRule", "MutableDefaultRule"]
+
+
+@register
+class ShmUnlinkRule(Rule):
+    id = "ipc-shm-unlink"
+    description = (
+        "a file creating SharedMemory segments must also unlink them"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        creates = []
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func) or ""
+            if name.rpartition(".")[2] != "SharedMemory":
+                continue
+            for kw in call.keywords:
+                if (
+                    kw.arg == "create"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                ):
+                    creates.append(call)
+        if not creates:
+            return
+        has_unlink = any(
+            isinstance(node, ast.Attribute) and node.attr == "unlink"
+            for node in ctx.walk()
+        )
+        if has_unlink:
+            return
+        for call in creates:
+            yield self.diag(
+                ctx,
+                call,
+                "SharedMemory(create=True) with no unlink() anywhere in "
+                "this file; the segment outlives the process and leaks "
+                "/dev/shm until reboot",
+            )
+
+
+@register
+class AtomicWriteRule(Rule):
+    id = "ipc-atomic-write"
+    description = (
+        "JSON written to shared directories must go through "
+        "repro.util.cache.atomic_write_json"
+    )
+    default_paths = ("repro/experiments", "repro/util", "repro/service")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node, func in walk_with_function(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if qualified_name(ctx, node.func) != "json.dump":
+                continue
+            # the one sanctioned direct dump is the atomic writer itself
+            if func is not None and func.name == "atomic_write_json":
+                continue
+            yield self.diag(
+                ctx,
+                node,
+                "direct json.dump() in a layer with concurrent writers; "
+                "a reader can observe a torn file -- use "
+                "repro.util.cache.atomic_write_json (temp file + "
+                "os.replace)",
+            )
+
+
+_MUTABLE_CALLS = {"list", "dict", "set", "bytearray", "defaultdict", "deque"}
+
+
+def _is_mutable_default(node: ast.AST) -> bool:
+    if isinstance(node, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func) or ""
+        return name.rpartition(".")[2] in _MUTABLE_CALLS
+    return False
+
+
+@register
+class MutableDefaultRule(Rule):
+    id = "ipc-mutable-default"
+    description = (
+        "no mutable default arguments (shared across calls and divergent "
+        "across forkserver workers)"
+    )
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ctx.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            defaults = list(node.args.defaults) + [
+                d for d in node.args.kw_defaults if d is not None
+            ]
+            for default in defaults:
+                if _is_mutable_default(default):
+                    yield self.diag(
+                        ctx,
+                        default,
+                        f"mutable default argument in {node.name}(); "
+                        "default to None and create the object inside "
+                        "the function",
+                    )

@@ -1,0 +1,176 @@
+"""Numerical-safety rules for model arithmetic.
+
+The model's closed forms divide by sums of measured quantities
+(``sum(apc_alone)``, ``sum(sqrt(w a))`` ...) that property tests push
+toward the subnormal range, and its metrics compare floats that came
+out of long reduction chains.  These rules catch the three recurring
+hazards: equality comparison against float literals, division by an
+unguarded sum, and blanket ``errstate`` suppression that would hide
+the very overflows the guards exist to surface.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from repro.analysis.context import FileContext
+from repro.analysis.diagnostics import Diagnostic
+from repro.analysis.registry import Rule, register
+from repro.analysis.rules._ast_util import (
+    dotted_name,
+    iter_calls,
+    qualified_name,
+)
+
+__all__ = ["FloatEqualityRule", "UnguardedDivisionRule", "ErrstateIgnoreRule"]
+
+
+@register
+class FloatEqualityRule(Rule):
+    id = "num-float-eq"
+    description = "no ==/!= against float literals on model quantities"
+    default_paths = ("repro/core", "repro/sim")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ctx.walk():
+            if not isinstance(node, ast.Compare):
+                continue
+            operands = [node.left, *node.comparators]
+            for op, operand in zip(node.ops, operands[1:]):
+                if not isinstance(op, (ast.Eq, ast.NotEq)):
+                    continue
+                if any(
+                    isinstance(o, ast.Constant) and type(o.value) is float
+                    for o in (node.left, operand)
+                ):
+                    yield self.diag(
+                        ctx,
+                        node,
+                        "float-literal equality comparison; computed model "
+                        "quantities need a tolerance (math.isclose / "
+                        "np.isclose) -- suppress only for exact-zero "
+                        "divide guards",
+                    )
+                    break
+
+
+def _is_sum_call(ctx: FileContext, node: ast.AST) -> bool:
+    """``x.sum()``, ``np.sum(...)`` or builtin ``sum(...)``."""
+    if not isinstance(node, ast.Call):
+        return False
+    name = dotted_name(node.func)
+    if name is None:
+        return False
+    if name == "sum" or name.endswith(".sum"):
+        return True
+    qualified = qualified_name(ctx, node.func)
+    return qualified == "numpy.sum"
+
+
+def _unwrap_float(node: ast.AST) -> ast.AST:
+    """Look through a ``float(...)`` conversion wrapper."""
+    if (
+        isinstance(node, ast.Call)
+        and isinstance(node.func, ast.Name)
+        and node.func.id == "float"
+        and len(node.args) == 1
+    ):
+        return node.args[0]
+    return node
+
+
+#: call names that act as denominators guards when the sum flows through
+_GUARD_CALLS = {"max", "maximum", "where", "clip", "isclose"}
+
+
+@register
+class UnguardedDivisionRule(Rule):
+    id = "num-unguarded-div"
+    description = (
+        "division by a sum of model quantities needs a positivity guard"
+    )
+    default_paths = ("repro/core",)
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for node in ctx.walk():
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield from self._check_function(ctx, node)
+
+    def _check_function(
+        self, ctx: FileContext, func: ast.FunctionDef | ast.AsyncFunctionDef
+    ) -> Iterable[Diagnostic]:
+        # names assigned (anywhere in this function) from a sum call
+        sum_names: dict[str, int] = {}
+        guarded: set[str] = set()
+        for node in ast.walk(func):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target = node.targets[0]
+                value = _unwrap_float(node.value)
+                if isinstance(target, ast.Name) and _is_sum_call(ctx, value):
+                    sum_names[target.id] = node.lineno
+            elif isinstance(node, (ast.If, ast.While, ast.Assert)):
+                test = node.test
+                for sub in ast.walk(test):
+                    if isinstance(sub, ast.Name):
+                        guarded.add(sub.id)
+            elif isinstance(node, ast.Call):
+                name = dotted_name(node.func) or ""
+                if name.rpartition(".")[2] in _GUARD_CALLS:
+                    for arg in node.args:
+                        for sub in ast.walk(arg):
+                            if isinstance(sub, ast.Name):
+                                guarded.add(sub.id)
+
+        for node in ast.walk(func):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Div)):
+                continue
+            denom = _unwrap_float(node.right)
+            if _is_sum_call(ctx, denom):
+                yield self.diag(
+                    ctx,
+                    node,
+                    "direct division by a sum; bind the sum to a name and "
+                    "guard it (it can be zero or subnormal for extreme "
+                    "model inputs)",
+                )
+            elif (
+                isinstance(denom, ast.Name)
+                and denom.id in sum_names
+                and denom.id not in guarded
+            ):
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"division by {denom.id!r} (a sum assigned on line "
+                    f"{sum_names[denom.id]}) with no positivity guard "
+                    "between assignment and use",
+                )
+
+
+@register
+class ErrstateIgnoreRule(Rule):
+    id = "num-errstate-ignore"
+    description = "no blanket numpy errstate/seterr 'ignore' suppression"
+    default_paths = ("repro/core", "repro/sim")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        for call in iter_calls(ctx.tree):
+            name = qualified_name(ctx, call.func)
+            if name not in ("numpy.errstate", "numpy.seterr"):
+                continue
+            ignored = [
+                kw.arg
+                for kw in call.keywords
+                if kw.arg is not None
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value == "ignore"
+            ]
+            if ignored:
+                yield self.diag(
+                    ctx,
+                    call,
+                    f"{name}({', '.join(f'{k}=ignore' for k in ignored)}) "
+                    "silences floating-point faults the conservation "
+                    "guards rely on; handle the edge case explicitly",
+                )

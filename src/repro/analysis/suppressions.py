@@ -1,0 +1,84 @@
+"""Inline suppression comments for reprolint.
+
+Three forms are recognized, all comment-based so they survive
+formatters and never change runtime behaviour:
+
+``# reprolint: disable=RULE[,RULE2]``
+    Suppresses the listed rules on the *same* line.
+``# reprolint: disable-next-line=RULE[,RULE2]``
+    Suppresses the listed rules on the following line (for statements
+    too long to carry a trailing comment).
+``# reprolint: disable-file=RULE[,RULE2]``
+    Anywhere in the first ten lines: suppresses the rules for the whole
+    file (generated files, vendored code).
+
+``disable=all`` suppresses every rule.  Comments are found with
+:mod:`tokenize` so string literals containing the marker text are never
+misread as suppressions; on tokenize failure (the engine only reaches
+here for files that already parsed, so this is defensive) the file is
+treated as having no suppressions.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import io
+import re
+import tokenize
+
+__all__ = ["Suppressions", "scan_suppressions"]
+
+_MARKER = re.compile(
+    r"#\s*reprolint:\s*(?P<kind>disable(?:-next-line|-file)?)\s*=\s*"
+    r"(?P<rules>[A-Za-z0-9_,\-\s]+)"
+)
+
+#: file-level suppressions must appear in the first N lines
+FILE_LEVEL_WINDOW = 10
+
+
+@dataclasses.dataclass
+class Suppressions:
+    """Suppression state for one file."""
+
+    #: line number -> rule ids disabled on that line
+    by_line: dict[int, set[str]] = dataclasses.field(default_factory=dict)
+    #: rule ids disabled for the whole file
+    file_level: set[str] = dataclasses.field(default_factory=set)
+
+    def is_suppressed(self, rule_id: str, line: int) -> bool:
+        if "all" in self.file_level or rule_id in self.file_level:
+            return True
+        rules = self.by_line.get(line)
+        return rules is not None and ("all" in rules or rule_id in rules)
+
+
+def _parse_rules(raw: str) -> set[str]:
+    return {part.strip() for part in raw.split(",") if part.strip()}
+
+
+def scan_suppressions(source: str) -> Suppressions:
+    """Extract every suppression comment from ``source``."""
+    result = Suppressions()
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return result
+    for tok in tokens:
+        if tok.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(tok.string)
+        if match is None:
+            continue
+        kind = match.group("kind")
+        rules = _parse_rules(match.group("rules"))
+        if not rules:
+            continue
+        line = tok.start[0]
+        if kind == "disable":
+            result.by_line.setdefault(line, set()).update(rules)
+        elif kind == "disable-next-line":
+            result.by_line.setdefault(line + 1, set()).update(rules)
+        elif kind == "disable-file" and line <= FILE_LEVEL_WINDOW:
+            result.file_level.update(rules)
+    return result

@@ -97,7 +97,9 @@ def relative_std(values: Sequence[float]) -> float:
     if arr.size < 2:
         raise ConfigurationError("relative_std needs at least two values")
     mean = float(arr.mean())
-    if mean == 0.0:
+    # exact-zero divide guard, not a tolerance comparison: near-zero
+    # means legitimately produce huge (but defined) RSDs
+    if mean == 0.0:  # reprolint: disable=num-float-eq
         raise ConfigurationError("relative_std undefined for zero mean")
     return float(arr.std(ddof=1) / mean * 100.0)
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from repro.util.errors import ConfigurationError
+from repro.util.errors import ConfigurationError, InvariantViolation
 from repro.util.validation import check_positive
 
 __all__ = [
@@ -33,7 +33,16 @@ __all__ = [
     "normalize_shares",
     "capped_allocation",
     "greedy_allocation",
+    "conservation_residual",
+    "assert_conservation",
+    "CONSERVATION_ATOL",
+    "CONSERVATION_RTOL",
 ]
+
+#: absolute slack allowed by the Eq. 2 conservation check
+CONSERVATION_ATOL = 1e-12
+#: relative (to the budget) slack allowed by the Eq. 2 conservation check
+CONSERVATION_RTOL = 1e-8
 
 
 @dataclass(frozen=True)
@@ -75,6 +84,75 @@ def apc_to_bytes_per_sec(apc: float, unit: BandwidthUnit = _DEFAULT_UNIT) -> flo
 def bytes_per_sec_to_apc(bps: float, unit: BandwidthUnit = _DEFAULT_UNIT) -> float:
     """Convenience wrapper using the paper's default 64 B / 5 GHz context."""
     return unit.to_apc(bps)
+
+
+def conservation_residual(
+    alloc: np.ndarray,
+    total_bandwidth: float | np.ndarray,
+    capacity: np.ndarray | None = None,
+    *,
+    work_conserving: bool = False,
+) -> float:
+    """Worst-case violation of the Eq. 2 bandwidth-conservation invariant.
+
+    The invariant (paper Eq. 2 plus the Sec. III-D occupancy bound) for
+    an allocation vector ``x`` under budget ``B`` and standalone demands
+    ``a`` is::
+
+        x_i >= 0,   x_i <= a_i,   sum_i x_i <= B
+
+    and, for a work-conserving mechanism, additionally
+    ``sum_i x_i == min(B, sum_i a_i)``.  Returns the largest amount (in
+    APC) by which any of those relations is violated; a feasible
+    allocation returns <= 0.  ``alloc`` may be a single vector or a
+    stacked ``(k, n)`` matrix with a scalar or ``(k,)`` budget.
+    """
+    x = np.asarray(alloc, dtype=float)
+    b = np.asarray(total_bandwidth, dtype=float)
+    if not np.all(np.isfinite(x)):
+        return float("inf")
+    totals = x.sum(axis=-1)
+    residual = float(np.max(-x))  # negativity
+    residual = max(residual, float(np.max(totals - b)))  # budget overrun
+    if capacity is not None:
+        cap = np.asarray(capacity, dtype=float)
+        residual = max(residual, float(np.max(x - cap)))  # demand overrun
+        if work_conserving:
+            expected = np.minimum(b, cap.sum(axis=-1))
+            residual = max(residual, float(np.max(np.abs(totals - expected))))
+    return residual
+
+
+def assert_conservation(
+    alloc: np.ndarray,
+    total_bandwidth: float | np.ndarray,
+    capacity: np.ndarray | None = None,
+    *,
+    work_conserving: bool = False,
+    where: str = "allocation",
+) -> np.ndarray:
+    """Validate the Eq. 2 conservation invariant and return ``alloc``.
+
+    Every solver that produces an ``APC_shared`` vector routes its
+    result through this check (the ``inv-conservation`` rule of
+    ``repro-lint`` enforces that by call-graph walk), so a bug that
+    over-allocates bandwidth or starves the budget surfaces as an
+    :class:`~repro.util.errors.InvariantViolation` at the source instead
+    of skewing a figure downstream.  The tolerance scales with the
+    budget (``CONSERVATION_ATOL + CONSERVATION_RTOL * |B|``) to absorb
+    float rounding in the water-filling/greedy loops.
+    """
+    residual = conservation_residual(
+        alloc, total_bandwidth, capacity, work_conserving=work_conserving
+    )
+    scale = float(np.max(np.abs(np.asarray(total_bandwidth, dtype=float))))
+    tol = CONSERVATION_ATOL + CONSERVATION_RTOL * max(1.0, scale)
+    if residual > tol:
+        raise InvariantViolation(
+            f"{where}: Eq. 2 conservation violated by {residual:.3e} APC "
+            f"(tolerance {tol:.3e}); budget={total_bandwidth!r}"
+        )
+    return np.asarray(alloc, dtype=float)
 
 
 def normalize_shares(weights: np.ndarray) -> np.ndarray:
@@ -119,7 +197,12 @@ def capped_allocation(
 
     alloc = np.zeros_like(demand)
     if not work_conserving:
-        return np.minimum(beta * total_bandwidth, demand)
+        return assert_conservation(
+            np.minimum(beta * total_bandwidth, demand),
+            total_bandwidth,
+            demand,
+            where="capped_allocation",
+        )
 
     active = beta > 0
     remaining = float(total_bandwidth)
@@ -141,7 +224,15 @@ def capped_allocation(
         if not np.any(newly_capped):
             break
         active &= ~newly_capped
-    return alloc
+    # A zero-share app receives nothing even in work-conserving mode, so
+    # the conserved total is bounded by the demand of the beta > 0 apps.
+    return assert_conservation(
+        alloc,
+        total_bandwidth,
+        np.where(beta > 0, demand, 0.0),
+        work_conserving=True,
+        where="capped_allocation",
+    )
 
 
 def greedy_allocation(
@@ -161,10 +252,21 @@ def greedy_allocation(
     check_positive("total_bandwidth", total_bandwidth)
     alloc = np.zeros_like(demand)
     remaining = float(total_bandwidth)
-    for idx in np.asarray(order, dtype=int):
+    idx_order = np.asarray(order, dtype=int)
+    for idx in idx_order:
         if remaining <= 0:
             break
         take = min(remaining, float(demand[idx]))
         alloc[idx] = take
         remaining -= take
-    return alloc
+    # Apps absent from a partial priority order receive nothing, so the
+    # conserved total is bounded by the demand of the listed apps.
+    served = np.zeros(demand.shape, dtype=bool)
+    served[idx_order] = True
+    return assert_conservation(
+        alloc,
+        total_bandwidth,
+        np.where(served, demand, 0.0),
+        work_conserving=True,
+        where="greedy_allocation",
+    )

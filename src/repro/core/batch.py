@@ -32,10 +32,15 @@ to ~1 ulp, not bit-exact.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
+from repro.core.bandwidth import assert_conservation
 from repro.util.errors import ConfigurationError
+
+#: scalar-or-vector bandwidth budget accepted by every batch kernel
+BudgetLike = float | np.ndarray
 
 __all__ = [
     "as_request_matrix",
@@ -75,7 +80,7 @@ BATCH_SCHEMES: tuple[str, ...] = (
 )
 
 
-def as_request_matrix(name: str, arr) -> np.ndarray:
+def as_request_matrix(name: str, arr: Any) -> np.ndarray:
     """Validate/convert to a finite, non-empty ``(n_requests, n_apps)`` float array."""
     a = np.asarray(arr, dtype=float)
     if a.ndim == 1:
@@ -89,7 +94,7 @@ def as_request_matrix(name: str, arr) -> np.ndarray:
     return a
 
 
-def _as_budget_vector(name: str, b, n_requests: int) -> np.ndarray:
+def _as_budget_vector(name: str, b: BudgetLike, n_requests: int) -> np.ndarray:
     vec = np.asarray(b, dtype=float)
     if vec.ndim == 0:
         vec = np.full(n_requests, float(vec))
@@ -107,7 +112,7 @@ def _as_budget_vector(name: str, b, n_requests: int) -> np.ndarray:
 # ----------------------------------------------------------------------
 def batch_capped_allocation(
     beta: np.ndarray,
-    total_bandwidth,
+    total_bandwidth: BudgetLike,
     apc_alone: np.ndarray,
     *,
     work_conserving: bool = True,
@@ -132,7 +137,12 @@ def batch_capped_allocation(
         raise ConfigurationError("each beta row must sum to 1")
 
     if not work_conserving:
-        return np.minimum(beta * budget[:, None], demand)
+        return assert_conservation(
+            np.minimum(beta * budget[:, None], demand),
+            budget,
+            demand,
+            where="batch_capped_allocation",
+        )
 
     alloc = np.zeros_like(demand)
     remaining = budget
@@ -158,12 +168,20 @@ def batch_capped_allocation(
         newly_capped = active & (demand - alloc <= 1e-15)
         done |= ~newly_capped.any(axis=1)
         active &= ~newly_capped
-    return alloc
+    # Zero-share apps receive nothing even in work-conserving mode, so
+    # each row's conserved total is bounded by its beta > 0 demand.
+    return assert_conservation(
+        alloc,
+        budget,
+        np.where(beta > 0, demand, 0.0),
+        work_conserving=True,
+        where="batch_capped_allocation",
+    )
 
 
 def batch_power_allocation(
     apc_alone: np.ndarray,
-    total_bandwidth,
+    total_bandwidth: BudgetLike,
     alpha: float,
     *,
     work_conserving: bool = True,
@@ -191,7 +209,9 @@ def batch_power_allocation(
 # ----------------------------------------------------------------------
 # priority schemes: greedy fill
 # ----------------------------------------------------------------------
-def batch_priority_order(scheme: str, apc_alone: np.ndarray, api: np.ndarray | None):
+def batch_priority_order(
+    scheme: str, apc_alone: np.ndarray, api: np.ndarray | None
+) -> np.ndarray:
     """Per-row priority order for ``prio_apc`` / ``prio_api``."""
     if scheme == "prio_apc":
         return np.argsort(as_request_matrix("apc_alone", apc_alone), axis=1, kind="stable")
@@ -204,7 +224,7 @@ def batch_priority_order(scheme: str, apc_alone: np.ndarray, api: np.ndarray | N
 
 def batch_greedy_allocation(
     order: np.ndarray,
-    total_bandwidth,
+    total_bandwidth: BudgetLike,
     apc_alone: np.ndarray,
 ) -> np.ndarray:
     """Row-wise :func:`repro.core.bandwidth.greedy_allocation`.
@@ -231,13 +251,23 @@ def batch_greedy_allocation(
         take = np.minimum(remaining, demand[rows, idx])
         alloc[rows, idx] = take
         remaining = remaining - take
-    return alloc
+    # Apps absent from a partial priority order receive nothing, so each
+    # row's conserved total is bounded by the demand of its listed apps.
+    served = np.zeros(demand.shape, dtype=bool)
+    served[rows[:, None], order] = True
+    return assert_conservation(
+        alloc,
+        budget,
+        np.where(served, demand, 0.0),
+        work_conserving=True,
+        where="batch_greedy_allocation",
+    )
 
 
 def batch_allocate(
     scheme: str,
     apc_alone: np.ndarray,
-    total_bandwidth,
+    total_bandwidth: BudgetLike,
     *,
     api: np.ndarray | None = None,
     work_conserving: bool = True,
@@ -291,7 +321,7 @@ class BatchKnapsackSolution:
 def batch_solve_fractional_knapsack(
     values: np.ndarray,
     capacities: np.ndarray,
-    budgets,
+    budgets: BudgetLike,
 ) -> BatchKnapsackSolution:
     """Row-wise :func:`repro.core.knapsack.solve_fractional_knapsack`.
 
@@ -329,7 +359,13 @@ def batch_solve_fractional_knapsack(
         split[partial] = idx[partial]
         remaining = remaining - take
     return BatchKnapsackSolution(
-        quantities=q,
+        quantities=assert_conservation(
+            q,
+            budget,
+            cap,
+            work_conserving=True,
+            where="batch_solve_fractional_knapsack",
+        ),
         objective=(v * q).sum(axis=1),
         fill_order=order,
         split_item=split,
@@ -339,34 +375,39 @@ def batch_solve_fractional_knapsack(
 # ----------------------------------------------------------------------
 # closed forms (paper Eqs. 4, 6, 8), stacked
 # ----------------------------------------------------------------------
-def batch_hsp_square_root(apc_alone: np.ndarray, total_bandwidth) -> np.ndarray:
+def _positive_row_sums(name: str, terms: np.ndarray) -> np.ndarray:
+    """Row sums of ``terms``, guarded against zero/underflow denominators."""
+    totals = terms.sum(axis=1)
+    if np.any(totals <= 0) or not np.all(np.isfinite(totals)):
+        raise ConfigurationError(f"{name} must sum to a positive finite value per row")
+    return totals
+
+
+def batch_hsp_square_root(apc_alone: np.ndarray, total_bandwidth: BudgetLike) -> np.ndarray:
     """Eq. (4) per row: ``N * B / (sum_i sqrt(a_i))^2``."""
     a = as_request_matrix("apc_alone", apc_alone)
     b = _as_budget_vector("total_bandwidth", total_bandwidth, a.shape[0])
-    s = np.sqrt(a).sum(axis=1)
+    s = _positive_row_sums("sqrt(apc_alone)", np.sqrt(a))
     return a.shape[1] * b / (s * s)
 
 
-def batch_wsp_square_root(apc_alone: np.ndarray, total_bandwidth) -> np.ndarray:
+def batch_wsp_square_root(apc_alone: np.ndarray, total_bandwidth: BudgetLike) -> np.ndarray:
     """Self-consistent Eq. (6) per row (see :mod:`repro.core.closed_form`)."""
     a = as_request_matrix("apc_alone", apc_alone)
     b = _as_budget_vector("total_bandwidth", total_bandwidth, a.shape[0])
-    return (
-        b
-        / a.shape[1]
-        * np.sum(1.0 / np.sqrt(a), axis=1)
-        / np.sum(np.sqrt(a), axis=1)
-    )
+    root_sum = _positive_row_sums("sqrt(apc_alone)", np.sqrt(a))
+    return b / a.shape[1] * np.sum(1.0 / np.sqrt(a), axis=1) / root_sum
 
 
-def batch_hsp_proportional(apc_alone: np.ndarray, total_bandwidth) -> np.ndarray:
+def batch_hsp_proportional(apc_alone: np.ndarray, total_bandwidth: BudgetLike) -> np.ndarray:
     """Eq. (8) per row: ``B / sum_i a_i``."""
     a = as_request_matrix("apc_alone", apc_alone)
     b = _as_budget_vector("total_bandwidth", total_bandwidth, a.shape[0])
-    return b / a.sum(axis=1)
+    totals = _positive_row_sums("apc_alone", a)
+    return b / totals
 
 
-def batch_wsp_proportional(apc_alone: np.ndarray, total_bandwidth) -> np.ndarray:
+def batch_wsp_proportional(apc_alone: np.ndarray, total_bandwidth: BudgetLike) -> np.ndarray:
     """Eq. (8) per row (Wsp equals Hsp under Proportional)."""
     return batch_hsp_proportional(apc_alone, total_bandwidth)
 
@@ -378,10 +419,10 @@ def batch_qos_plan(
     apc_alone: np.ndarray,
     api: np.ndarray,
     ipc_targets: np.ndarray,
-    total_bandwidth,
+    total_bandwidth: BudgetLike,
     *,
     objective: str = "wsp",
-) -> dict:
+) -> dict[str, Any]:
     """Stacked QoS-guaranteed partitioning.
 
     Parameters
@@ -476,8 +517,12 @@ def batch_qos_plan(
         apc[rows] = np.where(be_mask[rows], apc_be, apc[rows])
 
     apc[~feasible] = 0.0
+    # QoS plans are not work-conserving overall (guaranteed apps hold
+    # only their reservation), so only the upper bounds are asserted.
     return {
-        "apc_shared": apc,
+        "apc_shared": assert_conservation(
+            apc, budget, a, where="batch_qos_plan"
+        ),
         "b_qos": b_qos,
         "b_best_effort": b_be,
         "feasible": feasible,

@@ -31,6 +31,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.apps import Workload
+from repro.util.errors import ConfigurationError
 
 __all__ = [
     "hsp_square_root",
@@ -44,9 +45,17 @@ __all__ = [
 ]
 
 
+def _positive_sum(name: str, terms: np.ndarray) -> float:
+    """Sum of ``terms``, guarded against zero/underflow denominators."""
+    total = float(terms.sum())
+    if not total > 0:
+        raise ConfigurationError(f"{name} must sum to a positive value")
+    return total
+
+
 def hsp_square_root(workload: Workload, total_bandwidth: float) -> float:
     """Eq. (4): the maximum harmonic weighted speedup."""
-    s = np.sqrt(workload.apc_alone).sum()
+    s = _positive_sum("sqrt(apc_alone)", np.sqrt(workload.apc_alone))
     # s * s, not s**2: scalar np.float64.__pow__ routes through libm pow
     # and can be 1 ulp off the exact product, which would break bit
     # identity with the vectorized batch kernel (repro.core.batch).
@@ -61,11 +70,9 @@ def wsp_square_root(workload: Workload, total_bandwidth: float) -> float:
     with ``a_i = APC_alone,i``.
     """
     a = workload.apc_alone
+    root_sum = _positive_sum("sqrt(apc_alone)", np.sqrt(a))
     return float(
-        total_bandwidth
-        / workload.n
-        * np.sum(1.0 / np.sqrt(a))
-        / np.sum(np.sqrt(a))
+        total_bandwidth / workload.n * np.sum(1.0 / np.sqrt(a)) / root_sum
     )
 
 
@@ -81,7 +88,8 @@ def wsp_square_root_paper_form(workload: Workload, total_bandwidth: float) -> fl
 
 def hsp_proportional(workload: Workload, total_bandwidth: float) -> float:
     """Eq. (8): Hsp under Proportional partitioning."""
-    return float(total_bandwidth / workload.apc_alone.sum())
+    total_demand = _positive_sum("apc_alone", workload.apc_alone)
+    return float(total_bandwidth / total_demand)
 
 
 def wsp_proportional(workload: Workload, total_bandwidth: float) -> float:
@@ -92,7 +100,9 @@ def wsp_proportional(workload: Workload, total_bandwidth: float) -> float:
 def sqrt_allocation_is_uncapped(workload: Workload, total_bandwidth: float) -> bool:
     """True iff the Square_root shares stay below every app's demand."""
     a = workload.apc_alone
-    shares = np.sqrt(a) / np.sqrt(a).sum()
+    root = np.sqrt(a)
+    root_sum = _positive_sum("sqrt(apc_alone)", root)
+    shares = root / root_sum
     return bool(np.all(shares * total_bandwidth <= a + 1e-12))
 
 

@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.core.apps import Workload
-from repro.core.metrics import ALL_METRICS, Metric
+from repro.core.metrics import Metric
 from repro.core.model import AnalyticalModel
 from repro.core.partitioning import PowerPartitioning
 from repro.util.errors import ConfigurationError

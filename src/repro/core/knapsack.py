@@ -18,6 +18,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.core.bandwidth import assert_conservation
 from repro.util.errors import ConfigurationError
 
 __all__ = ["KnapsackSolution", "solve_fractional_knapsack"]
@@ -87,7 +88,9 @@ def solve_fractional_knapsack(
             split = int(idx)
             break
     return KnapsackSolution(
-        quantities=q,
+        quantities=assert_conservation(
+            q, budget, cap, work_conserving=True, where="solve_fractional_knapsack"
+        ),
         objective=float(np.dot(v, q)),
         fill_order=order,
         split_item=split,

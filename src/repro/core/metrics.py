@@ -90,7 +90,11 @@ class HarmonicWeightedSpeedup(Metric):
     def evaluate(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
         if np.any(ipc_shared <= 0):
             return 0.0
-        return float(len(ipc_shared) / np.sum(ipc_alone / ipc_shared))
+        inv_speedup_sum = float(np.sum(ipc_alone / ipc_shared))
+        if inv_speedup_sum <= 0:
+            # every slowdown term underflowed to zero: the limit is +inf
+            return float("inf")
+        return float(len(ipc_shared) / inv_speedup_sum)
 
 
 class WeightedSpeedup(Metric):

@@ -19,6 +19,7 @@ poses:
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Any
 
 import numpy as np
 
@@ -182,7 +183,7 @@ class AnalyticalModel:
     # ------------------------------------------------------------------
     # synthesis: arbitrary metrics
     # ------------------------------------------------------------------
-    def optimize_numerically(self, metric: Metric, **kwargs) -> OperatingPoint:
+    def optimize_numerically(self, metric: Metric, **kwargs: Any) -> OperatingPoint:
         """Maximize an arbitrary IPC-based metric over share vectors.
 
         Delegates to :func:`repro.core.optimizer.optimize_partition`;

@@ -44,7 +44,10 @@ class PartitionOptimum:
 
     @property
     def beta(self) -> np.ndarray:
-        return self.apc_shared / self.apc_shared.sum()
+        total = float(self.apc_shared.sum())
+        if total <= 0:
+            raise ConfigurationError("optimum has zero total bandwidth")
+        return self.apc_shared / total
 
 
 def project_to_feasible(
@@ -57,22 +60,26 @@ def project_to_feasible(
     can push apps over their caps.
     """
     cap = np.asarray(apc_alone, dtype=float)
-    target = min(float(total_bandwidth), float(cap.sum()))
+    cap_total = float(cap.sum())
+    target = min(float(total_bandwidth), cap_total)
     x = np.clip(np.asarray(apc, dtype=float), 0.0, cap)
     for _ in range(len(x) + 1):
         total = x.sum()
         if abs(total - target) <= 1e-12:
             break
         if total <= 0:
-            x = cap * (target / cap.sum())
+            if cap_total <= 0:
+                break
+            x = cap * (target / cap_total)
             break
         free = x < cap - 1e-15
         if total < target:
             # distribute the deficit over apps with headroom
             headroom = np.where(free, cap - x, 0.0)
-            if headroom.sum() <= 0:
+            headroom_total = float(headroom.sum())
+            if headroom_total <= 0:
                 break
-            add = (target - total) * headroom / headroom.sum()
+            add = (target - total) * headroom / headroom_total
             x = np.minimum(x + add, cap)
         else:
             x *= target / total
@@ -84,10 +91,13 @@ def _starting_points(workload: Workload, total_bandwidth: float) -> list[np.ndar
     """Deterministic restart set: paper optima + spread points."""
     a = workload.apc_alone
     n = workload.n
-    starts = []
+    starts: list[np.ndarray] = []
     for alpha in (0.0, 0.5, 2.0 / 3.0, 1.0):
         w = a**alpha
-        starts.append(total_bandwidth * w / w.sum())
+        w_total = float(w.sum())
+        if w_total <= 0:
+            continue
+        starts.append(total_bandwidth * w / w_total)
     # greedy corners: all budget to the single cheapest app by each criterion
     for order in (np.argsort(a), np.argsort(workload.api)):
         x = np.zeros(n)

@@ -130,7 +130,9 @@ class PowerPartitioning(ShareBasedScheme):
     Proportional (1).
     """
 
-    def __init__(self, alpha: float, name: str | None = None, label: str | None = None):
+    def __init__(
+        self, alpha: float, name: str | None = None, label: str | None = None
+    ) -> None:
         if not np.isfinite(alpha):
             raise ConfigurationError(f"alpha must be finite, got {alpha!r}")
         self.alpha = float(alpha)
@@ -224,11 +226,14 @@ class ExplicitShares(ShareBasedScheme):
     """A share vector supplied directly (used by the QoS partitioner and
     by the generic numerical optimizer)."""
 
-    def __init__(self, beta: np.ndarray, name: str = "explicit", label: str | None = None):
+    def __init__(
+        self, beta: np.ndarray, name: str = "explicit", label: str | None = None
+    ) -> None:
         b = np.asarray(beta, dtype=float)
-        if np.any(b < 0) or not np.isclose(b.sum(), 1.0, atol=1e-8):
+        total = float(b.sum())
+        if np.any(b < 0) or not np.isclose(total, 1.0, atol=1e-8):
             raise ConfigurationError(f"explicit shares must be >=0 and sum to 1, got {b}")
-        self._beta = b / b.sum()
+        self._beta = b / total
         self.name = name
         self.label = label or name
 

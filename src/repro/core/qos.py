@@ -17,7 +17,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
-from repro.core.apps import AppProfile, Workload
+from repro.core.apps import Workload
+from repro.core.bandwidth import assert_conservation
 from repro.core.knapsack import solve_fractional_knapsack
 from repro.core.metrics import (
     HarmonicWeightedSpeedup,
@@ -79,6 +80,8 @@ class QoSPlan:
     def beta(self) -> np.ndarray:
         """Share vector for a share-enforcing scheduler."""
         total = self.apc_shared.sum()
+        if total <= 0:
+            raise ConfigurationError("QoS plan has zero total bandwidth")
         return self.apc_shared / total
 
     def best_effort_point(self) -> OperatingPoint:
@@ -159,7 +162,12 @@ class QoSPartitioner:
 
         return QoSPlan(
             workload=workload,
-            apc_shared=apc,
+            apc_shared=assert_conservation(
+                apc,
+                total_bandwidth,
+                workload.apc_alone,
+                where="QoSPartitioner.plan",
+            ),
             qos_indices=tuple(qos_idx),
             b_qos=b_qos,
             b_best_effort=b_be,

@@ -27,16 +27,19 @@ This module delivers that extension:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from itertools import product
-from typing import Sequence
+from typing import TYPE_CHECKING, Iterator, Sequence
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.apps import AppProfile, Workload
 from repro.core.metrics import Metric
 from repro.core.model import AnalyticalModel, OperatingPoint
 from repro.util.errors import ConfigurationError
 from repro.util.validation import as_float_array
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard for typing only
+    from repro.workloads.refgen import RefStreamSpec
 
 __all__ = [
     "MissRatioCurve",
@@ -83,7 +86,7 @@ class MissRatioCurve:
 
 
 def profile_miss_ratio_curve(
-    spec,
+    spec: "RefStreamSpec",
     *,
     total_l2_bytes: int = 1024 * 1024,
     shares: Sequence[float] = (0.125, 0.25, 0.5, 1.0),
@@ -156,13 +159,13 @@ class JointPoint:
 class SharedL2Model:
     """Joint cache + bandwidth evaluation (footnote 1 realized)."""
 
-    def __init__(self, apps: Sequence[SharedL2App], total_bandwidth: float):
+    def __init__(self, apps: Sequence[SharedL2App], total_bandwidth: float) -> None:
         if not apps:
             raise ConfigurationError("need at least one app")
         self.apps = list(apps)
         self.total_bandwidth = total_bandwidth
 
-    def workload_at(self, cache_shares) -> Workload:
+    def workload_at(self, cache_shares: ArrayLike) -> Workload:
         """The bandwidth-model workload induced by a cache partition."""
         c = as_float_array("cache_shares", cache_shares)
         if len(c) != len(self.apps):
@@ -174,7 +177,7 @@ class SharedL2Model:
             [app.profile_at(float(ci)) for app, ci in zip(self.apps, c)],
         )
 
-    def evaluate(self, cache_shares, metric: Metric) -> JointPoint:
+    def evaluate(self, cache_shares: ArrayLike, metric: Metric) -> JointPoint:
         """Best bandwidth partition for ``metric`` at this cache split."""
         wl = self.workload_at(cache_shares)
         model = AnalyticalModel(wl, self.total_bandwidth)
@@ -213,7 +216,7 @@ def optimize_joint(
     return best
 
 
-def _compositions(total: int, parts: int):
+def _compositions(total: int, parts: int) -> Iterator[tuple[int, ...]]:
     """All ways to write ``total`` as ``parts`` positive integers."""
     if parts == 1:
         yield (total,)

@@ -27,6 +27,7 @@ derivations are verified against the numerical optimizer in the tests.
 from __future__ import annotations
 
 import numpy as np
+from numpy.typing import ArrayLike
 
 from repro.core.apps import Workload
 from repro.core.bandwidth import normalize_shares
@@ -46,7 +47,7 @@ __all__ = [
 ]
 
 
-def _check_weights(weights, n: int | None = None) -> np.ndarray:
+def _check_weights(weights: ArrayLike, n: int | None = None) -> np.ndarray:
     w = as_float_array("weights", weights)
     if np.any(w <= 0):
         raise ConfigurationError("weights must be positive")
@@ -58,7 +59,7 @@ def _check_weights(weights, n: int | None = None) -> np.ndarray:
 class WeightedHarmonicSpeedup(Metric):
     """``sum(w) / sum(w_i / s_i)`` -- Hsp with per-app priority weights."""
 
-    def __init__(self, weights) -> None:
+    def __init__(self, weights: ArrayLike) -> None:
         self.weights = _check_weights(weights)
         self.name = "whsp"
         self.label = "Weighted harmonic speedup"
@@ -68,20 +69,27 @@ class WeightedHarmonicSpeedup(Metric):
         if np.any(ipc_shared <= 0):
             return 0.0
         speedups = ipc_shared / ipc_alone
-        return float(w.sum() / np.sum(w / speedups))
+        inv_sum = float(np.sum(w / speedups))
+        if inv_sum <= 0:
+            # every weighted slowdown underflowed to zero: limit is +inf
+            return float("inf")
+        return float(w.sum() / inv_sum)
 
 
 class WeightedWeightedSpeedup(Metric):
     """``sum(w_i * s_i) / sum(w)`` -- Wsp with per-app priority weights."""
 
-    def __init__(self, weights) -> None:
+    def __init__(self, weights: ArrayLike) -> None:
         self.weights = _check_weights(weights)
         self.name = "wwsp"
         self.label = "Weighted weighted speedup"
 
     def evaluate(self, ipc_shared: np.ndarray, ipc_alone: np.ndarray) -> float:
         w = _check_weights(self.weights, len(ipc_shared))
-        return float(np.sum(w * ipc_shared / ipc_alone) / w.sum())
+        w_total = float(w.sum())
+        if w_total <= 0:
+            raise ConfigurationError("weights must sum to a positive value")
+        return float(np.sum(w * ipc_shared / ipc_alone) / w_total)
 
 
 class WeightedSquareRootPartitioning(ShareBasedScheme):
@@ -90,7 +98,7 @@ class WeightedSquareRootPartitioning(ShareBasedScheme):
     Reduces to the paper's Square_root at equal weights.
     """
 
-    def __init__(self, weights) -> None:
+    def __init__(self, weights: ArrayLike) -> None:
         self.weights = _check_weights(weights)
         self.name = "wsqrt"
         self.label = "Weighted square_root"
@@ -106,7 +114,7 @@ class WeightedPriorityAPC(PriorityScheme):
     Reduces to the paper's Priority_APC at equal weights.
     """
 
-    def __init__(self, weights) -> None:
+    def __init__(self, weights: ArrayLike) -> None:
         self.weights = _check_weights(weights)
         self.name = "wprio_apc"
         self.label = "Weighted priority_APC"
@@ -130,7 +138,7 @@ class WeightedPriorityAPC(PriorityScheme):
 
 
 def weighted_hsp_optimum(
-    workload: Workload, total_bandwidth: float, weights
+    workload: Workload, total_bandwidth: float, weights: ArrayLike
 ) -> float:
     """Closed form for the maximum weighted Hsp (uncapped regime):
 
@@ -138,5 +146,8 @@ def weighted_hsp_optimum(
     (the Eq. (4) generalization; equal weights recover Eq. (4) exactly).
     """
     w = _check_weights(weights, workload.n)
-    s = np.sqrt(w * workload.apc_alone).sum()
+    s = float(np.sqrt(w * workload.apc_alone).sum())
+    if s <= 0:
+        # w_i * a_i can underflow to exact zero for subnormal inputs
+        raise ConfigurationError("sqrt(w * apc_alone) must sum to a positive value")
     return float(w.sum() * total_bandwidth / s**2)

@@ -33,15 +33,13 @@ from dataclasses import dataclass, replace
 
 import numpy as np
 
-from repro.core.apps import AppProfile, Workload
 from repro.core.knapsack import solve_fractional_knapsack
 from repro.core.metrics import ALL_METRICS
 from repro.core.model import AnalyticalModel
 from repro.core.partitioning import default_schemes
 from repro.experiments.report import format_table
 from repro.experiments.runner import Runner
-from repro.sim.engine import SimConfig, simulate
-from repro.sim.mc.priority import PriorityScheduler
+from repro.sim.engine import simulate
 from repro.sim.mc.stf import StartTimeFairScheduler
 from repro.workloads.mixes import mix_core_specs
 

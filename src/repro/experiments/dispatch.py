@@ -222,12 +222,17 @@ def _shm_export(block: np.ndarray) -> str | None:
             from multiprocessing import resource_tracker
 
             resource_tracker.unregister(shm._name, "shared_memory")
-        except Exception:
+        except (ImportError, AttributeError, OSError):
+            # best-effort interop with a private CPython API; the parent
+            # unlinks on attach either way, so a failure here only means
+            # the worker's tracker logs a spurious leak warning
             pass
         name = shm.name
         shm.close()
         return name
-    except Exception:
+    except (OSError, ValueError):
+        # /dev/shm full or segment creation refused: fall back to the
+        # pickle transport by reporting "no segment"
         return None
 
 
@@ -264,8 +269,8 @@ class ShmKeeper:
             shm = shared_memory.SharedMemory(name=name)
         try:
             shm.unlink()
-        except Exception:
-            pass
+        except OSError:
+            pass  # racing unlink already removed the name; ownership is ours
         self._segments.append(shm)
         return np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
 
@@ -277,11 +282,11 @@ class ShmKeeper:
         _GRAVEYARD.extend(self._segments)
         self._segments = []
 
-    def __del__(self):  # pragma: no cover - GC order dependent
+    def __del__(self) -> None:  # pragma: no cover - GC order dependent
         try:
             self.close()
-        except Exception:
-            pass
+        except Exception:  # reprolint: disable=exc-broad
+            pass  # __del__ must never raise, least of all at interpreter exit
 
 
 def _sim_meta(sim) -> dict:

@@ -16,7 +16,7 @@ import csv
 import io
 import json
 import pathlib
-from typing import Iterable, Mapping, Sequence
+from typing import Mapping, Sequence
 
 from repro.util.errors import ConfigurationError
 

@@ -20,7 +20,7 @@ This module reproduces the paper's methodology end-to-end:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Callable, Iterable, Sequence
 
 import numpy as np

@@ -54,7 +54,7 @@ def _numpy_version() -> str | None:
         import numpy
 
         return numpy.__version__
-    except Exception:  # noqa: BLE001 - numpy genuinely optional here
+    except (ImportError, AttributeError):  # numpy genuinely optional here
         return None
 
 

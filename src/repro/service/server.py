@@ -230,7 +230,9 @@ class PartitionService:
             return 422, error_body("InfeasibleError", str(exc))
         except asyncio.CancelledError:
             raise
-        except Exception as exc:  # noqa: BLE001 - last-resort boundary
+        except Exception as exc:  # reprolint: disable=exc-broad
+            # last-resort boundary: the failure is propagated to the
+            # client as a structured 500, never swallowed
             return 500, error_body("InternalError", f"{type(exc).__name__}: {exc}")
 
     # ------------------------------------------------------------------

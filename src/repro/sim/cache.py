@@ -18,7 +18,7 @@ miss stream directly (see DESIGN.md).
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.util.errors import ConfigurationError
 from repro.util.validation import check_positive

@@ -17,7 +17,7 @@ tRP-tRCD-CL untouched, exactly as the paper specifies.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 
 from repro.util.errors import ConfigurationError
 from repro.util.validation import check_positive

@@ -28,8 +28,6 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
-import numpy as np
-
 from repro import obs
 from repro.sim.cpu import CoreSim, CoreSpec
 from repro.sim.dram.config import DRAMConfig, ddr2_400

@@ -38,6 +38,7 @@ import json
 import os
 import pathlib
 import tempfile
+from typing import Any
 
 __all__ = [
     "config_digest",
@@ -54,7 +55,7 @@ SCHEMA_VERSION = 1
 _APP_DIR = "repro-bandwidth-model"
 
 
-def _canonical(obj):
+def _canonical(obj: Any) -> Any:
     """Render a config object as plain JSON-able data, deterministically.
 
     Dataclasses are expanded field-by-field (recursively) and tagged
@@ -77,7 +78,7 @@ def _canonical(obj):
     raise TypeError(f"cannot digest {type(obj).__name__!r} into a cache key")
 
 
-def config_digest(*parts) -> str:
+def config_digest(*parts: Any) -> str:
     """SHA-256 digest of a sequence of configuration objects.
 
     Pass every input that influences the result (a purpose tag, the
@@ -92,7 +93,7 @@ def config_digest(*parts) -> str:
     return hashlib.sha256(payload.encode("utf-8")).hexdigest()
 
 
-def atomic_write_json(path: pathlib.Path, value) -> bool:
+def atomic_write_json(path: pathlib.Path, value: Any) -> bool:
     """Write ``value`` as JSON to ``path`` atomically; returns success.
 
     The temp-file + ``os.replace`` dance guarantees a reader can never
@@ -166,7 +167,7 @@ class CacheStats:
         total = self.lookups
         return self.hits / total if total else 0.0
 
-    def as_dict(self) -> dict:
+    def as_dict(self) -> dict[str, float]:
         return {
             "hits": self.hits,
             "misses": self.misses,
@@ -187,7 +188,7 @@ class SimCache:
 
     def __init__(
         self,
-        directory: str | os.PathLike | None = None,
+        directory: str | os.PathLike[str] | None = None,
         *,
         metric_name: str = "sim",
     ) -> None:
@@ -208,7 +209,7 @@ class SimCache:
     def path_for(self, key: str) -> pathlib.Path:
         return self.directory / f"{key}.json"
 
-    def get(self, key: str) -> dict | None:
+    def get(self, key: str) -> dict[str, Any] | None:
         """The stored payload for ``key``, or ``None`` on any miss."""
         if not self.enabled:
             self.stats.misses += 1
@@ -229,7 +230,7 @@ class SimCache:
         self._obs_hits.inc()
         return value
 
-    def put(self, key: str, value: dict) -> None:
+    def put(self, key: str, value: dict[str, Any]) -> None:
         """Store ``value`` under ``key`` atomically (rename-into-place).
 
         Safe under concurrent writers: two ``repro-experiments``
@@ -261,7 +262,7 @@ class SimCache:
                 pass
         return removed
 
-    def cache_stats(self) -> dict:
+    def cache_stats(self) -> dict[str, float]:
         """Counter snapshot: ``{hits, misses, puts, lookups, hit_rate}``."""
         return self.stats.as_dict()
 

@@ -32,3 +32,16 @@ class SimulationError(ReproError):
     request, ...) rather than a user mistake; it is used by internal
     consistency assertions that are cheap enough to keep enabled.
     """
+
+
+class InvariantViolation(ReproError):
+    """A model invariant failed on a computed result.
+
+    Raised by the Eq. 2 conservation check in
+    :func:`repro.core.bandwidth.assert_conservation` when a solver
+    produces an allocation that overruns the bandwidth budget, exceeds a
+    per-app standalone demand, or (in work-conserving mode) leaves
+    usable bandwidth stranded.  Like :class:`SimulationError` it signals
+    a library bug rather than a user mistake, and the check is cheap
+    enough to stay enabled on every allocation path.
+    """

@@ -27,7 +27,6 @@ from dataclasses import dataclass, replace
 
 from repro.sim.cpu import CoreSpec
 from repro.sim.engine import SimConfig, run_alone
-from repro.util.errors import ConfigurationError
 from repro.workloads.spec import TABLE3, BenchmarkSpec
 
 __all__ = [

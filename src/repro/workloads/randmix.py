@@ -22,7 +22,7 @@ import numpy as np
 
 from repro.core.apps import Workload, relative_std
 from repro.util.errors import ConfigurationError
-from repro.workloads.spec import TABLE3, BenchmarkSpec
+from repro.workloads.spec import TABLE3
 
 __all__ = [
     "benchmarks_by_intensity",

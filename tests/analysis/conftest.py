@@ -1,0 +1,29 @@
+"""Shared fixtures for the reprolint test-suite."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import LintConfig, analyze_paths
+from repro.analysis.engine import AnalysisResult
+
+FIXTURES = pathlib.Path(__file__).parent / "fixtures" / "proj" / "src"
+REPO_ROOT = pathlib.Path(__file__).resolve().parents[2]
+
+
+@pytest.fixture(scope="session")
+def fixture_result() -> AnalysisResult:
+    """One engine run over the whole fixture tree, shared by the tests."""
+    return analyze_paths([FIXTURES], LintConfig())
+
+
+def rules_for(result: AnalysisResult, filename: str) -> list[str]:
+    """Rule ids reported against ``filename`` (basename match), sorted
+    by source position."""
+    return [
+        d.rule
+        for d in result.diagnostics
+        if pathlib.PurePath(d.path).name == filename
+    ]

@@ -1,0 +1,13 @@
+"""Fixture: numerical-safety violations."""
+
+import numpy as np
+
+
+def share(beta, demand):
+    with np.errstate(divide="ignore", invalid="ignore"):
+        direct = demand / demand.sum()
+    total = demand.sum()
+    unguarded = beta / total
+    if direct[0] == 0.3:
+        return unguarded
+    return direct

@@ -1,0 +1,5 @@
+"""Fixture: a solver with no path to the conservation anchor."""
+
+
+def rogue_allocation(beta, total):
+    return [b * total for b in beta]

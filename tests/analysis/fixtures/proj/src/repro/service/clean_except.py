@@ -1,0 +1,26 @@
+"""Fixture: acceptable exception handling at boundaries."""
+
+
+def harvest(jobs):
+    out = []
+    for job in jobs:
+        try:
+            out.append(job())
+        except (ValueError, OSError):
+            continue
+    return out
+
+
+def cleanup_and_raise(resource):
+    try:
+        return resource.use()
+    except Exception:
+        resource.close()
+        raise
+
+
+def deliver(future, solve):
+    try:
+        future.set_result(solve())
+    except Exception as exc:
+        future.set_exception(exc)

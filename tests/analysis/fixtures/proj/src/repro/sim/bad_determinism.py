@@ -1,0 +1,19 @@
+"""Fixture: every determinism violation reprolint knows about."""
+
+import random
+import time
+from datetime import datetime
+
+import numpy as np
+
+
+def stamp():
+    return time.time(), datetime.now()
+
+
+def draw():
+    np.random.seed(42)
+    a = np.random.rand(4)
+    b = random.random()
+    rng = np.random.default_rng()
+    return a, b, rng

@@ -1,0 +1,12 @@
+"""Fixture: deterministic counterparts of bad_determinism."""
+
+import numpy as np
+
+
+def draw(seed: int):
+    rng = np.random.default_rng(seed)
+    return rng.random(4)
+
+
+def stamp(now_cycles: int) -> int:
+    return now_cycles

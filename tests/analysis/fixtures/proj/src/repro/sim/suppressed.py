@@ -1,0 +1,21 @@
+"""Fixture: all three suppression forms."""
+# reprolint: disable-file=det-unseeded-rng
+
+import random
+import time
+
+import numpy as np
+
+
+def stamp():
+    return time.time()  # reprolint: disable=det-wallclock
+
+
+def stamp_long():
+    # reprolint: disable-next-line=det-wallclock
+    return time.time_ns()
+
+
+def draw():
+    np.random.seed(0)
+    return random.random()

@@ -1,0 +1,135 @@
+"""Call-graph reachability: imports, aliases, helpers, dict dispatch."""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+from repro.analysis.callgraph import build_module_graph, reaches
+from repro.analysis.context import FileContext
+
+
+def _ctx(tmp_path: pathlib.Path, subpath: str, source: str) -> FileContext:
+    path = tmp_path / subpath
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(source)
+    return FileContext.parse(path)
+
+
+def _solver(graph, module: str, name: str):
+    for info in graph.functions(module):
+        if info.name == name:
+            return info
+    raise AssertionError(f"{module}.{name} not found")
+
+
+def test_direct_reference_reaches(tmp_path) -> None:
+    ctx = _ctx(
+        tmp_path,
+        "repro/core/a.py",
+        "def anchor(x):\n    return x\n\n\ndef solve(x):\n    return anchor(x)\n",
+    )
+    graph = build_module_graph([ctx])
+    assert reaches(graph, _solver(graph, "repro.core.a", "solve"), "anchor")
+
+
+def test_unreachable_is_rejected(tmp_path) -> None:
+    ctx = _ctx(
+        tmp_path,
+        "repro/core/a.py",
+        "def anchor(x):\n    return x\n\n\ndef solve(x):\n    return x\n",
+    )
+    graph = build_module_graph([ctx])
+    assert not reaches(graph, _solver(graph, "repro.core.a", "solve"), "anchor")
+
+
+def test_cross_module_import_chain(tmp_path) -> None:
+    base = _ctx(
+        tmp_path,
+        "repro/core/base.py",
+        "def anchor(x):\n    return x\n",
+    )
+    mid = _ctx(
+        tmp_path,
+        "repro/core/mid.py",
+        "from repro.core.base import anchor\n\n\ndef helper(x):\n"
+        "    return anchor(x)\n",
+    )
+    top = _ctx(
+        tmp_path,
+        "repro/core/top.py",
+        "from repro.core.mid import helper\n\n\ndef solve(x):\n"
+        "    return helper(x)\n",
+    )
+    graph = build_module_graph([base, mid, top])
+    assert reaches(graph, _solver(graph, "repro.core.top", "solve"), "anchor")
+
+
+def test_import_alias_anchors(tmp_path) -> None:
+    base = _ctx(tmp_path, "repro/core/base.py", "def anchor(x):\n    return x\n")
+    user = _ctx(
+        tmp_path,
+        "repro/core/user.py",
+        "from repro.core.base import anchor as _check\n\n\ndef solve(x):\n"
+        "    return _check(x)\n",
+    )
+    graph = build_module_graph([base, user])
+    assert reaches(graph, _solver(graph, "repro.core.user", "solve"), "anchor")
+
+
+def test_dict_dispatch_connects(tmp_path) -> None:
+    ctx = _ctx(
+        tmp_path,
+        "repro/core/a.py",
+        "def anchor(x):\n    return x\n\n\ndef kernel(x):\n"
+        "    return anchor(x)\n\n\nKERNELS = {'k': kernel}\n\n\n"
+        "def solve(kind, x):\n    return KERNELS[kind](x)\n",
+    )
+    graph = build_module_graph([ctx])
+    assert reaches(graph, _solver(graph, "repro.core.a", "solve"), "anchor")
+
+
+def test_method_fallback_by_attribute_name(tmp_path) -> None:
+    impl = _ctx(
+        tmp_path,
+        "repro/core/impl.py",
+        "def anchor(x):\n    return x\n\n\nclass Scheme:\n"
+        "    def allocate(self, x):\n        return anchor(x)\n",
+    )
+    caller = _ctx(
+        tmp_path,
+        "repro/core/caller.py",
+        "def solve(scheme, x):\n    return scheme.allocate(x)\n",
+    )
+    graph = build_module_graph([impl, caller])
+    assert reaches(graph, _solver(graph, "repro.core.caller", "solve"), "anchor")
+
+
+def test_local_function_import_resolves(tmp_path) -> None:
+    base = _ctx(tmp_path, "repro/core/base.py", "def anchor(x):\n    return x\n")
+    user = _ctx(
+        tmp_path,
+        "repro/core/user.py",
+        "def solve(x):\n    from repro.core.base import anchor\n"
+        "    return anchor(x)\n",
+    )
+    graph = build_module_graph([base, user])
+    assert reaches(graph, _solver(graph, "repro.core.user", "solve"), "anchor")
+
+
+def test_cycles_terminate(tmp_path) -> None:
+    ctx = _ctx(
+        tmp_path,
+        "repro/core/a.py",
+        "def f(x):\n    return g(x)\n\n\ndef g(x):\n    return f(x)\n",
+    )
+    graph = build_module_graph([ctx])
+    assert not reaches(graph, _solver(graph, "repro.core.a", "f"), "anchor")
+
+
+def test_binding_nodes_are_marked(tmp_path) -> None:
+    ctx = _ctx(tmp_path, "repro/core/a.py", "TABLE = {'x': 1}\n")
+    graph = build_module_graph([ctx])
+    infos = list(graph.functions("repro.core.a"))
+    assert len(infos) == 1 and infos[0].is_binding
+    assert isinstance(infos[0].node, ast.Assign)

@@ -1,0 +1,59 @@
+"""CLI behaviour: exit codes, rule selection, output files."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.cli import main
+
+from tests.analysis.conftest import FIXTURES
+
+
+def test_exit_1_on_findings(capsys) -> None:
+    assert main([str(FIXTURES)]) == 1
+    out = capsys.readouterr().out
+    assert "[inv-conservation]" in out
+
+
+def test_exit_0_on_clean_tree(tmp_path: pathlib.Path, capsys) -> None:
+    clean = tmp_path / "ok.py"
+    clean.write_text("x = 1\n")
+    assert main([str(tmp_path)]) == 0
+
+
+def test_exit_2_on_missing_path(capsys) -> None:
+    assert main(["definitely/not/a/path"]) == 2
+
+
+def test_exit_2_on_unknown_rule(capsys) -> None:
+    assert main(["--rule", "no-such-rule", str(FIXTURES)]) == 2
+
+
+def test_rule_filter(capsys) -> None:
+    assert main(["--rule", "exc-broad", "--format", "json", str(FIXTURES)]) == 1
+    payload = json.loads(capsys.readouterr().out)
+    assert set(payload["counts"]["by_rule"]) == {"exc-broad"}
+
+
+def test_list_rules(capsys) -> None:
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    assert "det-wallclock" in out
+    assert "inv-conservation" in out
+
+
+def test_output_file(tmp_path: pathlib.Path, capsys) -> None:
+    report = tmp_path / "out" / "lint.json"
+    code = main(["--format", "json", "--output", str(report), str(FIXTURES)])
+    assert code == 1
+    on_disk = json.loads(report.read_text())
+    on_stdout = json.loads(capsys.readouterr().out)
+    assert on_disk == on_stdout
+
+
+def test_parse_error_is_reported_not_fatal(tmp_path: pathlib.Path, capsys) -> None:
+    bad = tmp_path / "broken.py"
+    bad.write_text("def f(:\n")
+    assert main([str(tmp_path)]) == 1
+    assert "[parse-error]" in capsys.readouterr().out

@@ -1,0 +1,99 @@
+"""Config loading: severity/path overrides, rule options, degradation."""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+from repro.analysis import LintConfig, Severity, analyze_paths, load_config
+from repro.analysis.config import RuleConfig, find_pyproject
+
+
+def _toml_available() -> bool:
+    try:
+        import tomllib  # noqa: F401
+    except ImportError:
+        try:
+            import tomli  # noqa: F401
+        except ImportError:
+            return False
+    return True
+
+
+needs_toml = pytest.mark.skipif(
+    not _toml_available(), reason="no tomllib/tomli in this environment"
+)
+
+
+def test_defaults_without_pyproject() -> None:
+    config = load_config(None)
+    assert config.source is None
+    assert config.rule("det-wallclock").enabled
+    assert config.rule("det-wallclock").severity is None  # rule default
+
+
+@needs_toml
+def test_severity_and_paths_override(tmp_path: pathlib.Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        "[tool.reprolint]\n"
+        'exclude = ["vendored"]\n'
+        '[tool.reprolint.rules."det-wallclock"]\n'
+        'severity = "warning"\n'
+        'paths = ["repro/experiments"]\n'
+        '[tool.reprolint.rules."exc-broad"]\n'
+        "enabled = false\n"
+    )
+    config = load_config(pyproject)
+    assert config.source == pyproject
+    assert "vendored" in config.excluded_dirs()
+    rule = config.rule("det-wallclock")
+    assert rule.severity is Severity.WARNING
+    assert rule.paths == ("repro/experiments",)
+    assert not config.rule("exc-broad").enabled
+
+
+@needs_toml
+def test_rule_options_pass_through(tmp_path: pathlib.Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        '[tool.reprolint.rules."inv-conservation"]\n'
+        'solver-pattern = "xyz"\n'
+        'anchor = "my_check"\n'
+    )
+    config = load_config(pyproject)
+    options = config.rule("inv-conservation").options
+    assert options == {"solver-pattern": "xyz", "anchor": "my_check"}
+
+
+@needs_toml
+def test_severity_override_applies_to_findings(tmp_path: pathlib.Path) -> None:
+    pyproject = tmp_path / "pyproject.toml"
+    pyproject.write_text(
+        '[tool.reprolint.rules."det-wallclock"]\nseverity = "warning"\n'
+    )
+    bad = tmp_path / "repro" / "sim" / "t.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    result = analyze_paths([tmp_path], load_config(pyproject))
+    assert result.errors == 0
+    assert result.warnings == 1
+
+
+def test_disabled_rule_emits_nothing(tmp_path: pathlib.Path) -> None:
+    bad = tmp_path / "repro" / "sim" / "t.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text("import time\n\n\ndef f():\n    return time.time()\n")
+    config = LintConfig(rules={"det-wallclock": RuleConfig(enabled=False)})
+    result = analyze_paths([tmp_path], config)
+    assert [d.rule for d in result.diagnostics] == []
+
+
+def test_find_pyproject_walks_up(tmp_path: pathlib.Path) -> None:
+    (tmp_path / "pyproject.toml").write_text("[tool.reprolint]\n")
+    nested = tmp_path / "a" / "b"
+    nested.mkdir(parents=True)
+    assert find_pyproject(nested) == tmp_path / "pyproject.toml"
+    # nothing above an isolated root-less dir
+    assert find_pyproject(pathlib.Path("/nonexistent-xyz")) is None

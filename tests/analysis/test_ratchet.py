@@ -1,0 +1,84 @@
+"""Ratchet logic: counting, monotonic comparison, file round-trip."""
+
+from __future__ import annotations
+
+import json
+import pathlib
+
+from repro.analysis.ratchet import (
+    DEFAULT_RATCHET_PATH,
+    compare_counts,
+    count_errors_by_package,
+    load_ratchet,
+    save_ratchet,
+)
+
+from tests.analysis.conftest import REPO_ROOT
+
+CANNED = """\
+src/repro/sim/dram.py:41: error: Incompatible types in assignment  [assignment]
+src/repro/sim/dram.py:41: note: See documentation
+src/repro/sim/engine.py:9:12: error: Missing return statement  [return]
+src/repro/core/bandwidth.py:100: error: Unsupported operand  [operator]
+src/repro/__main__.py:3: error: Module has no attribute  [attr-defined]
+scripts/tool.py:1: error: Cannot find implementation  [import]
+Found 5 errors in 5 files (checked 100 source files)
+"""
+
+
+def test_count_errors_by_package() -> None:
+    counts = count_errors_by_package(CANNED)
+    assert counts == {
+        "<other>": 1,
+        "repro": 1,
+        "repro.core": 1,
+        "repro.sim": 2,
+    }
+
+
+def test_notes_and_summary_lines_are_not_counted() -> None:
+    assert count_errors_by_package("src/repro/core/x.py:1: note: hi") == {}
+    assert count_errors_by_package("Found 3 errors in 2 files") == {}
+
+
+def test_compare_counts_monotonic() -> None:
+    ceilings = {"repro.sim": 2, "repro.core": 1}
+    # equal and lower pass
+    assert compare_counts({"repro.sim": 2, "repro.core": 0}, ceilings) == []
+    # higher fails, naming the package
+    problems = compare_counts({"repro.sim": 3}, ceilings)
+    assert len(problems) == 1 and "repro.sim" in problems[0]
+    # unknown packages default to a zero ceiling
+    assert compare_counts({"repro.newpkg": 1}, ceilings) != []
+
+
+def test_ratchet_roundtrip(tmp_path: pathlib.Path) -> None:
+    path = tmp_path / "ratchet.json"
+    save_ratchet(path, {"repro.sim": 5, "repro.core": 0})
+    assert load_ratchet(path) == {"repro.sim": 5, "repro.core": 0}
+
+
+def test_shipped_ratchet_file_is_wellformed() -> None:
+    path = REPO_ROOT / DEFAULT_RATCHET_PATH
+    assert path.is_file(), "analysis/mypy_ratchet.json must be committed"
+    ceilings = load_ratchet(path)
+    # every src/repro subpackage has a recorded ceiling
+    packages = {
+        f"repro.{p.name}"
+        for p in (REPO_ROOT / "src" / "repro").iterdir()
+        if p.is_dir() and (p / "__init__.py").is_file()
+    }
+    assert packages <= set(ceilings), sorted(packages - set(ceilings))
+    assert all(v >= 0 for v in ceilings.values())
+    # the strict ring carries the tightest ceilings in the file
+    strict = {"repro.core", "repro.util", "repro.analysis"}
+    loosest_strict = max(ceilings[p] for p in strict)
+    legacy = set(ceilings) - strict
+    assert all(ceilings[p] >= loosest_strict for p in legacy) or not legacy
+
+
+def test_shipped_ratchet_json_is_pretty() -> None:
+    # the file is hand-merged in reviews; keep it deterministic
+    path = REPO_ROOT / DEFAULT_RATCHET_PATH
+    data = json.loads(path.read_text())
+    assert list(data["ceilings"]) == sorted(data["ceilings"])

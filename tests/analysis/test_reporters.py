@@ -1,0 +1,50 @@
+"""Reporter formats: text rendering and the versioned JSON schema."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.reporters import JSON_SCHEMA_VERSION, render_json, render_text
+
+
+def test_text_report_lines(fixture_result) -> None:
+    text = render_text(fixture_result)
+    lines = text.splitlines()
+    # every diagnostic renders as path:line:col: severity: message [rule]
+    for line in lines[:-1]:
+        assert ": error: " in line or ": warning: " in line
+        assert line.rstrip().endswith("]")
+    assert "error(s)" in lines[-1]
+    assert "suppressed inline" in lines[-1]
+
+
+def test_json_schema(fixture_result) -> None:
+    payload = json.loads(render_json(fixture_result))
+    assert payload["version"] == JSON_SCHEMA_VERSION
+    assert set(payload) == {
+        "version",
+        "files_analyzed",
+        "suppressed",
+        "counts",
+        "diagnostics",
+    }
+    counts = payload["counts"]
+    assert set(counts) == {"error", "warning", "by_rule"}
+    assert counts["error"] == fixture_result.errors
+    assert counts["warning"] == fixture_result.warnings
+    assert sum(counts["by_rule"].values()) == len(payload["diagnostics"])
+    for diag in payload["diagnostics"]:
+        assert set(diag) == {"rule", "severity", "path", "line", "col", "message"}
+        assert diag["severity"] in ("error", "warning")
+        assert diag["line"] >= 1
+        assert diag["col"] >= 0
+        assert diag["message"]
+
+
+def test_json_is_sorted_and_stable(fixture_result) -> None:
+    a = render_json(fixture_result)
+    b = render_json(fixture_result)
+    assert a == b
+    diags = json.loads(a)["diagnostics"]
+    keys = [(d["path"], d["line"], d["col"], d["rule"]) for d in diags]
+    assert keys == sorted(keys)

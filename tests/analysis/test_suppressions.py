@@ -1,0 +1,63 @@
+"""Suppression-comment semantics: same-line, next-line, file-level."""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.analysis import LintConfig, analyze_paths
+from repro.analysis.suppressions import scan_suppressions
+
+from tests.analysis.conftest import rules_for
+
+
+def test_scan_same_line() -> None:
+    supp = scan_suppressions("x = 1  # reprolint: disable=rule-a,rule-b\n")
+    assert supp.is_suppressed("rule-a", 1)
+    assert supp.is_suppressed("rule-b", 1)
+    assert not supp.is_suppressed("rule-c", 1)
+    assert not supp.is_suppressed("rule-a", 2)
+
+
+def test_scan_next_line() -> None:
+    supp = scan_suppressions("# reprolint: disable-next-line=rule-a\nx = 1\n")
+    assert supp.is_suppressed("rule-a", 2)
+    assert not supp.is_suppressed("rule-a", 1)
+
+
+def test_scan_file_level_window() -> None:
+    head = "# reprolint: disable-file=rule-a\n" + "x = 1\n" * 20
+    supp = scan_suppressions(head)
+    assert supp.is_suppressed("rule-a", 15)
+
+    late = "x = 1\n" * 15 + "# reprolint: disable-file=rule-a\n"
+    supp = scan_suppressions(late)
+    assert not supp.is_suppressed("rule-a", 3)
+
+
+def test_disable_all() -> None:
+    supp = scan_suppressions("x = 1  # reprolint: disable=all\n")
+    assert supp.is_suppressed("anything", 1)
+
+
+def test_marker_inside_string_is_not_a_suppression() -> None:
+    supp = scan_suppressions('msg = "# reprolint: disable=rule-a"\n')
+    assert not supp.is_suppressed("rule-a", 1)
+
+
+def test_fixture_suppressions_all_honoured(fixture_result) -> None:
+    # suppressed.py violates det-wallclock twice and det-unseeded-rng
+    # twice, every one silenced by a different suppression form
+    assert rules_for(fixture_result, "suppressed.py") == []
+    assert fixture_result.suppressed >= 4
+
+
+def test_suppressed_findings_are_counted(tmp_path: pathlib.Path) -> None:
+    bad = tmp_path / "repro" / "sim" / "t.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "import time\n\n\ndef f():\n"
+        "    return time.time()  # reprolint: disable=det-wallclock\n"
+    )
+    result = analyze_paths([tmp_path], LintConfig())
+    assert result.diagnostics == []
+    assert result.suppressed == 1
