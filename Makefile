@@ -5,7 +5,7 @@ BENCH_JSON ?= benchmarks/out/bench_current.json
 
 .PHONY: install test properties benchmarks bench bench-compare bench-baseline \
 	experiments scorecard examples serve bench-service bench-obs \
-	bench-sweep lint typecheck clean
+	bench-sweep bench-surrogate lint typecheck clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -57,6 +57,12 @@ serve:
 # load generator: batched vs unbatched RPS + latency percentiles
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+# surrogate gates: smoke-sweep fit quality (held-out R^2 >= 0.98,
+# MAPE <= 5% per scheme) and >= 50x serve-path speedup over the sim
+# fallback; writes BENCH_surrogate.json (see docs/SURROGATE.md)
+bench-surrogate:
+	$(PYTHON) benchmarks/bench_surrogate.py
 
 # telemetry overhead gate: instrumented engine vs REPRO_OBS=off (<=3%)
 bench-obs:

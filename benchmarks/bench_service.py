@@ -13,10 +13,19 @@ Two comparisons, both on the closed-form (``sqrt``) endpoint:
    by concurrent asyncio clients, once with micro-batching enabled and
    once without.  Reports RPS and p50/p99 latency for each mode.
 
+``--profile surrogate`` runs a different comparison instead: it fits a
+smoke-sweep surrogate artifact (SimCache-deduped; assembly-only when
+the sweep already ran), serves it from an in-process server, and
+drives ``profile: "surrogate"`` requests against ``profile: "sim"``
+requests.  The mean *solve-path* latencies come from the server's own
+``/metrics`` ``solvers`` section (so HTTP framing is excluded) and the
+reported ``speedup_vs_sim`` must clear the 50x acceptance bar.
+
 Run:
 
     PYTHONPATH=src python benchmarks/bench_service.py
     PYTHONPATH=src python benchmarks/bench_service.py --requests 2000 --clients 32
+    PYTHONPATH=src python benchmarks/bench_service.py --profile surrogate
 """
 
 from __future__ import annotations
@@ -188,6 +197,90 @@ def bench_http(requests, clients: int, max_wait_ms: float, chunk: int):
     )
 
 
+# ----------------------------------------------------------------------
+# 3. surrogate profile: fitted surface vs the sim fallback path
+# ----------------------------------------------------------------------
+SURROGATE_SPEEDUP_FLOOR = 50.0
+
+
+async def drive_surrogate(artifact_dir: str, count: int, sim_count: int, n_apps: int):
+    """Serve the artifact; return /metrics after surrogate + sim traffic."""
+    import numpy as np
+
+    config = ServiceConfig(port=0, cache=False, surrogate_dir=artifact_dir)
+    service = PartitionService(config)
+    await service.start()
+    try:
+        rng = np.random.default_rng(7)
+        async with AsyncServiceClient(port=service.port) as client:
+            for profile, n in (("surrogate", count), ("sim", sim_count)):
+                for _ in range(n):
+                    response = await client.partition(
+                        rng.uniform(5e-4, 6e-3, size=n_apps).tolist(),
+                        float(rng.uniform(4e-3, 8e-3)),
+                        scheme="sqrt",
+                        profile=profile,
+                    )
+                    assert response["source"] == profile, response
+            return await client.metrics()
+    finally:
+        await service.stop()
+
+
+def bench_surrogate_profile(args) -> int:
+    """Fit an artifact, serve it, and compare solve-path latencies."""
+    import tempfile
+
+    from repro.surrogate import (
+        collect_dataset,
+        fit_surface,
+        run_sweep,
+        save_model,
+        smoke_settings,
+        sweep_digest,
+    )
+    from repro.surrogate.artifact import model_from_report
+
+    settings = smoke_settings()
+    print("fitting smoke-sweep surrogate (cached sweeps are assembly-only)...")
+    dataset = collect_dataset(run_sweep(settings).values())
+    report = fit_surface(dataset)
+    if not report.passing:
+        print(report.summary())
+        print("FAIL: fit below the quality gate; not serving", flush=True)
+        return 1
+    artifact_dir = tempfile.mkdtemp(prefix="bench-surrogate-")
+    save_model(
+        model_from_report(report, sweep_digest(settings)), artifact_dir
+    )
+
+    metrics = asyncio.run(
+        drive_surrogate(artifact_dir, args.requests, args.sim_requests, args.apps)
+    )
+    solvers = metrics["solvers"]
+    surr_ms = solvers["surrogate"]["latency_ms"]["mean"]
+    sim_ms = solvers["sim"]["latency_ms"]["mean"]
+    speedup = metrics["speedup_vs_sim"].get("surrogate", 0.0)
+    fallbacks = metrics["surrogate"]["fallbacks"]
+    print(
+        f"solve path ({args.requests} surrogate / {args.sim_requests} sim "
+        f"requests, {args.apps} apps):"
+    )
+    print(f"  surrogate mean solve : {surr_ms:10.4f} ms")
+    print(f"  sim-path mean solve  : {sim_ms:10.2f} ms")
+    print(f"  speedup_vs_sim       : {speedup:10.1f}x   (fallbacks: {fallbacks})")
+    if fallbacks:
+        print(f"\nFAIL: {fallbacks} unexpected surrogate fallbacks")
+        return 1
+    if speedup < SURROGATE_SPEEDUP_FLOOR:
+        print(
+            f"\nFAIL: surrogate speedup {speedup:.1f}x below the "
+            f"{SURROGATE_SPEEDUP_FLOOR:.0f}x target"
+        )
+        return 1
+    return 0
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--requests", type=int, default=1024, help="total requests")
@@ -205,7 +298,24 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--skip-http", action="store_true", help="solver comparison only"
     )
+    parser.add_argument(
+        "--profile",
+        choices=("analytic", "surrogate"),
+        default="analytic",
+        help="surrogate: compare the fitted surface against the sim path",
+    )
+    parser.add_argument(
+        "--sim-requests",
+        type=int,
+        default=12,
+        help="sim-path requests for the surrogate comparison",
+    )
     args = parser.parse_args(argv)
+
+    if args.profile == "surrogate":
+        if args.requests > 256:
+            args.requests = 256  # enough for a stable mean at batch 1
+        return bench_surrogate_profile(args)
 
     requests = make_requests(args.requests, args.apps, with_metrics=args.with_metrics)
     speedup = bench_solver(requests, args.batch)

@@ -1,0 +1,160 @@
+#!/usr/bin/env python
+"""Benchmark + gate for the APC-response surrogate.
+
+Two gates, one JSON artifact (``BENCH_surrogate.json`` at the repo
+top level, or ``$BENCH_OUT_DIR``):
+
+1. **Fit quality** -- the smoke sweep's cross-validated report card:
+   every scheme must clear the serialization gate (held-out R^2 >= 0.98,
+   MAPE <= 5%).  The sweep compiles through the experiment planner, so
+   a warm SimCache makes this assembly-only; a cold cache costs ~15 s
+   of simulation.
+2. **Serving latency** -- mean per-request solve latency of the fitted
+   surface (vectorized ``predict``, measured at batch 1: the worst case
+   the micro-batcher can hand it) against the bounded-window sim path
+   the service falls back to.  The surrogate must be >= 50x faster.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_surrogate.py
+    PYTHONPATH=src python benchmarks/bench_surrogate.py --preset smoke --iters 200
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.surrogate import (  # noqa: E402
+    collect_dataset,
+    fit_surface,
+    full_settings,
+    run_sweep,
+    smoke_settings,
+    sweep_digest,
+)
+from repro.surrogate.artifact import model_from_report  # noqa: E402
+from repro.surrogate.simpath import simulate_partition_request  # noqa: E402
+
+SPEEDUP_FLOOR = 50.0
+
+_PRESETS = {"smoke": smoke_settings, "full": full_settings}
+
+
+def bench_fit(preset: str, workers: int | None) -> tuple[dict, object]:
+    settings = _PRESETS[preset]()
+    t0 = time.perf_counter()
+    results = run_sweep(settings, workers=workers)
+    sweep_s = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    report = fit_surface(collect_dataset(results.values()))
+    fit_s = time.perf_counter() - t0
+    print(report.summary())
+    print(f"[sweep {sweep_s:.1f}s ({len(results)} runs), fit {fit_s:.2f}s]")
+    record = {
+        "preset": preset,
+        "sweep_digest": sweep_digest(settings),
+        "sweep_seconds": sweep_s,
+        "fit_seconds": fit_s,
+        "n_runs": len(results),
+        "passing": report.passing,
+        "schemes": {
+            name: {"r2": f.r2, "mape": f.mape}
+            for name, f in report.fits.items()
+        },
+    }
+    model = model_from_report(
+        report, sweep_digest(settings), settings={"preset": preset}
+    )
+    return record, model
+
+
+def bench_latency(model, iters: int, sim_iters: int, n_apps: int) -> dict:
+    """Mean per-request solve latency: surrogate predict vs sim path."""
+    rng = np.random.default_rng(7)
+    apcs = rng.uniform(5e-4, 6e-3, size=(iters, n_apps))
+    bands = rng.uniform(4e-3, 8e-3, size=iters)
+
+    # warm up (first call pays numpy/scheme dispatch setup)
+    model.predict("sqrt", apcs[:1], bands[:1])
+    t0 = time.perf_counter()
+    for i in range(iters):
+        model.predict("sqrt", apcs[i : i + 1], bands[i : i + 1])
+    surrogate_ms = (time.perf_counter() - t0) * 1000.0 / iters
+
+    t0 = time.perf_counter()
+    for i in range(sim_iters):
+        simulate_partition_request("sqrt", apcs[i], float(bands[i]))
+    sim_ms = (time.perf_counter() - t0) * 1000.0 / sim_iters
+
+    speedup = sim_ms / surrogate_ms if surrogate_ms > 0 else float("inf")
+    print(
+        f"solve latency (batch 1, {n_apps} apps): "
+        f"surrogate {surrogate_ms:.4f} ms vs sim {sim_ms:.2f} ms "
+        f"-> {speedup:.0f}x"
+    )
+    return {
+        "surrogate_ms": surrogate_ms,
+        "sim_ms": sim_ms,
+        "speedup": speedup,
+        "iters": iters,
+        "sim_iters": sim_iters,
+        "n_apps": n_apps,
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--preset", choices=sorted(_PRESETS), default="smoke")
+    parser.add_argument("--workers", type=int, default=None)
+    parser.add_argument("--iters", type=int, default=200, help="predict calls")
+    parser.add_argument("--sim-iters", type=int, default=8, help="sim calls")
+    parser.add_argument("--apps", type=int, default=4, help="apps per request")
+    parser.add_argument("--out", default=None, help="artifact path override")
+    args = parser.parse_args(argv)
+
+    fit_record, model = bench_fit(args.preset, args.workers)
+    latency = bench_latency(model, args.iters, args.sim_iters, args.apps)
+
+    record = {
+        "bench": "surrogate",
+        "fit": fit_record,
+        "latency": latency,
+        "gates": {
+            "fit_quality": fit_record["passing"],
+            "speedup_floor": SPEEDUP_FLOOR,
+            "speedup_pass": latency["speedup"] >= SPEEDUP_FLOOR,
+        },
+    }
+    if args.out:
+        out = pathlib.Path(args.out)
+    else:
+        out_dir = os.environ.get("BENCH_OUT_DIR")
+        base = (
+            pathlib.Path(out_dir)
+            if out_dir
+            else pathlib.Path(__file__).resolve().parent.parent
+        )
+        out = base / "BENCH_surrogate.json"
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"[wrote {out}]")
+
+    failed = [k for k, v in record["gates"].items() if v is False]
+    if failed:
+        print(f"FAIL: gates missed: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -57,16 +57,20 @@ __all__ = [
     "batch_wsp_proportional",
     "batch_qos_plan",
     "BATCH_SCHEMES",
+    "POWER_ALPHA",
 ]
 
 #: scheme-name -> power-family exponent for the share-based schemes
-_POWER_ALPHA = {
+POWER_ALPHA: dict[str, float] = {
     "equal": 0.0,
     "sqrt": 0.5,
     "twothirds": 2.0 / 3.0,
     "prop": 1.0,
     "nopart": 1.3,
 }
+
+# historical private alias (pre-surrogate callers)
+_POWER_ALPHA = POWER_ALPHA
 
 #: scheme names accepted by :func:`batch_allocate`
 BATCH_SCHEMES: tuple[str, ...] = (

@@ -8,6 +8,7 @@ Usage::
     python -m repro.experiments extension     # PAR-BS/TCM vs the derived optima
     python -m repro.experiments sensitivity   # winners under perturbation
     python -m repro.experiments predicted     # model-only grid + agreement
+    python -m repro.experiments surrogate     # surrogate vs sim per-point error
     python -m repro.experiments scorecard     # 17-check PASS/FAIL gate
     python -m repro.experiments regression [--update]   # golden numbers
     python -m repro.experiments all           # every exhibit (no regression)
@@ -35,7 +36,7 @@ from repro.experiments.runner import Runner
 _EXHIBITS = (
     "figure1", "figure2", "figure3", "figure4", "table3", "table4",
     "ablation", "extension", "sensitivity", "scorecard", "predicted",
-    "regression",
+    "surrogate", "regression",
 )
 
 # back-compat alias (pre-planner callers imported the underscore name)
@@ -203,6 +204,13 @@ def run_exhibit(
             + f"ordering agreement = {agreement.ordering_agreement * 100:.1f}% "
             + f"({agreement.n_cells} cells)"
         )
+    if name == "surrogate":
+        from repro.experiments import surrogate_exhibit
+
+        # rides its own planner-compiled sweep (SimCache-deduped), not
+        # the shared exhibit plan; quick/plan flags do not apply
+        result = surrogate_exhibit.run(workers=workers)
+        return surrogate_exhibit.render(result)
     raise SystemExit(f"unknown exhibit {name!r}; choose from {_EXHIBITS + ('all',)}")
 
 

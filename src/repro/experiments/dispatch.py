@@ -66,6 +66,8 @@ _SPAN_NAME = {
     "profile": "parallel.profile_task",
     "run": "parallel.run_task",
     "heuristic": "parallel.heuristic_task",
+    "sprofile": "parallel.sprofile_task",
+    "srun": "parallel.srun_task",
 }
 
 
@@ -96,7 +98,19 @@ def resolve_workers(cli_value: int | None) -> int | None:
 COST_MODEL_FILENAME = "cost_model.json"
 
 #: cold-start priors (seconds) when a kind has never been observed
-_DEFAULT_KIND_COST = {"profile": 0.5, "run": 1.0, "heuristic": 1.0}
+_DEFAULT_KIND_COST = {
+    "profile": 0.5,
+    "run": 1.0,
+    "heuristic": 1.0,
+    "sprofile": 0.5,
+    "srun": 1.0,
+}
+#: surrogate sweep kinds warm-start from the analogous benchmark kind's
+#: learned mean: an sprofile is an alone-mode run, an srun a shared-mode
+#: run, just over synthetic apps.  Without the alias the first sweep
+#: wave would see one flat prior for every task and the LPT dispatch
+#: would degenerate to FIFO.
+_KIND_ALIAS = {"sprofile": "profile", "srun": "run"}
 #: EMA smoothing for repeat observations of the same digest
 _EMA_ALPHA = 0.5
 
@@ -143,10 +157,17 @@ class CostModel:
         known = self._by_digest.get(task.digest)
         if known is not None:
             return known
-        base = self._by_kind.get(
-            task.kind, _DEFAULT_KIND_COST.get(task.kind, 1.0)
-        )
-        return base * getattr(task.point, "copies", 1)
+        base = self._by_kind.get(task.kind)
+        if base is None:
+            alias = _KIND_ALIAS.get(task.kind)
+            if alias is not None:
+                base = self._by_kind.get(alias)
+        if base is None:
+            base = _DEFAULT_KIND_COST.get(task.kind, 1.0)
+        weight = getattr(task.point, "cost_weight", None)
+        if weight is None:
+            weight = getattr(task.point, "copies", 1)
+        return base * weight
 
     def observe(self, digest: str, kind: str, seconds: float) -> None:
         prev = self._by_digest.get(digest)
@@ -420,6 +441,10 @@ def _task_attrs(kind: str, payload) -> dict:
         return {"bench": payload[0]}
     if kind == "run":
         return {"mix": payload[0], "scheme": payload[1]}
+    if kind == "sprofile":
+        return {"bench": payload[0].name}
+    if kind == "srun":
+        return {"scheme": payload[1], "apps": len(payload[0])}
     return {"mix": payload[0], "scheduler": payload[1]}
 
 
@@ -442,6 +467,16 @@ def task_worker(args):
             result = pack_scheme_run(run)
         elif kind == "heuristic":
             result = pack_sim_result(heuristic_task(payload))
+        elif kind == "sprofile":
+            from repro.surrogate.tasks import surrogate_profile_task
+
+            result = ("raw", surrogate_profile_task(payload))
+        elif kind == "srun":
+            # srun results are small numeric dicts: the pickle transport
+            # is already cheap, no shm packing needed
+            from repro.surrogate.tasks import surrogate_run_task
+
+            result = ("raw", surrogate_run_task(payload))
         else:  # pragma: no cover - defensive
             raise ConfigurationError(f"unknown task kind {kind!r}")
     return digest, kind, result, obs.tracer().drain(), time.perf_counter() - t0
@@ -522,18 +557,22 @@ class Dispatcher:
         p = task.point
         if task.kind == "profile":
             return (p.bench, p.config)
-        if task.kind == "run":
+        if task.kind == "sprofile":
+            return (p.app, p.config)
+        if task.kind in ("run", "srun"):
             alone_table = {
                 results[dep][0]: (results[dep][1], results[dep][2])
                 for dep in task.deps
             }
+            if task.kind == "srun":
+                return (p.apps, p.scheme, p.config, alone_table)
             return (p.mix, p.scheme, p.copies, p.config, alone_table)
         return (p.mix, p.scheduler, p.copies, p.config)
 
     @staticmethod
     def _unpack(kind: str, payload, keeper: ShmKeeper):
-        if kind == "profile":
-            return payload[1]  # ("raw", (bench, apc, ipc))
+        if kind in ("profile", "sprofile", "srun"):
+            return payload[1]  # ("raw", ...) transport
         if kind == "run":
             return unpack_scheme_run(payload, keeper)
         return unpack_sim_result(payload, keeper)
@@ -568,21 +607,39 @@ class Dispatcher:
         self.last_execution_order = []
         t_start = time.perf_counter()
 
-        # 1. persistent-cache pass: disk-cached profiles skip the pool
+        # 1. persistent-cache pass: disk-cached profiles (and surrogate
+        # sweep results, which are plain JSON dicts) skip the pool
+        from repro.surrogate.tasks import SRUN_SCHEMA_VERSION
+
         remaining: dict[str, object] = {}
         for digest, task in plan.tasks.items():
-            if task.kind == "profile":
+            if task.kind in ("profile", "sprofile"):
                 stored = cache.get(digest)
                 if (
                     stored is not None
                     and "apc_alone" in stored
                     and "ipc_alone" in stored
                 ):
+                    name = (
+                        task.point.bench
+                        if task.kind == "profile"
+                        else task.point.app.name
+                    )
                     results[digest] = (
-                        task.point.bench,
+                        name,
                         float(stored["apc_alone"]),
                         float(stored["ipc_alone"]),
                     )
+                    stats.n_cache_hits += 1
+                    continue
+            elif task.kind == "srun":
+                stored = cache.get(digest)
+                if (
+                    stored is not None
+                    and stored.get("schema_version") == SRUN_SCHEMA_VERSION
+                    and isinstance(stored.get("samples"), list)
+                ):
+                    results[digest] = stored
                     stats.n_cache_hits += 1
                     continue
             remaining[digest] = task
@@ -649,11 +706,13 @@ class Dispatcher:
                 results[r_digest] = result
                 self.last_execution_order.append(r_digest)
                 stats.n_tasks += 1
-                if kind == "profile":
-                    bench, apc, ipc = result
+                if kind in ("profile", "sprofile"):
+                    _name, apc, ipc = result
                     cache.put(
                         r_digest, {"apc_alone": apc, "ipc_alone": ipc}
                     )
+                elif kind == "srun":
+                    cache.put(r_digest, result)
                 for dep_digest in dependents.get(r_digest, ()):
                     n_deps[dep_digest] -= 1
                     if n_deps[dep_digest] == 0:

@@ -33,21 +33,28 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro import obs
 from repro.sim.engine import SimConfig
 from repro.util.cache import config_digest
 
+if TYPE_CHECKING:  # pragma: no cover - annotation-only import
+    from repro.surrogate.space import SurrogateApp
+
 __all__ = [
     "ProfilePoint",
     "RunPoint",
     "HeuristicPoint",
+    "SurrogateProfilePoint",
+    "SurrogateRunPoint",
     "SimTask",
     "SweepPlan",
     "PLANNABLE_EXHIBITS",
     "default_config",
     "compile_plan",
     "grid_plan",
+    "points_plan",
 ]
 
 
@@ -123,7 +130,54 @@ class HeuristicPoint:
         )
 
 
-Point = ProfilePoint | RunPoint | HeuristicPoint
+@dataclass(frozen=True)
+class SurrogateProfilePoint:
+    """One alone-mode profile of a synthetic surrogate app.
+
+    The digest deliberately uses the same ``"alone-point"`` scheme as
+    :class:`ProfilePoint` / ``Runner._alone_key`` -- keyed by the
+    realized :class:`~repro.sim.cpu.CoreSpec` -- so surrogate sweeps
+    share the persistent SimCache with every other consumer of
+    alone-mode profiles.
+    """
+
+    app: SurrogateApp
+    config: SimConfig
+
+    kind = "sprofile"
+
+    def digest(self) -> str:
+        return config_digest(
+            "alone-point", self.app.core_spec(self.config.dram), self.config
+        )
+
+
+@dataclass(frozen=True)
+class SurrogateRunPoint:
+    """One shared-mode simulation of a surrogate app group x scheme."""
+
+    apps: tuple[SurrogateApp, ...]
+    scheme: str
+    config: SimConfig
+
+    kind = "srun"
+
+    def digest(self) -> str:
+        return config_digest("surrogate-run", self.scheme, self.apps, self.config)
+
+    @property
+    def cost_weight(self) -> float:
+        """Scheduling-cost scale vs. a typical 4-app run task."""
+        return max(len(self.apps), 1) / 4.0
+
+
+Point = (
+    ProfilePoint
+    | RunPoint
+    | HeuristicPoint
+    | SurrogateProfilePoint
+    | SurrogateRunPoint
+)
 
 
 @dataclass(frozen=True)
@@ -318,6 +372,15 @@ def _demand_regression(cfg_for):
     return points, fig3_serial
 
 
+def _demand_surrogate(cfg_for):
+    from repro.surrogate.space import smoke_settings
+    from repro.surrogate.sweep import sweep_points
+
+    # the exhibit fits and cross-validates on the smoke sweep; the
+    # published artifact's full sweep goes through `repro-surrogate fit`
+    return sweep_points(smoke_settings(), cfg_for), 0
+
+
 _DEMANDS = {
     "figure1": _demand_figure1,
     "figure2": _demand_figure2,
@@ -331,6 +394,7 @@ _DEMANDS = {
     "predicted": _demand_predicted,
     "scorecard": _demand_scorecard,
     "regression": _demand_regression,
+    "surrogate": _demand_surrogate,
 }
 
 #: every exhibit the compiler knows how to walk
@@ -400,6 +464,10 @@ class SweepPlan:
                 out["bench"] = p.bench
             elif isinstance(p, RunPoint):
                 out.update(mix=p.mix, scheme=p.scheme, copies=p.copies)
+            elif isinstance(p, SurrogateProfilePoint):
+                out["app"] = p.app.name
+            elif isinstance(p, SurrogateRunPoint):
+                out.update(scheme=p.scheme, apps=[a.name for a in p.apps])
             else:
                 out.update(mix=p.mix, scheduler=p.scheduler, copies=p.copies)
             out["config"] = {
@@ -432,8 +500,18 @@ class SweepPlan:
         p.write_text(json.dumps(self.to_json(), indent=2, sort_keys=True) + "\n")
 
 
-def _deps_for(point: Point, profile_digests: dict[tuple[str, SimConfig], str]):
+def _deps_for(point: Point, profile_digests: dict[tuple[object, SimConfig], str]):
     """Profile -> run dependency edges (the alone table feeds shares)."""
+    if isinstance(point, SurrogateRunPoint):
+        # dict.fromkeys: a group may contain the same app twice, but the
+        # dependency edge (and its count) must appear once
+        return tuple(
+            dict.fromkeys(
+                profile_digests[(a, point.config)]
+                for a in point.apps
+                if (a, point.config) in profile_digests
+            )
+        )
     if not isinstance(point, RunPoint):
         return ()
     return tuple(
@@ -481,18 +559,19 @@ def compile_plan(
             residue[name] = n_serial
 
         # global dedup: profiles first (topological order), then the rest
-        profile_digests: dict[tuple[str, SimConfig], str] = {}
+        profile_digests: dict[tuple[object, SimConfig], str] = {}
         tasks: dict[str, SimTask] = {}
         for points in demand_points.values():
             for p in points:
-                if isinstance(p, ProfilePoint):
+                if isinstance(p, (ProfilePoint, SurrogateProfilePoint)):
                     d = p.digest()
-                    profile_digests[(p.bench, p.config)] = d
+                    key = p.bench if isinstance(p, ProfilePoint) else p.app
+                    profile_digests[(key, p.config)] = d
                     if d not in tasks:
                         tasks[d] = SimTask(digest=d, point=p)
         for points in demand_points.values():
             for p in points:
-                if isinstance(p, ProfilePoint):
+                if isinstance(p, (ProfilePoint, SurrogateProfilePoint)):
                     continue
                 d = p.digest()
                 if d not in tasks:
@@ -532,4 +611,37 @@ def grid_plan(
             )
     return SweepPlan(
         tasks=tasks, demand={"grid": tuple(tasks)}, serial_residue={"grid": 0}
+    )
+
+
+def points_plan(points, *, name: str = "sweep") -> SweepPlan:
+    """Compile an explicit point list into a single-demand plan.
+
+    Like :func:`grid_plan` but for arbitrary points (the surrogate
+    sweep builds its own groups rather than mix x scheme grids).
+    """
+    profile_digests: dict[tuple[object, SimConfig], str] = {}
+    tasks: dict[str, SimTask] = {}
+    demanded: list[str] = []
+    for p in points:
+        if isinstance(p, (ProfilePoint, SurrogateProfilePoint)):
+            d = p.digest()
+            key = p.bench if isinstance(p, ProfilePoint) else p.app
+            profile_digests[(key, p.config)] = d
+            demanded.append(d)
+            if d not in tasks:
+                tasks[d] = SimTask(digest=d, point=p)
+    for p in points:
+        if isinstance(p, (ProfilePoint, SurrogateProfilePoint)):
+            continue
+        d = p.digest()
+        demanded.append(d)
+        if d not in tasks:
+            tasks[d] = SimTask(
+                digest=d, point=p, deps=_deps_for(p, profile_digests)
+            )
+    return SweepPlan(
+        tasks=tasks,
+        demand={name: tuple(dict.fromkeys(demanded))},
+        serial_residue={name: 0},
     )

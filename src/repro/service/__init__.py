@@ -18,6 +18,7 @@ from repro.service.protocol import (
     parse_qos_request,
 )
 from repro.service.server import PartitionService, serve
+from repro.service.surrogate import SurrogateStore
 
 __all__ = [
     "AsyncServiceClient",
@@ -30,6 +31,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceMetrics",
+    "SurrogateStore",
     "parse_partition_request",
     "parse_qos_request",
     "serve",

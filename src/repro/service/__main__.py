@@ -33,6 +33,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="persist cached results via repro.util.cache")
     parser.add_argument("--timeout", type=float, default=defaults.request_timeout_s,
                         help="per-request wall-clock budget in seconds")
+    parser.add_argument("--surrogate-dir", default=None, metavar="DIR",
+                        help="surrogate artifact directory (default: "
+                        "$REPRO_SURROGATE_DIR, then the shared cache dir)")
+    parser.add_argument("--surrogate-digest", default=None, metavar="HEX",
+                        help="refuse any surrogate artifact whose sweep "
+                        "digest differs (stale-artifact pin)")
     return parser
 
 
@@ -46,6 +52,8 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         cache=not args.no_cache,
         disk_cache=args.disk_cache,
         request_timeout_s=args.timeout,
+        surrogate_dir=args.surrogate_dir,
+        surrogate_digest=args.surrogate_digest,
     )
 
 

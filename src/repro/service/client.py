@@ -39,7 +39,9 @@ class ServiceError(ReproError):
         return cls(status, "Error", str(payload))
 
 
-def _partition_payload(apc_alone, bandwidth, scheme, api, metrics, work_conserving):
+def _partition_payload(
+    apc_alone, bandwidth, scheme, api, metrics, work_conserving, profile
+):
     payload = {
         "scheme": scheme,
         "apc_alone": list(apc_alone),
@@ -51,6 +53,8 @@ def _partition_payload(apc_alone, bandwidth, scheme, api, metrics, work_conservi
         payload["metrics"] = list(metrics)
     if not work_conserving:
         payload["work_conserving"] = False
+    if profile != "analytic":
+        payload["profile"] = profile
     return payload
 
 
@@ -110,12 +114,22 @@ class ServiceClient:
         api=None,
         metrics=None,
         work_conserving: bool = True,
+        profile: str = "analytic",
     ) -> dict:
-        """Solve one partitioning problem; returns the response body."""
+        """Solve one partitioning problem; returns the response body.
+
+        ``profile`` picks the engine: the Eq. 2 closed form
+        (``analytic``), the fitted response surface (``surrogate``,
+        falling back to a bounded simulation when no valid artifact is
+        loaded -- check the response's ``source`` field), or the
+        bounded simulation itself (``sim``).
+        """
         return self._request(
             "POST",
             "/v1/partition",
-            _partition_payload(apc_alone, bandwidth, scheme, api, metrics, work_conserving),
+            _partition_payload(
+                apc_alone, bandwidth, scheme, api, metrics, work_conserving, profile
+            ),
         )
 
     def partition_batch(self, requests: list[dict]) -> list[dict]:
@@ -226,11 +240,14 @@ class AsyncServiceClient:
         api=None,
         metrics=None,
         work_conserving: bool = True,
+        profile: str = "analytic",
     ) -> dict:
         return await self._request(
             "POST",
             "/v1/partition",
-            _partition_payload(apc_alone, bandwidth, scheme, api, metrics, work_conserving),
+            _partition_payload(
+                apc_alone, bandwidth, scheme, api, metrics, work_conserving, profile
+            ),
         )
 
     async def partition_batch(self, requests: list[dict]) -> list[dict]:

@@ -37,6 +37,14 @@ class ServiceConfig:
     #: layer a persistent repro.util.cache.SimCache under the LRU
     disk_cache: bool = False
 
+    #: directory holding the surrogate ``model.json`` artifact; None
+    #: resolves repro.surrogate.artifact.default_surrogate_dir() at the
+    #: first surrogate-profile request (REPRO_SURROGATE_DIR aware)
+    surrogate_dir: str | None = None
+    #: when set, only an artifact whose sweep digest matches may serve
+    #: (everything else counts as a fallback to the sim path)
+    surrogate_digest: str | None = None
+
     #: reject request bodies larger than this (bytes)
     max_body_bytes: int = 1 << 20
     #: per-request cap on /v1/partition/batch fan-in

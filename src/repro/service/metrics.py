@@ -96,6 +96,9 @@ class ServiceMetrics:
         self._started = time.monotonic()
         self.registry = registry if registry is not None else obs.registry()
         self.endpoints: dict[str, EndpointStats] = {}
+        #: per-engine solve latency ("analytic" / "surrogate" / "sim");
+        #: label cardinality is bounded by the PROFILES constant
+        self.solvers: dict[str, EndpointStats] = {}
         self._path_labels: set[str] = set()
         # micro-batcher counters
         self.batches = 0
@@ -132,6 +135,24 @@ class ServiceMetrics:
             "service.latency_ms", reservoir=self._latency_window, path=label
         ).observe(latency_ms)
 
+    def observe_solve(self, source: str, latency_ms: float) -> None:
+        """Record one solve call's latency for engine ``source``.
+
+        One observation per solve *call*: a micro-batched surrogate
+        group counts once however many requests it stacked, while the
+        sim path (which solves per request) counts per request -- the
+        conservative direction for the ``speedup_vs_sim`` ratio.
+        """
+        stats = self.solvers.get(source)
+        if stats is None:
+            stats = self.solvers[source] = EndpointStats(
+                window=self._latency_window
+            )
+        stats.observe(latency_ms)
+        self.registry.histogram(
+            "service.solve_ms", reservoir=self._latency_window, source=source
+        ).observe(latency_ms)
+
     def observe_batch(self, size: int) -> None:
         self.batches += 1
         self.batched_requests += size
@@ -142,12 +163,32 @@ class ServiceMetrics:
         reg.histogram("service.batch_size").observe(size)
         reg.gauge("service.max_batch_size").set(self.max_batch_size)
 
+    def _speedup_vs_sim(self) -> dict[str, float]:
+        """Mean-solve-latency ratio of every engine against the sim path."""
+        sim = self.solvers.get("sim")
+        if sim is None or not sim.latencies_ms:
+            return {}
+        sim_mean = sum(sim.latencies_ms) / len(sim.latencies_ms)
+        out: dict[str, float] = {}
+        for source, stats in self.solvers.items():
+            if source == "sim" or not stats.latencies_ms:
+                continue
+            mean = sum(stats.latencies_ms) / len(stats.latencies_ms)
+            if mean > 0:
+                out[source] = sim_mean / mean
+        return out
+
     def snapshot(self, *, cache: dict | None = None) -> dict:
         return {
             "uptime_s": time.monotonic() - self._started,
             "endpoints": {
                 path: stats.snapshot() for path, stats in sorted(self.endpoints.items())
             },
+            "solvers": {
+                source: stats.snapshot()
+                for source, stats in sorted(self.solvers.items())
+            },
+            "speedup_vs_sim": self._speedup_vs_sim(),
             "batching": {
                 "batches": self.batches,
                 "batched_requests": self.batched_requests,

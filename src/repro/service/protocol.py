@@ -33,6 +33,10 @@ __all__ = [
 #: metric short names a partition request may ask for
 KNOWN_METRICS: tuple[str, ...] = ("hsp", "minf", "wsp", "ipcsum")
 
+#: solve profiles /v1/partition accepts: the Eq. 2 closed form, the
+#: fitted response surface, or a bounded-window cycle-level simulation
+PROFILES: tuple[str, ...] = ("analytic", "surrogate", "sim")
+
 #: best-effort objectives /v1/qos accepts
 QOS_OBJECTIVES: tuple[str, ...] = ("hsp", "minf", "wsp", "ipcsum")
 
@@ -75,6 +79,7 @@ class PartitionRequest:
     bandwidth: float
     metrics: tuple[str, ...]
     work_conserving: bool = True
+    profile: str = "analytic"
 
     @property
     def n_apps(self) -> int:
@@ -83,7 +88,13 @@ class PartitionRequest:
     @property
     def group_key(self) -> tuple:
         """Requests sharing this key can be stacked into one solve."""
-        return ("partition", self.scheme, self.n_apps, self.work_conserving)
+        return (
+            "partition",
+            self.profile,
+            self.scheme,
+            self.n_apps,
+            self.work_conserving,
+        )
 
     def cache_key(self) -> str:
         return config_digest(
@@ -95,6 +106,7 @@ class PartitionRequest:
                 "bandwidth": self.bandwidth,
                 "metrics": sorted(self.metrics),
                 "work_conserving": self.work_conserving,
+                "profile": self.profile,
             },
         )
 
@@ -150,10 +162,16 @@ def parse_partition_request(obj) -> PartitionRequest:
         "bandwidth",
         "metrics",
         "work_conserving",
+        "profile",
     }
     if unknown:
         raise ConfigurationError(f"unknown fields: {sorted(unknown)}")
 
+    profile = obj.get("profile", "analytic")
+    if profile not in PROFILES:
+        raise ConfigurationError(
+            f"unknown profile {profile!r}; available: {sorted(PROFILES)}"
+        )
     scheme = obj.get("scheme", "sqrt")
     if scheme not in BATCH_SCHEMES:
         raise ConfigurationError(
@@ -170,6 +188,12 @@ def parse_partition_request(obj) -> PartitionRequest:
     work_conserving = obj.get("work_conserving", True)
     if not isinstance(work_conserving, bool):
         raise ConfigurationError("work_conserving must be a boolean")
+    if profile != "analytic" and not work_conserving:
+        raise ConfigurationError(
+            f"profile {profile!r} is work-conserving only: the cycle-level "
+            "bus (and the response surface fitted to it) never idles on "
+            "backlog; use the analytic profile for non-work-conserving solves"
+        )
 
     metrics_raw = obj.get("metrics")
     if metrics_raw is None:
@@ -195,6 +219,7 @@ def parse_partition_request(obj) -> PartitionRequest:
         bandwidth=bandwidth,
         metrics=metrics,
         work_conserving=work_conserving,
+        profile=profile,
     )
 
 
@@ -254,13 +279,17 @@ def partition_response(
     *,
     cached: bool = False,
     batch_size: int = 1,
+    source: str | None = None,
 ) -> dict:
     """Build the ``/v1/partition`` response for one solved allocation.
 
     Metric values are computed here with the scalar
     :class:`~repro.core.metrics.Metric` classes, so they are identical
     whether the allocation came from the micro-batched or the naive
-    path.
+    path.  ``source`` names the engine that actually produced the
+    allocation (``analytic`` / ``surrogate`` / ``sim``) -- it differs
+    from ``req.profile`` when a surrogate request fell back to the
+    simulator.
     """
     apc = np.asarray(apc_shared, dtype=float)
     total = apc.sum()
@@ -270,6 +299,8 @@ def partition_response(
         "apc_shared": apc.tolist(),
         "beta": (apc / total).tolist() if total > 0 else [0.0] * len(apc),
         "utilized_bandwidth": float(total),
+        "profile": req.profile,
+        "source": source if source is not None else req.profile,
         "cached": cached,
         "batch_size": batch_size,
     }

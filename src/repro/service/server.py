@@ -5,11 +5,21 @@ Stdlib-only: a hand-rolled HTTP/1.1 layer over ``asyncio.start_server``
 
 Endpoints
 ---------
-``GET  /healthz``             liveness + uptime
-``GET  /metrics``             counters snapshot (JSON)
-``POST /v1/partition``        one solve (micro-batched when enabled)
-``POST /v1/partition/batch``  many solves in one call (always stacked)
-``POST /v1/qos``              QoS-guaranteed plan (Sec. III-G)
+``GET  /healthz``               liveness + uptime
+``GET  /metrics``               counters snapshot (JSON)
+``POST /v1/partition``          one solve (micro-batched when enabled)
+``POST /v1/partition/batch``    many solves in one call (always stacked)
+``POST /v1/qos``                QoS-guaranteed plan (Sec. III-G)
+``POST /v1/surrogate/reload``   re-read the surrogate artifact
+
+``/v1/partition`` accepts a ``profile`` field selecting the engine:
+the Eq. 2 closed form (``analytic``, default), the fitted APC-response
+surface (``surrogate``), or a bounded-window cycle-level simulation
+(``sim``).  Surrogate requests are answered by the loaded artifact's
+vectorized predict on the micro-batch path; when no valid artifact is
+loadable (missing, stale digest, below the quality gate) or the
+artifact has no fit for the scheme, the request silently falls back to
+the sim path and the response's ``source`` field says so.
 
 Every request gets a wall-clock budget (``request_timeout_s`` -> 504)
 and failures map to structured JSON errors: 400 for malformed input,
@@ -41,6 +51,7 @@ from repro.service.protocol import (
     partition_response,
     qos_response,
 )
+from repro.service.surrogate import SurrogateStore
 from repro.util.errors import ConfigurationError, InfeasibleError
 
 __all__ = ["PartitionService", "serve"]
@@ -58,12 +69,18 @@ class PartitionService:
         if self.config.cache:
             disk = default_disk_cache() if self.config.disk_cache else None
             self.cache = ResultCache(self.config.cache_capacity, disk=disk)
+        self.surrogate = SurrogateStore(
+            self.config.surrogate_dir,
+            expected_digest=self.config.surrogate_digest,
+            registry=self.metrics.registry,
+        )
         self.batcher: MicroBatcher | None = None
         if self.config.batching:
             self.batcher = MicroBatcher(
                 max_batch_size=self.config.max_batch_size,
                 max_wait_ms=self.config.max_wait_ms,
                 on_batch=self.metrics.observe_batch,
+                partition_solver=self._solve_partition_group,
             )
         self._server: asyncio.AbstractServer | None = None
         self._connections: set[asyncio.Task] = set()
@@ -210,6 +227,7 @@ class PartitionService:
                 # caches, engine, ... series) -- existing fields above
                 # keep their names and shapes
                 body_out["obs"] = self.metrics.registry.snapshot()
+                body_out["surrogate"] = self.surrogate.snapshot()
                 return 200, body_out
             if path == "/v1/partition":
                 if method != "POST":
@@ -223,6 +241,11 @@ class PartitionService:
                 if method != "POST":
                     return _method_not_allowed(method)
                 return 200, await self._handle_qos(_parse_json(body))
+            if path == "/v1/surrogate/reload":
+                if method != "POST":
+                    return _method_not_allowed(method)
+                self.surrogate.reload()
+                return 200, self.surrogate.snapshot()
             return 404, error_body("NotFound", f"no route for {path!r}")
         except ConfigurationError as exc:
             return 400, error_body("ConfigurationError", str(exc))
@@ -238,20 +261,70 @@ class PartitionService:
     # ------------------------------------------------------------------
     # endpoint handlers
     # ------------------------------------------------------------------
+    def _partition_source(self, request: PartitionRequest) -> str:
+        """The engine serving this request (surrogate may downgrade)."""
+        if request.profile == "surrogate":
+            return self.surrogate.source_for(request)
+        return request.profile
+
+    def _solve_partition_group(self, requests: list[PartitionRequest]):
+        """Timed group solve; resolves the model for surrogate groups.
+
+        Runs on the event loop (it is microseconds of numpy either
+        way); installed as the micro-batcher's partition solver and
+        called directly by the batch endpoint and the naive path.
+        """
+        source = requests[0].profile
+        model = None
+        if source == "surrogate":
+            model, _ = self.surrogate.resolve()
+        started = time.perf_counter()
+        rows = solve_partition_rows(requests, surrogate=model)
+        self.metrics.observe_solve(
+            source, (time.perf_counter() - started) * 1000.0
+        )
+        return rows
+
+    async def _solve_sim(self, request: PartitionRequest) -> np.ndarray:
+        """The bounded-window simulation path, off the event loop."""
+        from repro.surrogate.simpath import simulate_partition_request
+
+        started = time.perf_counter()
+        with obs.span("service.solve", attrs={"kind": "sim"}):
+            row = await asyncio.to_thread(
+                simulate_partition_request,
+                request.scheme,
+                request.apc_alone,
+                request.bandwidth,
+                api=request.api,
+                work_conserving=request.work_conserving,
+            )
+        self.metrics.observe_solve(
+            "sim", (time.perf_counter() - started) * 1000.0
+        )
+        return row
+
     async def _handle_partition(self, obj) -> dict:
         request = parse_partition_request(obj)
+        source = self._partition_source(request)
         key = request.cache_key() if self.cache is not None else None
         if key is not None:
             hit = self.cache.get(key)
             if hit is not None:
                 return dict(hit, cached=True, batch_size=0)
-        if self.batcher is not None:
+        if source == "sim":
+            # per-request simulation: never micro-batched (it would
+            # stall the numpy groups behind milliseconds of sim)
+            row, batch_size = await self._solve_sim(request), 1
+        elif self.batcher is not None:
             with obs.span("service.queue_wait", attrs={"kind": "partition"}):
                 row, batch_size = await self.batcher.submit(request)
         else:
             with obs.span("service.solve", attrs={"batched": False}):
-                row, batch_size = _solve_one_partition(request), 1
-        response = partition_response(request, row, batch_size=batch_size)
+                row, batch_size = self._solve_partition_group([request])[0], 1
+        response = partition_response(
+            request, row, batch_size=batch_size, source=source
+        )
         if key is not None:
             self.cache.put(key, _cacheable(response))
         return response
@@ -271,17 +344,21 @@ class PartitionService:
         results: list[dict | None] = [None] * len(requests)
 
         to_solve: list[tuple[int, PartitionRequest, str | None]] = []
+        to_sim: list[tuple[int, PartitionRequest, str | None]] = []
         for i, request in enumerate(requests):
+            source = self._partition_source(request)
             key = request.cache_key() if self.cache is not None else None
             if key is not None:
                 hit = self.cache.get(key)
                 if hit is not None:
                     results[i] = dict(hit, cached=True, batch_size=0)
                     continue
-            to_solve.append((i, request, key))
+            (to_sim if source == "sim" else to_solve).append((i, request, key))
 
         # The call itself is already a batch: stack by group directly
-        # instead of routing through the collector window.
+        # instead of routing through the collector window.  Sim-sourced
+        # requests (profile "sim" or surrogate fallbacks) cannot stack;
+        # they run as parallel worker threads instead.
         groups: dict[tuple, list[tuple[int, PartitionRequest, str | None]]] = {}
         for entry in to_solve:
             groups.setdefault(entry[1].group_key, []).append(entry)
@@ -291,12 +368,23 @@ class PartitionService:
                 attrs={"kind": "partition", "batch": len(members),
                        "batched": True},
             ):
-                rows = solve_partition_rows(
+                rows = self._solve_partition_group(
                     [request for _, request, _ in members]
                 )
             for (i, request, key), row in zip(members, rows):
                 response = partition_response(
                     request, row, batch_size=len(members)
+                )
+                if key is not None:
+                    self.cache.put(key, _cacheable(response))
+                results[i] = response
+        if to_sim:
+            rows = await asyncio.gather(
+                *(self._solve_sim(request) for _, request, _ in to_sim)
+            )
+            for (i, request, key), row in zip(to_sim, rows):
+                response = partition_response(
+                    request, row, batch_size=1, source="sim"
                 )
                 if key is not None:
                     self.cache.put(key, _cacheable(response))

@@ -1,0 +1,113 @@
+"""Serving-side surrogate artifact store and fallback accounting.
+
+The store is the service's single gateway to the fitted response
+surface: it lazily loads the artifact on the first ``profile:
+"surrogate"`` request (so a service that never sees one never touches
+the disk), caches the outcome -- including the *failure* outcome, so a
+missing or below-gate artifact costs one load attempt, not one per
+request -- and decides, per request, whether the surrogate may answer
+or the request must fall back to the bounded-window simulation.
+
+A fallback is never an error: the contract is that ``profile:
+"surrogate"`` always yields an allocation, sourced from the surface
+when a valid artifact is loadable and from the simulator otherwise,
+with the ``surrogate_fallback`` counter (mirrored into the
+:mod:`repro.obs` registry) recording every downgrade and the stored
+``reason`` surfacing *why* in ``/metrics``.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import TYPE_CHECKING
+
+from repro import obs
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.service.protocol import PartitionRequest
+    from repro.surrogate.artifact import SurrogateModel
+
+__all__ = ["SurrogateStore"]
+
+
+class SurrogateStore:
+    """Lazy, cached access to the serving ``model.json`` artifact."""
+
+    def __init__(
+        self,
+        directory: str | os.PathLike[str] | None = None,
+        *,
+        expected_digest: str | None = None,
+        registry: obs.MetricsRegistry | None = None,
+    ) -> None:
+        self._directory = directory
+        self._expected_digest = expected_digest
+        self.registry = registry if registry is not None else obs.registry()
+        self._loaded = False
+        self._model: SurrogateModel | None = None
+        self._reason = "not loaded yet"
+        # serving counters (mirrored into the obs registry)
+        self.requests = 0
+        self.hits = 0
+        self.fallbacks = 0
+        self._last_fallback_reason = ""
+
+    # ------------------------------------------------------------------
+    def resolve(self) -> tuple[SurrogateModel | None, str]:
+        """The loaded model, or ``(None, reason)``; loads at most once."""
+        if not self._loaded:
+            from repro.surrogate.artifact import try_load_model
+
+            self._model, self._reason = try_load_model(
+                self._directory, expected_digest=self._expected_digest
+            )
+            self._loaded = True
+        return self._model, self._reason
+
+    def reload(self) -> tuple[SurrogateModel | None, str]:
+        """Drop the cached outcome and re-read the artifact."""
+        self._loaded = False
+        return self.resolve()
+
+    # ------------------------------------------------------------------
+    def source_for(self, request: PartitionRequest) -> str:
+        """Decide the engine for one surrogate-profile request.
+
+        Returns ``"surrogate"`` when the loaded surface may answer and
+        ``"sim"`` (counting a fallback) when it may not: no loadable
+        artifact, or the artifact has no fit for the request's scheme.
+        """
+        self.requests += 1
+        self.registry.counter("service.surrogate_requests").inc()
+        model, reason = self.resolve()
+        if model is None:
+            return self._fallback(reason)
+        if not model.supports(request.scheme):
+            return self._fallback(
+                f"no fit for scheme {request.scheme!r} "
+                f"(fitted: {list(model.schemes)})"
+            )
+        self.hits += 1
+        self.registry.counter("service.surrogate_hits").inc()
+        return "surrogate"
+
+    def _fallback(self, reason: str) -> str:
+        self.fallbacks += 1
+        self._last_fallback_reason = reason
+        self.registry.counter("service.surrogate_fallback").inc()
+        return "sim"
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """The ``/metrics`` ``surrogate`` section."""
+        model = self._model
+        return {
+            "loaded": model is not None,
+            "digest": model.sweep_digest if model is not None else None,
+            "schemes": list(model.schemes) if model is not None else [],
+            "reason": None if model is not None else self._reason,
+            "requests": self.requests,
+            "hits": self.hits,
+            "fallbacks": self.fallbacks,
+            "last_fallback_reason": self._last_fallback_reason or None,
+        }

@@ -1,0 +1,71 @@
+"""Fitted APC-response surrogate for the serving hot path.
+
+The paper's Eq. 2 machinery is closed-form, but the *response* it
+predicts -- each application's shared-mode APC under a scheme's
+enforcement -- is defined by the cycle-level simulator, which costs
+milliseconds-to-seconds per evaluation.  This package sweeps the
+simulator over the (API, APC_alone, row-locality, bank-spread, B)
+space, fits a per-scheme analytic response surface over
+domain-motivated basis terms (roofline min-forms, load-saturation
+terms), and serves the fit through :mod:`repro.service` at closed-form
+speed.  Quality is gated: a fit whose held-out R^2 / MAPE miss the
+thresholds refuses to serialize, and the service falls back to a
+bounded-window simulation rather than serving a bad surface.
+
+Layout:
+
+``space``
+    The sweep design space: synthetic applications and sweep settings.
+``sweep``
+    Compiles sweep points into the :mod:`repro.experiments.plan` task
+    DAG and assembles the training dataset from executed plans.
+``fit``
+    Basis-function least squares (ridge fallback) with held-out
+    R^2 / MAPE reporting and the serialization quality gate.
+``artifact``
+    Versioned, content-addressed JSON artifacts (``model.json``).
+``simpath``
+    The bounded-window per-request simulation used as the fallback
+    (and as the latency baseline the surrogate is measured against).
+``tasks``
+    Process-pool worker entry points for the dispatcher.
+"""
+
+from __future__ import annotations
+
+from repro.surrogate.artifact import (
+    SurrogateModel,
+    default_surrogate_dir,
+    load_model,
+    save_model,
+    try_load_model,
+)
+from repro.surrogate.fit import FitReport, SchemeFit, fit_surface
+from repro.surrogate.space import SweepSettings, SurrogateApp, full_settings, smoke_settings
+from repro.surrogate.sweep import (
+    collect_dataset,
+    run_sweep,
+    surrogate_config,
+    sweep_digest,
+    sweep_points,
+)
+
+__all__ = [
+    "FitReport",
+    "SchemeFit",
+    "SurrogateApp",
+    "SurrogateModel",
+    "SweepSettings",
+    "collect_dataset",
+    "default_surrogate_dir",
+    "fit_surface",
+    "full_settings",
+    "load_model",
+    "run_sweep",
+    "save_model",
+    "smoke_settings",
+    "surrogate_config",
+    "sweep_digest",
+    "sweep_points",
+    "try_load_model",
+]

@@ -1,0 +1,8 @@
+"""``python -m repro.surrogate`` == the ``repro-surrogate`` CLI."""
+
+import sys
+
+from repro.surrogate.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,286 @@
+"""Versioned, content-addressed surrogate model artifacts.
+
+A fitted surface serializes to JSON twice under the artifact
+directory: once at its content address (``<sweep_digest>.json``) and
+once at the well-known serving name (``model.json``, atomically
+replaced).  The digest keys the *sweep design* (settings + simulation
+windows), so a service configured for a given sweep can refuse a
+stale artifact by digest.
+
+Serialization is gated: :func:`save_model` raises
+:class:`~repro.util.errors.SurrogateQualityError` when any scheme's
+held-out R^2 / MAPE miss the thresholds, and :func:`load_model`
+re-checks the stored report card, so a hand-edited or
+below-gate artifact can never reach the serving path.  Coefficients
+round-trip bit-identically (Python's JSON float encoding is
+shortest-roundtrip ``repr``), asserted by the artifact tests.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import pathlib
+from dataclasses import dataclass, field
+from typing import Any, Mapping
+
+import numpy as np
+
+from repro.surrogate.fit import (
+    FitReport,
+    QualityThresholds,
+    SchemeFit,
+    compute_features,
+    predict_norm,
+)
+from repro.util.cache import atomic_write_json, default_cache_dir
+from repro.util.errors import ConfigurationError, SurrogateQualityError
+
+__all__ = [
+    "MODEL_SCHEMA_VERSION",
+    "MODEL_FILENAME",
+    "SurrogateModel",
+    "default_surrogate_dir",
+    "save_model",
+    "load_model",
+    "try_load_model",
+]
+
+#: bump when the artifact layout changes (older artifacts are rejected)
+MODEL_SCHEMA_VERSION = 1
+MODEL_FILENAME = "model.json"
+
+_MODEL_KIND = "repro-surrogate-model"
+
+
+def default_surrogate_dir() -> pathlib.Path:
+    """Artifact directory: ``REPRO_SURROGATE_DIR`` or ``<cache>/surrogate``."""
+    env = os.environ.get("REPRO_SURROGATE_DIR")
+    if env:
+        return pathlib.Path(env)
+    return default_cache_dir() / "surrogate"
+
+
+@dataclass(frozen=True)
+class SurrogateModel:
+    """A loaded (or freshly fitted) per-scheme response surface."""
+
+    sweep_digest: str
+    fits: dict[str, SchemeFit]
+    thresholds: QualityThresholds
+    defaults: dict[str, float]
+    settings: dict[str, Any]
+    #: per-scheme coefficient vectors, materialized once -- ``predict``
+    #: is the serve hot path and must not re-convert the JSON tuples
+    _coef: dict[str, np.ndarray] = field(init=False, repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        object.__setattr__(
+            self,
+            "_coef",
+            {
+                name: np.asarray(fit.coef, dtype=float)
+                for name, fit in self.fits.items()
+            },
+        )
+
+    @property
+    def schemes(self) -> tuple[str, ...]:
+        return tuple(sorted(self.fits))
+
+    def supports(self, scheme: str) -> bool:
+        return scheme in self.fits
+
+    def predict(
+        self,
+        scheme: str,
+        apc_alone: np.ndarray,
+        bandwidth: np.ndarray,
+        *,
+        api: np.ndarray | None = None,
+        work_conserving: bool = True,
+    ) -> np.ndarray:
+        """Predicted shared-mode APC, shape (k, n), in request units.
+
+        Vectorized over ``k`` stacked requests (the service's
+        micro-batches and ``/v1/partition/batch`` groups call this
+        once per group).  Stream-shape features use the training-mean
+        defaults -- requests do not carry locality hints.
+        """
+        fit = self.fits.get(scheme)
+        if fit is None:
+            raise ConfigurationError(
+                f"surrogate has no fit for scheme {scheme!r}; "
+                f"fitted: {self.schemes}"
+            )
+        band = np.asarray(bandwidth, dtype=float).reshape(-1)
+        feats = compute_features(
+            scheme,
+            np.asarray(apc_alone, dtype=float),
+            band,
+            api=api,
+            row_locality=self.defaults.get("row_locality"),
+            bank_frac=self.defaults.get("bank_frac"),
+            work_conserving=work_conserving,
+        )
+        y = predict_norm(fit.terms, self._coef[scheme], feats)
+        return y * band[:, None]
+
+    def to_json(self) -> dict[str, Any]:
+        return {
+            "schema_version": MODEL_SCHEMA_VERSION,
+            "kind": _MODEL_KIND,
+            "sweep_digest": self.sweep_digest,
+            "thresholds": self.thresholds.as_dict(),
+            "defaults": dict(self.defaults),
+            "settings": dict(self.settings),
+            "schemes": {k: v.as_dict() for k, v in self.fits.items()},
+        }
+
+
+def model_from_report(
+    report: FitReport,
+    sweep_digest: str,
+    settings: Mapping[str, Any] | None = None,
+) -> SurrogateModel:
+    """Wrap a fit report as a (not yet validated) model."""
+    return SurrogateModel(
+        sweep_digest=sweep_digest,
+        fits=dict(report.fits),
+        thresholds=report.thresholds,
+        defaults=dict(report.defaults),
+        settings=dict(settings or {}),
+    )
+
+
+def _check_quality(
+    fits: Mapping[str, SchemeFit], thresholds: QualityThresholds, where: str
+) -> None:
+    bad = sorted(
+        f"{name} (r2={fit.r2:.4f}, mape={fit.mape * 100:.2f}%)"
+        for name, fit in fits.items()
+        if not fit.passes(thresholds)
+    )
+    if bad:
+        raise SurrogateQualityError(
+            f"{where}: fits below the quality gate "
+            f"(r2 >= {thresholds.min_r2}, mape <= {thresholds.max_mape * 100}%): "
+            + "; ".join(bad)
+        )
+    if not fits:
+        raise SurrogateQualityError(f"{where}: model contains no scheme fits")
+
+
+def save_model(
+    model: SurrogateModel, directory: str | os.PathLike[str] | None = None
+) -> pathlib.Path:
+    """Gate and serialize ``model``; returns the ``model.json`` path.
+
+    Writes the content-addressed copy first, then atomically replaces
+    the serving name, so a concurrent reader sees either the old or
+    the new complete artifact.
+    """
+    _check_quality(model.fits, model.thresholds, "refusing to serialize")
+    directory = pathlib.Path(directory) if directory else default_surrogate_dir()
+    payload = model.to_json()
+    addressed = directory / f"{model.sweep_digest}.json"
+    serving = directory / MODEL_FILENAME
+    if not atomic_write_json(addressed, payload):
+        raise ConfigurationError(f"cannot write artifact {addressed}")
+    if not atomic_write_json(serving, payload):
+        raise ConfigurationError(f"cannot write artifact {serving}")
+    return serving
+
+
+def load_model(
+    path: str | os.PathLike[str] | None = None,
+    *,
+    expected_digest: str | None = None,
+    thresholds: QualityThresholds | None = None,
+) -> SurrogateModel:
+    """Load and re-validate an artifact.
+
+    ``path`` may be the JSON file or its directory (``model.json`` is
+    appended).  Raises :class:`~repro.util.errors.ConfigurationError`
+    for a missing/corrupt/stale artifact and
+    :class:`~repro.util.errors.SurrogateQualityError` when the stored
+    report card misses ``thresholds`` (default: the code-level gate --
+    an artifact claiming laxer thresholds does not get to serve).
+    """
+    p = pathlib.Path(path) if path is not None else default_surrogate_dir()
+    if p.is_dir():
+        p = p / MODEL_FILENAME
+    try:
+        data = json.loads(p.read_text(encoding="utf-8"))
+    except OSError as exc:
+        raise ConfigurationError(f"no surrogate artifact at {p}: {exc}") from exc
+    except ValueError as exc:
+        raise ConfigurationError(
+            f"corrupt surrogate artifact at {p}: {exc}"
+        ) from exc
+    if not isinstance(data, dict) or data.get("kind") != _MODEL_KIND:
+        raise ConfigurationError(f"{p} is not a surrogate model artifact")
+    if data.get("schema_version") != MODEL_SCHEMA_VERSION:
+        raise ConfigurationError(
+            f"artifact schema v{data.get('schema_version')!r} != "
+            f"v{MODEL_SCHEMA_VERSION} supported by this build"
+        )
+    digest = str(data.get("sweep_digest", ""))
+    if expected_digest is not None and digest != expected_digest:
+        raise ConfigurationError(
+            f"stale surrogate artifact: sweep digest {digest[:12]}... does "
+            f"not match expected {expected_digest[:12]}..."
+        )
+    try:
+        fits = {
+            str(name): SchemeFit(
+                scheme=str(entry["scheme"]),
+                terms=tuple(str(t) for t in entry["terms"]),
+                coef=tuple(float(c) for c in entry["coef"]),
+                r2=float(entry["r2"]),
+                mape=float(entry["mape"]),
+                n_train=int(entry["n_train"]),
+                n_test=int(entry["n_test"]),
+                ridge=bool(entry["ridge"]),
+            )
+            for name, entry in dict(data.get("schemes", {})).items()
+        }
+        stored_thresholds = QualityThresholds(
+            min_r2=float(data["thresholds"]["min_r2"]),
+            max_mape=float(data["thresholds"]["max_mape"]),
+            rel_floor=float(data["thresholds"]["rel_floor"]),
+        )
+        defaults = {
+            str(k): float(v) for k, v in dict(data.get("defaults", {})).items()
+        }
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ConfigurationError(
+            f"malformed surrogate artifact at {p}: {exc!r}"
+        ) from exc
+    gate = thresholds or QualityThresholds()
+    _check_quality(fits, gate, f"refusing to load {p}")
+    return SurrogateModel(
+        sweep_digest=digest,
+        fits=fits,
+        thresholds=stored_thresholds,
+        defaults=defaults,
+        settings=dict(data.get("settings", {})),
+    )
+
+
+def try_load_model(
+    path: str | os.PathLike[str] | None = None,
+    *,
+    expected_digest: str | None = None,
+    thresholds: QualityThresholds | None = None,
+) -> tuple[SurrogateModel | None, str]:
+    """Best-effort load: ``(model, "")`` or ``(None, reason)``."""
+    try:
+        return (
+            load_model(
+                path, expected_digest=expected_digest, thresholds=thresholds
+            ),
+            "",
+        )
+    except (ConfigurationError, SurrogateQualityError) as exc:
+        return None, str(exc)

@@ -25,6 +25,17 @@ class InfeasibleError(ReproError):
     """
 
 
+class SurrogateQualityError(ReproError):
+    """A fitted surrogate misses its quality gate.
+
+    Raised when serializing a surrogate model whose held-out R^2 /
+    MAPE fall below the configured thresholds, and when loading an
+    artifact whose stored report card does not satisfy the gate the
+    loader demands.  The serving path treats this as "no artifact" and
+    falls back to the simulator rather than serving a bad surface.
+    """
+
+
 class SimulationError(ReproError):
     """The cycle-level simulator reached an illegal state.
 

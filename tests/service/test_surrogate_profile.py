@@ -1,0 +1,224 @@
+"""The surrogate serving profile: routing, fallback, reload, counters."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import PartitionService, ServiceConfig, ServiceError
+from repro.service.batching import solve_partition_rows
+from repro.service.protocol import parse_partition_request
+from repro.surrogate.artifact import save_model
+from repro.surrogate.grants import normalized_grants
+from repro.util.errors import ConfigurationError
+
+from tests.service.test_server import run_with_service
+from tests.surrogate.conftest import FAKE_DIGEST, make_model
+
+APC = [0.004, 0.007, 0.002]
+
+
+@pytest.fixture
+def artifact_dir(tmp_path):
+    save_model(make_model(("sqrt", "prop")), tmp_path)
+    return str(tmp_path)
+
+
+# ----------------------------------------------------------------------
+# request validation
+# ----------------------------------------------------------------------
+def test_unknown_profile_is_rejected():
+    with pytest.raises(ConfigurationError, match="profile"):
+        parse_partition_request(
+            {"scheme": "sqrt", "apc_alone": APC, "bandwidth": 0.01,
+             "profile": "oracle"}
+        )
+
+
+@pytest.mark.parametrize("profile", ["surrogate", "sim"])
+def test_non_analytic_profiles_are_work_conserving_only(profile):
+    with pytest.raises(ConfigurationError, match="work-conserving"):
+        parse_partition_request(
+            {"scheme": "sqrt", "apc_alone": APC, "bandwidth": 0.01,
+             "profile": profile, "work_conserving": False}
+        )
+
+
+# ----------------------------------------------------------------------
+# serving from a loaded artifact
+# ----------------------------------------------------------------------
+def test_surrogate_profile_serves_the_fitted_surface(artifact_dir):
+    async def scenario(service, client):
+        body = await client.partition(
+            APC, 0.01, scheme="sqrt", profile="surrogate"
+        )
+        return body, await client.metrics()
+
+    body, metrics = run_with_service(scenario, surrogate_dir=artifact_dir)
+    assert body["profile"] == "surrogate"
+    assert body["source"] == "surrogate"
+    # the fabricated surface is exactly min(x, g) (see conftest)
+    grants = normalized_grants(
+        "sqrt", np.array([APC]), np.array([0.01])
+    )
+    want = np.minimum(grants.x, grants.g)[0] * 0.01
+    assert body["apc_shared"] == pytest.approx(want.tolist(), rel=1e-12)
+    surr = metrics["surrogate"]
+    assert surr["loaded"] is True
+    assert surr["digest"] == FAKE_DIGEST
+    assert surr["requests"] == 1
+    assert surr["hits"] == 1
+    assert surr["fallbacks"] == 0
+    assert "surrogate" in metrics["solvers"]
+
+
+def test_surrogate_responses_are_cacheable_per_profile(artifact_dir):
+    """Same workload, different profile: distinct cache entries."""
+
+    async def scenario(service, client):
+        analytic = await client.partition(APC, 0.01, scheme="sqrt")
+        surrogate = await client.partition(
+            APC, 0.01, scheme="sqrt", profile="surrogate"
+        )
+        again = await client.partition(
+            APC, 0.01, scheme="sqrt", profile="surrogate"
+        )
+        return analytic, surrogate, again, await client.metrics()
+
+    analytic, surrogate, again, metrics = run_with_service(
+        scenario, surrogate_dir=artifact_dir
+    )
+    assert analytic["source"] == "analytic"
+    assert surrogate["apc_shared"] != analytic["apc_shared"]
+    assert again["apc_shared"] == surrogate["apc_shared"]
+    assert again["cached"] is True
+    assert metrics["cache"]["hits"] == 1
+
+
+def test_batch_endpoint_mixes_profiles(artifact_dir):
+    async def scenario(service, client):
+        return await client.partition_batch(
+            [
+                {"scheme": "sqrt", "apc_alone": APC, "bandwidth": 0.01},
+                {"scheme": "sqrt", "apc_alone": APC, "bandwidth": 0.01,
+                 "profile": "surrogate"},
+                {"scheme": "prop", "apc_alone": APC, "bandwidth": 0.01,
+                 "profile": "surrogate"},
+            ]
+        )
+
+    rows = run_with_service(scenario, surrogate_dir=artifact_dir)
+    assert [r["source"] for r in rows] == ["analytic", "surrogate", "surrogate"]
+
+
+# ----------------------------------------------------------------------
+# fallback: the request is answered by the simulator, never errored
+# ----------------------------------------------------------------------
+def _fallback_scenario(**config_kwargs):
+    async def scenario(service, client):
+        body = await client.partition(
+            [0.004, 0.002], 0.004, scheme="sqrt", profile="surrogate"
+        )
+        return body, await client.metrics()
+
+    return run_with_service(scenario, **config_kwargs)
+
+
+def test_fallback_when_no_artifact_exists(tmp_path):
+    body, metrics = _fallback_scenario(surrogate_dir=str(tmp_path / "empty"))
+    assert body["profile"] == "surrogate"
+    assert body["source"] == "sim"
+    surr = metrics["surrogate"]
+    assert surr["loaded"] is False
+    assert surr["fallbacks"] == 1
+    assert "no surrogate artifact" in surr["last_fallback_reason"]
+    assert "sim" in metrics["solvers"]
+
+
+def test_fallback_on_stale_digest(artifact_dir):
+    body, metrics = _fallback_scenario(
+        surrogate_dir=artifact_dir, surrogate_digest="cd" * 32
+    )
+    assert body["source"] == "sim"
+    assert "stale" in metrics["surrogate"]["last_fallback_reason"]
+
+
+def test_fallback_on_below_gate_artifact(tmp_path):
+    import json
+
+    path = save_model(make_model(("sqrt",)), tmp_path)
+    data = json.loads(path.read_text())
+    data["schemes"]["sqrt"]["r2"] = 0.4  # hand-edited below the gate
+    path.write_text(json.dumps(data))
+    body, metrics = _fallback_scenario(surrogate_dir=str(tmp_path))
+    assert body["source"] == "sim"
+    assert "quality gate" in metrics["surrogate"]["last_fallback_reason"]
+
+
+def test_fallback_on_unfitted_scheme(artifact_dir):
+    async def scenario(service, client):
+        body = await client.partition(
+            [0.004, 0.002], 0.004, scheme="prio_apc",
+            api=[0.03, 0.01], profile="surrogate",
+        )
+        return body, await client.metrics()
+
+    body, metrics = run_with_service(scenario, surrogate_dir=artifact_dir)
+    assert body["source"] == "sim"
+    surr = metrics["surrogate"]
+    assert surr["loaded"] is True  # artifact fine, scheme missing
+    assert surr["hits"] == 0
+    assert "no fit for scheme" in surr["last_fallback_reason"]
+
+
+def test_reload_picks_up_a_new_artifact(tmp_path):
+    async def scenario(service, client):
+        first = await client.partition(
+            [0.004, 0.002], 0.004, scheme="sqrt", profile="surrogate"
+        )
+        save_model(make_model(("sqrt",)), tmp_path)
+        reloaded = await client._request("POST", "/v1/surrogate/reload")
+        second = await client.partition(
+            [0.004, 0.003], 0.004, scheme="sqrt", profile="surrogate"
+        )
+        return first, reloaded, second
+
+    first, reloaded, second = run_with_service(
+        scenario, surrogate_dir=str(tmp_path)
+    )
+    assert first["source"] == "sim"  # nothing to load yet
+    assert reloaded["loaded"] is True
+    assert second["source"] == "surrogate"
+
+
+# ----------------------------------------------------------------------
+# solver plumbing
+# ----------------------------------------------------------------------
+def test_surrogate_group_requires_a_model():
+    request = parse_partition_request(
+        {"scheme": "sqrt", "apc_alone": APC, "bandwidth": 0.01,
+         "profile": "surrogate"}
+    )
+    with pytest.raises(ConfigurationError, match="without a loaded model"):
+        solve_partition_rows([request])
+
+
+def test_surrogate_rows_match_a_direct_predict(artifact_dir):
+    from repro.surrogate.artifact import load_model
+
+    model = load_model(artifact_dir)
+    requests = [
+        parse_partition_request(
+            {"scheme": "sqrt", "apc_alone": list(np.array(APC) * s),
+             "bandwidth": 0.01, "profile": "surrogate"}
+        )
+        for s in (0.8, 1.0, 1.3)
+    ]
+    rows = solve_partition_rows(requests, surrogate=model)
+    want = model.predict(
+        "sqrt",
+        np.array([r.apc_alone for r in requests]),
+        np.array([r.bandwidth for r in requests]),
+    )
+    for row, expected in zip(rows, want):
+        np.testing.assert_array_equal(row, expected)

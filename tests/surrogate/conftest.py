@@ -1,0 +1,61 @@
+"""Shared fixtures: fabricated surrogate models (no sweep required)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surrogate.artifact import SurrogateModel
+from repro.surrogate.fit import DEFAULT_TERMS, QualityThresholds, SchemeFit
+
+#: a syntactically valid sweep digest (content addressing is by string)
+FAKE_DIGEST = "ab" * 32
+
+
+def make_fit(scheme: str, *, r2: float = 0.999, mape: float = 0.01) -> SchemeFit:
+    """A hand-made fit whose surface is exactly ``min(x, g)``.
+
+    ``min_xg`` is the roofline ideal-response term, so coefficient 1.0
+    on it (and 0 elsewhere) yields physically sane predictions --
+    every app gets its demand or its grant, whichever binds -- which
+    makes end-to-end assertions exact and cheap.
+    """
+    coef = tuple(
+        1.0 if term == "min_xg" else 0.0 for term in DEFAULT_TERMS
+    )
+    return SchemeFit(
+        scheme=scheme,
+        terms=DEFAULT_TERMS,
+        coef=coef,
+        r2=r2,
+        mape=mape,
+        n_train=96,
+        n_test=24,
+        ridge=False,
+    )
+
+
+def make_model(
+    schemes: tuple[str, ...] = ("sqrt",),
+    *,
+    digest: str = FAKE_DIGEST,
+    r2: float = 0.999,
+    mape: float = 0.01,
+) -> SurrogateModel:
+    return SurrogateModel(
+        sweep_digest=digest,
+        fits={s: make_fit(s, r2=r2, mape=mape) for s in schemes},
+        thresholds=QualityThresholds(),
+        defaults={"row_locality": 0.6, "bank_frac": 0.9},
+        settings={"preset": "test"},
+    )
+
+
+@pytest.fixture
+def model() -> SurrogateModel:
+    return make_model()
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(13)

@@ -1,0 +1,136 @@
+"""Artifact round-trip, digest pinning, and the serialization gate."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.surrogate.artifact import (
+    MODEL_FILENAME,
+    load_model,
+    save_model,
+    try_load_model,
+)
+from repro.surrogate.fit import QualityThresholds
+from repro.surrogate.grants import normalized_grants
+from repro.util.errors import ConfigurationError, SurrogateQualityError
+
+from tests.surrogate.conftest import FAKE_DIGEST, make_model
+
+
+def test_round_trip_is_bit_identical(tmp_path, rng):
+    """Coefficients and every stored number survive JSON unchanged."""
+    model = make_model(("sqrt", "prop"))
+    # perturb the coefficients with full-precision random floats: the
+    # round-trip must preserve them exactly (shortest-roundtrip repr)
+    fits = {
+        name: type(fit)(
+            **{
+                **fit.as_dict(),
+                "coef": tuple(rng.uniform(-1, 1, size=len(fit.coef)).tolist()),
+                "terms": fit.terms,
+            }
+        )
+        for name, fit in model.fits.items()
+    }
+    model = type(model)(
+        sweep_digest=model.sweep_digest,
+        fits=fits,
+        thresholds=model.thresholds,
+        defaults=model.defaults,
+        settings=model.settings,
+    )
+    path = save_model(model, tmp_path)
+    assert path == tmp_path / MODEL_FILENAME
+    loaded = load_model(tmp_path)
+    for name, fit in model.fits.items():
+        assert loaded.fits[name].coef == fit.coef  # exact, not approx
+        assert loaded.fits[name].terms == fit.terms
+        assert loaded.fits[name].r2 == fit.r2
+        assert loaded.fits[name].mape == fit.mape
+    assert loaded.sweep_digest == model.sweep_digest
+    assert loaded.defaults == model.defaults
+    assert loaded.thresholds == model.thresholds
+    # the content-addressed copy is byte-identical to the serving name
+    addressed = tmp_path / f"{model.sweep_digest}.json"
+    assert addressed.read_bytes() == path.read_bytes()
+
+
+def test_save_refuses_below_gate(tmp_path):
+    bad = make_model(r2=0.5)
+    with pytest.raises(SurrogateQualityError):
+        save_model(bad, tmp_path)
+    assert not (tmp_path / MODEL_FILENAME).exists()
+
+
+def test_load_rejects_stale_digest(tmp_path):
+    save_model(make_model(), tmp_path)
+    with pytest.raises(ConfigurationError, match="stale"):
+        load_model(tmp_path, expected_digest="cd" * 32)
+    # matching digest loads fine
+    assert load_model(tmp_path, expected_digest=FAKE_DIGEST).schemes == ("sqrt",)
+
+
+def test_load_rejects_missing_corrupt_and_foreign_files(tmp_path):
+    with pytest.raises(ConfigurationError, match="no surrogate artifact"):
+        load_model(tmp_path / "nope")
+    bad = tmp_path / MODEL_FILENAME
+    bad.write_text("{not json")
+    with pytest.raises(ConfigurationError, match="corrupt"):
+        load_model(tmp_path)
+    bad.write_text(json.dumps({"kind": "something-else"}))
+    with pytest.raises(ConfigurationError, match="not a surrogate model"):
+        load_model(tmp_path)
+
+
+def test_load_rejects_unknown_schema_version(tmp_path):
+    path = save_model(make_model(), tmp_path)
+    data = json.loads(path.read_text())
+    data["schema_version"] = 999
+    path.write_text(json.dumps(data))
+    with pytest.raises(ConfigurationError, match="schema"):
+        load_model(tmp_path)
+
+
+def test_load_rechecks_the_stored_report_card(tmp_path):
+    """A hand-edited below-gate artifact cannot reach the serving path."""
+    path = save_model(make_model(), tmp_path)
+    data = json.loads(path.read_text())
+    data["schemes"]["sqrt"]["r2"] = 0.4
+    path.write_text(json.dumps(data))
+    with pytest.raises(SurrogateQualityError):
+        load_model(tmp_path)
+    model, reason = try_load_model(tmp_path)
+    assert model is None
+    assert "quality gate" in reason
+
+
+def test_load_honors_caller_thresholds_over_stored_ones(tmp_path):
+    """An artifact claiming laxer thresholds does not get to serve."""
+    path = save_model(make_model(), tmp_path)
+    data = json.loads(path.read_text())
+    data["schemes"]["sqrt"]["mape"] = 0.2  # 20% error...
+    data["thresholds"]["max_mape"] = 0.5  # ...self-certified as fine
+    path.write_text(json.dumps(data))
+    with pytest.raises(SurrogateQualityError):
+        load_model(tmp_path)  # code-level gate wins
+    lax = load_model(tmp_path, thresholds=QualityThresholds(max_mape=0.5))
+    assert lax.fits["sqrt"].mape == 0.2
+
+
+def test_fabricated_min_xg_model_predicts_the_roofline(tmp_path, rng):
+    """coef = 1 on min(x, g): predictions equal the clipped roofline."""
+    model = load_model(save_model(make_model(), tmp_path))
+    apc = rng.uniform(5e-4, 8e-3, size=(6, 4))
+    band = rng.uniform(3e-3, 2e-2, size=6)
+    got = model.predict("sqrt", apc, band)
+    grants = normalized_grants("sqrt", apc, band)
+    want = np.minimum(grants.x, grants.g) * band[:, None]
+    np.testing.assert_allclose(got, want, rtol=1e-12, atol=0)
+
+
+def test_predict_unknown_scheme_raises(model):
+    with pytest.raises(ConfigurationError, match="no fit for scheme"):
+        model.predict("prio_apc", np.full((1, 2), 0.004), np.array([0.01]))

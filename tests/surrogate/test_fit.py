@@ -1,0 +1,118 @@
+"""Fit recipe on synthetic data: recovery, gating, evaluation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.surrogate.fit import (
+    DEFAULT_TERMS,
+    PRIORITY_TERMS,
+    QualityThresholds,
+    compute_features,
+    design_matrix,
+    evaluate_fit,
+    fit_scheme,
+    fit_surface,
+    predict_norm,
+    terms_for_scheme,
+)
+from repro.surrogate.sweep import RunSample
+from repro.util.errors import ConfigurationError
+
+
+def synthetic_runs(rng, scheme="sqrt", n_runs=30, n_apps=4, noise=0.0):
+    """Runs whose shared APC is a known linear surface over the basis.
+
+    The target is ``0.9 * min(x, g) + 0.05 * x_sat`` (in normalized
+    units) -- inside the model family, so the fit must recover it to
+    numerical precision when ``noise`` is 0.
+    """
+    runs = []
+    for _ in range(n_runs):
+        apc = rng.uniform(5e-4, 8e-3, size=n_apps)
+        peak = float(rng.uniform(4e-3, 1.2e-2))
+        api = rng.uniform(1e-3, 0.08, size=n_apps)
+        feats = compute_features(
+            scheme, apc[None, :], np.array([peak]), api=api[None, :]
+        )
+        y = (
+            0.9 * np.minimum(feats.x, feats.g)
+            + 0.05 * feats.x / (1.0 + feats.load)
+        ).ravel()
+        y = y * (1.0 + noise * rng.standard_normal(n_apps))
+        runs.append(
+            RunSample(
+                scheme=scheme,
+                peak_apc=peak,
+                api=api,
+                apc_alone=apc,
+                row_locality=np.full(n_apps, 0.6),
+                bank_frac=np.full(n_apps, 0.9),
+                apc_shared=y * peak,
+            )
+        )
+    return runs
+
+
+def test_fit_recovers_an_in_family_surface(rng):
+    runs = synthetic_runs(rng)
+    fit = fit_scheme("sqrt", runs)
+    assert fit.r2 > 0.9999
+    assert fit.mape < 1e-6
+    assert fit.passes(QualityThresholds())
+
+
+def test_fit_flags_a_noisy_surface(rng):
+    runs = synthetic_runs(rng, noise=0.4)
+    fit = fit_scheme("sqrt", runs)
+    assert not fit.passes(QualityThresholds())
+
+
+def test_evaluate_fit_scores_the_stored_coefficients(rng):
+    runs = synthetic_runs(rng)
+    fit = fit_scheme("sqrt", runs)
+    r2, mape = evaluate_fit(fit, runs)
+    # scoring the training runs with the final coefficients: at least
+    # as good as the cross-validated report card
+    assert r2 >= fit.r2 - 1e-9
+    assert mape <= fit.mape + 1e-9
+
+
+def test_fit_surface_groups_by_scheme(rng):
+    dataset = {
+        "sqrt": synthetic_runs(rng, "sqrt"),
+        "prop": synthetic_runs(rng, "prop"),
+    }
+    report = fit_surface(dataset)
+    assert set(report.fits) == {"sqrt", "prop"}
+    assert report.passing
+    # dataset-level serving defaults are the training means
+    assert report.defaults["row_locality"] == pytest.approx(0.6)
+    assert report.defaults["bank_frac"] == pytest.approx(0.9)
+
+
+def test_terms_for_scheme():
+    assert terms_for_scheme("sqrt") == DEFAULT_TERMS
+    assert terms_for_scheme("prio_apc") == PRIORITY_TERMS
+    assert set(DEFAULT_TERMS) < set(PRIORITY_TERMS)
+
+
+def test_design_matrix_rejects_unknown_terms(rng):
+    feats = compute_features(
+        "sqrt", np.full((1, 2), 0.004), np.array([0.01])
+    )
+    with pytest.raises(ConfigurationError, match="unknown basis terms"):
+        design_matrix(("one", "bogus"), feats)
+    a = design_matrix(DEFAULT_TERMS, feats)
+    assert a.shape == (2, len(DEFAULT_TERMS))
+
+
+def test_predict_norm_clips_to_the_physical_envelope(rng):
+    feats = compute_features(
+        "sqrt", np.full((1, 3), 0.004), np.array([0.01])
+    )
+    huge = np.full(len(DEFAULT_TERMS), 100.0)
+    assert np.all(predict_norm(DEFAULT_TERMS, huge, feats) <= feats.x)
+    negative = np.full(len(DEFAULT_TERMS), -100.0)
+    assert np.all(predict_norm(DEFAULT_TERMS, negative, feats) == 0.0)

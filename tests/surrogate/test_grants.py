@@ -1,0 +1,94 @@
+"""The lean grant kernel: agreement with repro.core, batch invariance."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.batch import batch_allocate
+from repro.surrogate.grants import normalized_grants
+from repro.util.errors import ConfigurationError
+
+ALL_SCHEMES = ("equal", "sqrt", "twothirds", "prop", "prio_apc", "prio_api")
+
+
+def _random_problem(rng, k=12, n=5):
+    apc = rng.uniform(5e-4, 8e-3, size=(k, n))
+    band = rng.uniform(3e-3, 2e-2, size=k)
+    api = rng.uniform(1e-3, 0.08, size=(k, n))
+    return apc, band, api
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_agrees_with_core_solver(scheme, rng):
+    """Same math as batch_allocate, leaner op order: ~1 ulp agreement."""
+    apc, band, api = _random_problem(rng)
+    grants = normalized_grants(scheme, apc, band, api=api)
+    want = batch_allocate(scheme, apc, band, api=api) / band[:, None]
+    np.testing.assert_allclose(grants.g, want, rtol=1e-10, atol=1e-18)
+    np.testing.assert_array_equal(grants.x, apc / band[:, None])
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_batch_invariance_is_exact(scheme, rng):
+    """A row's grants are bit-identical solo and inside any stack."""
+    apc, band, api = _random_problem(rng, k=16)
+    stacked = normalized_grants(scheme, apc, band, api=api)
+    for i in range(apc.shape[0]):
+        solo = normalized_grants(
+            scheme, apc[i : i + 1], band[i : i + 1], api=api[i : i + 1]
+        )
+        np.testing.assert_array_equal(solo.g[0], stacked.g[i])
+        np.testing.assert_array_equal(solo.rank[0], stacked.rank[i])
+
+
+@pytest.mark.parametrize("scheme", ALL_SCHEMES)
+def test_grants_respect_demand_and_budget(scheme, rng):
+    apc, band, api = _random_problem(rng, k=20)
+    g = normalized_grants(scheme, apc, band, api=api).g
+    x = apc / band[:, None]
+    assert np.all(g <= x + 1e-12)
+    assert np.all(g >= 0)
+    assert np.all(g.sum(axis=1) <= 1.0 + 1e-9)
+
+
+def test_uncontended_rows_get_their_full_demand(rng):
+    # total demand below the budget: everyone is capped at demand
+    apc = rng.uniform(1e-4, 3e-4, size=(4, 3))
+    band = np.full(4, 0.05)
+    g = normalized_grants("sqrt", apc, band).g
+    np.testing.assert_array_equal(g, apc / band[:, None])
+
+
+def test_priority_rank_orders_by_the_sort_key(rng):
+    apc = np.array([[0.004, 0.001, 0.006]])
+    band = np.array([0.005])
+    grants = normalized_grants("prio_apc", apc, band)
+    # argsort(apc) puts the smallest demand first -> rank 0
+    assert grants.rank[0].tolist() == [0.5, 0.0, 1.0]
+    api = np.array([[0.06, 0.02, 0.04]])
+    grants = normalized_grants("prio_api", apc, band, api=api)
+    assert grants.rank[0].tolist() == [1.0, 0.0, 0.5]
+
+
+def test_share_schemes_have_neutral_rank(rng):
+    apc, band, _ = _random_problem(rng, k=3, n=4)
+    assert np.all(normalized_grants("prop", apc, band).rank == 0.5)
+
+
+def test_non_work_conserving_strands_the_leftover(rng):
+    apc = np.array([[0.001, 0.008]])
+    band = np.array([0.008])
+    strict = normalized_grants("equal", apc, band, work_conserving=False)
+    # app 0 cannot use its half-share; the slack is NOT redistributed
+    np.testing.assert_allclose(strict.g[0], [0.125, 0.5], rtol=1e-12)
+    wc = normalized_grants("equal", apc, band, work_conserving=True)
+    assert wc.g[0, 1] > strict.g[0, 1]
+
+
+def test_unknown_scheme_and_missing_api_raise(rng):
+    apc, band, _ = _random_problem(rng, k=1, n=2)
+    with pytest.raises(ConfigurationError):
+        normalized_grants("nope", apc, band)
+    with pytest.raises(ConfigurationError):
+        normalized_grants("prio_api", apc, band)  # api missing
