@@ -5,7 +5,7 @@ BENCH_JSON ?= benchmarks/out/bench_current.json
 
 .PHONY: install test properties benchmarks bench bench-compare bench-baseline \
 	experiments scorecard examples serve bench-service bench-obs \
-	bench-sweep bench-surrogate lint typecheck clean
+	bench-sweep bench-surrogate bench-control lint typecheck clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -63,6 +63,13 @@ bench-service:
 # fallback; writes BENCH_surrogate.json (see docs/SURROGATE.md)
 bench-surrogate:
 	$(PYTHON) benchmarks/bench_surrogate.py
+
+# controller gates: epoch re-solve latency <= 5 ms, phase-swap
+# re-convergence <= 3 epochs (and no slower than the fixed-epoch
+# baseline), oracle regret <= 5% on hsp/wsp/minf; writes
+# BENCH_control.json (see docs/CONTROL.md)
+bench-control:
+	$(PYTHON) benchmarks/bench_control.py
 
 # telemetry overhead gate: instrumented engine vs REPRO_OBS=off (<=3%)
 bench-obs:

@@ -1,0 +1,244 @@
+#!/usr/bin/env python
+"""Benchmark + gate for the closed-loop re-partitioning controller.
+
+Three sections, one JSON artifact (``BENCH_control.json`` at the repo
+top level, or ``$BENCH_OUT_DIR``):
+
+1. **Epoch re-solve latency** -- wall-clock cost of one controller
+   decision (smooth + change-detect + re-solve beta + push shares),
+   measured against stub profiler/scheduler objects so only the
+   controller is on the clock.  Gate: mean <= 5 ms, i.e. vanishing
+   next to the 100k-cycle epochs it controls.
+2. **Convergence** -- the adaptive controller (change-point triggered
+   fast windows) against a CBP-style fixed-epoch baseline (detection
+   off, plain EMA, constant window) on the phase-swap scenario.  Gate:
+   the adaptive loop re-converges within 3 epoch decisions of the swap
+   and is no slower than the fixed baseline.
+3. **Regret** -- time-weighted gap to the phase oracle on each of
+   Hsp / Wsp / MinF.  Gate: <= 5% per metric for the adaptive loop.
+
+Run::
+
+    PYTHONPATH=src python benchmarks/bench_control.py
+    PYTHONPATH=src python benchmarks/bench_control.py --quick --iters 500
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.control import (  # noqa: E402
+    EMASmoother,
+    EpochController,
+    ProfileTracker,
+    RelativeShiftDetector,
+    evaluate_controller,
+)
+from repro.core.partitioning import scheme_by_name  # noqa: E402
+from repro.workloads.nonstationary import scenario  # noqa: E402
+
+MAX_RESOLVE_MS = 5.0
+MAX_CONVERGENCE_EPOCHS = 3
+MAX_REGRET = 0.05
+METRICS = ("hsp", "wsp", "minf")
+SEED = 3
+
+
+class _StubProfiler:
+    """Just the ``estimates`` surface the controller reads."""
+
+    def __init__(self, estimates: np.ndarray) -> None:
+        self.estimates = estimates
+
+
+class _StubScheduler:
+    def __init__(self) -> None:
+        self.updates = 0
+
+    def update_shares(self, beta: np.ndarray) -> None:
+        self.updates += 1
+
+
+def bench_resolve_latency(iters: int, n_apps: int) -> dict:
+    """Mean per-decision controller latency over ``iters`` epochs."""
+    scheme = scheme_by_name("prop")
+    epoch = 100_000.0
+    controller = EpochController(
+        scheme,
+        np.full(n_apps, 0.02),
+        bandwidth=0.01,
+        epoch_cycles=epoch,
+    )
+    rng = np.random.default_rng(7)
+    base = rng.uniform(1e-3, 6e-3, size=n_apps)
+    scheduler = _StubScheduler()
+    # pre-draw the noisy estimates so the rng is off the clock
+    series = base * rng.uniform(0.95, 1.05, size=(iters, n_apps))
+
+    controller(epoch, _StubProfiler(series[0]), scheduler)  # warm-up
+    t0 = time.perf_counter()
+    for i in range(1, iters):
+        controller((i + 1) * epoch, _StubProfiler(series[i]), scheduler)
+    resolve_ms = (time.perf_counter() - t0) * 1000.0 / (iters - 1)
+
+    print(
+        f"epoch re-solve ({n_apps} apps): {resolve_ms * 1000.0:.1f} us/decision "
+        f"({scheduler.updates} share pushes)"
+    )
+    return {"resolve_ms": resolve_ms, "iters": iters, "n_apps": n_apps}
+
+
+def _fixed_epoch_controller(workload, scheme, epoch: float) -> EpochController:
+    """CBP-style baseline: constant window, no change detection."""
+    tracker = ProfileTracker(
+        workload.n,
+        smoother=EMASmoother(alpha=0.3),
+        detector=RelativeShiftDetector(threshold=1e9),
+    )
+    return EpochController(
+        scheme,
+        workload.true_api(0.0),
+        bandwidth=workload.peak_apc,
+        epoch_cycles=epoch,
+        fast_epoch_cycles=epoch,
+        tracker=tracker,
+        names=workload.names,
+    )
+
+
+def bench_tracking(quick: bool) -> dict:
+    """Adaptive vs fixed-epoch loop on the phase-swap scenario."""
+    horizon = 600_000.0 if quick else 1_200_000.0
+    epoch = 100_000.0
+    scheme = scheme_by_name("prop")
+
+    def run(controller):
+        workload = scenario(
+            "phase-swap",
+            seed=SEED,
+            horizon_cycles=horizon,
+            swap_cycle=horizon / 2.0,
+        )
+        return evaluate_controller(
+            workload,
+            scheme,
+            epoch_cycles=epoch,
+            controller=controller,
+            seed=SEED,
+            metrics=METRICS,
+        )
+
+    t0 = time.perf_counter()
+    adaptive = run(None)
+    adaptive_s = time.perf_counter() - t0
+    workload = scenario(
+        "phase-swap", seed=SEED, horizon_cycles=horizon,
+        swap_cycle=horizon / 2.0,
+    )
+    fixed = run(_fixed_epoch_controller(workload, scheme, epoch))
+
+    def lag_str(lag):
+        return "never" if lag is None else f"{lag} epochs"
+
+    print(
+        f"phase-swap convergence: adaptive {lag_str(adaptive.max_lag)} "
+        f"vs fixed-epoch {lag_str(fixed.max_lag)} "
+        f"(closed loop sim: {adaptive_s:.1f}s)"
+    )
+    for m in METRICS:
+        print(
+            f"  regret[{m}]: adaptive {adaptive.regret[m] * 100:+.2f}% "
+            f"vs fixed {fixed.regret[m] * 100:+.2f}%"
+        )
+    return {
+        "horizon_cycles": horizon,
+        "epoch_cycles": epoch,
+        "seed": SEED,
+        "adaptive": {
+            "max_lag": adaptive.max_lag,
+            "regret": adaptive.regret,
+            "tracking_error": adaptive.tracking_error,
+            "n_decisions": len(adaptive.decisions),
+            "wall_seconds": adaptive_s,
+        },
+        "fixed_epoch": {
+            "max_lag": fixed.max_lag,
+            "regret": fixed.regret,
+            "tracking_error": fixed.tracking_error,
+            "n_decisions": len(fixed.decisions),
+        },
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--iters", type=int, default=2000, help="latency epochs")
+    parser.add_argument("--apps", type=int, default=4, help="apps per workload")
+    parser.add_argument(
+        "--quick", action="store_true", help="halve the tracking horizon"
+    )
+    parser.add_argument("--out", default=None, help="artifact path override")
+    args = parser.parse_args(argv)
+
+    latency = bench_resolve_latency(args.iters, args.apps)
+    tracking = bench_tracking(args.quick)
+
+    adaptive = tracking["adaptive"]
+    fixed = tracking["fixed_epoch"]
+    adaptive_lag = adaptive["max_lag"]
+    fixed_lag = fixed["max_lag"]
+    record = {
+        "bench": "control",
+        "latency": latency,
+        "tracking": tracking,
+        "gates": {
+            "resolve_ms_ceiling": MAX_RESOLVE_MS,
+            "resolve_pass": latency["resolve_ms"] <= MAX_RESOLVE_MS,
+            "convergence_ceiling_epochs": MAX_CONVERGENCE_EPOCHS,
+            "convergence_pass": (
+                adaptive_lag is not None
+                and adaptive_lag <= MAX_CONVERGENCE_EPOCHS
+            ),
+            "adaptive_not_slower_pass": (
+                fixed_lag is None
+                or (adaptive_lag is not None and adaptive_lag <= fixed_lag)
+            ),
+            "regret_ceiling": MAX_REGRET,
+            "regret_pass": all(
+                v <= MAX_REGRET for v in adaptive["regret"].values()
+            ),
+        },
+    }
+    if args.out:
+        out = pathlib.Path(args.out)
+    else:
+        out_dir = os.environ.get("BENCH_OUT_DIR")
+        base = (
+            pathlib.Path(out_dir)
+            if out_dir
+            else pathlib.Path(__file__).resolve().parent.parent
+        )
+        out = base / "BENCH_control.json"
+    out.write_text(json.dumps(record, indent=2) + "\n", encoding="utf-8")
+    print(f"[wrote {out}]")
+
+    failed = [k for k, v in record["gates"].items() if v is False]
+    if failed:
+        print(f"FAIL: gates missed: {failed}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

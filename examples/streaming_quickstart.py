@@ -1,0 +1,93 @@
+"""Streaming re-partitioning over HTTP in ~70 lines.
+
+Opens a ``/v1/stream`` session against an in-process service and plays
+the paper's online loop (Sec. IV-C) from the client side: push the
+three profiling counters after each epoch (elapsed window cycles,
+per-app accesses, per-app interference cycles), get back the server's
+smoothed ``APC_alone`` estimate and freshly re-solved shares.  The
+server keeps the same smoothing + change-point state the simulator's
+epoch controller uses (docs/CONTROL.md), so a phase change in the
+pushed counters flips the shares within an epoch or two.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+from repro.service import AsyncServiceClient, PartitionService, ServiceConfig
+
+API = [0.03, 0.04]  # accesses per instruction, fixed program properties
+BANDWIDTH = 0.01  # DDR2-400-ish usable APC budget
+WINDOW = 100_000  # epoch length in cycles
+
+# two demand phases: app 0 heavy then app 1 heavy (an abrupt swap).
+# counters are (accesses, interference_cycles) per app for one window;
+# APC_alone estimate = accesses / (window - interference), Sec. IV-C.
+PHASE_A = ([800, 200], [0, 30_000])
+PHASE_B = ([200, 800], [30_000, 0])
+
+
+def show(update: dict) -> None:
+    est = ", ".join(
+        "  --  " if x is None else f"{x:.4f}" for x in update["apc_alone_estimate"]
+    )
+    if update["beta"] is None:
+        print(
+            f"epoch {update['epoch']:2d}  est [{est}]  beta pending "
+            f"({update['reason']})"
+        )
+        return
+    beta = ", ".join(f"{x:.2f}" for x in update["beta"])
+    flag = "  <- change point" if update["changed"] else ""
+    print(f"epoch {update['epoch']:2d}  est [{est}]  beta [{beta}]{flag}")
+
+
+async def main() -> None:
+    service = PartitionService(ServiceConfig(port=0))
+    await service.start()
+    print(f"service listening on 127.0.0.1:{service.port}\n")
+
+    async with AsyncServiceClient(port=service.port) as client:
+        opened = await client.stream_open(
+            API, BANDWIDTH, scheme="prop", smoothing="ema", smoothing_param=0.5
+        )
+        sid = opened["session"]
+        print(f"opened stream {sid} (scheme={opened['scheme']})")
+
+        # warm-up: only app 0 has traffic, and no prior was given for
+        # app 1 -- the push is acknowledged but shares are withheld
+        # until every app has been observed at least once.
+        show(await client.stream_push(sid, WINDOW, [800, 0], [0, 0]))
+
+        # phase A: app 0 dominates -> proportional shares follow
+        for _ in range(4):
+            accesses, interference = PHASE_A
+            show(await client.stream_push(sid, WINDOW, accesses, interference))
+
+        # abrupt swap: the relative-shift detector declares a change and
+        # re-seeds the smoother from the post-change observation, so the
+        # shares flip right away instead of bleeding through the EMA
+        print("\n-- demand swaps: app 1 becomes the heavy app --\n")
+        for _ in range(4):
+            accesses, interference = PHASE_B
+            show(await client.stream_push(sid, WINDOW, accesses, interference))
+
+        info = await client.stream_info(sid)
+        summary = await client.stream_close(sid)
+        print(
+            f"\nsession saw {info['epochs']} epochs, "
+            f"{summary['change_points']} change point(s); closed."
+        )
+
+        metrics = await client.metrics()
+        sessions = metrics["sessions"]
+        print(
+            f"server session metrics: opened={sessions['opened']} "
+            f"closed={sessions['closed']} active={sessions['active']}"
+        )
+
+    await service.stop()
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

@@ -1,0 +1,56 @@
+"""repro.control -- epoch-based online re-partitioning.
+
+The paper's closing loop (Sec. IV-C): profile ``APC_alone`` online with
+the three per-app counters, re-solve the partitioning shares every
+epoch, push them into the scheduler.  This package upgrades the basic
+:class:`repro.sim.controller.AdaptiveController` into a full control
+subsystem:
+
+* :mod:`repro.control.smoothing` -- EMA / sliding-window estimate
+  smoothing with NaN-aware element-wise semantics;
+* :mod:`repro.control.changepoint` -- relative-shift change-point
+  detection on the raw epoch estimates;
+* :mod:`repro.control.tracker` -- :class:`ProfileTracker`, the
+  smoother + detector composition shared by the simulator-side
+  controller and the service's streaming sessions;
+* :mod:`repro.control.controller` -- :class:`EpochController`, the
+  engine repartition hook with adaptive epoch windowing and a
+  per-epoch decision log;
+* :mod:`repro.control.oracle` -- :class:`PhaseOracle`, ground-truth
+  allocations from a declared phase schedule;
+* :mod:`repro.control.evaluate` -- convergence-lag / tracking-error /
+  regret evaluation of a controller run against the oracle.
+"""
+
+from repro.control.changepoint import RelativeShiftDetector
+from repro.control.controller import EpochController, EpochDecision
+from repro.control.evaluate import (
+    ControlEvalResult,
+    ConvergenceEvent,
+    evaluate_controller,
+)
+from repro.control.oracle import PhaseOracle, beta_for
+from repro.control.smoothing import (
+    EMASmoother,
+    SlidingWindowSmoother,
+    Smoother,
+    make_smoother,
+)
+from repro.control.tracker import ProfileTracker, TrackerUpdate
+
+__all__ = [
+    "RelativeShiftDetector",
+    "EpochController",
+    "EpochDecision",
+    "ControlEvalResult",
+    "ConvergenceEvent",
+    "evaluate_controller",
+    "PhaseOracle",
+    "beta_for",
+    "EMASmoother",
+    "SlidingWindowSmoother",
+    "Smoother",
+    "make_smoother",
+    "ProfileTracker",
+    "TrackerUpdate",
+]

@@ -1,0 +1,193 @@
+"""EpochController: the closed re-partitioning loop, as an engine hook.
+
+Each epoch the engine closes the profiling window and hands the hook
+the profiler; the controller then
+
+1. folds the raw estimates into its :class:`ProfileTracker`
+   (smoothing + change-point detection),
+2. re-solves the configured scheme for new shares and pushes them into
+   the scheduler,
+3. picks the *next* epoch length: the short ``fast_epoch_cycles``
+   right after a detected change (get a clean post-change estimate on
+   the board quickly), the regular ``epoch_cycles`` otherwise.
+
+Step 3 is the adaptive-windowing mechanism that meets the <= 3 epoch
+convergence gate on abrupt phase swaps: detection costs one epoch, the
+shortened window delivers an uncontaminated estimate one short epoch
+later, and the re-solve on that estimate matches the oracle.  A fixed
+epoch EMA controller (the CBP-style baseline in
+``benchmarks/bench_control.py``) instead drags pre-change history
+through the filter for several epochs.
+
+Every epoch is logged as an :class:`EpochDecision` for evaluation and
+the ``controller`` exhibit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+from repro.control.oracle import beta_for
+from repro.control.tracker import ProfileTracker
+from repro.core.apps import AppProfile, Workload
+from repro.core.partitioning import PartitioningScheme
+from repro.sim.mc.base import Scheduler
+from repro.sim.profiler import OnlineProfiler
+from repro.util.errors import ConfigurationError
+from repro.util.validation import as_float_array
+
+__all__ = ["EpochController", "EpochDecision"]
+
+
+@dataclass(frozen=True)
+class EpochDecision:
+    """One epoch's full decision record."""
+
+    #: cycle at which the epoch closed and the decision was taken
+    cycle: float
+    #: raw profiler estimates for the epoch (NaN = app not measured)
+    raw: np.ndarray
+    #: tracker estimate the shares were solved from
+    estimate: np.ndarray
+    #: shares pushed to the scheduler (None when the epoch was skipped
+    #: because no app had a finite estimate yet)
+    beta: np.ndarray | None
+    #: True when this epoch was declared a change point
+    changed: bool
+    #: epoch length requested for the *next* window
+    next_epoch_cycles: float
+
+
+class EpochController:
+    """Engine repartition hook with tracking and adaptive windowing.
+
+    Parameters
+    ----------
+    scheme:
+        Any paper scheme.  Share-based schemes re-solve shares
+        directly; priority schemes are enforced by normalizing their
+        greedy allocation into shares (see
+        :func:`repro.control.oracle.beta_for`).
+    api:
+        Per-app API (a program property; not re-estimated online).
+    bandwidth:
+        Total bandwidth ``B`` in APC units, needed to resolve priority
+        schemes' allocations (and recorded for evaluation).
+    epoch_cycles:
+        Regular profiling window.
+    fast_epoch_cycles:
+        Shortened window used right after a detected change point;
+        defaults to ``epoch_cycles / 2``.  Shorter windows converge
+        faster but estimate low-intensity apps from very few accesses
+        (the tracker's cooldown absorbs that noise spike).
+    tracker:
+        Smoothing + change detection; defaults to an EMA(0.5) with a
+        relative-shift detector at 0.5.
+    fallback_apc:
+        Optional prior for apps that have not produced a finite
+        estimate yet (e.g. declared demand); with no fallback, epochs
+        where some app is still NaN are skipped.
+    names:
+        App names for the synthesized profiles.
+    """
+
+    def __init__(
+        self,
+        scheme: PartitioningScheme,
+        api: Sequence[float],
+        *,
+        bandwidth: float,
+        epoch_cycles: float,
+        fast_epoch_cycles: float | None = None,
+        tracker: ProfileTracker | None = None,
+        fallback_apc: Sequence[float] | None = None,
+        names: Sequence[str] | None = None,
+    ) -> None:
+        self.scheme = scheme
+        self.api = as_float_array("api", api)
+        if np.any(self.api <= 0):
+            raise ConfigurationError("api values must be positive")
+        if bandwidth <= 0:
+            raise ConfigurationError("bandwidth must be positive")
+        if epoch_cycles <= 0:
+            raise ConfigurationError("epoch_cycles must be positive")
+        self.bandwidth = float(bandwidth)
+        self.epoch_cycles = float(epoch_cycles)
+        self.fast_epoch_cycles = (
+            float(fast_epoch_cycles)
+            if fast_epoch_cycles is not None
+            else self.epoch_cycles / 2.0
+        )
+        if self.fast_epoch_cycles <= 0:
+            raise ConfigurationError("fast_epoch_cycles must be positive")
+        n = len(self.api)
+        self.tracker = tracker if tracker is not None else ProfileTracker(n)
+        self.fallback = (
+            as_float_array("fallback_apc", fallback_apc)
+            if fallback_apc is not None
+            else None
+        )
+        if self.fallback is not None and len(self.fallback) != n:
+            raise ConfigurationError("fallback_apc/api length mismatch")
+        self.names = (
+            list(names) if names is not None else [f"app{i}" for i in range(n)]
+        )
+        if len(self.names) != n:
+            raise ConfigurationError("names/api length mismatch")
+        #: per-epoch decision log (inspection, evaluation, exhibits)
+        self.decisions: list[EpochDecision] = []
+
+    # ------------------------------------------------------------------
+    def __call__(
+        self, now: float, profiler: OnlineProfiler, scheduler: Scheduler
+    ) -> float:
+        """One epoch: track, re-solve, re-share, pick the next window."""
+        raw = profiler.estimates.copy()
+        update = self.tracker.update(raw)
+        estimate = update.estimate.copy()
+        if self.fallback is not None:
+            mask = np.isnan(estimate)
+            estimate[mask] = self.fallback[mask]
+        next_len = self.fast_epoch_cycles if update.changed else self.epoch_cycles
+        beta: np.ndarray | None = None
+        if not np.any(np.isnan(estimate)):
+            profiles = Workload.of(
+                "online",
+                [
+                    AppProfile(
+                        self.names[i],
+                        api=float(self.api[i]),
+                        apc_alone=float(estimate[i]),
+                    )
+                    for i in range(len(self.api))
+                ],
+            )
+            beta = beta_for(self.scheme, profiles, self.bandwidth)
+            scheduler.update_shares(beta)
+        self.decisions.append(
+            EpochDecision(
+                cycle=now,
+                raw=raw,
+                estimate=estimate,
+                beta=beta,
+                changed=update.changed,
+                next_epoch_cycles=next_len,
+            )
+        )
+        return next_len
+
+    # ------------------------------------------------------------------
+    @property
+    def latest_beta(self) -> np.ndarray | None:
+        for d in reversed(self.decisions):
+            if d.beta is not None:
+                return d.beta
+        return None
+
+    @property
+    def n_changes(self) -> int:
+        """Change points declared over the run."""
+        return sum(1 for d in self.decisions if d.changed)

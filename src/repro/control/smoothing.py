@@ -1,0 +1,138 @@
+"""Estimate smoothing for the online controller.
+
+The profiler's per-epoch ``APC_alone`` estimates are noisy (finite
+windows, interference-correction residue), and the shares derived from
+them feed straight back into the scheduler -- unsmoothed, estimate
+noise becomes share jitter becomes *more* interference noise.  Two
+standard filters are offered:
+
+* :class:`EMASmoother` -- exponential moving average, O(1) state, the
+  classic low-pass with a single time constant;
+* :class:`SlidingWindowSmoother` -- arithmetic mean of the last ``k``
+  observations, bounded memory, finite impulse response (an outlier
+  leaves the estimate after exactly ``k`` epochs).
+
+Both are NaN-aware *element-wise*: a NaN in the observation (an app
+that served nothing this epoch) leaves that app's smoothed value
+untouched, and a NaN in the state (no measurement yet) is seeded from
+the first finite observation.  This mirrors the profiler's own
+keep-previous-estimate semantics.
+"""
+
+from __future__ import annotations
+
+import warnings
+from abc import ABC, abstractmethod
+from collections import deque
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["Smoother", "EMASmoother", "SlidingWindowSmoother", "make_smoother"]
+
+
+class Smoother(ABC):
+    """Stateful element-wise filter over estimate vectors."""
+
+    @abstractmethod
+    def update(self, observation: np.ndarray) -> np.ndarray:
+        """Fold one observation into the state; return the new estimate."""
+
+    @abstractmethod
+    def reset(self, seed: np.ndarray | None = None) -> None:
+        """Drop history; optionally re-seed from ``seed``.
+
+        Called by the tracker on a detected change point so the filter
+        locks onto the new phase instead of averaging across it.
+        """
+
+    @property
+    @abstractmethod
+    def value(self) -> np.ndarray | None:
+        """Current smoothed estimate (None before any observation)."""
+
+
+def _merge_nan(state: np.ndarray, obs: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Split an update into (effective state, effective observation).
+
+    Where the observation is NaN the state stands in for it (no new
+    information); where the state is NaN the observation seeds it.
+    """
+    obs = np.asarray(obs, dtype=float)
+    eff_obs = np.where(np.isnan(obs), state, obs)
+    eff_state = np.where(np.isnan(state), eff_obs, state)
+    return eff_state, eff_obs
+
+
+class EMASmoother(Smoother):
+    """``s <- alpha * x + (1 - alpha) * s`` per element.
+
+    ``alpha`` in (0, 1]; 1.0 passes observations through unfiltered.
+    """
+
+    def __init__(self, alpha: float = 0.5) -> None:
+        if not (0.0 < alpha <= 1.0):
+            raise ConfigurationError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._state: np.ndarray | None = None
+
+    def update(self, observation: np.ndarray) -> np.ndarray:
+        obs = np.asarray(observation, dtype=float)
+        if self._state is None:
+            self._state = obs.copy()
+        else:
+            state, eff = _merge_nan(self._state, obs)
+            self._state = self.alpha * eff + (1.0 - self.alpha) * state
+        return self._state.copy()
+
+    def reset(self, seed: np.ndarray | None = None) -> None:
+        self._state = None if seed is None else np.asarray(seed, dtype=float).copy()
+
+    @property
+    def value(self) -> np.ndarray | None:
+        return None if self._state is None else self._state.copy()
+
+
+class SlidingWindowSmoother(Smoother):
+    """Element-wise nan-mean over the last ``window`` observations."""
+
+    def __init__(self, window: int = 4) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = window
+        self._buf: deque[np.ndarray] = deque(maxlen=window)
+
+    def update(self, observation: np.ndarray) -> np.ndarray:
+        self._buf.append(np.asarray(observation, dtype=float).copy())
+        val = self.value
+        assert val is not None
+        return val
+
+    def reset(self, seed: np.ndarray | None = None) -> None:
+        self._buf.clear()
+        if seed is not None:
+            self._buf.append(np.asarray(seed, dtype=float).copy())
+
+    @property
+    def value(self) -> np.ndarray | None:
+        if not self._buf:
+            return None
+        stack = np.stack(tuple(self._buf))
+        # nanmean of an all-NaN column is NaN, which is exactly the
+        # "no measurement yet" convention -- silence the warning
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", category=RuntimeWarning)
+            out: np.ndarray = np.nanmean(stack, axis=0)
+        return out
+
+
+def make_smoother(kind: str, **kwargs: float) -> Smoother:
+    """Factory: ``"ema"`` (alpha=...) or ``"window"`` (window=...)."""
+    if kind == "ema":
+        return EMASmoother(alpha=float(kwargs.pop("alpha", 0.5)))
+    if kind == "window":
+        return SlidingWindowSmoother(window=int(kwargs.pop("window", 4)))
+    raise ConfigurationError(
+        f"unknown smoother kind {kind!r}; available: ['ema', 'window']"
+    )

@@ -1,0 +1,119 @@
+"""ProfileTracker: smoothing + change-point detection as one unit.
+
+Both consumers of the online profile -- the simulator-side
+:class:`~repro.control.controller.EpochController` and the service's
+streaming sessions (:mod:`repro.service.sessions`) -- need the same
+composition: smooth the raw epoch estimates, watch for phase changes,
+and on a change restart the filter from the post-change observation.
+:class:`ProfileTracker` is that composition, so the two consumers
+cannot drift apart in semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.control.changepoint import RelativeShiftDetector
+from repro.control.smoothing import EMASmoother, Smoother
+from repro.util.errors import ConfigurationError
+
+__all__ = ["ProfileTracker", "TrackerUpdate"]
+
+
+@dataclass(frozen=True)
+class TrackerUpdate:
+    """Result of folding one epoch's raw estimate into the tracker."""
+
+    #: smoothed estimate after the update (NaN where never measured)
+    estimate: np.ndarray
+    #: True when this epoch was declared a change point
+    changed: bool
+    #: number of updates folded in so far (including this one)
+    n_updates: int
+
+
+class ProfileTracker:
+    """Tracks a per-app profile vector through noise and phase changes.
+
+    On a declared change point the smoother is *reset and re-seeded
+    from the raw observation*: the post-change epoch is already the
+    best available sample of the new phase, and averaging it against
+    pre-change history would only stretch convergence.
+
+    ``cooldown`` suppresses detection for that many updates after a
+    declared change.  The epoch right after a change is profiled over
+    the controller's *shortened* window, so its estimate is the
+    noisiest of the run; without a cooldown that noise re-triggers the
+    detector against the just-reseeded baseline and the controller
+    cascades through spurious change points.
+    """
+
+    def __init__(
+        self,
+        n_apps: int,
+        *,
+        smoother: Smoother | None = None,
+        detector: RelativeShiftDetector | None = None,
+        cooldown: int = 1,
+    ) -> None:
+        if cooldown < 0:
+            raise ConfigurationError(f"cooldown must be >= 0, got {cooldown}")
+        self.n_apps = n_apps
+        self.smoother = smoother if smoother is not None else EMASmoother(alpha=0.5)
+        self.detector = (
+            detector if detector is not None else RelativeShiftDetector(0.5)
+        )
+        self.cooldown = cooldown
+        self._cooldown_left = 0
+        self._n_updates = 0
+        self._n_changes = 0
+
+    def update(self, raw: np.ndarray) -> TrackerUpdate:
+        """Fold one raw epoch estimate (NaN = app not measured)."""
+        raw = np.asarray(raw, dtype=float)
+        if self._cooldown_left > 0:
+            self._cooldown_left -= 1
+            changed = False
+        else:
+            changed = self.detector.observe(raw, self.smoother.value)
+        if changed:
+            self._n_changes += 1
+            self._cooldown_left = self.cooldown
+            # restart the filter at the new phase's first sample; keep
+            # old values only where the new epoch measured nothing
+            prev = self.smoother.value
+            seed = raw.copy()
+            if prev is not None:
+                mask = np.isnan(seed)
+                seed[mask] = prev[mask]
+            self.smoother.reset(seed)
+            estimate = seed
+        else:
+            estimate = self.smoother.update(raw)
+        self._n_updates += 1
+        return TrackerUpdate(
+            estimate=estimate, changed=changed, n_updates=self._n_updates
+        )
+
+    @property
+    def estimate(self) -> np.ndarray | None:
+        """Current smoothed estimate (None before any update)."""
+        return self.smoother.value
+
+    @property
+    def n_updates(self) -> int:
+        return self._n_updates
+
+    @property
+    def n_changes(self) -> int:
+        """Number of change points declared so far."""
+        return self._n_changes
+
+    def reset(self) -> None:
+        self.smoother.reset()
+        self.detector.reset()
+        self._cooldown_left = 0
+        self._n_updates = 0
+        self._n_changes = 0

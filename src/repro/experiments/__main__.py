@@ -9,6 +9,7 @@ Usage::
     python -m repro.experiments sensitivity   # winners under perturbation
     python -m repro.experiments predicted     # model-only grid + agreement
     python -m repro.experiments surrogate     # surrogate vs sim per-point error
+    python -m repro.experiments controller    # closed-loop control vs phase oracle
     python -m repro.experiments scorecard     # 17-check PASS/FAIL gate
     python -m repro.experiments regression [--update]   # golden numbers
     python -m repro.experiments all           # every exhibit (no regression)
@@ -36,7 +37,7 @@ from repro.experiments.runner import Runner
 _EXHIBITS = (
     "figure1", "figure2", "figure3", "figure4", "table3", "table4",
     "ablation", "extension", "sensitivity", "scorecard", "predicted",
-    "surrogate", "regression",
+    "surrogate", "controller", "regression",
 )
 
 # back-compat alias (pre-planner callers imported the underscore name)
@@ -211,6 +212,12 @@ def run_exhibit(
         # the shared exhibit plan; quick/plan flags do not apply
         result = surrogate_exhibit.run(workers=workers)
         return surrogate_exhibit.render(result)
+    if name == "controller":
+        from repro.experiments import controller_exhibit
+
+        # runs its own closed-loop sims (cheap: seconds); plan/workers
+        # flags do not apply
+        return controller_exhibit.render(controller_exhibit.run(quick=quick))
     raise SystemExit(f"unknown exhibit {name!r}; choose from {_EXHIBITS + ('all',)}")
 
 

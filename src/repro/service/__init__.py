@@ -14,10 +14,13 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PartitionRequest,
     QoSRequest,
+    StreamOpenRequest,
     parse_partition_request,
     parse_qos_request,
+    parse_stream_open,
 )
 from repro.service.server import PartitionService, serve
+from repro.service.sessions import SessionLimitError, SessionManager, StreamSession
 from repro.service.surrogate import SurrogateStore
 
 __all__ = [
@@ -31,8 +34,13 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceMetrics",
+    "SessionLimitError",
+    "SessionManager",
+    "StreamOpenRequest",
+    "StreamSession",
     "SurrogateStore",
     "parse_partition_request",
     "parse_qos_request",
+    "parse_stream_open",
     "serve",
 ]

@@ -70,6 +70,36 @@ def _qos_payload(apc_alone, api, bandwidth, targets, objective):
     }
 
 
+def _stream_open_payload(
+    api, bandwidth, scheme, apc_alone, metrics, work_conserving, profile, options
+):
+    payload = {
+        "scheme": scheme,
+        "api": list(api),
+        "bandwidth": float(bandwidth),
+    }
+    if apc_alone is not None:
+        payload["apc_alone"] = list(apc_alone)
+    if metrics is not None:
+        payload["metrics"] = list(metrics)
+    if not work_conserving:
+        payload["work_conserving"] = False
+    if profile != "analytic":
+        payload["profile"] = profile
+    payload.update(options)
+    return payload
+
+
+def _counters_payload(window_cycles, accesses, interference_cycles):
+    payload = {
+        "window_cycles": float(window_cycles),
+        "accesses": list(accesses),
+    }
+    if interference_cycles is not None:
+        payload["interference_cycles"] = list(interference_cycles)
+    return payload
+
+
 class ServiceClient:
     """Blocking keep-alive client (one TCP connection, serial requests)."""
 
@@ -146,6 +176,51 @@ class ServiceClient:
         return self._request(
             "POST", "/v1/qos", _qos_payload(apc_alone, api, bandwidth, targets, objective)
         )
+
+    def stream_open(
+        self,
+        api,
+        bandwidth,
+        *,
+        scheme: str = "sqrt",
+        apc_alone=None,
+        metrics=None,
+        work_conserving: bool = True,
+        profile: str = "analytic",
+        **options,
+    ) -> dict:
+        """Open a counter stream; returns the body with the session id.
+
+        ``apc_alone`` optionally seeds the estimate before any counters
+        arrive; extra keyword ``options`` pass through to the server
+        (``smoothing``, ``smoothing_param``, ``change_threshold``,
+        ``cooldown``).  A full server raises :class:`ServiceError` with
+        status 429.
+        """
+        return self._request(
+            "POST",
+            "/v1/stream/open",
+            _stream_open_payload(
+                api, bandwidth, scheme, apc_alone, metrics,
+                work_conserving, profile, options,
+            ),
+        )
+
+    def stream_push(
+        self, session: str, window_cycles, accesses, interference_cycles=None
+    ) -> dict:
+        """Push one epoch's counter deltas; returns the updated shares."""
+        return self._request(
+            "POST",
+            f"/v1/stream/{session}/counters",
+            _counters_payload(window_cycles, accesses, interference_cycles),
+        )
+
+    def stream_info(self, session: str) -> dict:
+        return self._request("GET", f"/v1/stream/{session}")
+
+    def stream_close(self, session: str) -> dict:
+        return self._request("DELETE", f"/v1/stream/{session}")
 
     def healthz(self) -> dict:
         return self._request("GET", "/healthz")
@@ -258,6 +333,42 @@ class AsyncServiceClient:
         return await self._request(
             "POST", "/v1/qos", _qos_payload(apc_alone, api, bandwidth, targets, objective)
         )
+
+    async def stream_open(
+        self,
+        api,
+        bandwidth,
+        *,
+        scheme: str = "sqrt",
+        apc_alone=None,
+        metrics=None,
+        work_conserving: bool = True,
+        profile: str = "analytic",
+        **options,
+    ) -> dict:
+        return await self._request(
+            "POST",
+            "/v1/stream/open",
+            _stream_open_payload(
+                api, bandwidth, scheme, apc_alone, metrics,
+                work_conserving, profile, options,
+            ),
+        )
+
+    async def stream_push(
+        self, session: str, window_cycles, accesses, interference_cycles=None
+    ) -> dict:
+        return await self._request(
+            "POST",
+            f"/v1/stream/{session}/counters",
+            _counters_payload(window_cycles, accesses, interference_cycles),
+        )
+
+    async def stream_info(self, session: str) -> dict:
+        return await self._request("GET", f"/v1/stream/{session}")
+
+    async def stream_close(self, session: str) -> dict:
+        return await self._request("DELETE", f"/v1/stream/{session}")
 
     async def healthz(self) -> dict:
         return await self._request("GET", "/healthz")

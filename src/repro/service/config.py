@@ -45,6 +45,13 @@ class ServiceConfig:
     #: (everything else counts as a fallback to the sim path)
     surrogate_digest: str | None = None
 
+    #: cap on concurrently open /v1/stream sessions (overflow -> 429)
+    max_sessions: int = 256
+    #: stream sessions idle longer than this are evicted lazily
+    session_idle_s: float = 300.0
+    #: per-session bounded history of epoch updates (memory cap)
+    session_history: int = 64
+
     #: reject request bodies larger than this (bytes)
     max_body_bytes: int = 1 << 20
     #: per-request cap on /v1/partition/batch fan-in
@@ -59,6 +66,9 @@ class ServiceConfig:
         check_positive("max_wait_ms", self.max_wait_ms)
         check_positive("request_timeout_s", self.request_timeout_s)
         check_positive("cache_capacity", self.cache_capacity)
+        check_positive("max_sessions", self.max_sessions)
+        check_positive("session_idle_s", self.session_idle_s)
+        check_positive("session_history", self.session_history)
         check_positive("max_body_bytes", self.max_body_bytes)
         check_positive("max_requests_per_call", self.max_requests_per_call)
         check_positive("latency_window", self.latency_window)

@@ -153,6 +153,15 @@ class ServiceMetrics:
             "service.solve_ms", reservoir=self._latency_window, source=source
         ).observe(latency_ms)
 
+    def observe_stream(self, event: str) -> None:
+        """Count one stream-session lifecycle event.
+
+        ``event`` is one of the fixed literals ``open`` / ``push`` /
+        ``change`` / ``close`` / ``reject`` (server-controlled, so the
+        label cardinality is bounded by construction).
+        """
+        self.registry.counter("service.stream_events", event=event).inc()
+
     def observe_batch(self, size: int) -> None:
         self.batches += 1
         self.batched_requests += size
@@ -178,8 +187,13 @@ class ServiceMetrics:
                 out[source] = sim_mean / mean
         return out
 
-    def snapshot(self, *, cache: dict | None = None) -> dict:
+    def snapshot(
+        self, *, cache: dict | None = None, sessions: dict | None = None
+    ) -> dict:
         return {
+            # additive: the stream-session section (None when the
+            # caller has no session manager, e.g. bare-metrics tests)
+            "sessions": sessions,
             "uptime_s": time.monotonic() - self._started,
             "endpoints": {
                 path: stats.snapshot() for path, stats in sorted(self.endpoints.items())

@@ -23,8 +23,11 @@ from repro.util.errors import ConfigurationError, InfeasibleError
 __all__ = [
     "PartitionRequest",
     "QoSRequest",
+    "StreamOpenRequest",
     "parse_partition_request",
     "parse_qos_request",
+    "parse_stream_open",
+    "parse_counter_push",
     "partition_response",
     "qos_response",
     "error_body",
@@ -40,6 +43,9 @@ PROFILES: tuple[str, ...] = ("analytic", "surrogate", "sim")
 #: best-effort objectives /v1/qos accepts
 QOS_OBJECTIVES: tuple[str, ...] = ("hsp", "minf", "wsp", "ipcsum")
 
+#: estimate filters a stream session may pick (repro.control.smoothing)
+STREAM_SMOOTHERS: tuple[str, ...] = ("ema", "window")
+
 
 def _float_vector(name: str, raw, *, expect_len: int | None = None) -> tuple[float, ...]:
     if not isinstance(raw, (list, tuple)) or not raw:
@@ -53,6 +59,25 @@ def _float_vector(name: str, raw, *, expect_len: int | None = None) -> tuple[flo
     if any(v <= 0 for v in vec):
         raise ConfigurationError(f"{name} values must be > 0")
     if expect_len is not None and len(vec) != expect_len:
+        raise ConfigurationError(
+            f"{name} must have length {expect_len}, got {len(vec)}"
+        )
+    return vec
+
+
+def _nonneg_vector(name: str, raw, *, expect_len: int) -> tuple[float, ...]:
+    """Like :func:`_float_vector` but zeros are legal (idle-app deltas)."""
+    if not isinstance(raw, (list, tuple)) or not raw:
+        raise ConfigurationError(f"{name} must be a non-empty array of numbers")
+    try:
+        vec = tuple(float(v) for v in raw)
+    except (TypeError, ValueError):
+        raise ConfigurationError(f"{name} must contain only numbers") from None
+    if not all(np.isfinite(vec)):
+        raise ConfigurationError(f"{name} must be finite")
+    if any(v < 0 for v in vec):
+        raise ConfigurationError(f"{name} values must be >= 0")
+    if len(vec) != expect_len:
         raise ConfigurationError(
             f"{name} must have length {expect_len}, got {len(vec)}"
         )
@@ -268,6 +293,160 @@ def parse_qos_request(obj) -> QoSRequest:
         ipc_targets=tuple(ipc_targets),
         objective=objective,
     )
+
+
+@dataclass(frozen=True)
+class StreamOpenRequest:
+    """A validated ``/v1/stream/open`` body: the session's fixed config.
+
+    Everything a :class:`PartitionRequest` needs *except* ``apc_alone``
+    -- that is what the stream measures online.  ``prior`` optionally
+    seeds estimate slots no epoch has covered yet (the first pushes of
+    a session, or apps idle so far).
+    """
+
+    scheme: str
+    api: tuple[float, ...]
+    bandwidth: float
+    metrics: tuple[str, ...]
+    work_conserving: bool
+    profile: str
+    prior: tuple[float, ...] | None
+    smoothing: str
+    smoothing_param: float | None
+    change_threshold: float
+    cooldown: int
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.api)
+
+
+def parse_stream_open(obj) -> StreamOpenRequest:
+    """Validate one ``/v1/stream/open`` JSON object."""
+    if not isinstance(obj, dict):
+        raise ConfigurationError("request body must be a JSON object")
+    unknown = set(obj) - {
+        "scheme",
+        "api",
+        "bandwidth",
+        "metrics",
+        "work_conserving",
+        "profile",
+        "apc_alone",
+        "smoothing",
+        "smoothing_param",
+        "change_threshold",
+        "cooldown",
+    }
+    if unknown:
+        raise ConfigurationError(f"unknown fields: {sorted(unknown)}")
+
+    scheme = obj.get("scheme", "sqrt")
+    if scheme not in BATCH_SCHEMES:
+        raise ConfigurationError(
+            f"unknown scheme {scheme!r}; available: {sorted(BATCH_SCHEMES)}"
+        )
+    api = _float_vector("api", obj.get("api"))
+    bandwidth = _positive_float("bandwidth", obj.get("bandwidth"))
+    prior_raw = obj.get("apc_alone")
+    prior = (
+        _float_vector("apc_alone", prior_raw, expect_len=len(api))
+        if prior_raw is not None
+        else None
+    )
+    profile = obj.get("profile", "analytic")
+    if profile not in PROFILES:
+        raise ConfigurationError(
+            f"unknown profile {profile!r}; available: {sorted(PROFILES)}"
+        )
+    work_conserving = obj.get("work_conserving", True)
+    if not isinstance(work_conserving, bool):
+        raise ConfigurationError("work_conserving must be a boolean")
+    if profile != "analytic" and not work_conserving:
+        raise ConfigurationError(
+            f"profile {profile!r} is work-conserving only; use the analytic "
+            "profile for non-work-conserving streams"
+        )
+    metrics_raw = obj.get("metrics")
+    if metrics_raw is None:
+        metrics: tuple[str, ...] = KNOWN_METRICS
+    else:
+        if not isinstance(metrics_raw, (list, tuple)):
+            raise ConfigurationError("metrics must be an array of metric names")
+        metrics = tuple(dict.fromkeys(metrics_raw))
+        for m in metrics:
+            if m not in KNOWN_METRICS:
+                raise ConfigurationError(
+                    f"unknown metric {m!r}; available: {sorted(KNOWN_METRICS)}"
+                )
+    smoothing = obj.get("smoothing", "ema")
+    if smoothing not in STREAM_SMOOTHERS:
+        raise ConfigurationError(
+            f"unknown smoothing {smoothing!r}; available: "
+            f"{sorted(STREAM_SMOOTHERS)}"
+        )
+    param_raw = obj.get("smoothing_param")
+    smoothing_param = (
+        _positive_float("smoothing_param", param_raw)
+        if param_raw is not None
+        else None
+    )
+    change_threshold = _positive_float(
+        "change_threshold", obj.get("change_threshold", 0.5)
+    )
+    cooldown = obj.get("cooldown", 1)
+    if not isinstance(cooldown, int) or isinstance(cooldown, bool) or cooldown < 0:
+        raise ConfigurationError("cooldown must be a non-negative integer")
+    return StreamOpenRequest(
+        scheme=scheme,
+        api=api,
+        bandwidth=bandwidth,
+        metrics=metrics,
+        work_conserving=work_conserving,
+        profile=profile,
+        prior=prior,
+        smoothing=smoothing,
+        smoothing_param=smoothing_param,
+        change_threshold=change_threshold,
+        cooldown=cooldown,
+    )
+
+
+def parse_counter_push(
+    obj, n_apps: int
+) -> tuple[float, tuple[float, ...], tuple[float, ...]]:
+    """Validate one ``/v1/stream/<id>/counters`` body.
+
+    Returns ``(window_cycles, accesses, interference_cycles)`` -- the
+    paper's three per-epoch counter deltas.  A zero ``window_cycles``
+    is legal (the session records a degenerate epoch); per-app
+    interference may not exceed the window.
+    """
+    if not isinstance(obj, dict):
+        raise ConfigurationError("request body must be a JSON object")
+    unknown = set(obj) - {"window_cycles", "accesses", "interference_cycles"}
+    if unknown:
+        raise ConfigurationError(f"unknown fields: {sorted(unknown)}")
+    try:
+        window = float(obj.get("window_cycles"))
+    except (TypeError, ValueError):
+        raise ConfigurationError("window_cycles must be a number") from None
+    if not np.isfinite(window) or window < 0:
+        raise ConfigurationError("window_cycles must be a finite number >= 0")
+    accesses = _nonneg_vector("accesses", obj.get("accesses"), expect_len=n_apps)
+    interference_raw = obj.get("interference_cycles")
+    if interference_raw is None:
+        interference = (0.0,) * n_apps
+    else:
+        interference = _nonneg_vector(
+            "interference_cycles", interference_raw, expect_len=n_apps
+        )
+        if any(v > window for v in interference):
+            raise ConfigurationError(
+                "interference_cycles cannot exceed window_cycles"
+            )
+    return window, accesses, interference
 
 
 # ----------------------------------------------------------------------

@@ -11,6 +11,18 @@ Endpoints
 ``POST /v1/partition/batch``    many solves in one call (always stacked)
 ``POST /v1/qos``                QoS-guaranteed plan (Sec. III-G)
 ``POST /v1/surrogate/reload``   re-read the surrogate artifact
+``POST /v1/stream/open``        open a long-lived counter stream (429 at cap)
+``POST /v1/stream/<id>/counters``  push epoch counter deltas, get shares back
+``GET  /v1/stream/<id>``        stream session info
+``DELETE /v1/stream/<id>``      close a stream session
+
+Streams are the online-controller loop over HTTP: per-session
+smoothing + change-point state (:mod:`repro.control`) folds each
+pushed epoch into an ``APC_alone`` estimate and re-solves the shares
+through the same analytic/surrogate/sim hot path the one-shot
+endpoints use (never cached -- the estimate moves every epoch).
+Sessions are capacity-bounded, idle-evicted and visible in
+``/metrics`` under ``sessions``.
 
 ``/v1/partition`` accepts a ``profile`` field selecting the engine:
 the Eq. 2 closed form (``analytic``, default), the fitted APC-response
@@ -46,11 +58,14 @@ from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PartitionRequest,
     error_body,
+    parse_counter_push,
     parse_partition_request,
     parse_qos_request,
+    parse_stream_open,
     partition_response,
     qos_response,
 )
+from repro.service.sessions import SessionLimitError, SessionManager
 from repro.service.surrogate import SurrogateStore
 from repro.util.errors import ConfigurationError, InfeasibleError
 
@@ -73,6 +88,11 @@ class PartitionService:
             self.config.surrogate_dir,
             expected_digest=self.config.surrogate_digest,
             registry=self.metrics.registry,
+        )
+        self.sessions = SessionManager(
+            max_sessions=self.config.max_sessions,
+            idle_timeout_s=self.config.session_idle_s,
+            history_limit=self.config.session_history,
         )
         self.batcher: MicroBatcher | None = None
         if self.config.batching:
@@ -222,7 +242,9 @@ class PartitionService:
                 if method != "GET":
                     return _method_not_allowed(method)
                 cache = self.cache.snapshot() if self.cache is not None else None
-                body_out = self.metrics.snapshot(cache=cache)
+                body_out = self.metrics.snapshot(
+                    cache=cache, sessions=self.sessions.snapshot()
+                )
                 # additive: the unified repro.obs registry (batcher,
                 # caches, engine, ... series) -- existing fields above
                 # keep their names and shapes
@@ -246,7 +268,31 @@ class PartitionService:
                     return _method_not_allowed(method)
                 self.surrogate.reload()
                 return 200, self.surrogate.snapshot()
+            if path == "/v1/stream/open":
+                if method != "POST":
+                    return _method_not_allowed(method)
+                return 200, self._handle_stream_open(_parse_json(body))
+            if path.startswith("/v1/stream/"):
+                tail = path[len("/v1/stream/"):]
+                if tail.endswith("/counters"):
+                    session_id = tail[: -len("/counters")]
+                    if "/" in session_id or not session_id:
+                        return 404, error_body("NotFound", f"no route for {path!r}")
+                    if method != "POST":
+                        return _method_not_allowed(method)
+                    return await self._handle_stream_push(
+                        session_id, _parse_json(body)
+                    )
+                if tail and "/" not in tail:
+                    if method == "GET":
+                        return self._handle_stream_info(tail)
+                    if method == "DELETE":
+                        return self._handle_stream_close(tail)
+                    return _method_not_allowed(method)
             return 404, error_body("NotFound", f"no route for {path!r}")
+        except SessionLimitError as exc:
+            self.metrics.observe_stream("reject")
+            return 429, error_body("SessionLimit", str(exc))
         except ConfigurationError as exc:
             return 400, error_body("ConfigurationError", str(exc))
         except InfeasibleError as exc:
@@ -409,6 +455,113 @@ class PartitionService:
             self.cache.put(key, _cacheable(response))
         return response
 
+    # ------------------------------------------------------------------
+    # streaming sessions
+    # ------------------------------------------------------------------
+    def _handle_stream_open(self, obj) -> dict:
+        req = parse_stream_open(obj)
+        session = self.sessions.open(
+            scheme=req.scheme,
+            api=req.api,
+            bandwidth=req.bandwidth,
+            metrics=req.metrics,
+            work_conserving=req.work_conserving,
+            profile=req.profile,
+            prior=req.prior,
+            smoothing=req.smoothing,
+            smoothing_param=req.smoothing_param,
+            change_threshold=req.change_threshold,
+            cooldown=req.cooldown,
+        )
+        self.metrics.observe_stream("open")
+        return {
+            "session": session.session_id,
+            "scheme": session.scheme,
+            "n_apps": session.n_apps,
+            "profile": session.profile,
+            "smoothing": req.smoothing,
+            "history_limit": session.history_limit,
+            "idle_timeout_s": self.sessions.idle_timeout_s,
+        }
+
+    async def _handle_stream_push(
+        self, session_id: str, obj
+    ) -> tuple[int, dict]:
+        session = self.sessions.get(session_id)
+        if session is None:
+            return 404, error_body(
+                "NotFound", f"no stream session {session_id!r} (expired?)"
+            )
+        window, accesses, interference = parse_counter_push(obj, session.n_apps)
+        update = session.push_counters(window, accesses, interference)
+        self.metrics.observe_stream("push")
+        if update.changed:
+            self.metrics.observe_stream("change")
+        estimate = session.current_estimate()
+        stream_fields = {
+            "session": session.session_id,
+            "epoch": update.epoch,
+            "changed": update.changed,
+            "degenerate": update.degenerate,
+            "apc_alone_estimate": [
+                None if np.isnan(v) else float(v) for v in estimate
+            ],
+        }
+        if np.isnan(estimate).any():
+            # warm-up: some app has neither a measurement nor a prior;
+            # acknowledge the push but hold off on shares (not an error
+            # -- the stream becomes solvable once every app is covered)
+            return 200, dict(
+                stream_fields,
+                beta=None,
+                reason="estimate incomplete: push counters covering every "
+                "app or re-open with an apc_alone prior",
+            )
+        preq = PartitionRequest(
+            scheme=session.scheme,
+            apc_alone=tuple(float(v) for v in estimate),
+            api=session.api,
+            bandwidth=session.bandwidth,
+            metrics=session.metrics,
+            work_conserving=session.work_conserving,
+            profile=session.profile,
+        )
+        # always a fresh solve: the estimate moves every epoch, so the
+        # result cache would only churn -- but the surrogate/analytic
+        # group solver is the same hot path the batch endpoints use
+        source = self._partition_source(preq)
+        if source == "sim":
+            row = await self._solve_sim(preq)
+        else:
+            with obs.span("service.solve", attrs={"kind": "stream"}):
+                row = self._solve_partition_group([preq])[0]
+        response = partition_response(preq, row, source=source)
+        response.update(stream_fields)
+        return 200, response
+
+    def _handle_stream_info(self, session_id: str) -> tuple[int, dict]:
+        info = self.sessions.info(session_id)
+        if info is None:
+            return 404, error_body(
+                "NotFound", f"no stream session {session_id!r} (expired?)"
+            )
+        return 200, info
+
+    def _handle_stream_close(self, session_id: str) -> tuple[int, dict]:
+        session = self.sessions.close(session_id)
+        if session is None:
+            return 404, error_body(
+                "NotFound", f"no stream session {session_id!r} (expired?)"
+            )
+        self.metrics.observe_stream("close")
+        return 200, {
+            "session": session.session_id,
+            "closed": True,
+            "epochs": session.epochs,
+            "degenerate_epochs": session.degenerate_epochs,
+            "change_points": session.tracker.n_changes,
+        }
+
 
 def _solve_one_partition(request: PartitionRequest) -> np.ndarray:
     """The naive path: one scalar solve per request (no stacking)."""
@@ -474,6 +627,7 @@ async def _write_response(
         405: "Method Not Allowed",
         413: "Payload Too Large",
         422: "Unprocessable Entity",
+        429: "Too Many Requests",
         500: "Internal Server Error",
         504: "Gateway Timeout",
     }.get(status, "Error")

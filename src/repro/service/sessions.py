@@ -1,0 +1,297 @@
+"""Long-lived streaming sessions: push counters, receive shares.
+
+The batch endpoints answer one-shot questions; a *stream* session is
+the service-side mirror of the simulator's closed loop
+(:class:`~repro.control.controller.EpochController`): a client opens a
+session describing its workload (scheme, API vector, bandwidth), then
+pushes the paper's three profiling counters after every epoch and gets
+back freshly re-solved shares.  Per-session state is exactly a
+:class:`~repro.control.tracker.ProfileTracker` -- the same smoothing +
+change-point composition the simulator uses -- plus a bounded decision
+history, so a session's memory footprint is O(history), independent of
+how many epochs it lives (the >= 1000-post soak test in
+``tests/service/test_streaming.py`` pins this down).
+
+Sessions are identified by opaque hex tokens, bounded in number
+(capacity overflow -> HTTP 429) and evicted lazily after
+``session_idle_s`` without a touch: every manager access first sweeps
+expired sessions, so no background reaper task is needed and the
+event-loop-only threading model is preserved.
+"""
+
+from __future__ import annotations
+
+import secrets
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable
+
+import numpy as np
+
+from repro.control.changepoint import RelativeShiftDetector
+from repro.control.smoothing import make_smoother
+from repro.control.tracker import ProfileTracker
+from repro.util.errors import ConfigurationError
+
+__all__ = [
+    "EpochUpdate",
+    "StreamSession",
+    "SessionManager",
+    "SessionLimitError",
+]
+
+
+class SessionLimitError(ConfigurationError):
+    """Raised when opening a session would exceed the capacity cap."""
+
+
+@dataclass(frozen=True)
+class EpochUpdate:
+    """One pushed epoch's outcome, kept in the bounded history."""
+
+    epoch: int
+    window_cycles: float
+    raw: tuple[float, ...]
+    estimate: tuple[float, ...]
+    changed: bool
+    degenerate: bool
+
+
+@dataclass
+class StreamSession:
+    """Per-client controller state for one stream."""
+
+    session_id: str
+    scheme: str
+    api: tuple[float, ...]
+    bandwidth: float
+    metrics: tuple[str, ...]
+    work_conserving: bool
+    profile: str
+    tracker: ProfileTracker
+    #: optional prior filling estimate slots no epoch has measured yet
+    prior: tuple[float, ...] | None
+    created_mono: float
+    history_limit: int = 32
+    last_seen_mono: float = 0.0
+    epochs: int = 0
+    degenerate_epochs: int = 0
+    history: deque[EpochUpdate] = field(default_factory=deque)
+
+    def __post_init__(self) -> None:
+        self.last_seen_mono = self.created_mono
+
+    @property
+    def n_apps(self) -> int:
+        return len(self.api)
+
+    def touch(self, now_mono: float) -> None:
+        self.last_seen_mono = now_mono
+
+    def push_counters(
+        self,
+        window_cycles: float,
+        accesses: tuple[float, ...],
+        interference_cycles: tuple[float, ...],
+    ) -> EpochUpdate:
+        """Fold one epoch's counter deltas; return the tracked update.
+
+        Applies Eq. (12)/(13) per app -- ``N / (T - T_interference)``
+        floored at one cycle, clamped to the bus peak -- with the same
+        degenerate-epoch guarding as the simulator's profiler: a
+        zero-length window or an all-zero delta contributes no raw
+        estimate (the tracker keeps its previous state) instead of
+        poisoning the estimates with a division by zero.
+        """
+        degenerate = window_cycles <= 0 or not any(a > 0 for a in accesses)
+        raw = np.full(self.n_apps, np.nan)
+        if not degenerate:
+            for i in range(self.n_apps):
+                if accesses[i] <= 0:
+                    continue  # idle app: keep its previous estimate
+                t_alone = max(window_cycles - interference_cycles[i], 1.0)
+                raw[i] = min(accesses[i] / t_alone, self.bandwidth)
+            update = self.tracker.update(raw)
+            estimate = update.estimate
+            changed = update.changed
+        else:
+            self.degenerate_epochs += 1
+            prev = self.tracker.estimate
+            estimate = prev if prev is not None else raw
+            changed = False
+        self.epochs += 1
+        record = EpochUpdate(
+            epoch=self.epochs,
+            window_cycles=float(window_cycles),
+            raw=tuple(float(v) for v in raw),
+            estimate=tuple(float(v) for v in estimate),
+            changed=changed,
+            degenerate=degenerate,
+        )
+        self.history.append(record)
+        while len(self.history) > self.history_limit:
+            self.history.popleft()
+        return record
+
+    def current_estimate(self) -> np.ndarray:
+        """Tracked estimate with prior-filled gaps (NaN where neither)."""
+        est = self.tracker.estimate
+        out = (
+            est.copy() if est is not None else np.full(self.n_apps, np.nan)
+        )
+        if self.prior is not None:
+            mask = np.isnan(out)
+            out[mask] = np.asarray(self.prior, dtype=float)[mask]
+        return out
+
+    def snapshot(self, now_mono: float) -> dict:
+        return {
+            "session": self.session_id,
+            "scheme": self.scheme,
+            "n_apps": self.n_apps,
+            "profile": self.profile,
+            "epochs": self.epochs,
+            "degenerate_epochs": self.degenerate_epochs,
+            "change_points": self.tracker.n_changes,
+            "idle_s": max(0.0, now_mono - self.last_seen_mono),
+            "age_s": max(0.0, now_mono - self.created_mono),
+        }
+
+
+class SessionManager:
+    """Bounded, lazily-evicted registry of stream sessions."""
+
+    def __init__(
+        self,
+        *,
+        max_sessions: int,
+        idle_timeout_s: float,
+        history_limit: int,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if max_sessions < 1:
+            raise ConfigurationError("max_sessions must be >= 1")
+        if idle_timeout_s <= 0:
+            raise ConfigurationError("idle_timeout_s must be positive")
+        if history_limit < 1:
+            raise ConfigurationError("history_limit must be >= 1")
+        self.max_sessions = max_sessions
+        self.idle_timeout_s = idle_timeout_s
+        self.history_limit = history_limit
+        self._clock = clock
+        self._sessions: dict[str, StreamSession] = {}
+        # lifetime counters (mirrored into /metrics)
+        self.opened = 0
+        self.closed = 0
+        self.evicted = 0
+
+    # ------------------------------------------------------------------
+    def evict_idle(self) -> int:
+        """Drop sessions idle past the timeout; returns how many."""
+        now = self._clock()
+        expired = [
+            sid
+            for sid, s in self._sessions.items()
+            if now - s.last_seen_mono > self.idle_timeout_s
+        ]
+        for sid in expired:
+            del self._sessions[sid]
+        self.evicted += len(expired)
+        return len(expired)
+
+    def open(
+        self,
+        *,
+        scheme: str,
+        api: tuple[float, ...],
+        bandwidth: float,
+        metrics: tuple[str, ...],
+        work_conserving: bool,
+        profile: str,
+        prior: tuple[float, ...] | None,
+        smoothing: str = "ema",
+        smoothing_param: float | None = None,
+        change_threshold: float = 0.5,
+        cooldown: int = 1,
+    ) -> StreamSession:
+        """Create a session; raises :class:`SessionLimitError` at capacity."""
+        self.evict_idle()
+        if len(self._sessions) >= self.max_sessions:
+            raise SessionLimitError(
+                f"session capacity {self.max_sessions} reached; close or "
+                "let idle sessions expire first"
+            )
+        kwargs: dict[str, float] = {}
+        if smoothing_param is not None:
+            kwargs["alpha" if smoothing == "ema" else "window"] = smoothing_param
+        tracker = ProfileTracker(
+            len(api),
+            smoother=make_smoother(smoothing, **kwargs),
+            detector=RelativeShiftDetector(change_threshold),
+            cooldown=cooldown,
+        )
+        session = StreamSession(
+            session_id=secrets.token_hex(8),
+            scheme=scheme,
+            api=api,
+            bandwidth=bandwidth,
+            metrics=metrics,
+            work_conserving=work_conserving,
+            profile=profile,
+            tracker=tracker,
+            prior=prior,
+            created_mono=self._clock(),
+            history_limit=self.history_limit,
+        )
+        self._sessions[session.session_id] = session
+        self.opened += 1
+        return session
+
+    def get(self, session_id: str) -> StreamSession | None:
+        """Look up and touch a session (None when unknown/expired)."""
+        self.evict_idle()
+        session = self._sessions.get(session_id)
+        if session is not None:
+            session.touch(self._clock())
+        return session
+
+    def info(self, session_id: str) -> dict | None:
+        """Touch-free snapshot of one session (None when unknown)."""
+        self.evict_idle()
+        session = self._sessions.get(session_id)
+        return None if session is None else session.snapshot(self._clock())
+
+    def close(self, session_id: str) -> StreamSession | None:
+        self.evict_idle()
+        session = self._sessions.pop(session_id, None)
+        if session is not None:
+            self.closed += 1
+        return session
+
+    # ------------------------------------------------------------------
+    @property
+    def active(self) -> int:
+        return len(self._sessions)
+
+    def snapshot(self) -> dict:
+        """The ``/metrics`` sessions section."""
+        self.evict_idle()
+        now = self._clock()
+        return {
+            "active": self.active,
+            "capacity": self.max_sessions,
+            "opened": self.opened,
+            "closed": self.closed,
+            "evicted": self.evicted,
+            "epochs": sum(s.epochs for s in self._sessions.values()),
+            "change_points": sum(
+                s.tracker.n_changes for s in self._sessions.values()
+            ),
+            "sessions": [
+                s.snapshot(now)
+                for s in sorted(
+                    self._sessions.values(), key=lambda s: s.created_mono
+                )
+            ],
+        }

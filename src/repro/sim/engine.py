@@ -79,8 +79,11 @@ class SimConfig:
         return self.warmup_cycles + self.measure_cycles
 
 
-#: hook called at each epoch: (now, profiler, scheduler) -> None
-RepartitionHook = Callable[[float, OnlineProfiler, Scheduler], None]
+#: hook called at each epoch: (now, profiler, scheduler) -> next epoch
+#: length in cycles, or None to keep the configured ``epoch_cycles``.
+#: Adaptive controllers (repro.control) shorten the window right after
+#: a detected phase change and return to the base cadence once settled.
+RepartitionHook = Callable[[float, OnlineProfiler, Scheduler], "float | None"]
 
 
 class Engine:
@@ -287,15 +290,23 @@ class Engine:
     def _handle_epoch(self, now: float) -> None:
         self._n_epochs += 1
         interf = self._interf
+        next_len: float | None = None
         with obs.span("engine.scheduler_round", attrs={"cycle": now}):
             for i, core in enumerate(self.cores):
                 self.counters[i].instructions = core.instructions_at(now)
                 self.counters[i].interference_cycles = interf[i]
             self.profiler.close_epoch(now, self.counters)
             if self.repartition_hook is not None:
-                self.repartition_hook(now, self.profiler, self.scheduler)
+                next_len = self.repartition_hook(
+                    now, self.profiler, self.scheduler
+                )
         if self.config.epoch_cycles is not None:
-            nxt = now + self.config.epoch_cycles
+            step = self.config.epoch_cycles if next_len is None else float(next_len)
+            if step <= 0:
+                raise SimulationError(
+                    f"repartition hook returned a non-positive epoch length {step}"
+                )
+            nxt = now + step
             if nxt < self.config.end_cycle - 1e-9:
                 self._push(nxt, _P_EPOCH, "epoch")
 

@@ -47,15 +47,34 @@ class OnlineProfiler:
         self._epoch_start_time = now
         self._epoch_start = [c.snapshot() for c in counters]
 
-    def close_epoch(self, now: float, counters: list[AppCounters]) -> np.ndarray:
+    def close_epoch(
+        self,
+        now: float,
+        counters: list[AppCounters],
+        *,
+        fallback: np.ndarray | None = None,
+    ) -> np.ndarray:
         """Close the epoch; update and return the APC_alone estimates.
 
         Apps with no served accesses in the epoch keep their previous
-        estimate (or NaN if there never was one).
+        estimate (or NaN if there never was one).  ``fallback`` fills
+        any remaining NaN slots in the *returned* vector (the stored
+        estimates keep NaN so a later real measurement wins).
+
+        Degenerate epochs are guarded rather than propagated: a
+        zero-length window (two closes at the same cycle -- an adaptive
+        controller shrinking its window to the epoch boundary can
+        produce one) or an epoch whose counter deltas are all zero
+        yields *no* estimate update.  ``N/0`` would otherwise poison
+        the estimate vector with NaN/inf, and every downstream consumer
+        (share re-solves, the service's streaming sessions) treats the
+        estimate vector as always-finite-or-NaN-from-birth.
         """
         window = now - self._epoch_start_time
         if window <= 0:
-            raise ConfigurationError("profiling epoch has non-positive length")
+            # keep the running epoch open: its accumulated deltas count
+            # toward the next (positive-length) close
+            return self._result(fallback)
         for i in range(self.n_apps):
             delta = counters[i].minus(self._epoch_start[i])
             n_acc = delta.reads_served + delta.writes_served
@@ -67,7 +86,10 @@ class OnlineProfiler:
             est = n_acc / t_alone
             self.estimates[i] = min(est, self.peak_apc)
         self.begin_epoch(now, counters)
-        return self.estimates.copy()
+        return self._result(fallback)
+
+    def _result(self, fallback: np.ndarray | None) -> np.ndarray:
+        return self.estimates.copy() if fallback is None else self.estimate_or(fallback)
 
     def estimate_or(self, fallback: np.ndarray) -> np.ndarray:
         """Current estimates with NaNs replaced from ``fallback``."""

@@ -6,6 +6,18 @@ here -- it depends on :mod:`repro.sim.engine`, which itself imports the
 trace generators from this package; import it explicitly when needed.
 """
 
+from repro.workloads.nonstationary import (
+    SCENARIOS,
+    AppPhaseTrack,
+    NonStationaryWorkload,
+    PhasePoint,
+    alternating_workload,
+    bursty_workload,
+    phase_swap_workload,
+    ramp_workload,
+    scenario,
+    scenario_names,
+)
 from repro.workloads.mixes import (
     HETERO_MIXES,
     HOMO_MIXES,
@@ -41,4 +53,14 @@ __all__ = [
     "paper_profile",
     "MissAddressStream",
     "StreamSpec",
+    "SCENARIOS",
+    "AppPhaseTrack",
+    "NonStationaryWorkload",
+    "PhasePoint",
+    "alternating_workload",
+    "bursty_workload",
+    "phase_swap_workload",
+    "ramp_workload",
+    "scenario",
+    "scenario_names",
 ]

@@ -1,0 +1,98 @@
+"""Tests for change-point detection and the ProfileTracker."""
+
+import numpy as np
+import pytest
+
+from repro.control.changepoint import RelativeShiftDetector
+from repro.control.smoothing import EMASmoother
+from repro.control.tracker import ProfileTracker
+from repro.util.errors import ConfigurationError
+
+NAN = float("nan")
+
+
+class TestRelativeShiftDetector:
+    def test_no_baseline_no_change(self):
+        d = RelativeShiftDetector(0.5)
+        assert not d.observe(np.array([1.0]), None)
+
+    def test_small_shift_ignored(self):
+        d = RelativeShiftDetector(0.5)
+        assert not d.observe(np.array([1.2]), np.array([1.0]))
+
+    def test_large_shift_detected(self):
+        d = RelativeShiftDetector(0.5)
+        assert d.observe(np.array([2.0]), np.array([1.0]))
+
+    def test_any_app_triggers(self):
+        d = RelativeShiftDetector(0.5)
+        assert d.observe(np.array([1.0, 5.0]), np.array([1.0, 1.0]))
+
+    def test_confirm_two_needs_consecutive(self):
+        d = RelativeShiftDetector(0.5, confirm=2)
+        base = np.array([1.0])
+        assert not d.observe(np.array([5.0]), base)  # first shifted epoch
+        assert d.observe(np.array([5.0]), base)  # confirmed
+
+    def test_confirm_streak_broken_by_quiet_epoch(self):
+        d = RelativeShiftDetector(0.5, confirm=2)
+        base = np.array([1.0])
+        assert not d.observe(np.array([5.0]), base)
+        assert not d.observe(np.array([1.0]), base)  # streak reset
+        assert not d.observe(np.array([5.0]), base)
+
+    def test_nan_pairs_ignored(self):
+        d = RelativeShiftDetector(0.5)
+        assert not d.observe(np.array([NAN, 1.1]), np.array([1.0, 1.0]))
+
+    def test_tiny_baseline_ignored(self):
+        d = RelativeShiftDetector(0.5)
+        assert not d.observe(np.array([1.0]), np.array([1e-15]))
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            RelativeShiftDetector(0.0)
+        with pytest.raises(ConfigurationError):
+            RelativeShiftDetector(0.5, confirm=0)
+
+
+class TestProfileTracker:
+    def test_smooths_between_changes(self):
+        t = ProfileTracker(1, smoother=EMASmoother(alpha=0.5))
+        t.update(np.array([1.0]))
+        out = t.update(np.array([1.2]))
+        assert out.estimate[0] == pytest.approx(1.1)
+        assert not out.changed
+
+    def test_change_reseeds_from_raw(self):
+        t = ProfileTracker(1, smoother=EMASmoother(alpha=0.5))
+        for _ in range(4):
+            t.update(np.array([1.0]))
+        out = t.update(np.array([4.0]))
+        assert out.changed
+        # the post-change estimate IS the new observation -- no
+        # averaging against pre-change history
+        assert out.estimate[0] == pytest.approx(4.0)
+        assert t.n_changes == 1
+
+    def test_change_keeps_old_value_for_unmeasured_app(self):
+        t = ProfileTracker(2)
+        t.update(np.array([1.0, 2.0]))
+        out = t.update(np.array([4.0, NAN]))
+        assert out.changed
+        assert out.estimate[0] == pytest.approx(4.0)
+        assert out.estimate[1] == pytest.approx(2.0)
+
+    def test_reset(self):
+        t = ProfileTracker(1)
+        t.update(np.array([1.0]))
+        t.reset()
+        assert t.estimate is None
+        assert t.n_updates == 0
+        assert t.n_changes == 0
+
+    def test_update_counter(self):
+        t = ProfileTracker(1)
+        for k in range(3):
+            out = t.update(np.array([1.0]))
+            assert out.n_updates == k + 1

@@ -1,0 +1,143 @@
+"""Tests for the EpochController hook and the phase oracle."""
+
+import numpy as np
+import pytest
+
+from repro.control.controller import EpochController
+from repro.control.oracle import PhaseOracle, beta_for
+from repro.core.apps import AppProfile, Workload
+from repro.core.partitioning import scheme_by_name
+from repro.sim.mc.stf import StartTimeFairScheduler
+from repro.sim.profiler import OnlineProfiler
+from repro.sim.stats import AppCounters
+from repro.util.errors import ConfigurationError
+from repro.workloads import phase_swap_workload
+
+
+def profiler_with(estimates) -> OnlineProfiler:
+    p = OnlineProfiler(len(estimates), peak_apc=0.01)
+    p.estimates = np.array(estimates, dtype=float)
+    return p
+
+
+def make_controller(**kwargs):
+    defaults = dict(
+        scheme=scheme_by_name("prop"),
+        api=[0.02, 0.02],
+        bandwidth=0.01,
+        epoch_cycles=100.0,
+    )
+    defaults.update(kwargs)
+    return EpochController(defaults.pop("scheme"), defaults.pop("api"), **defaults)
+
+
+class TestEpochController:
+    def test_resolves_shares_from_estimates(self):
+        ctl = make_controller()
+        sched = StartTimeFairScheduler(2, np.array([0.5, 0.5]))
+        nxt = ctl(100.0, profiler_with([0.003, 0.001]), sched)
+        assert nxt == pytest.approx(100.0)
+        d = ctl.decisions[-1]
+        np.testing.assert_allclose(d.beta, [0.75, 0.25])
+
+    def test_nan_estimates_skip_the_resolve(self):
+        ctl = make_controller()
+        sched = StartTimeFairScheduler(2, np.array([0.5, 0.5]))
+        ctl(100.0, profiler_with([float("nan"), 0.001]), sched)
+        assert ctl.decisions[-1].beta is None
+        assert ctl.latest_beta is None
+
+    def test_fallback_fills_nans(self):
+        ctl = make_controller(fallback_apc=[0.003, 0.003])
+        sched = StartTimeFairScheduler(2, np.array([0.5, 0.5]))
+        ctl(100.0, profiler_with([float("nan"), 0.001]), sched)
+        d = ctl.decisions[-1]
+        assert d.beta is not None
+        np.testing.assert_allclose(d.beta, [0.75, 0.25])
+
+    def test_change_shortens_next_window(self):
+        ctl = make_controller(fast_epoch_cycles=25.0)
+        sched = StartTimeFairScheduler(2, np.array([0.5, 0.5]))
+        for k in range(4):
+            nxt = ctl(100.0 * (k + 1), profiler_with([0.003, 0.001]), sched)
+            assert nxt == pytest.approx(100.0)
+        # 3x jump on app 1 -> change point -> fast window once
+        nxt = ctl(500.0, profiler_with([0.003, 0.003]), sched)
+        assert nxt == pytest.approx(25.0)
+        assert ctl.decisions[-1].changed
+        assert ctl.n_changes == 1
+        nxt = ctl(525.0, profiler_with([0.003, 0.003]), sched)
+        assert nxt == pytest.approx(100.0)
+
+    def test_shares_reach_the_scheduler(self):
+        ctl = make_controller()
+        sched = StartTimeFairScheduler(2, np.array([0.5, 0.5]))
+        ctl(100.0, profiler_with([0.003, 0.001]), sched)
+        np.testing.assert_allclose(sched._beta, [0.75, 0.25])
+
+    def test_priority_scheme_enforced_through_shares(self):
+        ctl = make_controller(scheme=scheme_by_name("prio_apc"))
+        sched = StartTimeFairScheduler(2, np.array([0.5, 0.5]))
+        ctl(100.0, profiler_with([0.008, 0.008]), sched)
+        d = ctl.decisions[-1]
+        # greedy gives the full 0.008 to the winner, 0.002 to the other
+        np.testing.assert_allclose(d.beta, [0.8, 0.2])
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_controller(api=[0.02, -0.1])
+        with pytest.raises(ConfigurationError):
+            make_controller(bandwidth=0.0)
+        with pytest.raises(ConfigurationError):
+            make_controller(epoch_cycles=-1.0)
+        with pytest.raises(ConfigurationError):
+            make_controller(fast_epoch_cycles=0.0)
+        with pytest.raises(ConfigurationError):
+            make_controller(names=["only-one"])
+        with pytest.raises(ConfigurationError):
+            make_controller(fallback_apc=[0.001])
+
+
+class TestBetaFor:
+    def workload(self):
+        return Workload.of(
+            "w",
+            [
+                AppProfile("a", api=0.02, apc_alone=0.006),
+                AppProfile("b", api=0.02, apc_alone=0.002),
+            ],
+        )
+
+    def test_share_scheme_passthrough(self):
+        beta = beta_for(scheme_by_name("prop"), self.workload(), 0.01)
+        np.testing.assert_allclose(beta, [0.75, 0.25])
+
+    def test_priority_scheme_normalized_allocation(self):
+        beta = beta_for(scheme_by_name("prio_apc"), self.workload(), 0.01)
+        # greedy: winner takes its demand 0.006, loser gets 0.002
+        np.testing.assert_allclose(beta, [0.75, 0.25])
+        assert beta.sum() == pytest.approx(1.0)
+
+
+class TestPhaseOracle:
+    def test_tracks_the_schedule(self):
+        wl = phase_swap_workload(swap_cycle=600_000.0)
+        oracle = PhaseOracle(wl, scheme_by_name("prop"))
+        before = oracle.beta_at(0.0)
+        after = oracle.beta_at(600_000.0)
+        # the swap exchanges the shares of neighbouring apps
+        np.testing.assert_allclose(before, after[[1, 0, 3, 2]])
+
+    def test_profile_matches_truth(self):
+        wl = phase_swap_workload()
+        oracle = PhaseOracle(wl, scheme_by_name("equal"))
+        prof = oracle.profile_at(0.0)
+        np.testing.assert_allclose(
+            [a.apc_alone for a in prof], wl.true_apc_alone(0.0)
+        )
+
+    def test_allocation_capped_by_demand(self):
+        wl = phase_swap_workload()
+        oracle = PhaseOracle(wl, scheme_by_name("equal"))
+        alloc = oracle.allocation_at(0.0)
+        assert np.all(alloc <= wl.true_apc_alone(0.0) + 1e-12)

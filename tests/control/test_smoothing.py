@@ -1,0 +1,121 @@
+"""Tests for repro.control.smoothing."""
+
+import numpy as np
+import pytest
+
+from repro.control.smoothing import (
+    EMASmoother,
+    SlidingWindowSmoother,
+    make_smoother,
+)
+from repro.util.errors import ConfigurationError
+
+NAN = float("nan")
+
+
+class TestEMA:
+    def test_first_observation_seeds(self):
+        s = EMASmoother(alpha=0.5)
+        out = s.update(np.array([1.0, 2.0]))
+        np.testing.assert_allclose(out, [1.0, 2.0])
+
+    def test_exponential_update(self):
+        s = EMASmoother(alpha=0.5)
+        s.update(np.array([1.0]))
+        out = s.update(np.array([3.0]))
+        assert out[0] == pytest.approx(2.0)
+
+    def test_alpha_one_passes_through(self):
+        s = EMASmoother(alpha=1.0)
+        s.update(np.array([1.0]))
+        out = s.update(np.array([9.0]))
+        assert out[0] == pytest.approx(9.0)
+
+    def test_nan_observation_keeps_state(self):
+        s = EMASmoother(alpha=0.5)
+        s.update(np.array([2.0, 2.0]))
+        out = s.update(np.array([4.0, NAN]))
+        assert out[0] == pytest.approx(3.0)
+        assert out[1] == pytest.approx(2.0)
+
+    def test_nan_state_seeded_by_observation(self):
+        s = EMASmoother(alpha=0.5)
+        s.update(np.array([NAN, 2.0]))
+        out = s.update(np.array([4.0, 4.0]))
+        assert out[0] == pytest.approx(4.0)  # seeded, not averaged with NaN
+        assert out[1] == pytest.approx(3.0)
+
+    def test_reset_with_seed(self):
+        s = EMASmoother(alpha=0.5)
+        s.update(np.array([100.0]))
+        s.reset(np.array([4.0]))
+        out = s.update(np.array([2.0]))
+        assert out[0] == pytest.approx(3.0)  # history gone
+
+    def test_reset_without_seed(self):
+        s = EMASmoother()
+        s.update(np.array([1.0]))
+        s.reset()
+        assert s.value is None
+
+    def test_alpha_validated(self):
+        with pytest.raises(ConfigurationError):
+            EMASmoother(alpha=0.0)
+        with pytest.raises(ConfigurationError):
+            EMASmoother(alpha=1.5)
+
+
+class TestSlidingWindow:
+    def test_mean_of_window(self):
+        s = SlidingWindowSmoother(window=2)
+        s.update(np.array([1.0]))
+        out = s.update(np.array([3.0]))
+        assert out[0] == pytest.approx(2.0)
+
+    def test_finite_impulse_response(self):
+        """An outlier leaves the estimate after exactly `window` epochs."""
+        s = SlidingWindowSmoother(window=2)
+        s.update(np.array([100.0]))
+        s.update(np.array([2.0]))
+        out = s.update(np.array([2.0]))
+        assert out[0] == pytest.approx(2.0)
+
+    def test_nanmean_skips_nan(self):
+        s = SlidingWindowSmoother(window=3)
+        s.update(np.array([2.0]))
+        out = s.update(np.array([NAN]))
+        assert out[0] == pytest.approx(2.0)
+
+    def test_all_nan_column_stays_nan(self):
+        s = SlidingWindowSmoother(window=2)
+        out = s.update(np.array([NAN, 1.0]))
+        assert np.isnan(out[0])
+        assert out[1] == pytest.approx(1.0)
+
+    def test_reset_with_seed(self):
+        s = SlidingWindowSmoother(window=4)
+        for v in (10.0, 20.0, 30.0):
+            s.update(np.array([v]))
+        s.reset(np.array([2.0]))
+        out = s.update(np.array([4.0]))
+        assert out[0] == pytest.approx(3.0)  # only seed + new obs
+
+    def test_window_validated(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowSmoother(window=0)
+
+
+class TestFactory:
+    def test_ema(self):
+        s = make_smoother("ema", alpha=0.3)
+        assert isinstance(s, EMASmoother)
+        assert s.alpha == pytest.approx(0.3)
+
+    def test_window(self):
+        s = make_smoother("window", window=8)
+        assert isinstance(s, SlidingWindowSmoother)
+        assert s.window == 8
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigurationError):
+            make_smoother("kalman")

@@ -1,0 +1,391 @@
+"""Streaming session tests: manager semantics, routes, soak, sockets."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AsyncServiceClient,
+    PartitionService,
+    ServiceConfig,
+    ServiceError,
+    SessionLimitError,
+    SessionManager,
+)
+from repro.util.errors import ConfigurationError
+
+API = [0.03, 0.04]
+BANDWIDTH = 0.01
+WINDOW = 100_000.0
+
+
+def call(service, method, path, payload=None):
+    """Drive the transport-free router directly."""
+    body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+    return asyncio.run(service.handle(method, path, body))
+
+
+def open_stream(service, **overrides):
+    payload = {"scheme": "prop", "api": API, "bandwidth": BANDWIDTH}
+    payload.update(overrides)
+    status, body = call(service, "POST", "/v1/stream/open", payload)
+    assert status == 200, body
+    return body["session"]
+
+
+def push(service, session, accesses, *, window=WINDOW, interference=None):
+    payload = {"window_cycles": window, "accesses": accesses}
+    if interference is not None:
+        payload["interference_cycles"] = interference
+    return call(service, "POST", f"/v1/stream/{session}/counters", payload)
+
+
+# ----------------------------------------------------------------------
+# session manager (unit, fake clock)
+# ----------------------------------------------------------------------
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+
+def make_manager(clock, **kwargs):
+    kwargs.setdefault("max_sessions", 4)
+    kwargs.setdefault("idle_timeout_s", 60.0)
+    kwargs.setdefault("history_limit", 8)
+    return SessionManager(clock=clock, **kwargs)
+
+
+def open_session(manager, **overrides):
+    kwargs = dict(
+        scheme="prop",
+        api=tuple(API),
+        bandwidth=BANDWIDTH,
+        metrics=("hsp",),
+        work_conserving=True,
+        profile="analytic",
+        prior=None,
+    )
+    kwargs.update(overrides)
+    return manager.open(**kwargs)
+
+
+class TestSessionManager:
+    def test_open_get_close_roundtrip(self):
+        clock = FakeClock()
+        manager = make_manager(clock)
+        session = open_session(manager)
+        assert manager.get(session.session_id) is session
+        assert manager.active == 1
+        assert manager.close(session.session_id) is session
+        assert manager.get(session.session_id) is None
+        assert manager.opened == 1 and manager.closed == 1
+
+    def test_capacity_cap_raises_session_limit(self):
+        manager = make_manager(FakeClock(), max_sessions=2)
+        open_session(manager)
+        open_session(manager)
+        with pytest.raises(SessionLimitError):
+            open_session(manager)
+
+    def test_idle_sessions_are_evicted(self):
+        clock = FakeClock()
+        manager = make_manager(clock, idle_timeout_s=60.0)
+        stale = open_session(manager)
+        clock.now += 30.0
+        fresh = open_session(manager)
+        clock.now += 45.0  # stale idle 75s, fresh idle 45s
+        assert manager.get(stale.session_id) is None
+        assert manager.get(fresh.session_id) is fresh
+        assert manager.evicted == 1
+
+    def test_touch_resets_the_idle_clock(self):
+        clock = FakeClock()
+        manager = make_manager(clock, idle_timeout_s=60.0)
+        session = open_session(manager)
+        for _ in range(3):
+            clock.now += 45.0
+            assert manager.get(session.session_id) is session
+
+    def test_eviction_frees_capacity_for_open(self):
+        clock = FakeClock()
+        manager = make_manager(clock, max_sessions=1)
+        open_session(manager)
+        clock.now += 120.0
+        open_session(manager)  # would raise without the lazy sweep
+        assert manager.active == 1 and manager.evicted == 1
+
+    def test_validation(self):
+        with pytest.raises(ConfigurationError):
+            make_manager(FakeClock(), max_sessions=0)
+        with pytest.raises(ConfigurationError):
+            make_manager(FakeClock(), idle_timeout_s=0.0)
+        with pytest.raises(ConfigurationError):
+            make_manager(FakeClock(), history_limit=0)
+
+
+class TestStreamSessionCounters:
+    def test_estimate_applies_the_paper_formula(self):
+        session = open_session(make_manager(FakeClock()))
+        update = session.push_counters(
+            WINDOW, (600.0, 200.0), (20_000.0, 0.0)
+        )
+        # N / (T - T_interference): 600/80k, 200/100k
+        assert update.raw == pytest.approx((0.0075, 0.002))
+        assert update.estimate == update.raw  # first push seeds the filter
+        assert not update.degenerate
+
+    def test_estimate_clamps_to_the_bus_peak(self):
+        session = open_session(make_manager(FakeClock()))
+        update = session.push_counters(WINDOW, (1e9, 100.0), (0.0, 0.0))
+        assert update.raw[0] == BANDWIDTH
+
+    def test_degenerate_epochs_keep_the_previous_estimate(self):
+        session = open_session(make_manager(FakeClock()))
+        session.push_counters(WINDOW, (600.0, 200.0), (0.0, 0.0))
+        for window, accesses in ((0.0, (1.0, 1.0)), (WINDOW, (0.0, 0.0))):
+            update = session.push_counters(window, accesses, (0.0, 0.0))
+            assert update.degenerate
+            assert update.estimate == pytest.approx((0.006, 0.002))
+        assert session.degenerate_epochs == 2
+
+    def test_idle_app_falls_back_to_the_prior(self):
+        session = open_session(
+            make_manager(FakeClock()), prior=(0.004, 0.003)
+        )
+        session.push_counters(WINDOW, (600.0, 0.0), (0.0, 0.0))
+        estimate = session.current_estimate()
+        assert estimate == pytest.approx([0.006, 0.003])
+
+    def test_history_is_bounded(self):
+        session = open_session(make_manager(FakeClock(), history_limit=8))
+        for _ in range(50):
+            session.push_counters(WINDOW, (600.0, 200.0), (0.0, 0.0))
+        assert len(session.history) == 8
+        assert session.epochs == 50
+        assert session.history[-1].epoch == 50
+
+
+# ----------------------------------------------------------------------
+# routes (transport-free)
+# ----------------------------------------------------------------------
+class TestStreamRoutes:
+    def test_open_push_close_lifecycle(self):
+        service = PartitionService(ServiceConfig(port=0))
+        session = open_stream(service)
+        status, body = push(service, session, [600, 200])
+        assert status == 200
+        assert body["session"] == session
+        assert body["epoch"] == 1
+        assert body["apc_alone_estimate"] == pytest.approx([0.006, 0.002])
+        # prop shares track the measured estimate
+        assert body["beta"] == pytest.approx([0.75, 0.25])
+        assert body["source"] == "analytic"
+        assert "metrics" in body
+        status, body = call(service, "DELETE", f"/v1/stream/{session}")
+        assert status == 200 and body["closed"] and body["epochs"] == 1
+
+    def test_warmup_without_prior_returns_no_shares(self):
+        service = PartitionService(ServiceConfig(port=0))
+        session = open_stream(service)
+        status, body = push(service, session, [600, 0])
+        assert status == 200
+        assert body["beta"] is None
+        assert body["apc_alone_estimate"][1] is None
+        # the moment every app is covered, shares appear
+        status, body = push(service, session, [600, 200])
+        assert status == 200 and body["beta"] is not None
+
+    def test_change_point_is_reported(self):
+        service = PartitionService(ServiceConfig(port=0))
+        session = open_stream(service)
+        for _ in range(3):
+            status, body = push(service, session, [600, 200])
+            assert not body["changed"]
+        status, body = push(service, session, [50, 200])
+        assert status == 200 and body["changed"]
+
+    def test_unknown_session_is_404(self):
+        service = PartitionService(ServiceConfig(port=0))
+        for method, path, payload in (
+            ("POST", "/v1/stream/nope/counters",
+             {"window_cycles": WINDOW, "accesses": [1, 1]}),
+            ("GET", "/v1/stream/nope", None),
+            ("DELETE", "/v1/stream/nope", None),
+        ):
+            status, body = call(service, method, path, payload)
+            assert status == 404, (method, path)
+            assert body["error"]["type"] == "NotFound"
+
+    def test_capacity_overflow_is_429(self):
+        service = PartitionService(ServiceConfig(port=0, max_sessions=1))
+        open_stream(service)
+        status, body = call(
+            service,
+            "POST",
+            "/v1/stream/open",
+            {"scheme": "prop", "api": API, "bandwidth": BANDWIDTH},
+        )
+        assert status == 429
+        assert body["error"]["type"] == "SessionLimit"
+
+    def test_malformed_push_is_400(self):
+        service = PartitionService(ServiceConfig(port=0))
+        session = open_stream(service)
+        for payload in (
+            {"accesses": [1, 1]},  # missing window
+            {"window_cycles": WINDOW, "accesses": [1]},  # wrong length
+            {"window_cycles": WINDOW, "accesses": [1, 1],
+             "interference_cycles": [WINDOW + 1, 0]},  # exceeds window
+            {"window_cycles": WINDOW, "accesses": [1, 1], "bogus": 1},
+        ):
+            status, body = call(
+                service, "POST", f"/v1/stream/{session}/counters", payload
+            )
+            assert status == 400, payload
+
+    def test_method_discipline(self):
+        service = PartitionService(ServiceConfig(port=0))
+        session = open_stream(service)
+        assert call(service, "GET", "/v1/stream/open")[0] == 405
+        assert call(service, "PUT", f"/v1/stream/{session}")[0] == 405
+        assert call(service, "GET", f"/v1/stream/{session}/counters")[0] == 405
+
+    def test_info_reports_session_state(self):
+        service = PartitionService(ServiceConfig(port=0))
+        session = open_stream(service)
+        push(service, session, [600, 200])
+        status, info = call(service, "GET", f"/v1/stream/{session}")
+        assert status == 200
+        assert info["epochs"] == 1
+        assert info["scheme"] == "prop" and info["n_apps"] == 2
+
+    def test_stream_push_matches_oneshot_partition(self):
+        """A push solves exactly what /v1/partition would at the estimate."""
+        # batching=False: the un-started batcher cannot serve the
+        # one-shot endpoint when driving handle() without a transport
+        service = PartitionService(ServiceConfig(port=0, batching=False))
+        session = open_stream(service)
+        _, streamed = push(service, session, [600, 200])
+        _, direct = call(
+            service,
+            "POST",
+            "/v1/partition",
+            {
+                "scheme": "prop",
+                "apc_alone": streamed["apc_alone_estimate"],
+                "api": API,
+                "bandwidth": BANDWIDTH,
+            },
+        )
+        assert streamed["apc_shared"] == pytest.approx(direct["apc_shared"])
+        assert streamed["beta"] == pytest.approx(direct["beta"])
+
+
+class TestStreamOpenValidation:
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            {"bogus": 1},
+            {"smoothing": "kalman"},
+            {"apc_alone": [0.004]},  # length != len(api)
+            {"profile": "surrogate", "work_conserving": False},
+            {"cooldown": -1},
+            {"change_threshold": 0.0},
+            {"scheme": "nope"},
+        ],
+    )
+    def test_bad_open_is_400(self, overrides):
+        service = PartitionService(ServiceConfig(port=0))
+        payload = {"scheme": "prop", "api": API, "bandwidth": BANDWIDTH}
+        payload.update(overrides)
+        status, body = call(service, "POST", "/v1/stream/open", payload)
+        assert status == 400, overrides
+        assert body["error"]["type"] == "ConfigurationError"
+
+
+# ----------------------------------------------------------------------
+# soak: bounded memory over >= 1000 posts, visible in /metrics
+# ----------------------------------------------------------------------
+def test_thousand_posts_bounded_memory_and_metrics():
+    config = ServiceConfig(port=0, session_history=16)
+    service = PartitionService(config)
+
+    async def scenario():
+        _, opened = await service.handle(
+            "POST",
+            "/v1/stream/open",
+            json.dumps(
+                {"scheme": "prop", "api": API, "bandwidth": BANDWIDTH}
+            ).encode(),
+        )
+        sid = opened["session"]
+        rng = np.random.default_rng(7)
+        for i in range(1000):
+            accesses = [600 + int(rng.integers(0, 50)), 200 + int(rng.integers(0, 20))]
+            status, body = await service.handle(
+                "POST",
+                f"/v1/stream/{sid}/counters",
+                json.dumps(
+                    {"window_cycles": WINDOW, "accesses": accesses}
+                ).encode(),
+            )
+            assert status == 200 and body["beta"] is not None
+        _, metrics = await service.handle("GET", "/metrics", b"")
+        return sid, metrics
+
+    sid, metrics = asyncio.run(scenario())
+    session = service.sessions.get(sid)
+    assert session is not None and session.epochs == 1000
+    # the only per-epoch state is the bounded history ring
+    assert len(session.history) == config.session_history
+    sessions = metrics["sessions"]
+    assert sessions["active"] == 1
+    assert sessions["opened"] == 1
+    assert sessions["epochs"] == 1000
+    assert sessions["sessions"][0]["session"] == sid
+    # the obs registry is process-global, so earlier tests in this
+    # module contribute too: lower-bound the mirrored push counter
+    pushes = [
+        series["value"]
+        for series in metrics["obs"]["service.stream_events"]["series"]
+        if series["labels"] == {"event": "push"}
+    ]
+    assert pushes and pushes[0] >= 1000
+
+
+# ----------------------------------------------------------------------
+# end-to-end over real sockets with the client helpers
+# ----------------------------------------------------------------------
+def test_streaming_over_sockets_with_client():
+    async def main():
+        service = PartitionService(ServiceConfig(port=0, max_sessions=1))
+        await service.start()
+        try:
+            async with AsyncServiceClient(port=service.port) as client:
+                opened = await client.stream_open(
+                    API, BANDWIDTH, scheme="prop", smoothing="ema",
+                    smoothing_param=0.5,
+                )
+                sid = opened["session"]
+                body = await client.stream_push(sid, WINDOW, [600, 200])
+                assert body["beta"] == pytest.approx([0.75, 0.25])
+                info = await client.stream_info(sid)
+                assert info["epochs"] == 1
+                with pytest.raises(ServiceError) as exc_info:
+                    await client.stream_open(API, BANDWIDTH)
+                assert exc_info.value.status == 429
+                closed = await client.stream_close(sid)
+                assert closed["closed"] is True
+                metrics = await client.metrics()
+                assert metrics["sessions"]["closed"] == 1
+        finally:
+            await service.stop()
+
+    asyncio.run(main())

@@ -80,11 +80,45 @@ class TestEpochManagement:
         est = p.close_epoch(200.0, [c])
         assert est[0] == pytest.approx(10 / 100.0)
 
-    def test_zero_length_epoch_rejected(self):
+    def test_zero_length_epoch_is_a_guarded_noop(self):
+        """A zero-length close keeps state finite and the epoch open."""
+        p = OnlineProfiler(1, peak_apc=1.0)
+        c = AppCounters()
+        p.begin_epoch(5.0, [c])
+        est = p.close_epoch(5.0, [c])
+        assert np.isnan(est[0])  # no update, no division by zero
+        # the epoch stays anchored at 5.0: counters accumulated before
+        # the degenerate close still count toward the next real close
+        c.reads_served = 10
+        est = p.close_epoch(105.0, [c])
+        assert est[0] == pytest.approx(10 / 100.0)
+
+    def test_zero_length_epoch_returns_fallback(self):
         p = OnlineProfiler(1, peak_apc=1.0)
         p.begin_epoch(5.0, [AppCounters()])
-        with pytest.raises(ConfigurationError):
-            p.close_epoch(5.0, [AppCounters()])
+        est = p.close_epoch(5.0, [AppCounters()], fallback=np.array([0.4]))
+        assert est[0] == pytest.approx(0.4)
+        # the stored estimate stays NaN so a real measurement wins later
+        assert np.isnan(p.estimates[0])
+
+    def test_all_zero_deltas_keep_previous_estimate(self):
+        p = OnlineProfiler(2, peak_apc=1.0)
+        c0, c1 = counters(n_acc=10), counters(n_acc=20)
+        p.begin_epoch(0.0, [c0, c1])
+        c0.reads_served, c1.reads_served = 30, 40
+        first = p.close_epoch(100.0, [c0, c1]).copy()
+        # an epoch in which nothing was served: estimates unchanged
+        est = p.close_epoch(200.0, [c0, c1])
+        np.testing.assert_allclose(est, first)
+        assert np.all(np.isfinite(est))
+
+    def test_close_epoch_fallback_fills_only_nans(self):
+        p = OnlineProfiler(2, peak_apc=1.0)
+        c0, c1 = counters(n_acc=10), counters(n_acc=0)
+        p.begin_epoch(0.0, [counters(), counters()])
+        est = p.close_epoch(100.0, [c0, c1], fallback=np.array([9.9, 0.7]))
+        assert est[0] == pytest.approx(0.1)
+        assert est[1] == pytest.approx(0.7)
 
     def test_needs_positive_apps(self):
         with pytest.raises(ConfigurationError):
