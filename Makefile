@@ -5,7 +5,8 @@ BENCH_JSON ?= benchmarks/out/bench_current.json
 
 .PHONY: install test properties benchmarks bench bench-compare bench-baseline \
 	experiments scorecard examples serve bench-service bench-obs \
-	bench-sweep bench-surrogate bench-control lint typecheck clean
+	bench-sweep bench-surrogate bench-control bench-watch lint \
+	typecheck clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -74,6 +75,13 @@ bench-control:
 # telemetry overhead gate: instrumented engine vs REPRO_OBS=off (<=3%)
 bench-obs:
 	$(PYTHON) benchmarks/bench_obs.py
+
+# watch gates: shadow-sampling request-path overhead <= 3% at the
+# default 5% rate, drift detector flags a perturbed surrogate artifact
+# within 50 requests (with auto-fallback to the sim), repro-top --once
+# smoke; writes BENCH_watch.json (see docs/WATCH.md)
+bench-watch:
+	$(PYTHON) benchmarks/bench_watch.py
 
 # sweep-planner gates: >=30% dedup on the full exhibit registry, and
 # DAG dispatch wall-clock no slower than the legacy pool.map path;

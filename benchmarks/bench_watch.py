@@ -1,0 +1,289 @@
+#!/usr/bin/env python
+"""Benchmark + gates for the watch layer (``repro.watch``).
+
+Three gates, one JSON artifact (``BENCH_watch.json`` at the repo top
+level, or ``$BENCH_OUT_DIR``):
+
+1. **Shadow overhead** -- request-path cost of shadow-sampling at the
+   default 5% rate vs sampling disabled, A/B interleaved in-process
+   (no sockets, cache off, unbatched) so allocator and thermal state
+   hit both sides equally.  The sampler's inflight bound sheds due
+   samples rather than queueing sim work behind a burst, so the
+   request path must stay within ``--threshold`` (default 3%).
+2. **Drift detection** -- serving a deliberately perturbed surrogate
+   artifact (passing model card, coefficients scaled to 0.5x) under
+   shadow rate 1.0 must flip the ``degraded`` flag within
+   ``--flag-budget`` requests (default 50).
+3. **repro-top smoke** -- ``repro-top --once`` against a real HTTP
+   server on an ephemeral port must exit 0 and render every pane.
+
+Run (CI runs exactly this)::
+
+    PYTHONPATH=src python benchmarks/bench_watch.py
+    PYTHONPATH=src python benchmarks/bench_watch.py --requests 200 --repeats 3
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import os
+import pathlib
+import statistics
+import sys
+import tempfile
+import time
+
+sys.path.insert(
+    0, str(pathlib.Path(__file__).resolve().parent.parent / "src")
+)
+
+import numpy as np  # noqa: E402
+
+from repro.service import PartitionService, ServiceConfig  # noqa: E402
+from repro.surrogate.artifact import SurrogateModel, save_model  # noqa: E402
+from repro.surrogate.fit import (  # noqa: E402
+    DEFAULT_TERMS,
+    QualityThresholds,
+    SchemeFit,
+)
+
+APC = [0.004, 0.007, 0.002]
+
+
+def make_model(coef_scale: float = 1.0) -> SurrogateModel:
+    """A fabricated ``min(x, g)``-surface artifact with a passing card.
+
+    ``coef_scale=1.0`` tracks the sim within ~2.5% at contended
+    operating points; ``0.5`` predicts half the true surface -- the
+    perturbation the drift gate must catch online, because the stored
+    card still claims fit-time quality.
+    """
+    coef = tuple(
+        coef_scale if term == "min_xg" else 0.0 for term in DEFAULT_TERMS
+    )
+    return SurrogateModel(
+        sweep_digest="ab" * 32,
+        fits={
+            "sqrt": SchemeFit(
+                scheme="sqrt", terms=DEFAULT_TERMS, coef=coef, r2=0.999,
+                mape=0.01, n_train=96, n_test=24, ridge=False,
+            )
+        },
+        thresholds=QualityThresholds(),
+        defaults={"row_locality": 0.6, "bank_frac": 0.9},
+        settings={"preset": "bench"},
+    )
+
+
+def service_config(artifact_dir: str, **overrides) -> ServiceConfig:
+    base = dict(
+        batching=False,  # handle() without start(): pure request path
+        cache=False,  # every request must actually solve
+        surrogate_dir=artifact_dir,
+    )
+    base.update(overrides)
+    return ServiceConfig(**base)
+
+
+async def serve_requests(service: PartitionService, n: int, seed: int) -> float:
+    """Serve ``n`` in-process surrogate solves; returns request-path seconds."""
+    rng = np.random.default_rng(seed)
+    total = 0.0
+    for _ in range(n):
+        apc = (np.array(APC) * rng.uniform(0.9, 1.1, size=3)).tolist()
+        body = json.dumps(
+            {"scheme": "sqrt", "apc_alone": apc, "bandwidth": 0.01,
+             "profile": "surrogate"}
+        ).encode()
+        t0 = time.perf_counter()
+        status, out = await service.handle("POST", "/v1/partition", body)
+        total += time.perf_counter() - t0
+        if status != 200:
+            raise RuntimeError(f"bench request failed: {status} {out}")
+    return total
+
+
+# ----------------------------------------------------------------------
+# gate 1: shadow-sampling overhead on the request path
+# ----------------------------------------------------------------------
+async def bench_overhead(
+    artifact_dir: str, requests: int, repeats: int, rate: float
+) -> dict:
+    on: list[float] = []
+    off: list[float] = []
+    sampled = skipped = 0
+    for i in range(repeats + 1):
+        for with_shadow in (True, False):
+            service = PartitionService(service_config(
+                artifact_dir,
+                shadow_rate=rate if with_shadow else 0.0,
+                shadow_max_inflight=2,
+            ))
+            seconds = await serve_requests(service, requests, seed=17 + i)
+            await service.drain_shadows()
+            if i == 0:
+                continue  # warmup pair: imports, allocator, caches
+            if with_shadow:
+                on.append(seconds)
+                snap = service.watch.sampler.snapshot()
+                sampled += snap["sampled"]
+                skipped += snap["skipped_inflight"]
+            else:
+                off.append(seconds)
+    mean_on = statistics.mean(on)
+    mean_off = statistics.mean(off)
+    return {
+        "requests_per_side": requests,
+        "repeats": repeats,
+        "rate": rate,
+        "mean_request_path_ms_shadow": mean_on * 1000.0,
+        "mean_request_path_ms_baseline": mean_off * 1000.0,
+        "overhead_pct": 100.0 * (mean_on - mean_off) / mean_off,
+        "shadows_sampled": sampled,
+        "shadows_skipped_inflight": skipped,
+    }
+
+
+# ----------------------------------------------------------------------
+# gate 2: the drift detector flags a perturbed artifact
+# ----------------------------------------------------------------------
+async def bench_drift_flagging(artifact_dir: str, flag_budget: int) -> dict:
+    service = PartitionService(service_config(
+        artifact_dir,
+        shadow_rate=1.0,
+        shadow_max_inflight=8,
+        drift_min_samples=6,
+    ))
+    rng = np.random.default_rng(23)
+    served = 0
+    flagged_at: int | None = None
+    while served < flag_budget:
+        for _ in range(4):
+            apc = (np.array(APC) * rng.uniform(0.9, 1.1, size=3)).tolist()
+            body = json.dumps(
+                {"scheme": "sqrt", "apc_alone": apc, "bandwidth": 0.01,
+                 "profile": "surrogate"}
+            ).encode()
+            await service.handle("POST", "/v1/partition", body)
+            served += 1
+        await service.drain_shadows()
+        if service.watch.drift.degraded:
+            flagged_at = served
+            break
+    snapshot = service.watch.drift.snapshot()
+    # degraded + auto-fallback: the next surrogate request rides the sim
+    status, after = await service.handle(
+        "POST", "/v1/partition",
+        json.dumps({"scheme": "sqrt", "apc_alone": APC, "bandwidth": 0.01,
+                    "profile": "surrogate"}).encode(),
+    )
+    return {
+        "flag_budget": flag_budget,
+        "flagged_after_requests": flagged_at,
+        "online_mape": snapshot["schemes"].get("sqrt", {}).get("mape"),
+        "auto_fallback_source": after.get("source"),
+    }
+
+
+# ----------------------------------------------------------------------
+# gate 3: repro-top --once against a real server
+# ----------------------------------------------------------------------
+async def bench_repro_top(artifact_dir: str) -> dict:
+    from repro.watch.top import main as top_main
+
+    service = PartitionService(ServiceConfig(
+        port=0, cache=False, surrogate_dir=artifact_dir
+    ))
+    await service.start()
+    try:
+        await serve_requests(service, 5, seed=3)
+        code = await asyncio.to_thread(
+            top_main, ["--once", "--port", str(service.port)]
+        )
+    finally:
+        await service.stop()
+    return {"exit_code": code}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--requests", type=int, default=400,
+                        help="in-process requests per overhead side")
+    parser.add_argument("--repeats", type=int, default=5,
+                        help="timed A/B pairs (default 5, plus 1 warmup)")
+    parser.add_argument("--rate", type=float, default=0.05,
+                        help="shadow rate under test (default 0.05)")
+    parser.add_argument("--threshold", type=float, default=3.0,
+                        help="max allowed request-path overhead, percent")
+    parser.add_argument("--flag-budget", type=int, default=50,
+                        help="requests within which drift must be flagged")
+    args = parser.parse_args(argv)
+
+    failures: list[str] = []
+    with tempfile.TemporaryDirectory() as healthy_dir, \
+            tempfile.TemporaryDirectory() as drifted_dir:
+        save_model(make_model(1.0), healthy_dir)
+        save_model(make_model(0.5), drifted_dir)
+
+        overhead = asyncio.run(bench_overhead(
+            healthy_dir, args.requests, args.repeats, args.rate
+        ))
+        print(f"shadow rate        : {overhead['rate']:.2f} "
+              f"({overhead['shadows_sampled']} sampled, "
+              f"{overhead['shadows_skipped_inflight']} shed by the "
+              f"inflight bound)")
+        print(f"request path shadow: "
+              f"{overhead['mean_request_path_ms_shadow']:8.2f} ms "
+              f"/ {overhead['requests_per_side']} requests")
+        print(f"request path off   : "
+              f"{overhead['mean_request_path_ms_baseline']:8.2f} ms")
+        print(f"overhead           : {overhead['overhead_pct']:+8.2f} %  "
+              f"(threshold {args.threshold:.1f} %)")
+        if overhead["overhead_pct"] > args.threshold:
+            failures.append("shadow-sampling overhead above threshold")
+
+        drift = asyncio.run(bench_drift_flagging(
+            drifted_dir, args.flag_budget
+        ))
+        print(f"drift flagged after: {drift['flagged_after_requests']} "
+              f"requests (budget {drift['flag_budget']}; online MAPE "
+              f"{drift['online_mape']:.3f})" if drift["flagged_after_requests"]
+              else f"drift NOT flagged within {drift['flag_budget']} requests")
+        print(f"auto-fallback      : source={drift['auto_fallback_source']}")
+        if drift["flagged_after_requests"] is None:
+            failures.append("drift detector missed the perturbed artifact")
+        if drift["auto_fallback_source"] != "sim":
+            failures.append("degraded artifact kept serving (no auto-fallback)")
+
+        top = asyncio.run(bench_repro_top(healthy_dir))
+        print(f"repro-top --once   : exit {top['exit_code']}")
+        if top["exit_code"] != 0:
+            failures.append("repro-top --once smoke failed")
+
+    record = {
+        "overhead": overhead,
+        "threshold_pct": args.threshold,
+        "drift": drift,
+        "repro_top": top,
+        "passing": not failures,
+    }
+    out_dir = os.environ.get("BENCH_OUT_DIR")
+    base = pathlib.Path(out_dir) if out_dir else pathlib.Path(
+        __file__).resolve().parent.parent
+    base.mkdir(parents=True, exist_ok=True)
+    out = base / "BENCH_watch.json"
+    out.write_text(json.dumps(record, indent=2) + "\n")
+    print(f"wrote {out}")
+
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("PASS")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

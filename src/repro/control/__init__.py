@@ -19,11 +19,16 @@ subsystem:
 * :mod:`repro.control.oracle` -- :class:`PhaseOracle`, ground-truth
   allocations from a declared phase schedule;
 * :mod:`repro.control.evaluate` -- convergence-lag / tracking-error /
-  regret evaluation of a controller run against the oracle.
+  regret evaluation of a controller run against the oracle;
+* :mod:`repro.control.health` -- :class:`ControllerHealth`,
+  oracle-free live health counters (detector fire-rate, β churn,
+  re-solve latency, regret proxies) exported through the service's
+  ``/metrics`` and the :mod:`repro.watch` layer.
 """
 
 from repro.control.changepoint import RelativeShiftDetector
 from repro.control.controller import EpochController, EpochDecision
+from repro.control.health import ControllerHealth
 from repro.control.evaluate import (
     ControlEvalResult,
     ConvergenceEvent,
@@ -40,6 +45,7 @@ from repro.control.tracker import ProfileTracker, TrackerUpdate
 
 __all__ = [
     "RelativeShiftDetector",
+    "ControllerHealth",
     "EpochController",
     "EpochDecision",
     "ControlEvalResult",

@@ -30,6 +30,7 @@ from typing import Sequence
 
 import numpy as np
 
+from repro.control.health import ControllerHealth
 from repro.control.oracle import beta_for
 from repro.control.tracker import ProfileTracker
 from repro.core.apps import AppProfile, Workload
@@ -92,6 +93,11 @@ class EpochController:
         where some app is still NaN are skipped.
     names:
         App names for the synthesized profiles.
+    health:
+        Optional :class:`~repro.control.health.ControllerHealth`
+        accumulator fed one observation per epoch (fire-rate, β churn,
+        regret proxy); defaults to a fresh one so the live signals are
+        always available via ``controller.health.snapshot()``.
     """
 
     def __init__(
@@ -105,6 +111,7 @@ class EpochController:
         tracker: ProfileTracker | None = None,
         fallback_apc: Sequence[float] | None = None,
         names: Sequence[str] | None = None,
+        health: ControllerHealth | None = None,
     ) -> None:
         self.scheme = scheme
         self.api = as_float_array("api", api)
@@ -139,6 +146,8 @@ class EpochController:
             raise ConfigurationError("names/api length mismatch")
         #: per-epoch decision log (inspection, evaluation, exhibits)
         self.decisions: list[EpochDecision] = []
+        #: oracle-free live health counters (see repro.control.health)
+        self.health = health if health is not None else ControllerHealth()
 
     # ------------------------------------------------------------------
     def __call__(
@@ -176,6 +185,12 @@ class EpochController:
                 changed=update.changed,
                 next_epoch_cycles=next_len,
             )
+        )
+        self.health.observe_epoch(
+            changed=update.changed,
+            beta=beta,
+            estimate=estimate,
+            bandwidth=self.bandwidth,
         )
         return next_len
 

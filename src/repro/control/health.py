@@ -1,0 +1,184 @@
+"""Oracle-free controller health counters.
+
+:mod:`repro.control.evaluate` scores a controller *offline*, against a
+:class:`~repro.control.oracle.PhaseOracle` that knows the ground-truth
+phase schedule.  A live deployment has no oracle, so the health monitor
+tracks the signals that are observable from the decision stream alone:
+
+* **fire rate** -- fraction of epochs the change detector fired.  A
+  healthy detector fires at phase boundaries; one that fires every
+  epoch is chasing noise (thrash), one that never fires on a shifting
+  workload is asleep.
+* **β churn** -- ``0.5 * ||β_new - β_prev||_1`` per re-solve, the
+  fraction of the bus re-assigned between consecutive epochs.  Churn
+  without detector fires means the estimates themselves are unstable.
+* **re-solve latency** -- milliseconds per epoch decision, measured by
+  the caller (this module never reads a clock: it sits under the same
+  determinism contract as the controller it watches, so wall time must
+  be passed in).
+* **regret proxy** -- when an epoch re-solves to new shares, how much
+  of the currently-achievable throughput the *previous* shares were
+  leaving on the table, with per-app achievable APC modeled as
+  ``min(estimate_i, β_i · B)`` (the Eq. 2 roofline).  Zero while the
+  workload is stationary; a spike bounds the cost of the controller's
+  reaction lag around a phase change.  It is a *proxy*: it trusts the
+  tracker's own estimates, so estimate bias hides equally in both
+  terms.
+
+Everything is bounded: scalar lifetime counters plus fixed-size deques
+of recent per-epoch values, so a session's health state stays O(window)
+forever.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Sequence
+
+import numpy as np
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["ControllerHealth"]
+
+
+def _series_stats(values: deque[float]) -> dict[str, float]:
+    if not values:
+        return {"last": 0.0, "mean": 0.0, "max": 0.0}
+    return {
+        "last": values[-1],
+        "mean": float(sum(values) / len(values)),
+        "max": float(max(values)),
+    }
+
+
+class ControllerHealth:
+    """Bounded per-controller (or per-session) health accumulator."""
+
+    def __init__(self, window: int = 128) -> None:
+        if window < 1:
+            raise ConfigurationError(f"window must be >= 1, got {window}")
+        self.window = int(window)
+        self.epochs = 0
+        self.changes = 0
+        self.degenerate = 0
+        self.resolves = 0
+        self._prev_beta: np.ndarray | None = None
+        self._churn: deque[float] = deque(maxlen=window)
+        self._resolve_ms: deque[float] = deque(maxlen=window)
+        self._regret: deque[float] = deque(maxlen=window)
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _achievable(
+        estimate: np.ndarray, beta: np.ndarray, bandwidth: float
+    ) -> float:
+        """Total APC the estimate could realize under ``beta`` shares."""
+        return float(np.sum(np.minimum(estimate, beta * bandwidth)))
+
+    def observe_epoch(
+        self,
+        *,
+        changed: bool,
+        degenerate: bool = False,
+        beta: Sequence[float] | np.ndarray | None = None,
+        estimate: Sequence[float] | np.ndarray | None = None,
+        bandwidth: float | None = None,
+        resolve_ms: float | None = None,
+    ) -> None:
+        """Fold one epoch decision into the health window.
+
+        ``beta=None`` marks a skipped re-solve (warm-up, degenerate
+        window).  ``resolve_ms`` is wall time measured by the caller --
+        never measured here (determinism contract).
+        """
+        self.epochs += 1
+        if changed:
+            self.changes += 1
+        if degenerate:
+            self.degenerate += 1
+        if resolve_ms is not None:
+            self._resolve_ms.append(float(resolve_ms))
+        if beta is None:
+            return
+        self.resolves += 1
+        beta_arr = np.asarray(beta, dtype=float)
+        if self._prev_beta is not None and beta_arr.shape == self._prev_beta.shape:
+            self._churn.append(
+                0.5 * float(np.sum(np.abs(beta_arr - self._prev_beta)))
+            )
+            if (
+                estimate is not None
+                and bandwidth is not None
+                and bandwidth > 0
+            ):
+                est = np.asarray(estimate, dtype=float)
+                if est.shape == beta_arr.shape and not np.any(np.isnan(est)):
+                    new = self._achievable(est, beta_arr, bandwidth)
+                    old = self._achievable(est, self._prev_beta, bandwidth)
+                    if new > 0:
+                        self._regret.append(max(0.0, (new - old) / new))
+        self._prev_beta = beta_arr
+
+    # ------------------------------------------------------------------
+    @property
+    def last_churn(self) -> float | None:
+        """Most recent β churn (None until two re-solves happened)."""
+        return self._churn[-1] if self._churn else None
+
+    @property
+    def fire_rate(self) -> float:
+        """Fraction of observed epochs the change detector fired."""
+        return self.changes / self.epochs if self.epochs else 0.0
+
+    @property
+    def degenerate_rate(self) -> float:
+        return self.degenerate / self.epochs if self.epochs else 0.0
+
+    def snapshot(self) -> dict:
+        return {
+            "epochs": self.epochs,
+            "changes": self.changes,
+            "degenerate": self.degenerate,
+            "resolves": self.resolves,
+            "fire_rate": self.fire_rate,
+            "degenerate_rate": self.degenerate_rate,
+            "beta_churn": _series_stats(self._churn),
+            "resolve_ms": _series_stats(self._resolve_ms),
+            "regret_proxy": _series_stats(self._regret),
+        }
+
+    @staticmethod
+    def aggregate(snapshots: Sequence[dict]) -> dict:
+        """Fleet view over per-session snapshots (the ``/metrics`` shape)."""
+        if not snapshots:
+            return {
+                "sessions": 0,
+                "epochs": 0,
+                "changes": 0,
+                "fire_rate": 0.0,
+                "beta_churn_mean": 0.0,
+                "resolve_ms_mean": 0.0,
+                "resolve_ms_max": 0.0,
+                "regret_proxy_max": 0.0,
+            }
+        epochs = sum(int(s["epochs"]) for s in snapshots)
+        changes = sum(int(s["changes"]) for s in snapshots)
+        return {
+            "sessions": len(snapshots),
+            "epochs": epochs,
+            "changes": changes,
+            "fire_rate": changes / epochs if epochs else 0.0,
+            "beta_churn_mean": float(
+                np.mean([s["beta_churn"]["mean"] for s in snapshots])
+            ),
+            "resolve_ms_mean": float(
+                np.mean([s["resolve_ms"]["mean"] for s in snapshots])
+            ),
+            "resolve_ms_max": max(
+                float(s["resolve_ms"]["max"]) for s in snapshots
+            ),
+            "regret_proxy_max": max(
+                float(s["regret_proxy"]["max"]) for s in snapshots
+            ),
+        }

@@ -67,6 +67,8 @@ def prometheus_text(registry: MetricsRegistry) -> str:
             snap = instrument.snapshot()
             lines.append(f"{pname}_count{_prom_labels(labels)} {snap['count']}")
             lines.append(f"{pname}_sum{_prom_labels(labels)} {snap['sum']}")
+            lines.append(f"{pname}_min{_prom_labels(labels)} {snap['min']}")
+            lines.append(f"{pname}_max{_prom_labels(labels)} {snap['max']}")
             for q in ("p50", "p90", "p99"):
                 quantile = {"p50": "0.5", "p90": "0.9", "p99": "0.99"}[q]
                 lines.append(

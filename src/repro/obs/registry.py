@@ -23,9 +23,12 @@ update, are never on a simulator hot loop (hot paths accumulate locally
 and flush once), and operational surfaces like the service's
 ``/metrics`` endpoint must keep working regardless of tracing state.
 
-Thread-safety: series creation is locked; updates are plain attribute
-writes serialized by the GIL (worst case a lost increment under exotic
-interleavings -- acceptable for telemetry, never for correctness).
+Thread-safety: series creation is locked, and every instrument carries
+its own lock so concurrent updates from worker threads (or a forked
+pool's parent-side callbacks) never lose increments.  The locks are
+uncontended in the common single-threaded case and each update is a
+handful of attribute writes, so the cost stays negligible next to the
+work being measured.
 """
 
 from __future__ import annotations
@@ -57,16 +60,18 @@ def _percentile(sorted_values: list[float], q: float) -> float:
 class Counter:
     """Monotonic counter."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "counter"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def inc(self, amount: float = 1.0) -> None:
         if amount < 0:
             raise ValueError(f"counters only go up, got {amount}")
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         return self.value
@@ -75,17 +80,20 @@ class Counter:
 class Gauge:
     """Last-write-wins level."""
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_lock")
     kind = "gauge"
 
     def __init__(self) -> None:
         self.value = 0.0
+        self._lock = threading.Lock()
 
     def set(self, value: float) -> None:
-        self.value = float(value)
+        with self._lock:
+            self.value = float(value)
 
     def add(self, amount: float) -> None:
-        self.value += amount
+        with self._lock:
+            self.value += amount
 
     def snapshot(self) -> float:
         return self.value
@@ -94,7 +102,7 @@ class Gauge:
 class Histogram:
     """Exact aggregates + a bounded window of recent observations."""
 
-    __slots__ = ("count", "sum", "min", "max", "_window")
+    __slots__ = ("count", "sum", "min", "max", "_window", "_lock")
     kind = "histogram"
 
     def __init__(self, reservoir: int = 1024) -> None:
@@ -105,28 +113,35 @@ class Histogram:
         self.min = float("inf")
         self.max = float("-inf")
         self._window: deque[float] = deque(maxlen=reservoir)
+        self._lock = threading.Lock()
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.sum += value
-        if value < self.min:
-            self.min = value
-        if value > self.max:
-            self.max = value
-        self._window.append(value)
+        with self._lock:
+            self.count += 1
+            self.sum += value
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+            self._window.append(value)
 
     def percentile(self, q: float) -> float:
-        return _percentile(sorted(self._window), q)
+        with self._lock:
+            window = sorted(self._window)
+        return _percentile(window, q)
 
     def snapshot(self) -> dict:
-        window = sorted(self._window)
+        with self._lock:
+            count, total = self.count, self.sum
+            low, high = self.min, self.max
+            window = sorted(self._window)
         return {
-            "count": self.count,
-            "sum": self.sum,
-            "min": self.min if self.count else 0.0,
-            "max": self.max if self.count else 0.0,
-            "mean": self.sum / self.count if self.count else 0.0,
+            "count": count,
+            "sum": total,
+            "min": low if count else 0.0,
+            "max": high if count else 0.0,
+            "mean": total / count if count else 0.0,
             "window": len(window),
             "p50": _percentile(window, 0.50),
             "p90": _percentile(window, 0.90),

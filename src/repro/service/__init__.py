@@ -22,6 +22,7 @@ from repro.service.protocol import (
 from repro.service.server import PartitionService, serve
 from repro.service.sessions import SessionLimitError, SessionManager, StreamSession
 from repro.service.surrogate import SurrogateStore
+from repro.service.watch import ServiceWatch
 
 __all__ = [
     "AsyncServiceClient",
@@ -34,6 +35,7 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ServiceMetrics",
+    "ServiceWatch",
     "SessionLimitError",
     "SessionManager",
     "StreamOpenRequest",

@@ -39,6 +39,17 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--surrogate-digest", default=None, metavar="HEX",
                         help="refuse any surrogate artifact whose sweep "
                         "digest differs (stale-artifact pin)")
+    parser.add_argument("--shadow-rate", type=float, default=None,
+                        metavar="FRAC",
+                        help="fraction of surrogate solves shadow-resolved "
+                        "through the sim for drift scoring (default: "
+                        "$REPRO_SHADOW_RATE, then 0.05; 0 disables)")
+    parser.add_argument("--slo", default=None, metavar="FILE", dest="slo_path",
+                        help="JSON file of SLO objectives replacing the "
+                        "built-in defaults (see docs/WATCH.md)")
+    parser.add_argument("--no-auto-fallback", action="store_true",
+                        help="keep serving the surrogate even while the "
+                        "online drift monitor reports it degraded")
     return parser
 
 
@@ -54,6 +65,9 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         request_timeout_s=args.timeout,
         surrogate_dir=args.surrogate_dir,
         surrogate_digest=args.surrogate_digest,
+        shadow_rate=args.shadow_rate,
+        slo_path=args.slo_path,
+        drift_auto_fallback=not args.no_auto_fallback,
     )
 
 

@@ -90,6 +90,11 @@ def _stream_open_payload(
     return payload
 
 
+def _debug_path(section: str, params: dict) -> str:
+    query = "&".join(f"{k}={v}" for k, v in sorted(params.items()) if v is not None)
+    return f"/v1/debug/{section}" + (f"?{query}" if query else "")
+
+
 def _counters_payload(window_cycles, accesses, interference_cycles):
     payload = {
         "window_cycles": float(window_cycles),
@@ -227,6 +232,10 @@ class ServiceClient:
 
     def metrics(self) -> dict:
         return self._request("GET", "/metrics")
+
+    def debug(self, section: str = "recent", **params) -> dict:
+        """One ``GET /v1/debug/<section>`` (recent / slo / drift)."""
+        return self._request("GET", _debug_path(section, params))
 
     def close(self) -> None:
         if self._conn is not None:
@@ -375,6 +384,10 @@ class AsyncServiceClient:
 
     async def metrics(self) -> dict:
         return await self._request("GET", "/metrics")
+
+    async def debug(self, section: str = "recent", **params) -> dict:
+        """One ``GET /v1/debug/<section>`` (recent / slo / drift)."""
+        return await self._request("GET", _debug_path(section, params))
 
     async def aclose(self) -> None:
         if self._writer is not None:

@@ -52,6 +52,34 @@ class ServiceConfig:
     #: per-session bounded history of epoch updates (memory cap)
     session_history: int = 64
 
+    # ------------------------------------------------------------------
+    # watch layer (SLOs, drift shadow-sampling, flight recorder)
+    # ------------------------------------------------------------------
+    #: fraction of surrogate-served solves shadow-resolved through the
+    #: sim path for online drift scoring; None reads REPRO_SHADOW_RATE
+    #: (default 0.05).  0 disables shadow-sampling entirely.
+    shadow_rate: float | None = None
+    #: cap on concurrently-running shadow solves -- a due sample that
+    #: finds the cap full is skipped and counted, never queued
+    shadow_max_inflight: int = 2
+    #: bounded per-scheme window of (sim, surrogate) shadow pairs
+    drift_window: int = 512
+    #: per-app samples required in a scheme's window before the online
+    #: MAPE may flip the degraded flag
+    drift_min_samples: int = 24
+    #: online MAPE gate; defaults to the artifact's fit-time gate
+    #: (QualityThresholds.max_mape = 5%)
+    drift_max_mape: float = 0.05
+    #: when degraded, route surrogate-profile solves to the sim path
+    #: until the online score recovers
+    drift_auto_fallback: bool = True
+    #: requests slower than this land in the flight recorder as "slow"
+    slow_request_ms: float = 250.0
+    #: flight-recorder ring capacity (GET /v1/debug/recent)
+    recent_capacity: int = 256
+    #: JSON file of SLO objects overriding repro.watch.slo.default_slos
+    slo_path: str | None = None
+
     #: reject request bodies larger than this (bytes)
     max_body_bytes: int = 1 << 20
     #: per-request cap on /v1/partition/batch fan-in
@@ -69,6 +97,16 @@ class ServiceConfig:
         check_positive("max_sessions", self.max_sessions)
         check_positive("session_idle_s", self.session_idle_s)
         check_positive("session_history", self.session_history)
+        if self.shadow_rate is not None and not (0.0 <= self.shadow_rate <= 1.0):
+            raise ConfigurationError(
+                f"shadow_rate must be in [0, 1], got {self.shadow_rate}"
+            )
+        check_positive("shadow_max_inflight", self.shadow_max_inflight)
+        check_positive("drift_window", self.drift_window)
+        check_positive("drift_min_samples", self.drift_min_samples)
+        check_positive("drift_max_mape", self.drift_max_mape)
+        check_positive("slow_request_ms", self.slow_request_ms)
+        check_positive("recent_capacity", self.recent_capacity)
         check_positive("max_body_bytes", self.max_body_bytes)
         check_positive("max_requests_per_call", self.max_requests_per_call)
         check_positive("latency_window", self.latency_window)

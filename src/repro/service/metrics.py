@@ -19,6 +19,7 @@ controlled and label cardinality must stay bounded.
 
 from __future__ import annotations
 
+import os
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -49,19 +50,34 @@ class EndpointStats:
     error status; the old contract double-counted nothing but silently
     *under*-counted errors for callers that passed only
     ``timeout=True``).
+
+    ``shed=True`` marks a load-shed request (HTTP 429).  Every flag
+    combination counts each counter exactly once: a shed request whose
+    client also timed out waiting (``shed=True, timeout=True``) is one
+    request, one shed, one timeout, one error -- never two errors.
     """
 
     window: int = 2048
     requests: int = 0
     errors: int = 0
     timeouts: int = 0
+    sheds: int = 0
     latencies_ms: deque = field(default_factory=deque)
 
-    def observe(self, latency_ms: float, *, error: bool = False, timeout: bool = False) -> None:
+    def observe(
+        self,
+        latency_ms: float,
+        *,
+        error: bool = False,
+        timeout: bool = False,
+        shed: bool = False,
+    ) -> None:
         self.requests += 1
         if timeout:
             self.timeouts += 1
-        if error or timeout:
+        if shed:
+            self.sheds += 1
+        if error or timeout or shed:
             self.errors += 1
         self.latencies_ms.append(latency_ms)
         while len(self.latencies_ms) > self.window:
@@ -73,6 +89,7 @@ class EndpointStats:
             "requests": self.requests,
             "errors": self.errors,
             "timeouts": self.timeouts,
+            "sheds": self.sheds,
             "latency_ms": {
                 "window": len(window),
                 "mean": sum(window) / len(window) if window else 0.0,
@@ -94,7 +111,13 @@ class ServiceMetrics:
     ) -> None:
         self._latency_window = latency_window
         self._started = time.monotonic()
+        #: wall-clock start (dashboards detect restarts from a jump)
+        self.started_unix = time.time()
+        #: version / git-revision / config-digest info labels; the
+        #: server fills this at construction (see set_build_info)
+        self.build_info: dict[str, str] = {}
         self.registry = registry if registry is not None else obs.registry()
+        self.registry.gauge("process.start_time_unix").set(self.started_unix)
         self.endpoints: dict[str, EndpointStats] = {}
         #: per-engine solve latency ("analytic" / "surrogate" / "sim");
         #: label cardinality is bounded by the PROFILES constant
@@ -120,16 +143,36 @@ class ServiceMetrics:
             return path
         return "other"
 
+    def set_build_info(self, **info: str) -> None:
+        """Attach build/config info labels (version, revision, digest).
+
+        Exported as a Prometheus-style info gauge: constant value 1,
+        the payload lives in the labels, so dashboards can join on it
+        to detect version/config skew across a fleet.
+        """
+        self.build_info.update({k: str(v) for k, v in info.items()})
+        self.registry.gauge("process.build_info", **self.build_info).set(1.0)
+
     def observe_request(
-        self, path: str, latency_ms: float, *, error: bool = False, timeout: bool = False
+        self,
+        path: str,
+        latency_ms: float,
+        *,
+        error: bool = False,
+        timeout: bool = False,
+        shed: bool = False,
     ) -> None:
-        self.endpoint(path).observe(latency_ms, error=error, timeout=timeout)
+        self.endpoint(path).observe(
+            latency_ms, error=error, timeout=timeout, shed=shed
+        )
         reg = self.registry
         label = self._path_label(path)
         reg.counter("service.requests", path=label).inc()
         if timeout:
             reg.counter("service.timeouts", path=label).inc()
-        if error or timeout:
+        if shed:
+            reg.counter("service.sheds", path=label).inc()
+        if error or timeout or shed:
             reg.counter("service.errors", path=label).inc()
         reg.histogram(
             "service.latency_ms", reservoir=self._latency_window, path=label
@@ -195,6 +238,12 @@ class ServiceMetrics:
             # caller has no session manager, e.g. bare-metrics tests)
             "sessions": sessions,
             "uptime_s": time.monotonic() - self._started,
+            "process": {
+                "start_time_unix": self.started_unix,
+                "uptime_s": time.monotonic() - self._started,
+                "pid": os.getpid(),
+                **self.build_info,
+            },
             "endpoints": {
                 path: stats.snapshot() for path, stats in sorted(self.endpoints.items())
             },

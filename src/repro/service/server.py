@@ -15,6 +15,19 @@ Endpoints
 ``POST /v1/stream/<id>/counters``  push epoch counter deltas, get shares back
 ``GET  /v1/stream/<id>``        stream session info
 ``DELETE /v1/stream/<id>``      close a stream session
+``GET  /v1/debug/recent``       flight recorder (?kind=shed&limit=32)
+``GET  /v1/debug/slo``          SLO burn-rate evaluation + active alerts
+``GET  /v1/debug/drift``        online surrogate drift scores + shadow stats
+
+The watch layer (:mod:`repro.watch`, glued in by
+:mod:`repro.service.watch`) rides every request: finished requests
+feed declarative SLOs with multi-window burn-rate alerting (the
+``alerts`` / ``slo`` sections of ``/metrics``), a deterministic
+fraction of surrogate-served solves is re-solved through the sim path
+asynchronously to score online drift against the artifact's fit-time
+gate (flipping ``degraded`` and -- with ``drift_auto_fallback`` --
+routing surrogate solves to the sim until the score recovers), and
+anomalous requests land in a bounded flight-recorder ring.
 
 Streams are the online-controller loop over HTTP: per-session
 smoothing + change-point state (:mod:`repro.control`) folds each
@@ -43,12 +56,13 @@ for a grace period before tearing connections down.
 from __future__ import annotations
 
 import asyncio
+import dataclasses
 import json
 import time
 
 import numpy as np
 
-from repro import obs
+from repro import __version__, obs
 from repro.core.partitioning import scheme_by_name
 from repro.core.apps import AppProfile, Workload
 from repro.service.batching import MicroBatcher, solve_partition_rows, solve_qos_rows
@@ -67,6 +81,8 @@ from repro.service.protocol import (
 )
 from repro.service.sessions import SessionLimitError, SessionManager
 from repro.service.surrogate import SurrogateStore
+from repro.service.watch import ServiceWatch
+from repro.util.cache import config_digest
 from repro.util.errors import ConfigurationError, InfeasibleError
 
 __all__ = ["PartitionService", "serve"]
@@ -94,6 +110,15 @@ class PartitionService:
             idle_timeout_s=self.config.session_idle_s,
             history_limit=self.config.session_history,
         )
+        self.watch = ServiceWatch(self.config, registry=self.metrics.registry)
+        self.metrics.set_build_info(
+            version=__version__,
+            revision=obs.git_revision() or "unknown",
+            config_digest=config_digest(
+                "service/config", dataclasses.asdict(self.config)
+            )[:16],
+        )
+        self._shadow_tasks: set[asyncio.Task] = set()
         self.batcher: MicroBatcher | None = None
         if self.config.batching:
             self.batcher = MicroBatcher(
@@ -147,6 +172,10 @@ class PartitionService:
                 task.cancel()
             if pending:
                 await asyncio.gather(*pending, return_exceptions=True)
+        if self._shadow_tasks:
+            for task in list(self._shadow_tasks):
+                task.cancel()
+            await asyncio.gather(*list(self._shadow_tasks), return_exceptions=True)
         if self.batcher is not None:
             await self.batcher.stop()
 
@@ -214,8 +243,21 @@ class PartitionService:
                         f"request exceeded {self.config.request_timeout_s}s",
                     )
                 latency_ms = (time.perf_counter() - started) * 1000.0
+                shed = status == 429
                 self.metrics.observe_request(
-                    path, latency_ms, error=status >= 400, timeout=timed_out
+                    path,
+                    latency_ms,
+                    error=status >= 400,
+                    timeout=timed_out,
+                    shed=shed,
+                )
+                self.watch.observe_request(
+                    path,
+                    latency_ms,
+                    status=status,
+                    error=status >= 400,
+                    timeout=timed_out,
+                    shed=shed,
                 )
                 keep_alive = headers.get("connection", "keep-alive") != "close"
                 with obs.span("service.serialize", attrs={"status": status}):
@@ -250,6 +292,12 @@ class PartitionService:
                 # keep their names and shapes
                 body_out["obs"] = self.metrics.registry.snapshot()
                 body_out["surrogate"] = self.surrogate.snapshot()
+                # watch layer: SLO burn-rate alerts, online drift,
+                # fleet controller health (all additive sections)
+                body_out["alerts"] = self.watch.alerts()
+                body_out["slo"] = self.watch.slo_status()
+                body_out["drift"] = self.watch.drift_snapshot()
+                body_out["controller"] = self.sessions.health_snapshot()
                 return 200, body_out
             if path == "/v1/partition":
                 if method != "POST":
@@ -268,6 +316,10 @@ class PartitionService:
                     return _method_not_allowed(method)
                 self.surrogate.reload()
                 return 200, self.surrogate.snapshot()
+            if path.startswith("/v1/debug/"):
+                if method != "GET":
+                    return _method_not_allowed(method)
+                return self._handle_debug(path)
             if path == "/v1/stream/open":
                 if method != "POST":
                     return _method_not_allowed(method)
@@ -308,10 +360,106 @@ class PartitionService:
     # endpoint handlers
     # ------------------------------------------------------------------
     def _partition_source(self, request: PartitionRequest) -> str:
-        """The engine serving this request (surrogate may downgrade)."""
-        if request.profile == "surrogate":
-            return self.surrogate.source_for(request)
-        return request.profile
+        """The engine serving this request (surrogate may downgrade).
+
+        A surrogate-profile request downgrades to the sim path when no
+        valid artifact can answer -- or, with ``drift_auto_fallback``,
+        while the online drift monitor holds the ``degraded`` flag: a
+        loadable artifact whose live shadow score breached the MAPE
+        gate must not keep answering.
+        """
+        if request.profile != "surrogate":
+            return request.profile
+        if self.config.drift_auto_fallback and self.watch.drift.degraded:
+            breached = ", ".join(self.watch.drift.breached_schemes())
+            source = self.surrogate.force_fallback(
+                f"online drift degraded (MAPE over gate for: {breached})"
+            )
+        else:
+            source = self.surrogate.source_for(request)
+        if source == "sim":
+            self.watch.record_fallback(
+                "/v1/partition", self.surrogate.last_fallback_reason
+            )
+        return source
+
+    # ------------------------------------------------------------------
+    # shadow-sampling (drift monitor feed)
+    # ------------------------------------------------------------------
+    def _maybe_shadow(self, request: PartitionRequest, row) -> None:
+        """Maybe queue an async sim re-solve of a surrogate answer.
+
+        Decided by the deterministic stride sampler; the shadow runs
+        off the request's latency path (a worker thread via the normal
+        sim route) and feeds the drift monitor on completion.
+        """
+        if not self.watch.sampler.try_acquire():
+            return
+        task = asyncio.get_running_loop().create_task(
+            self._shadow_solve(request, [float(v) for v in row])
+        )
+        self._shadow_tasks.add(task)
+        task.add_done_callback(self._shadow_tasks.discard)
+
+    async def _shadow_solve(
+        self, request: PartitionRequest, predicted: list
+    ) -> None:
+        from repro.surrogate.simpath import simulate_partition_request
+
+        try:
+            sim_row = await asyncio.to_thread(
+                simulate_partition_request,
+                request.scheme,
+                request.apc_alone,
+                request.bandwidth,
+                api=request.api,
+                work_conserving=request.work_conserving,
+            )
+            self.watch.record_shadow(request, predicted, sim_row)
+        except asyncio.CancelledError:
+            raise
+        except Exception:  # reprolint: disable=exc-broad
+            # shadows are best-effort quality probes: a failure must
+            # never surface into serving, only into this counter
+            self.metrics.registry.counter("surrogate.drift.shadow_errors").inc()
+        finally:
+            self.watch.sampler.release()
+
+    async def drain_shadows(self) -> None:
+        """Wait for every in-flight shadow solve (tests, benchmarks)."""
+        while self._shadow_tasks:
+            await asyncio.gather(
+                *list(self._shadow_tasks), return_exceptions=True
+            )
+
+    def _handle_debug(self, path: str) -> tuple[int, dict]:
+        """``GET /v1/debug/recent|slo|drift`` (+ simple query params)."""
+        tail, _, query = path[len("/v1/debug/"):].partition("?")
+        params: dict[str, str] = {}
+        for pair in query.split("&"):
+            name, sep, value = pair.partition("=")
+            if sep and name:
+                params[name] = value
+        if tail == "recent":
+            limit: int | None = None
+            if "limit" in params:
+                try:
+                    limit = int(params["limit"])
+                except ValueError:
+                    raise ConfigurationError(
+                        f"limit must be an integer, got {params['limit']!r}"
+                    ) from None
+            return 200, self.watch.recorder.snapshot(
+                limit=limit, kind=params.get("kind")
+            )
+        if tail == "slo":
+            return 200, {
+                "alerts": self.watch.alerts(),
+                "slo": self.watch.slo_status(),
+            }
+        if tail == "drift":
+            return 200, self.watch.drift_snapshot()
+        return 404, error_body("NotFound", f"no route for {path!r}")
 
     def _solve_partition_group(self, requests: list[PartitionRequest]):
         """Timed group solve; resolves the model for surrogate groups.
@@ -326,9 +474,9 @@ class PartitionService:
             model, _ = self.surrogate.resolve()
         started = time.perf_counter()
         rows = solve_partition_rows(requests, surrogate=model)
-        self.metrics.observe_solve(
-            source, (time.perf_counter() - started) * 1000.0
-        )
+        solve_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.observe_solve(source, solve_ms)
+        self.watch.observe_solve(source, solve_ms)
         return rows
 
     async def _solve_sim(self, request: PartitionRequest) -> np.ndarray:
@@ -345,9 +493,9 @@ class PartitionService:
                 api=request.api,
                 work_conserving=request.work_conserving,
             )
-        self.metrics.observe_solve(
-            "sim", (time.perf_counter() - started) * 1000.0
-        )
+        solve_ms = (time.perf_counter() - started) * 1000.0
+        self.metrics.observe_solve("sim", solve_ms)
+        self.watch.observe_solve("sim", solve_ms)
         return row
 
     async def _handle_partition(self, obj) -> dict:
@@ -368,6 +516,8 @@ class PartitionService:
         else:
             with obs.span("service.solve", attrs={"batched": False}):
                 row, batch_size = self._solve_partition_group([request])[0], 1
+        if source == "surrogate":
+            self._maybe_shadow(request, row)
         response = partition_response(
             request, row, batch_size=batch_size, source=source
         )
@@ -418,6 +568,8 @@ class PartitionService:
                     [request for _, request, _ in members]
                 )
             for (i, request, key), row in zip(members, rows):
+                if request.profile == "surrogate":
+                    self._maybe_shadow(request, row)
                 response = partition_response(
                     request, row, batch_size=len(members)
                 )
@@ -511,6 +663,7 @@ class PartitionService:
             # warm-up: some app has neither a measurement nor a prior;
             # acknowledge the push but hold off on shares (not an error
             # -- the stream becomes solvable once every app is covered)
+            session.observe_health(update, beta=None, resolve_ms=None)
             return 200, dict(
                 stream_fields,
                 beta=None,
@@ -530,12 +683,22 @@ class PartitionService:
         # result cache would only churn -- but the surrogate/analytic
         # group solver is the same hot path the batch endpoints use
         source = self._partition_source(preq)
+        resolve_started = time.perf_counter()
         if source == "sim":
             row = await self._solve_sim(preq)
         else:
             with obs.span("service.solve", attrs={"kind": "stream"}):
                 row = self._solve_partition_group([preq])[0]
+        resolve_ms = (time.perf_counter() - resolve_started) * 1000.0
+        if source == "surrogate":
+            self._maybe_shadow(preq, row)
         response = partition_response(preq, row, source=source)
+        session.observe_health(
+            update, beta=tuple(response["beta"]), resolve_ms=resolve_ms
+        )
+        self.watch.observe_stream_epoch(
+            resolve_ms=resolve_ms, churn=session.health.last_churn
+        )
         response.update(stream_fields)
         return 200, response
 

@@ -30,6 +30,7 @@ from typing import Callable
 import numpy as np
 
 from repro.control.changepoint import RelativeShiftDetector
+from repro.control.health import ControllerHealth
 from repro.control.smoothing import make_smoother
 from repro.control.tracker import ProfileTracker
 from repro.util.errors import ConfigurationError
@@ -78,6 +79,10 @@ class StreamSession:
     epochs: int = 0
     degenerate_epochs: int = 0
     history: deque[EpochUpdate] = field(default_factory=deque)
+    #: oracle-free live health counters (fire-rate, β churn, re-solve
+    #: latency, regret proxy) -- the server feeds one observation per
+    #: pushed epoch via :meth:`observe_health`
+    health: ControllerHealth = field(default_factory=ControllerHealth)
 
     def __post_init__(self) -> None:
         self.last_seen_mono = self.created_mono
@@ -134,6 +139,27 @@ class StreamSession:
             self.history.popleft()
         return record
 
+    def observe_health(
+        self,
+        record: EpochUpdate,
+        *,
+        beta: tuple[float, ...] | None,
+        resolve_ms: float | None,
+    ) -> None:
+        """Fold one pushed epoch into the session's health counters.
+
+        ``resolve_ms`` is measured by the server around the share
+        re-solve (this module stays clock-free for the health math).
+        """
+        self.health.observe_epoch(
+            changed=record.changed,
+            degenerate=record.degenerate,
+            beta=beta,
+            estimate=self.current_estimate() if beta is not None else None,
+            bandwidth=self.bandwidth,
+            resolve_ms=resolve_ms,
+        )
+
     def current_estimate(self) -> np.ndarray:
         """Tracked estimate with prior-filled gaps (NaN where neither)."""
         est = self.tracker.estimate
@@ -156,6 +182,7 @@ class StreamSession:
             "change_points": self.tracker.n_changes,
             "idle_s": max(0.0, now_mono - self.last_seen_mono),
             "age_s": max(0.0, now_mono - self.created_mono),
+            "health": self.health.snapshot(),
         }
 
 
@@ -273,6 +300,14 @@ class SessionManager:
     @property
     def active(self) -> int:
         return len(self._sessions)
+
+    def health_snapshot(self) -> dict:
+        """Fleet-wide controller health (the ``/metrics`` controller
+        section), aggregated across the currently-live sessions."""
+        self.evict_idle()
+        return ControllerHealth.aggregate(
+            [s.health.snapshot() for s in self._sessions.values()]
+        )
 
     def snapshot(self) -> dict:
         """The ``/metrics`` sessions section."""

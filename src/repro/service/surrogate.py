@@ -97,6 +97,22 @@ class SurrogateStore:
         self.registry.counter("service.surrogate_fallback").inc()
         return "sim"
 
+    def force_fallback(self, reason: str) -> str:
+        """Count an externally-decided downgrade (e.g. drift degraded).
+
+        The watch layer calls this when the online drift monitor has
+        flipped ``degraded`` and auto-fallback is on: the artifact is
+        loadable and supports the scheme, but its live quality says it
+        must not answer.  Accounting matches every other fallback.
+        """
+        self.requests += 1
+        self.registry.counter("service.surrogate_requests").inc()
+        return self._fallback(reason)
+
+    @property
+    def last_fallback_reason(self) -> str | None:
+        return self._last_fallback_reason or None
+
     # ------------------------------------------------------------------
     def snapshot(self) -> dict:
         """The ``/metrics`` ``surrogate`` section."""

@@ -40,7 +40,7 @@ from repro.surrogate.artifact import (
     save_model,
     try_load_model,
 )
-from repro.surrogate.fit import FitReport, SchemeFit, fit_surface
+from repro.surrogate.fit import FitReport, SchemeFit, fit_surface, score_predictions
 from repro.surrogate.space import SweepSettings, SurrogateApp, full_settings, smoke_settings
 from repro.surrogate.sweep import (
     collect_dataset,
@@ -63,6 +63,7 @@ __all__ = [
     "load_model",
     "run_sweep",
     "save_model",
+    "score_predictions",
     "smoke_settings",
     "surrogate_config",
     "sweep_digest",

@@ -77,6 +77,7 @@ __all__ = [
     "fit_scheme",
     "fit_surface",
     "evaluate_fit",
+    "score_predictions",
 ]
 
 #: Starvation floor, as a fraction of ``B``: samples whose simulated
@@ -415,6 +416,32 @@ def _metrics(
     else:
         mape = 0.0
     return r2, mape
+
+
+def score_predictions(
+    y_true: np.ndarray,
+    y_pred: np.ndarray,
+    *,
+    rel_floor: float = DEFAULT_REL_FLOOR,
+) -> tuple[float, float]:
+    """(R^2, MAPE) of normalized predictions against normalized truth.
+
+    The public face of the fit-time scorer, shared with the online
+    drift monitor (:mod:`repro.watch.drift`): both offline gates and
+    live shadow-sample scoring use the same R^2 definition and the same
+    starvation-floor MAPE, so "the artifact passed its gate" and "the
+    artifact is drifting past its gate" are directly comparable
+    statements.  Inputs are flat arrays of ``APC / B`` values.
+    """
+    y = np.asarray(y_true, dtype=float).ravel()
+    pred = np.asarray(y_pred, dtype=float).ravel()
+    if y.shape != pred.shape:
+        raise ConfigurationError(
+            f"y_true has shape {y.shape}, y_pred {pred.shape}"
+        )
+    if y.size == 0:
+        raise ConfigurationError("cannot score an empty prediction set")
+    return _metrics(y, pred, rel_floor)
 
 
 def fit_scheme(

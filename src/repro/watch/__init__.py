@@ -1,0 +1,55 @@
+"""Operational observability: SLOs, drift detection, flight recording.
+
+:mod:`repro.obs` measures -- counters, histograms, spans.
+:mod:`repro.watch` *judges*: it turns those measurements into the
+operational quality signals a team serving the partitioning model at
+scale actually pages on.
+
+``slo``
+    Declarative latency/availability/staleness objectives per endpoint
+    and per solver profile, evaluated with multi-window (fast 5 m /
+    slow 1 h) burn-rate alerting.
+``drift``
+    Shadow-samples live surrogate solves through the sim fallback path
+    and scores online MAPE/R² per scheme against the artifact's
+    fit-time gate, flipping a ``degraded`` flag (with hysteresis) that
+    the service can use to auto-fall back to the sim.
+``recorder``
+    A bounded flight-recorder ring of recent anomalous requests (slow,
+    shed, error, fallback, drift-flagged), served via
+    ``GET /v1/debug/recent``.
+``top``
+    ``repro-top``: a stdlib-curses live console tailing ``/metrics``
+    (``--once`` renders a plaintext snapshot for CI and pipes).
+
+Controller health (detector fire-rate, β churn, re-solve latency,
+regret proxies) lives in :mod:`repro.control.health` next to the
+controller it watches; the service aggregates it per session into the
+``controller`` section of ``/metrics``.  The glue binding all of this
+into the server is :mod:`repro.service.watch`.
+"""
+
+from __future__ import annotations
+
+from repro.watch.drift import DriftMonitor, ShadowSampler
+from repro.watch.recorder import FlightRecorder
+from repro.watch.slo import (
+    SLO,
+    SLOEngine,
+    WindowedCounts,
+    default_slos,
+    load_slos,
+    slos_from_json,
+)
+
+__all__ = [
+    "SLO",
+    "SLOEngine",
+    "WindowedCounts",
+    "DriftMonitor",
+    "ShadowSampler",
+    "FlightRecorder",
+    "default_slos",
+    "load_slos",
+    "slos_from_json",
+]

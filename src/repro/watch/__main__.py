@@ -1,0 +1,10 @@
+"""``python -m repro.watch`` == ``repro-top``."""
+
+from __future__ import annotations
+
+import sys
+
+from repro.watch.top import main
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,98 @@
+"""Flight recorder: a bounded ring of recent anomalous requests.
+
+Aggregates (the SLO engine, the drift monitor) tell an operator *that*
+something is wrong; the flight recorder keeps the last few hundred
+*examples* -- slow requests, errors, timeouts, sheds, surrogate
+fallbacks, drift-flagged shadow samples -- with enough detail to start
+debugging without replaying traffic.  It is served raw through
+``GET /v1/debug/recent`` and rendered by ``repro-top``.
+
+The ring is a ``deque(maxlen=capacity)``: constant memory, oldest
+records silently dropped, and per-kind lifetime counters survive the
+drop so "how many sheds ever" stays answerable after the examples age
+out.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter as TallyCounter
+from collections import deque
+from typing import Callable
+
+from repro.util.errors import ConfigurationError
+
+__all__ = ["KINDS", "FlightRecorder"]
+
+#: anomaly classes the recorder accepts
+KINDS: tuple[str, ...] = ("slow", "error", "timeout", "shed", "fallback", "drift")
+
+
+class FlightRecorder:
+    """Bounded ring of anomaly records with per-kind lifetime tallies."""
+
+    def __init__(
+        self,
+        capacity: int = 256,
+        *,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if capacity < 1:
+            raise ConfigurationError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = int(capacity)
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._ring: deque[dict] = deque(maxlen=capacity)
+        self._tally: TallyCounter[str] = TallyCounter()
+        self._seq = 0
+
+    def record(
+        self,
+        kind: str,
+        *,
+        path: str,
+        status: int | None = None,
+        latency_ms: float | None = None,
+        detail: dict | None = None,
+    ) -> dict:
+        """Append one anomaly; returns the stored record."""
+        if kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown anomaly kind {kind!r}; available: {sorted(KINDS)}"
+            )
+        with self._lock:
+            self._seq += 1
+            rec = {
+                "seq": self._seq,
+                "ts_unix": self._clock(),
+                "kind": kind,
+                "path": path,
+                "status": status,
+                "latency_ms": latency_ms,
+                "detail": dict(detail) if detail else {},
+            }
+            self._ring.append(rec)
+            self._tally[kind] += 1
+            return rec
+
+    def snapshot(self, *, limit: int | None = None, kind: str | None = None) -> dict:
+        """Newest-first records (optionally filtered) plus the tallies."""
+        if kind is not None and kind not in KINDS:
+            raise ConfigurationError(
+                f"unknown anomaly kind {kind!r}; available: {sorted(KINDS)}"
+            )
+        with self._lock:
+            records = [
+                dict(rec)
+                for rec in reversed(self._ring)
+                if kind is None or rec["kind"] == kind
+            ]
+            if limit is not None:
+                records = records[: max(0, int(limit))]
+            return {
+                "capacity": self.capacity,
+                "stored": len(self._ring),
+                "counts": {k: self._tally.get(k, 0) for k in KINDS},
+                "records": records,
+            }

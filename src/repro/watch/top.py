@@ -1,0 +1,245 @@
+"""``repro-top``: a live operations console for the advisor service.
+
+Tails ``GET /metrics`` (plus the flight recorder at
+``GET /v1/debug/recent``) and renders the watch layer's panes --
+request/solver rates and latencies, SLO burn-rate states, surrogate
+drift scores, controller health, recent anomalies -- as a
+stdlib-curses dashboard.  ``--once`` renders a single plaintext
+snapshot to stdout instead, for CI smoke tests, cron, and pipes.
+
+No dependencies beyond the repo: the HTTP side is the blocking
+:class:`repro.service.client.ServiceClient`, the UI is ``curses`` from
+the standard library (degrading to ``--once`` behaviour when the
+terminal cannot host curses).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.service.client import ServiceClient, ServiceError
+
+__all__ = ["render_lines", "main"]
+
+_STATE_MARK = {"ok": " ok ", "warn": "WARN", "page": "PAGE"}
+
+
+def _fmt_ms(value: float | None) -> str:
+    return "-" if value is None else f"{value:8.2f}"
+
+
+def _bar(fraction: float, width: int = 10) -> str:
+    filled = max(0, min(width, round(fraction * width)))
+    return "#" * filled + "." * (width - filled)
+
+
+def fetch_snapshot(client: ServiceClient) -> dict:
+    """One console frame's worth of service state."""
+    metrics = client.metrics()
+    try:
+        recent = client.debug("recent", limit=8)
+    except ServiceError:
+        recent = {"records": [], "counts": {}}
+    return {"metrics": metrics, "recent": recent}
+
+
+def render_lines(snapshot: dict, *, width: int = 100) -> list[str]:
+    """Render one frame as plain text lines (shared by curses/--once)."""
+    m = snapshot["metrics"]
+    recent = snapshot.get("recent", {})
+    process = m.get("process", {})
+    alerts = m.get("alerts", {}) or {}
+    lines: list[str] = []
+
+    uptime = float(m.get("uptime_s", 0.0))
+    lines.append(
+        f"repro-top | up {uptime:9.1f}s | pid {process.get('pid', '?')} "
+        f"| v{process.get('version', '?')} "
+        f"| rev {str(process.get('revision', '?'))[:12]} "
+        f"| cfg {str(process.get('config_digest', '?'))[:12]}"
+    )
+    lines.append(
+        f"alerts: {alerts.get('paging', 0)} paging, "
+        f"{alerts.get('warning', 0)} warning"
+    )
+    lines.append("-" * width)
+
+    lines.append("ENDPOINTS            req    err   shed      p50ms      p99ms")
+    for path, stats in sorted(m.get("endpoints", {}).items()):
+        lat = stats.get("latency_ms", {})
+        lines.append(
+            f"{path:<18} {stats.get('requests', 0):6d} "
+            f"{stats.get('errors', 0):6d} {stats.get('sheds', 0):6d} "
+            f"{_fmt_ms(lat.get('p50'))}   {_fmt_ms(lat.get('p99'))}"
+        )
+    lines.append("SOLVERS              calls                p50ms      p99ms")
+    for source, stats in sorted(m.get("solvers", {}).items()):
+        lat = stats.get("latency_ms", {})
+        lines.append(
+            f"solver:{source:<11} {stats.get('requests', 0):6d} "
+            f"{'':13s} {_fmt_ms(lat.get('p50'))}   {_fmt_ms(lat.get('p99'))}"
+        )
+    lines.append("-" * width)
+
+    lines.append("SLO                        state  fast-burn  slow-burn  breached")
+    for slo in m.get("slo", []) or []:
+        state = str(slo.get("state", "ok"))
+        if slo.get("signal") == "staleness":
+            value = slo.get("value")
+            detail = (
+                f"  age {value:8.1f}s / max {slo.get('max_age_s', 0):.0f}s"
+                if value is not None
+                else "  (no samples yet)"
+            )
+            lines.append(
+                f"{slo.get('name', '?'):<26} {_STATE_MARK.get(state, state)}"
+                + detail
+            )
+            continue
+        fast = slo.get("fast", {})
+        slow = slo.get("slow", {})
+        lines.append(
+            f"{slo.get('name', '?'):<26} {_STATE_MARK.get(state, state)} "
+            f"{fast.get('burn', 0.0):9.2f}  {slow.get('burn', 0.0):9.2f}  "
+            f"{slo.get('breached_for_s', 0.0):7.1f}s"
+        )
+    lines.append("-" * width)
+
+    drift = m.get("drift", {}) or {}
+    shadow = drift.get("shadow", {}) or {}
+    flag = "DEGRADED" if drift.get("degraded") else "healthy"
+    lines.append(
+        f"DRIFT [{flag}]  gate mape<={100 * drift.get('max_mape', 0.0):.1f}%  "
+        f"shadows {shadow.get('sampled', 0)}/{shadow.get('calls', 0)} "
+        f"(rate {shadow.get('rate', 0.0):.2f}, "
+        f"skipped {shadow.get('skipped_inflight', 0)}, "
+        f"auto_fallback={'on' if drift.get('auto_fallback') else 'off'})"
+    )
+    for scheme, score in sorted((drift.get("schemes") or {}).items()):
+        gate = max(drift.get("max_mape", 0.05), 1e-9)
+        mark = "BREACH" if score.get("breached") else "  ok  "
+        lines.append(
+            f"  {scheme:<12} {mark} mape {100 * score.get('mape', 0.0):6.2f}% "
+            f"[{_bar(min(1.0, score.get('mape', 0.0) / (2 * gate)))}] "
+            f"r2 {score.get('r2', 0.0):7.4f}  n={score.get('n', 0)}"
+        )
+    lines.append("-" * width)
+
+    ctl = m.get("controller", {}) or {}
+    lines.append(
+        f"CONTROLLER  sessions {ctl.get('sessions', 0)}  "
+        f"epochs {ctl.get('epochs', 0)}  "
+        f"fire-rate {100 * ctl.get('fire_rate', 0.0):5.1f}%  "
+        f"churn {ctl.get('beta_churn_mean', 0.0):.3f}  "
+        f"resolve {ctl.get('resolve_ms_mean', 0.0):.2f}ms "
+        f"(max {ctl.get('resolve_ms_max', 0.0):.2f})  "
+        f"regret<= {100 * ctl.get('regret_proxy_max', 0.0):.1f}%"
+    )
+    lines.append("-" * width)
+
+    counts = recent.get("counts", {}) or {}
+    lines.append(
+        "RECENT  "
+        + "  ".join(f"{k}:{counts.get(k, 0)}" for k in sorted(counts))
+    )
+    for rec in (recent.get("records") or [])[:8]:
+        latency = rec.get("latency_ms")
+        lines.append(
+            f"  [{rec.get('kind', '?'):<8}] {rec.get('path', '?'):<22} "
+            f"status={rec.get('status')} "
+            f"lat={'-' if latency is None else f'{latency:.1f}ms'} "
+            f"{rec.get('detail') or ''}"
+        )
+    return [line[:width] for line in lines]
+
+
+def _run_once(client: ServiceClient) -> int:
+    try:
+        snapshot = fetch_snapshot(client)
+    except (ServiceError, OSError) as exc:
+        print(f"repro-top: cannot reach service: {exc}", file=sys.stderr)
+        return 1
+    for line in render_lines(snapshot):
+        print(line)
+    return 0
+
+
+def _run_curses(client: ServiceClient, interval_s: float) -> int:
+    import curses
+
+    def loop(screen) -> None:
+        curses.curs_set(0)
+        screen.nodelay(True)
+        while True:
+            try:
+                snapshot = fetch_snapshot(client)
+                height, width = screen.getmaxyx()
+                lines = render_lines(snapshot, width=max(40, width - 1))
+            except (ServiceError, OSError) as exc:
+                lines = [f"repro-top: cannot reach service: {exc}"]
+            screen.erase()
+            for row, line in enumerate(lines):
+                if row >= screen.getmaxyx()[0] - 1:
+                    break
+                screen.addnstr(row, 0, line, screen.getmaxyx()[1] - 1)
+            screen.addnstr(
+                screen.getmaxyx()[0] - 1,
+                0,
+                f"refresh {interval_s:.1f}s | q quits",
+                screen.getmaxyx()[1] - 1,
+            )
+            screen.refresh()
+            deadline = time.monotonic() + interval_s
+            while time.monotonic() < deadline:
+                key = screen.getch()
+                if key in (ord("q"), ord("Q")):
+                    return
+                time.sleep(0.05)
+
+    try:
+        curses.wrapper(loop)
+    except curses.error as exc:
+        print(
+            f"repro-top: terminal cannot host curses ({exc}); "
+            "falling back to --once",
+            file=sys.stderr,
+        )
+        return _run_once(client)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-top",
+        description="Live operations console for the partitioning-advisor "
+        "service (SLO burn rates, surrogate drift, controller health).",
+    )
+    parser.add_argument("--host", default="127.0.0.1")
+    parser.add_argument("--port", type=int, default=8737)
+    parser.add_argument("--interval", type=float, default=2.0,
+                        help="refresh period in seconds (curses mode)")
+    parser.add_argument("--once", action="store_true",
+                        help="print one plaintext snapshot and exit "
+                        "(CI smoke / pipes)")
+    parser.add_argument("--timeout", type=float, default=5.0,
+                        help="per-request HTTP timeout in seconds")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    client = ServiceClient(args.host, args.port, timeout=args.timeout)
+    try:
+        if args.once:
+            return _run_once(client)
+        return _run_curses(client, max(0.2, args.interval))
+    except KeyboardInterrupt:
+        return 0
+    finally:
+        client.close()
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,148 @@
+"""Oracle-free controller health: fire rate, churn, regret proxy."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.control import ControllerHealth
+from repro.util.errors import ConfigurationError
+
+
+def test_fire_rate_counts_changed_epochs():
+    h = ControllerHealth()
+    for i in range(10):
+        h.observe_epoch(changed=(i % 5 == 0), beta=(0.5, 0.5))
+    assert h.epochs == 10
+    assert h.changes == 2
+    assert h.fire_rate == pytest.approx(0.2)
+
+
+def test_skipped_resolve_counts_the_epoch_only():
+    h = ControllerHealth()
+    h.observe_epoch(changed=False, beta=None)  # warm-up epoch
+    assert h.epochs == 1
+    assert h.resolves == 0
+    assert h.last_churn is None
+
+
+def test_beta_churn_is_half_l1():
+    h = ControllerHealth()
+    h.observe_epoch(changed=True, beta=(0.6, 0.4))
+    assert h.last_churn is None  # needs two re-solves
+    h.observe_epoch(changed=True, beta=(0.5, 0.5))
+    assert h.last_churn == pytest.approx(0.1)
+    h.observe_epoch(changed=False, beta=(0.5, 0.5))
+    assert h.last_churn == pytest.approx(0.0)
+
+
+def test_churn_skipped_on_shape_change():
+    h = ControllerHealth()
+    h.observe_epoch(changed=True, beta=(0.6, 0.4))
+    h.observe_epoch(changed=True, beta=(0.4, 0.3, 0.3))
+    assert h.last_churn is None
+
+
+def test_regret_proxy_prices_the_previous_shares():
+    h = ControllerHealth()
+    # app demands 0.8 APC each at bandwidth 1.0; the old split starves
+    # app 1 to 0.1 of the bus
+    h.observe_epoch(
+        changed=True, beta=(0.9, 0.1), estimate=(0.8, 0.8), bandwidth=1.0
+    )
+    h.observe_epoch(
+        changed=True, beta=(0.5, 0.5), estimate=(0.8, 0.8), bandwidth=1.0
+    )
+    # achievable(new)=min(.8,.5)*2=1.0, achievable(old)=.8+.1=0.9
+    assert h.snapshot()["regret_proxy"]["last"] == pytest.approx(0.1)
+
+
+def test_regret_zero_when_shares_do_not_move():
+    h = ControllerHealth()
+    for _ in range(3):
+        h.observe_epoch(
+            changed=False, beta=(0.5, 0.5), estimate=(0.8, 0.8), bandwidth=1.0
+        )
+    assert h.snapshot()["regret_proxy"]["max"] == 0.0
+
+
+def test_regret_guarded_against_nan_estimates():
+    h = ControllerHealth()
+    h.observe_epoch(
+        changed=True, beta=(0.6, 0.4), estimate=(np.nan, 0.5), bandwidth=1.0
+    )
+    h.observe_epoch(
+        changed=True, beta=(0.5, 0.5), estimate=(np.nan, 0.5), bandwidth=1.0
+    )
+    assert h.snapshot()["regret_proxy"] == {"last": 0.0, "mean": 0.0, "max": 0.0}
+
+
+def test_resolve_latency_is_caller_supplied():
+    h = ControllerHealth()
+    h.observe_epoch(changed=False, beta=(0.5, 0.5), resolve_ms=2.0)
+    h.observe_epoch(changed=False, beta=(0.5, 0.5), resolve_ms=6.0)
+    stats = h.snapshot()["resolve_ms"]
+    assert stats == {"last": 6.0, "mean": 4.0, "max": 6.0}
+
+
+def test_degenerate_rate():
+    h = ControllerHealth()
+    h.observe_epoch(changed=False, degenerate=True, beta=None)
+    h.observe_epoch(changed=False, beta=(1.0,))
+    assert h.degenerate_rate == pytest.approx(0.5)
+
+
+def test_window_bounds_the_series():
+    h = ControllerHealth(window=4)
+    for i in range(50):
+        h.observe_epoch(changed=False, beta=(0.5, 0.5), resolve_ms=float(i))
+    assert h.snapshot()["resolve_ms"]["mean"] == pytest.approx(47.5)
+
+
+def test_window_validation():
+    with pytest.raises(ConfigurationError):
+        ControllerHealth(window=0)
+
+
+class TestAggregate:
+    def test_empty_fleet_is_all_zeros(self):
+        agg = ControllerHealth.aggregate([])
+        assert agg["sessions"] == 0
+        assert agg["fire_rate"] == 0.0
+
+    def test_fleet_view_sums_and_maxes(self):
+        a, b = ControllerHealth(), ControllerHealth()
+        a.observe_epoch(changed=True, beta=(0.6, 0.4), resolve_ms=1.0)
+        a.observe_epoch(changed=True, beta=(0.5, 0.5), resolve_ms=3.0)
+        b.observe_epoch(changed=False, beta=(0.5, 0.5), resolve_ms=9.0)
+        b.observe_epoch(changed=False, beta=(0.5, 0.5), resolve_ms=1.0)
+        agg = ControllerHealth.aggregate([a.snapshot(), b.snapshot()])
+        assert agg["sessions"] == 2
+        assert agg["epochs"] == 4
+        assert agg["changes"] == 2
+        assert agg["fire_rate"] == pytest.approx(0.5)
+        assert agg["resolve_ms_max"] == 9.0
+        assert agg["beta_churn_mean"] == pytest.approx((0.1 + 0.0) / 2)
+
+
+def test_controller_wires_health_by_default():
+    from repro.control import EpochController
+    from repro.core.partitioning import scheme_by_name
+    from repro.sim.mc.stf import StartTimeFairScheduler
+    from repro.sim.profiler import OnlineProfiler
+
+    def profiler_with(estimates):
+        p = OnlineProfiler(len(estimates), peak_apc=0.01)
+        p.estimates = np.array(estimates, dtype=float)
+        return p
+
+    ctl = EpochController(
+        scheme_by_name("prop"), [0.02, 0.02], bandwidth=0.01,
+        epoch_cycles=100.0,
+    )
+    sched = StartTimeFairScheduler(2, np.array([0.5, 0.5]))
+    ctl(100.0, profiler_with([0.003, 0.001]), sched)
+    ctl(200.0, profiler_with([0.001, 0.003]), sched)
+    assert ctl.health.epochs == 2
+    assert ctl.health.resolves == 2
+    assert ctl.health.last_churn == pytest.approx(0.5)  # 0.75/0.25 swapped

@@ -112,6 +112,56 @@ class TestSnapshotAndExport:
         assert 'service_latency_ms_count{path="/v1/partition"} 1' in text
         assert 'quantile="0.5"' in text
 
+    def test_prometheus_text_emits_min_and_max(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("service.latency_ms", path="/v1/partition")
+        for v in (4.0, 1.5, 9.0):
+            h.observe(v)
+        text = obs.prometheus_text(reg)
+        assert 'service_latency_ms_min{path="/v1/partition"} 1.5' in text
+        assert 'service_latency_ms_max{path="/v1/partition"} 9.0' in text
+
     def test_global_registry_is_process_wide(self):
         obs.registry().counter("global.check").inc()
         assert obs.registry().get_value("global.check") == 1.0
+
+
+class TestQuantileMath:
+    """Pin the nearest-rank rule: index = round(q * (n - 1)).
+
+    These values are load-bearing for dashboards: the exporter's
+    ``quantile=`` series and the ``/metrics`` latency fields both ride
+    on this rule, so a silent switch to linear interpolation (or an
+    off-by-one in the rank) should fail loudly here.
+    """
+
+    def test_window_1_to_100_pins_p50_p90_p99(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("pinned", reservoir=128)
+        for v in range(1, 101):  # window = [1.0 .. 100.0]
+            h.observe(float(v))
+        snap = h.snapshot()
+        # round(0.5 * 99) = 50 -> 51.0 (half-even), round(0.9 * 99) = 89
+        # -> 90.0, round(0.99 * 99) = 98 -> 99.0
+        assert snap["p50"] == 51.0
+        assert snap["p90"] == 90.0
+        assert snap["p99"] == 99.0
+
+    def test_extremes_clamp_to_window_ends(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("pinned")
+        for v in (3.0, 1.0, 2.0):
+            h.observe(v)
+        assert h.percentile(0.0) == 1.0
+        assert h.percentile(1.0) == 3.0
+
+    def test_single_observation_is_every_percentile(self):
+        reg = MetricsRegistry()
+        h = reg.histogram("pinned")
+        h.observe(7.5)
+        for q in (0.0, 0.5, 0.9, 0.99, 1.0):
+            assert h.percentile(q) == 7.5
+
+    def test_empty_window_reports_zero(self):
+        reg = MetricsRegistry()
+        assert reg.histogram("pinned").percentile(0.5) == 0.0

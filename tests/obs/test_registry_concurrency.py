@@ -1,0 +1,126 @@
+"""MetricsRegistry under concurrency: threads and forked workers.
+
+The registry's contract is *no lost increments*: every instrument
+carries its own lock, so counters hammered from many threads land on
+the exact total and histogram aggregates stay internally consistent.
+The forkserver case pins the other half of the story -- instruments
+hold ``threading.Lock`` objects, so a registry must be *created inside*
+a worker process (never pickled into one), and a fresh start method
+must produce the same exact totals and parseable Prometheus text.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import threading
+
+import pytest
+
+from repro.obs.exporters import prometheus_text
+from repro.obs.registry import MetricsRegistry
+
+N_THREADS = 8
+N_PER_THREAD = 4000
+
+
+def _hammer(reg: MetricsRegistry, n: int) -> None:
+    """Per-thread body: get-or-create then update all three kinds."""
+    counter = reg.counter("conc.requests", path="/x")
+    gauge = reg.gauge("conc.level")
+    hist = reg.histogram("conc.latency_ms", reservoir=256)
+    for i in range(n):
+        counter.inc()
+        gauge.add(1.0)
+        hist.observe(float(i % 7))
+
+
+def _run_threads(reg: MetricsRegistry, n_threads: int, n: int) -> None:
+    threads = [
+        threading.Thread(target=_hammer, args=(reg, n))
+        for _ in range(n_threads)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+
+
+def _forkserver_report(n: int) -> tuple[float, int, str]:
+    """Worker entry point (module top level so forkserver can import it)."""
+    reg = MetricsRegistry()
+    _run_threads(reg, N_THREADS, n)
+    total = reg.get_value("conc.requests", path="/x")
+    hist = reg.histogram("conc.latency_ms", reservoir=256)
+    return float(total), hist.snapshot()["count"], prometheus_text(reg)
+
+
+class TestThreadSafety:
+    def test_no_lost_increments_across_threads(self):
+        reg = MetricsRegistry()
+        _run_threads(reg, N_THREADS, N_PER_THREAD)
+        expected = float(N_THREADS * N_PER_THREAD)
+        assert reg.get_value("conc.requests", path="/x") == expected
+        assert reg.get_value("conc.level") == expected
+        snap = reg.histogram("conc.latency_ms", reservoir=256).snapshot()
+        assert snap["count"] == N_THREADS * N_PER_THREAD
+        assert snap["min"] == 0.0
+        assert snap["max"] == 6.0
+
+    def test_concurrent_get_or_create_yields_one_instrument(self):
+        reg = MetricsRegistry()
+        found = []
+        barrier = threading.Barrier(N_THREADS)
+
+        def create():
+            barrier.wait()
+            found.append(reg.counter("conc.created", path="/race"))
+
+        threads = [threading.Thread(target=create) for _ in range(N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert all(c is found[0] for c in found)
+
+    def test_export_is_stable_while_threads_write(self):
+        """Exporting mid-hammer never crashes or emits unparseable lines."""
+        reg = MetricsRegistry()
+        writers = [
+            threading.Thread(target=_hammer, args=(reg, N_PER_THREAD))
+            for _ in range(4)
+        ]
+        for t in writers:
+            t.start()
+        try:
+            for _ in range(50):
+                text = prometheus_text(reg)
+                for line in text.splitlines():
+                    if line.startswith("#") or not line:
+                        continue
+                    # every sample line ends in a parseable float
+                    float(line.rsplit(" ", 1)[1])
+        finally:
+            for t in writers:
+                t.join()
+        # after the writers drain, the export shows the exact total
+        final = prometheus_text(reg)
+        assert f'conc_requests{{path="/x"}} {4 * N_PER_THREAD}.0' in final
+
+
+class TestForkserverWorker:
+    def test_worker_process_registry_is_consistent(self):
+        try:
+            ctx = multiprocessing.get_context("forkserver")
+        except ValueError:  # platform without forkserver
+            pytest.skip("forkserver start method unavailable")
+        with ctx.Pool(processes=1) as pool:
+            total, hist_count, text = pool.apply(
+                _forkserver_report, (N_PER_THREAD // 4,)
+            )
+        expected = N_THREADS * (N_PER_THREAD // 4)
+        assert total == float(expected)
+        assert hist_count == expected
+        assert f'conc_requests{{path="/x"}} {expected}.0' in text
+        assert "# TYPE conc_latency_ms summary" in text
+        assert "conc_latency_ms_min" in text
+        assert "conc_latency_ms_max" in text

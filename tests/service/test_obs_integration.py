@@ -142,8 +142,8 @@ def test_path_labels_bucket_as_other_past_cap():
     # ... the registry label space stays bounded
     labels = {
         labels_["path"]
-        for _, _, labels_, _ in metrics_registry.series()
-        if _ is not None
+        for name, _, labels_, _ in metrics_registry.series()
+        if name == "service.requests"
     }
     assert "other" in labels
     assert metrics_registry.get_value("service.requests", path="other") == 24.0

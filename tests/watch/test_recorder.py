@@ -1,0 +1,61 @@
+"""Flight recorder: bounded ring, per-kind tallies, filtered snapshots."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.errors import ConfigurationError
+from repro.watch import FlightRecorder
+
+
+def test_records_come_back_newest_first():
+    rec = FlightRecorder(capacity=8, clock=lambda: 5.0)
+    rec.record("error", path="/a", status=500)
+    rec.record("slow", path="/b", latency_ms=900.0)
+    snap = rec.snapshot()
+    assert [r["kind"] for r in snap["records"]] == ["slow", "error"]
+    assert snap["records"][0]["seq"] == 2
+    assert snap["records"][0]["ts_unix"] == 5.0
+    assert snap["stored"] == 2
+
+
+def test_capacity_bounds_the_ring_but_not_the_tallies():
+    rec = FlightRecorder(capacity=4)
+    for i in range(10):
+        rec.record("shed", path=f"/p{i}", status=429)
+    snap = rec.snapshot()
+    assert snap["stored"] == 4
+    assert snap["counts"]["shed"] == 10  # lifetime tally survives eviction
+    assert [r["path"] for r in snap["records"]] == ["/p9", "/p8", "/p7", "/p6"]
+
+
+def test_kind_filter_and_limit():
+    rec = FlightRecorder()
+    rec.record("error", path="/a", status=500)
+    rec.record("timeout", path="/b", status=504)
+    rec.record("error", path="/c", status=503)
+    snap = rec.snapshot(kind="error", limit=1)
+    assert len(snap["records"]) == 1
+    assert snap["records"][0]["path"] == "/c"
+    assert snap["counts"]["error"] == 2
+
+
+def test_detail_is_copied_not_aliased():
+    rec = FlightRecorder()
+    detail = {"reason": "x"}
+    rec.record("fallback", path="/a", detail=detail)
+    detail["reason"] = "mutated"
+    assert rec.snapshot()["records"][0]["detail"] == {"reason": "x"}
+
+
+def test_unknown_kind_rejected():
+    rec = FlightRecorder()
+    with pytest.raises(ConfigurationError, match="unknown anomaly kind"):
+        rec.record("mystery", path="/a")
+    with pytest.raises(ConfigurationError, match="unknown anomaly kind"):
+        rec.snapshot(kind="mystery")
+
+
+def test_capacity_validation():
+    with pytest.raises(ConfigurationError):
+        FlightRecorder(capacity=0)
