@@ -4,9 +4,9 @@ PYTHON ?= python
 BENCH_JSON ?= benchmarks/out/bench_current.json
 
 .PHONY: install test properties benchmarks bench bench-compare bench-baseline \
-	experiments scorecard examples serve bench-service bench-obs \
-	bench-sweep bench-surrogate bench-control bench-watch lint \
-	typecheck clean
+	experiments scorecard examples serve bench-service \
+	bench-service-saturation bench-obs bench-sweep bench-surrogate \
+	bench-control bench-watch lint typecheck clean
 
 install:
 	pip install -e . || $(PYTHON) setup.py develop
@@ -58,6 +58,13 @@ serve:
 # load generator: batched vs unbatched RPS + latency percentiles
 bench-service:
 	$(PYTHON) benchmarks/bench_service.py
+
+# scale-out gates: open-loop ramps to the knee for 1 process vs a
+# pre-fork fleet, cross-worker shared-cache hits, 429 + Retry-After
+# overload sheds, and fleet-vs-single bit identity; writes top-level
+# BENCH_service.json (see docs/SERVICE.md "Scaling out")
+bench-service-saturation:
+	$(PYTHON) benchmarks/bench_service.py --saturation --workers 4
 
 # surrogate gates: smoke-sweep fit quality (held-out R^2 >= 0.98,
 # MAPE <= 5% per scheme) and >= 50x serve-path speedup over the sim

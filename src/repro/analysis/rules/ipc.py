@@ -9,6 +9,15 @@ unlinking it, writing JSON into shared directories non-atomically
 are a general Python footgun but uniquely nasty here because default
 state mutated in the parent silently diverges from the forkserver
 children's copy.
+
+The scale-out serving work added a fourth family: the cross-worker
+result cache (:mod:`repro.util.shmcache`) hands lock-free readers a
+mmap slot guarded by a seqlock, and two mistakes there corrupt or
+destroy shared state silently -- a writer that bumps the slot version
+only once (the open, odd write) leaves the slot unreadable forever,
+and a worker that attaches a sibling's segment without opting out of
+the resource tracker gets the segment *unlinked out from under the
+fleet* when that worker exits.  ``ipc-seqlock`` catches both shapes.
 """
 
 from __future__ import annotations
@@ -26,7 +35,12 @@ from repro.analysis.rules._ast_util import (
     walk_with_function,
 )
 
-__all__ = ["ShmUnlinkRule", "AtomicWriteRule", "MutableDefaultRule"]
+__all__ = [
+    "ShmUnlinkRule",
+    "AtomicWriteRule",
+    "MutableDefaultRule",
+    "SeqlockRule",
+]
 
 
 @register
@@ -92,6 +106,108 @@ class AtomicWriteRule(Rule):
                 "a reader can observe a torn file -- use "
                 "repro.util.cache.atomic_write_json (temp file + "
                 "os.replace)",
+            )
+
+
+def _mutates_shared_buf(node: ast.AST) -> bool:
+    """Does this expression/statement write into a ``.buf`` mapping?
+
+    Two shapes count: subscript assignment (``x.buf[a:b] = ...``) and
+    ``struct.pack_into(fmt, x.buf, ...)``.
+    """
+    if isinstance(node, ast.Assign):
+        return any(
+            isinstance(t, ast.Subscript)
+            and isinstance(t.value, ast.Attribute)
+            and t.value.attr == "buf"
+            for t in node.targets
+        )
+    if isinstance(node, ast.Call):
+        name = dotted_name(node.func) or ""
+        if name.rpartition(".")[2] == "pack_into":
+            return any(
+                isinstance(arg, ast.Attribute) and arg.attr == "buf"
+                for arg in node.args
+            )
+    return False
+
+
+@register
+class SeqlockRule(Rule):
+    id = "ipc-seqlock"
+    description = (
+        "seqlock writers must bump the slot version twice (odd open, "
+        "even close); by-name SharedMemory attaches must opt out of "
+        "the resource tracker"
+    )
+    default_paths = ("repro/experiments", "repro/util", "repro/service")
+
+    def check_file(self, ctx: FileContext) -> Iterable[Diagnostic]:
+        # --- torn seqlock bracket ------------------------------------
+        # A function mutating a shared .buf *and* touching the version
+        # word is a seqlock writer; exactly one bump means the slot is
+        # left with an odd version and every reader misses forever.
+        # (Zero bumps stays silent: plain one-shot shm blits -- export
+        # buffers, superblock init -- are not seqlock slots.)
+        for node in ctx.walk():
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            writes = 0
+            version_bumps = 0
+            for sub in ast.walk(node):
+                if _mutates_shared_buf(sub):
+                    writes += 1
+                if isinstance(sub, ast.Call):
+                    name = dotted_name(sub.func) or ""
+                    if name.rpartition(".")[2] == "_write_version":
+                        version_bumps += 1
+            if writes and version_bumps == 1:
+                yield self.diag(
+                    ctx,
+                    node,
+                    f"{node.name}() writes a shared buffer but bumps the "
+                    "seqlock version only once; the slot stays odd "
+                    "(write-in-progress) and no reader ever accepts it "
+                    "-- bracket the payload write with two "
+                    "_write_version calls",
+                )
+        # --- tracker-adopted attach ----------------------------------
+        # Attaching a sibling's segment by name registers it with this
+        # process's resource tracker, which unlinks it at exit -- out
+        # from under every other worker.  Accepted mitigations in the
+        # file: an unregister call, or suppressing the registration at
+        # the source by rebinding resource_tracker.register (the only
+        # shape safe under fork, where workers share one tracker).
+        has_tracker_optout = any(
+            (isinstance(node, ast.Attribute) and node.attr == "unregister")
+            or (
+                isinstance(node, ast.Assign)
+                and any(
+                    isinstance(t, ast.Attribute)
+                    and t.attr == "register"
+                    and dotted_name(t.value) == "resource_tracker"
+                    for t in node.targets
+                )
+            )
+            for node in ctx.walk()
+        )
+        for call in iter_calls(ctx.tree):
+            name = dotted_name(call.func) or ""
+            if name.rpartition(".")[2] != "SharedMemory":
+                continue
+            kwargs = {kw.arg for kw in call.keywords}
+            if "name" not in kwargs or "create" in kwargs:
+                continue
+            if "track" in kwargs or has_tracker_optout:
+                continue
+            yield self.diag(
+                ctx,
+                call,
+                "SharedMemory(name=...) attach without track=False (or a "
+                "resource-tracker opt-out: unregister, or a register "
+                "suppression); this process's resource tracker will "
+                "unlink the shared segment at exit, destroying it for "
+                "every other attached worker",
             )
 
 

@@ -21,11 +21,16 @@ from repro.service.protocol import (
 )
 from repro.service.server import PartitionService, serve
 from repro.service.sessions import SessionLimitError, SessionManager, StreamSession
+from repro.service.shedding import AdmissionController, Deadline, DeadlineExceeded
+from repro.service.supervisor import Supervisor
 from repro.service.surrogate import SurrogateStore
 from repro.service.watch import ServiceWatch
 
 __all__ = [
+    "AdmissionController",
     "AsyncServiceClient",
+    "Deadline",
+    "DeadlineExceeded",
     "MicroBatcher",
     "PartitionRequest",
     "PartitionService",
@@ -40,6 +45,7 @@ __all__ = [
     "SessionManager",
     "StreamOpenRequest",
     "StreamSession",
+    "Supervisor",
     "SurrogateStore",
     "parse_partition_request",
     "parse_qos_request",

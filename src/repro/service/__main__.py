@@ -50,6 +50,23 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-auto-fallback", action="store_true",
                         help="keep serving the surrogate even while the "
                         "online drift monitor reports it degraded")
+    parser.add_argument("--workers", type=int, default=defaults.workers,
+                        help="pre-fork this many worker processes behind "
+                        "one port (1 = classic single-process server)")
+    parser.add_argument("--no-reuse-port", action="store_true",
+                        help="multi-worker: share one listening socket "
+                        "across workers instead of SO_REUSEPORT")
+    parser.add_argument("--max-inflight", type=int,
+                        default=defaults.max_inflight,
+                        help="per-worker admission budget; arrivals past "
+                        "this many in-flight requests are shed with 429 + "
+                        "Retry-After (0 disables shedding)")
+    parser.add_argument("--no-shared-cache", action="store_true",
+                        help="multi-worker: per-process result caches "
+                        "instead of the cross-worker shared segment")
+    parser.add_argument("--shared-cache-slots", type=int,
+                        default=defaults.shared_cache_slots,
+                        help="slots in the cross-worker shared cache")
     return parser
 
 
@@ -68,6 +85,11 @@ def config_from_args(args: argparse.Namespace) -> ServiceConfig:
         shadow_rate=args.shadow_rate,
         slo_path=args.slo_path,
         drift_auto_fallback=not args.no_auto_fallback,
+        workers=args.workers,
+        reuse_port=not args.no_reuse_port,
+        max_inflight=args.max_inflight,
+        shared_cache=False if args.no_shared_cache else None,
+        shared_cache_slots=args.shared_cache_slots,
     )
 
 
@@ -93,10 +115,30 @@ async def _run(config: ServiceConfig) -> None:
         await service.stop()
 
 
+def _run_supervised(config: ServiceConfig) -> None:
+    from repro.service.supervisor import Supervisor
+
+    supervisor = Supervisor(config)
+    print(
+        f"repro-serve: pre-forking {config.workers} workers "
+        f"(shared_cache={'on' if config.shared_cache_enabled else 'off'}, "
+        f"max_inflight={config.max_inflight or 'unbounded'})",
+        flush=True,
+    )
+    try:
+        supervisor.run()
+    finally:
+        print("repro-serve: supervisor stopped", flush=True)
+
+
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    config = config_from_args(args)
     try:
-        asyncio.run(_run(config_from_args(args)))
+        if config.workers > 1:
+            _run_supervised(config)
+        else:
+            asyncio.run(_run(config))
     except KeyboardInterrupt:
         pass
     return 0

@@ -1,12 +1,22 @@
 """Content-addressed result cache for solved requests.
 
-Two layers: a bounded in-memory LRU (always on when caching is
-enabled) and an optional persistent layer backed by
-:class:`repro.util.cache.SimCache`, sharing its directory conventions
-(``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``) under a ``service/``
-subdirectory.  Keys are :func:`repro.util.cache.config_digest` hashes
-of the canonical request, so two requests that mean the same thing hit
-the same entry regardless of field order.
+Up to three layers, checked nearest-first:
+
+1. a bounded in-memory LRU (always on when caching is enabled);
+2. an optional cross-worker shared layer backed by
+   :class:`repro.util.shmcache.SharedResultCache` -- a seqlock-guarded
+   mmap hash table the pre-fork supervisor shares across every worker,
+   so a solve cached by one worker is a hit for all;
+3. an optional persistent layer backed by
+   :class:`repro.util.cache.SimCache`, sharing its directory
+   conventions (``REPRO_CACHE_DIR`` / ``REPRO_NO_CACHE``) under a
+   ``service/`` subdirectory.
+
+Keys are :func:`repro.util.cache.config_digest` hashes of the
+canonical request, so two requests that mean the same thing hit the
+same entry regardless of field order.  Hits from the outer layers are
+promoted into the LRU; a value the shared table cannot hold (slot
+overflow) simply stays per-process -- the LRU is always the fallback.
 """
 
 from __future__ import annotations
@@ -15,6 +25,7 @@ from collections import OrderedDict
 
 from repro import obs
 from repro.util.cache import CacheStats, SimCache
+from repro.util.shmcache import SharedResultCache
 
 __all__ = ["ResultCache", "default_disk_cache"]
 
@@ -27,24 +38,31 @@ def default_disk_cache() -> SimCache:
 
 
 class ResultCache:
-    """LRU of request-digest -> response dict, with optional disk layer.
+    """LRU of request-digest -> response dict, + shared/disk layers.
 
     Stored values are the cache-independent part of a response body
     (no ``cached``/``batch_size`` envelope fields); callers re-wrap on
     the way out.
     """
 
-    def __init__(self, capacity: int = 4096, disk: SimCache | None = None) -> None:
+    def __init__(
+        self,
+        capacity: int = 4096,
+        disk: SimCache | None = None,
+        shared: SharedResultCache | None = None,
+    ) -> None:
         if capacity <= 0:
             raise ValueError(f"capacity must be > 0, got {capacity}")
         self.capacity = capacity
         self.disk = disk
+        self.shared = shared
         self.stats = CacheStats()
         self._entries: OrderedDict[str, dict] = OrderedDict()
         reg = obs.registry()
         self._obs_hits = reg.counter("cache.hits", cache="service")
         self._obs_misses = reg.counter("cache.misses", cache="service")
         self._obs_puts = reg.counter("cache.puts", cache="service")
+        self._obs_shared_hits = reg.counter("cache.hits", cache="shared")
 
     def __len__(self) -> int:
         return len(self._entries)
@@ -56,6 +74,15 @@ class ResultCache:
             self.stats.hits += 1
             self._obs_hits.inc()
             return value
+        if self.shared is not None:
+            value = self.shared.get(key)
+            if value is not None:
+                # a sibling worker solved this; make the next lookup local
+                self._store(key, value)
+                self.stats.hits += 1
+                self._obs_hits.inc()
+                self._obs_shared_hits.inc()
+                return value
         if self.disk is not None:
             value = self.disk.get(key)
             if value is not None:
@@ -72,6 +99,9 @@ class ResultCache:
         self._store(key, value)
         self.stats.puts += 1
         self._obs_puts.inc()
+        if self.shared is not None:
+            # False (doesn't fit a slot) is fine: the LRU above holds it
+            self.shared.put(key, value)
         if self.disk is not None:
             self.disk.put(key, value)
 
@@ -81,8 +111,15 @@ class ResultCache:
         while len(self._entries) > self.capacity:
             self._entries.popitem(last=False)
 
+    def close(self) -> None:
+        """Drop the shared-segment mapping (segment ownership stays put)."""
+        if self.shared is not None:
+            self.shared.close()
+
     def snapshot(self) -> dict:
         out = dict(self.stats.as_dict(), size=len(self), capacity=self.capacity)
+        if self.shared is not None:
+            out["shared"] = self.shared.snapshot()
         if self.disk is not None:
             out["disk"] = self.disk.cache_stats()
         return out

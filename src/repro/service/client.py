@@ -9,7 +9,12 @@ Two flavours over the same JSON protocol:
   load generator does).
 
 Non-2xx responses raise :class:`ServiceError` carrying the HTTP status
-and the server's structured error type/message.
+and the server's structured error type/message -- plus, on a shed
+(429), the server's ``Retry-After`` hint as ``retry_after_s``.  Both
+clients offer ``request_with_retry`` which honours that hint with
+jittered backoff, so callers get the full shed/retry contract without
+hand-rolling the loop; ``deadline_ms=`` attaches the relative
+``X-Deadline-Ms`` budget header the server sheds against.
 """
 
 from __future__ import annotations
@@ -17,7 +22,10 @@ from __future__ import annotations
 import asyncio
 import http.client
 import json
+import random
+import time
 
+from repro.service.shedding import DEADLINE_HEADER
 from repro.util.errors import ReproError
 
 __all__ = ["ServiceError", "ServiceClient", "AsyncServiceClient"]
@@ -26,17 +34,69 @@ __all__ = ["ServiceError", "ServiceClient", "AsyncServiceClient"]
 class ServiceError(ReproError):
     """A non-2xx response from the advisor service."""
 
-    def __init__(self, status: int, error_type: str, message: str) -> None:
+    def __init__(
+        self,
+        status: int,
+        error_type: str,
+        message: str,
+        *,
+        retry_after_s: float | None = None,
+    ) -> None:
         super().__init__(f"[{status} {error_type}] {message}")
         self.status = status
         self.error_type = error_type
+        #: the server's backoff hint on a shed (429); None otherwise.
+        #: Sourced from the JSON body's float ``retry_after_s`` when
+        #: present (the Retry-After *header* is RFC-rounded to whole
+        #: seconds), falling back to the header.
+        self.retry_after_s = retry_after_s
+
+    @property
+    def retryable(self) -> bool:
+        """Sheds are explicitly safe to retry: nothing was solved."""
+        return self.status == 429
 
     @classmethod
-    def from_response(cls, status: int, payload) -> "ServiceError":
+    def from_response(
+        cls, status: int, payload, *, retry_after: str | None = None
+    ) -> "ServiceError":
+        retry_s: float | None = None
+        if isinstance(payload, dict) and isinstance(
+            payload.get("retry_after_s"), (int, float)
+        ):
+            retry_s = float(payload["retry_after_s"])
+        elif retry_after is not None:
+            try:
+                retry_s = float(retry_after)
+            except ValueError:
+                retry_s = None
         if isinstance(payload, dict) and isinstance(payload.get("error"), dict):
             err = payload["error"]
-            return cls(status, str(err.get("type", "Error")), str(err.get("message", "")))
-        return cls(status, "Error", str(payload))
+            return cls(
+                status,
+                str(err.get("type", "Error")),
+                str(err.get("message", "")),
+                retry_after_s=retry_s,
+            )
+        return cls(status, "Error", str(payload), retry_after_s=retry_s)
+
+
+def _backoff_s(
+    attempt: int,
+    hint: float | None,
+    *,
+    base_s: float,
+    max_s: float,
+    rand,
+) -> float:
+    """Jittered delay before retry ``attempt`` (0-based).
+
+    The server's Retry-After hint wins over the exponential ladder;
+    either way the delay is jittered into ``[0.5, 1.0] x nominal`` so a
+    herd of shed clients does not reconverge on the same instant.
+    """
+    nominal = hint if hint is not None else base_s * (2.0 ** attempt)
+    return min(max_s, nominal) * (0.5 + 0.5 * rand())
 
 
 def _partition_payload(
@@ -115,9 +175,18 @@ class ServiceClient:
         self._conn: http.client.HTTPConnection | None = None
 
     # ------------------------------------------------------------------
-    def _request(self, method: str, path: str, payload=None):
+    def _request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        deadline_ms: float | None = None,
+    ):
         body = json.dumps(payload).encode("utf-8") if payload is not None else None
         headers = {"Content-Type": "application/json"} if body else {}
+        if deadline_ms is not None:
+            headers[DEADLINE_HEADER] = f"{deadline_ms:g}"
         for attempt in (0, 1):
             if self._conn is None:
                 self._conn = http.client.HTTPConnection(
@@ -136,8 +205,51 @@ class ServiceClient:
                     raise
         data = json.loads(raw.decode("utf-8")) if raw else {}
         if response.status >= 400:
-            raise ServiceError.from_response(response.status, data)
+            raise ServiceError.from_response(
+                response.status, data, retry_after=response.getheader("Retry-After")
+            )
         return data
+
+    def request_with_retry(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        max_attempts: int = 5,
+        deadline_ms: float | None = None,
+        base_backoff_s: float = 0.05,
+        max_backoff_s: float = 5.0,
+        rand=random.random,
+        sleep=time.sleep,
+    ):
+        """One request, retried through sheds and dropped connections.
+
+        A 429 shed sleeps out the server's ``Retry-After`` hint
+        (jittered, see :func:`_backoff_s`); connection-level failures
+        take the exponential ladder.  Any other :class:`ServiceError`
+        (400/422/504/...) is not retryable and raises immediately.
+        After ``max_attempts`` the last error propagates.
+        """
+        for attempt in range(max_attempts):
+            final = attempt == max_attempts - 1
+            try:
+                return self._request(method, path, payload, deadline_ms=deadline_ms)
+            except ServiceError as exc:
+                if not exc.retryable or final:
+                    raise
+                hint = exc.retry_after_s
+            except (http.client.HTTPException, ConnectionError, OSError):
+                if final:
+                    raise
+                hint = None
+            sleep(
+                _backoff_s(
+                    attempt, hint,
+                    base_s=base_backoff_s, max_s=max_backoff_s, rand=rand,
+                )
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     def partition(
@@ -150,6 +262,7 @@ class ServiceClient:
         metrics=None,
         work_conserving: bool = True,
         profile: str = "analytic",
+        deadline_ms: float | None = None,
     ) -> dict:
         """Solve one partitioning problem; returns the response body.
 
@@ -157,7 +270,9 @@ class ServiceClient:
         (``analytic``), the fitted response surface (``surrogate``,
         falling back to a bounded simulation when no valid artifact is
         loaded -- check the response's ``source`` field), or the
-        bounded simulation itself (``sim``).
+        bounded simulation itself (``sim``).  ``deadline_ms`` sends the
+        relative budget header the server sheds against (504 once it
+        is spent).
         """
         return self._request(
             "POST",
@@ -165,6 +280,7 @@ class ServiceClient:
             _partition_payload(
                 apc_alone, bandwidth, scheme, api, metrics, work_conserving, profile
             ),
+            deadline_ms=deadline_ms,
         )
 
     def partition_batch(self, requests: list[dict]) -> list[dict]:
@@ -268,13 +384,16 @@ class AsyncServiceClient:
             self.host, self.port, limit=1 << 22
         )
 
-    async def _roundtrip(self, method: str, path: str, body: bytes):
+    async def _roundtrip(
+        self, method: str, path: str, body: bytes, extra_head: str = ""
+    ):
         assert self._reader is not None and self._writer is not None
         head = (
             f"{method} {path} HTTP/1.1\r\n"
             f"Host: {self.host}:{self.port}\r\n"
             "Content-Type: application/json\r\n"
             f"Content-Length: {len(body)}\r\n"
+            f"{extra_head}"
             "\r\n"
         )
         self._writer.write(head.encode("latin-1") + body)
@@ -283,26 +402,39 @@ class AsyncServiceClient:
         if not status_line:
             raise ConnectionError("server closed the connection")
         status = int(status_line.split(b" ", 2)[1])
-        length = 0
+        headers: dict[str, str] = {}
         while True:
             line = await self._reader.readline()
             if line in (b"\r\n", b""):
                 break
             name, _, value = line.decode("latin-1").partition(":")
-            if name.strip().lower() == "content-length":
-                length = int(value.strip())
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0") or "0")
         raw = await self._reader.readexactly(length) if length else b""
-        return status, raw
+        return status, headers, raw
 
-    async def _request(self, method: str, path: str, payload=None):
+    async def _request(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        deadline_ms: float | None = None,
+    ):
         body = json.dumps(payload).encode("utf-8") if payload is not None else b""
+        extra_head = (
+            f"{DEADLINE_HEADER}: {deadline_ms:g}\r\n"
+            if deadline_ms is not None
+            else ""
+        )
         async with self._lock:
             for attempt in (0, 1):
                 if self._reader is None:
                     await self._connect()
                 try:
-                    status, raw = await asyncio.wait_for(
-                        self._roundtrip(method, path, body), self.timeout
+                    status, headers, raw = await asyncio.wait_for(
+                        self._roundtrip(method, path, body, extra_head),
+                        self.timeout,
                     )
                     break
                 except (ConnectionError, asyncio.IncompleteReadError):
@@ -311,8 +443,45 @@ class AsyncServiceClient:
                         raise
         data = json.loads(raw.decode("utf-8")) if raw else {}
         if status >= 400:
-            raise ServiceError.from_response(status, data)
+            raise ServiceError.from_response(
+                status, data, retry_after=headers.get("retry-after")
+            )
         return data
+
+    async def request_with_retry(
+        self,
+        method: str,
+        path: str,
+        payload=None,
+        *,
+        max_attempts: int = 5,
+        deadline_ms: float | None = None,
+        base_backoff_s: float = 0.05,
+        max_backoff_s: float = 5.0,
+        rand=random.random,
+    ):
+        """Async twin of :meth:`ServiceClient.request_with_retry`."""
+        for attempt in range(max_attempts):
+            final = attempt == max_attempts - 1
+            try:
+                return await self._request(
+                    method, path, payload, deadline_ms=deadline_ms
+                )
+            except ServiceError as exc:
+                if not exc.retryable or final:
+                    raise
+                hint = exc.retry_after_s
+            except (ConnectionError, asyncio.IncompleteReadError, OSError):
+                if final:
+                    raise
+                hint = None
+            await asyncio.sleep(
+                _backoff_s(
+                    attempt, hint,
+                    base_s=base_backoff_s, max_s=max_backoff_s, rand=rand,
+                )
+            )
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------
     async def partition(
@@ -325,6 +494,7 @@ class AsyncServiceClient:
         metrics=None,
         work_conserving: bool = True,
         profile: str = "analytic",
+        deadline_ms: float | None = None,
     ) -> dict:
         return await self._request(
             "POST",
@@ -332,6 +502,7 @@ class AsyncServiceClient:
             _partition_payload(
                 apc_alone, bandwidth, scheme, api, metrics, work_conserving, profile
             ),
+            deadline_ms=deadline_ms,
         )
 
     async def partition_batch(self, requests: list[dict]) -> list[dict]:

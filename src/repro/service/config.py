@@ -31,6 +31,38 @@ class ServiceConfig:
     #: wall-clock budget per request before a 504 is returned
     request_timeout_s: float = 10.0
 
+    # ------------------------------------------------------------------
+    # scale-out serving (pre-fork workers, shared cache, shedding)
+    # ------------------------------------------------------------------
+    #: pre-fork worker processes; 1 keeps the classic single-process
+    #: server, N > 1 runs a supervisor + N workers on one port
+    workers: int = 1
+    #: bind per-worker listeners with SO_REUSEPORT when the platform
+    #: has it; off (or unsupported) falls back to one supervisor-bound
+    #: listener handed to every forked worker
+    reuse_port: bool = True
+    #: bounded per-worker admission budget: arrivals beyond this many
+    #: in-flight requests are shed with 429 + Retry-After; 0 disables
+    max_inflight: int = 0
+    #: cross-worker shared result cache (mmap seqlock hash table);
+    #: None resolves to "on exactly when workers > 1"
+    shared_cache: bool | None = None
+    shared_cache_slots: int = 4096
+    shared_cache_value_bytes: int = 1536
+    #: attach an existing segment instead of creating one -- set by the
+    #: supervisor when it fans the config out to workers, not a user knob
+    shared_cache_name: str | None = None
+    #: this process's id under a supervisor (None = single-process mode)
+    worker_id: int | None = None
+    #: directory where workers drop metrics snapshots for cross-worker
+    #: /metrics aggregation (supervisor-managed in multi-worker mode)
+    runtime_dir: str | None = None
+    #: seconds between background flushes of a worker's metrics snapshot
+    metrics_sync_s: float = 1.0
+    #: supervisor crash-restart backoff (doubles per consecutive crash)
+    restart_backoff_s: float = 0.1
+    restart_backoff_max_s: float = 5.0
+
     #: content-addressed result caching (memory LRU + optional disk)
     cache: bool = True
     cache_capacity: int = 4096
@@ -89,10 +121,27 @@ class ServiceConfig:
     #: seconds to let in-flight requests finish during shutdown
     shutdown_grace_s: float = 5.0
 
+    @property
+    def shared_cache_enabled(self) -> bool:
+        """Config beats the default of "shared exactly when multi-worker"."""
+        if self.shared_cache is not None:
+            return self.shared_cache
+        return self.workers > 1 or self.shared_cache_name is not None
+
     def __post_init__(self) -> None:
         check_positive("max_batch_size", self.max_batch_size)
         check_positive("max_wait_ms", self.max_wait_ms)
         check_positive("request_timeout_s", self.request_timeout_s)
+        check_positive("workers", self.workers)
+        if self.max_inflight < 0:
+            raise ConfigurationError(
+                f"max_inflight must be >= 0 (0 disables), got {self.max_inflight}"
+            )
+        check_positive("shared_cache_slots", self.shared_cache_slots)
+        check_positive("shared_cache_value_bytes", self.shared_cache_value_bytes)
+        check_positive("metrics_sync_s", self.metrics_sync_s)
+        check_positive("restart_backoff_s", self.restart_backoff_s)
+        check_positive("restart_backoff_max_s", self.restart_backoff_max_s)
         check_positive("cache_capacity", self.cache_capacity)
         check_positive("max_sessions", self.max_sessions)
         check_positive("session_idle_s", self.session_idle_s)

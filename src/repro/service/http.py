@@ -1,0 +1,233 @@
+"""HTTP/1.1 transport for the advisor service.
+
+The lowest of the service's three layers (transport -> batcher ->
+solver): a hand-rolled HTTP/1.1 server over ``asyncio.start_server``
+-- request-line/header parsing, Content-Length body framing,
+keep-alive, response serialization and connection draining -- with the
+application logic injected as an async ``app(Request) -> Response``
+callable.  Nothing in this module knows about routing, solving,
+metrics or shedding; the :class:`~repro.service.server.PartitionService`
+app layer owns all of that and hands the transport a finished
+:class:`Response` (status + JSON payload + optional extra headers,
+e.g. ``Retry-After`` on a shed).
+
+The transport can bind its own listener (``host``/``port``) or adopt a
+pre-bound listening socket (``sock=``) -- that is how the pre-fork
+supervisor hands one shared listener to every worker in the
+socket-handoff fallback mode.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = ["Request", "Response", "HttpTransport", "REASONS"]
+
+REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    429: "Too Many Requests",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+_JSON_HEADERS = "Content-Type: application/json\r\n"
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed HTTP request as the app layer sees it."""
+
+    method: str
+    path: str
+    headers: dict
+    body: bytes
+
+    @property
+    def keep_alive(self) -> bool:
+        return self.headers.get("connection", "keep-alive") != "close"
+
+
+@dataclass(frozen=True)
+class Response:
+    """What the app layer returns: status, JSON payload, extra headers."""
+
+    status: int
+    payload: dict
+    headers: dict = field(default_factory=dict)
+
+
+def parse_head(head: bytes):
+    """Parse the request line + headers; returns (method, path, headers, err)."""
+    try:
+        text = head.decode("latin-1")
+    except UnicodeDecodeError:  # pragma: no cover - latin-1 cannot fail
+        return "", "", {}, "undecodable request head"
+    lines = text.split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        return "", "", {}, f"malformed request line {lines[0]!r}"
+    method, path = parts[0], parts[1]
+    headers: dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            return "", "", {}, f"malformed header line {line!r}"
+        headers[name.strip().lower()] = value.strip().lower()
+    return method, path, headers, None
+
+
+async def write_response(
+    writer,
+    status: int,
+    payload: dict,
+    *,
+    keep_alive: bool = True,
+    extra_headers: dict | None = None,
+) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    reason = REASONS.get(status, "Error")
+    extra = ""
+    if extra_headers:
+        extra = "".join(f"{k}: {v}\r\n" for k, v in extra_headers.items())
+    head = (
+        f"HTTP/1.1 {status} {reason}\r\n"
+        f"{_JSON_HEADERS}"
+        f"Content-Length: {len(body)}\r\n"
+        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
+        f"{extra}"
+        "\r\n"
+    )
+    writer.write(head.encode("latin-1") + body)
+    await writer.drain()
+
+
+class HttpTransport:
+    """Listener + per-connection request loop around an async app."""
+
+    def __init__(self, app, *, max_body_bytes: int = 1 << 20) -> None:
+        #: ``async app(Request) -> Response``; must not raise (the app
+        #: layer maps its own failures to structured error responses)
+        self._app = app
+        self.max_body_bytes = max_body_bytes
+        self._server: asyncio.AbstractServer | None = None
+        self._connections: set[asyncio.Task] = set()
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    async def start(
+        self, host: str | None = None, port: int | None = None, *, sock=None
+    ) -> None:
+        """Bind ``host:port`` -- or adopt a pre-bound listener ``sock``."""
+        if self._server is not None:
+            raise RuntimeError("transport already started")
+        if sock is not None:
+            self._server = await asyncio.start_server(
+                self._on_client, sock=sock, limit=self.max_body_bytes + 8192
+            )
+        else:
+            self._server = await asyncio.start_server(
+                self._on_client,
+                host=host,
+                port=port,
+                limit=self.max_body_bytes + 8192,
+            )
+
+    @property
+    def port(self) -> int:
+        if self._server is None or not self._server.sockets:
+            raise RuntimeError("transport is not listening")
+        return self._server.sockets[0].getsockname()[1]
+
+    async def serve_forever(self) -> None:
+        if self._server is None:
+            raise RuntimeError("call start() first")
+        await self._server.serve_forever()
+
+    async def stop(self, grace_s: float) -> None:
+        """Stop accepting, give in-flight connections ``grace_s``, cut."""
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        if self._connections:
+            done, pending = await asyncio.wait(self._connections, timeout=grace_s)
+            for task in pending:
+                task.cancel()
+            if pending:
+                await asyncio.gather(*pending, return_exceptions=True)
+
+    @property
+    def open_connections(self) -> int:
+        return len(self._connections)
+
+    # ------------------------------------------------------------------
+    # connection handling
+    # ------------------------------------------------------------------
+    async def _on_client(self, reader: asyncio.StreamReader, writer) -> None:
+        task = asyncio.current_task()
+        if task is not None:
+            self._connections.add(task)
+            task.add_done_callback(self._connections.discard)
+        try:
+            await self._serve_connection(reader, writer)
+        except (
+            asyncio.IncompleteReadError,
+            asyncio.LimitOverrunError,
+            ConnectionError,
+        ):
+            pass
+        finally:
+            try:
+                writer.close()
+                await writer.wait_closed()
+            except (ConnectionError, OSError):
+                pass
+
+    async def _serve_connection(self, reader, writer) -> None:
+        from repro.service.protocol import error_body
+
+        while True:
+            try:
+                head = await reader.readuntil(b"\r\n\r\n")
+            except asyncio.IncompleteReadError:
+                return  # client closed between requests
+            method, path, headers, bad = parse_head(head)
+            if bad is not None:
+                await write_response(writer, 400, error_body("BadRequest", bad))
+                return
+            length = int(headers.get("content-length", "0") or "0")
+            if length > self.max_body_bytes:
+                await write_response(
+                    writer,
+                    413,
+                    error_body(
+                        "PayloadTooLarge",
+                        f"body of {length} bytes exceeds the "
+                        f"{self.max_body_bytes} byte limit",
+                    ),
+                )
+                return
+            body = await reader.readexactly(length) if length else b""
+            request = Request(method=method, path=path, headers=headers, body=body)
+            response = await self._app(request)
+            keep_alive = request.keep_alive
+            await write_response(
+                writer,
+                response.status,
+                response.payload,
+                keep_alive=keep_alive,
+                extra_headers=response.headers or None,
+            )
+            if not keep_alive:
+                return

@@ -100,6 +100,17 @@ class EndpointStats:
             },
         }
 
+    def dump(self) -> dict:
+        """Counters plus the *raw* latency window, for cross-worker
+        aggregation: percentiles cannot be merged, samples can."""
+        return {
+            "requests": self.requests,
+            "errors": self.errors,
+            "timeouts": self.timeouts,
+            "sheds": self.sheds,
+            "latencies_ms": [round(v, 4) for v in self.latencies_ms],
+        }
+
 
 class ServiceMetrics:
     """All service counters, snapshotted by ``GET /metrics``."""

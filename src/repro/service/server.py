@@ -1,12 +1,28 @@
-"""Asyncio HTTP/JSON server exposing the partitioning advisor.
+"""The advisor service's application layer: routing, solving, caching.
 
-Stdlib-only: a hand-rolled HTTP/1.1 layer over ``asyncio.start_server``
-(keep-alive, Content-Length framing) in front of a small router.
+The service is three explicit layers:
+
+* **transport** (:mod:`repro.service.http`) -- HTTP/1.1 framing,
+  keep-alive, connection draining; knows nothing about partitioning;
+* **application** (this module) -- admission control and deadline
+  shedding (:mod:`repro.service.shedding`), routing, the result cache
+  (per-process LRU + cross-worker shared segment + optional disk), the
+  watch layer, streams;
+* **batcher/solver** (:mod:`repro.service.batching`,
+  :mod:`repro.core.batch`, :mod:`repro.surrogate`) -- micro-batch
+  collection and the vectorized numpy / surrogate / sim kernels.
+
+One process runs one :class:`PartitionService`.  Scale-out runs N of
+them behind one port via the pre-fork supervisor
+(:mod:`repro.service.supervisor`): each worker is this same asyncio
+loop, sharing the result cache through an mmap seqlock table
+(:mod:`repro.util.shmcache`) and publishing metrics snapshots for the
+cross-worker ``/metrics`` fleet view (:mod:`repro.service.aggregate`).
 
 Endpoints
 ---------
-``GET  /healthz``               liveness + uptime
-``GET  /metrics``               counters snapshot (JSON)
+``GET  /healthz``               liveness + uptime (+ worker id)
+``GET  /metrics``               counters snapshot (fleet-merged when multi-worker)
 ``POST /v1/partition``          one solve (micro-batched when enabled)
 ``POST /v1/partition/batch``    many solves in one call (always stacked)
 ``POST /v1/qos``                QoS-guaranteed plan (Sec. III-G)
@@ -19,45 +35,26 @@ Endpoints
 ``GET  /v1/debug/slo``          SLO burn-rate evaluation + active alerts
 ``GET  /v1/debug/drift``        online surrogate drift scores + shadow stats
 
-The watch layer (:mod:`repro.watch`, glued in by
-:mod:`repro.service.watch`) rides every request: finished requests
-feed declarative SLOs with multi-window burn-rate alerting (the
-``alerts`` / ``slo`` sections of ``/metrics``), a deterministic
-fraction of surrogate-served solves is re-solved through the sim path
-asynchronously to score online drift against the artifact's fit-time
-gate (flipping ``degraded`` and -- with ``drift_auto_fallback`` --
-routing surrogate solves to the sim until the score recovers), and
-anomalous requests land in a bounded flight-recorder ring.
+Overload contract: past ``max_inflight`` admitted requests a worker
+sheds with ``429`` + ``Retry-After`` (drain-time hint derived from the
+queue depth); a request whose ``X-Deadline-Ms`` budget is already
+spent is shed *before* solving with ``504 DeadlineExceeded``.  Both
+count as ``sheds`` in ``/metrics``, land in the flight recorder and
+feed the availability SLOs.
 
-Streams are the online-controller loop over HTTP: per-session
-smoothing + change-point state (:mod:`repro.control`) folds each
-pushed epoch into an ``APC_alone`` estimate and re-solves the shares
-through the same analytic/surrogate/sim hot path the one-shot
-endpoints use (never cached -- the estimate moves every epoch).
-Sessions are capacity-bounded, idle-evicted and visible in
-``/metrics`` under ``sessions``.
-
-``/v1/partition`` accepts a ``profile`` field selecting the engine:
-the Eq. 2 closed form (``analytic``, default), the fitted APC-response
-surface (``surrogate``), or a bounded-window cycle-level simulation
-(``sim``).  Surrogate requests are answered by the loaded artifact's
-vectorized predict on the micro-batch path; when no valid artifact is
-loadable (missing, stale digest, below the quality gate) or the
-artifact has no fit for the scheme, the request silently falls back to
-the sim path and the response's ``source`` field says so.
-
-Every request gets a wall-clock budget (``request_timeout_s`` -> 504)
-and failures map to structured JSON errors: 400 for malformed input,
-422 for infeasible QoS problems, 413/404/405 for transport-level
-misuse, 500 for anything else.  ``stop()`` drains in-flight requests
-for a grace period before tearing connections down.
+Every request gets a wall-clock budget (``request_timeout_s``, capped
+to the client deadline when one is sent -> 504) and failures map to
+structured JSON errors: 400 for malformed input, 422 for infeasible
+QoS problems, 413/404/405 for transport-level misuse, 500 for
+anything else.  ``stop()`` drains in-flight requests for a grace
+period, closes stream sessions, then tears connections down.
 """
 
 from __future__ import annotations
 
 import asyncio
+import contextlib
 import dataclasses
-import json
 import time
 
 import numpy as np
@@ -65,9 +62,11 @@ import numpy as np
 from repro import __version__, obs
 from repro.core.partitioning import scheme_by_name
 from repro.core.apps import AppProfile, Workload
+from repro.service import aggregate
 from repro.service.batching import MicroBatcher, solve_partition_rows, solve_qos_rows
 from repro.service.cache import ResultCache, default_disk_cache
 from repro.service.config import ServiceConfig
+from repro.service.http import HttpTransport, Request, Response
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
     PartitionRequest,
@@ -80,26 +79,38 @@ from repro.service.protocol import (
     qos_response,
 )
 from repro.service.sessions import SessionLimitError, SessionManager
+from repro.service.shedding import AdmissionController, Deadline, DeadlineExceeded
 from repro.service.surrogate import SurrogateStore
 from repro.service.watch import ServiceWatch
 from repro.util.cache import config_digest
 from repro.util.errors import ConfigurationError, InfeasibleError
+from repro.util.shmcache import SharedResultCache
 
 __all__ = ["PartitionService", "serve"]
 
-_JSON_HEADERS = "Content-Type: application/json\r\n"
+try:
+    import json as _json  # noqa: F401  (kept: legacy import surface)
+except ImportError:  # pragma: no cover
+    pass
 
 
 class PartitionService:
     """The advisor service: router, micro-batcher, cache and counters."""
 
-    def __init__(self, config: ServiceConfig | None = None) -> None:
+    def __init__(
+        self, config: ServiceConfig | None = None, *, shared_lock=None
+    ) -> None:
         self.config = config or ServiceConfig()
+        self._shared_lock = shared_lock
         self.metrics = ServiceMetrics(latency_window=self.config.latency_window)
         self.cache: ResultCache | None = None
+        self._owned_shared: SharedResultCache | None = None
         if self.config.cache:
             disk = default_disk_cache() if self.config.disk_cache else None
-            self.cache = ResultCache(self.config.cache_capacity, disk=disk)
+            shared = self._resolve_shared_cache()
+            self.cache = ResultCache(
+                self.config.cache_capacity, disk=disk, shared=shared
+            )
         self.surrogate = SurrogateStore(
             self.config.surrogate_dir,
             expected_digest=self.config.surrogate_digest,
@@ -111,6 +122,10 @@ class PartitionService:
             history_limit=self.config.session_history,
         )
         self.watch = ServiceWatch(self.config, registry=self.metrics.registry)
+        self.admission: AdmissionController | None = None
+        if self.config.max_inflight > 0:
+            self.admission = AdmissionController(self.config.max_inflight)
+        self._inflight = 0
         self.metrics.set_build_info(
             version=__version__,
             revision=obs.git_revision() or "unknown",
@@ -127,150 +142,194 @@ class PartitionService:
                 on_batch=self.metrics.observe_batch,
                 partition_solver=self._solve_partition_group,
             )
-        self._server: asyncio.AbstractServer | None = None
-        self._connections: set[asyncio.Task] = set()
+        self.transport = HttpTransport(
+            self._dispatch, max_body_bytes=self.config.max_body_bytes
+        )
+        self._sync_task: asyncio.Task | None = None
+
+    def _resolve_shared_cache(self) -> SharedResultCache | None:
+        """Attach the supervisor's segment, or own one when asked to."""
+        if self.config.shared_cache_name is not None:
+            return SharedResultCache.attach(
+                self.config.shared_cache_name, lock=self._shared_lock
+            )
+        if self.config.shared_cache_enabled and self.config.workers == 1:
+            # single-process opt-in (shared_cache=True): own the segment
+            self._owned_shared = SharedResultCache.create(
+                self.config.shared_cache_slots,
+                self.config.shared_cache_value_bytes,
+                lock=self._shared_lock,
+            )
+            return self._owned_shared
+        return None
+
+    @property
+    def _multi_worker(self) -> bool:
+        return (
+            self.config.worker_id is not None
+            and self.config.runtime_dir is not None
+        )
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    async def start(self) -> None:
-        """Bind the listener (port 0 picks a free port) and start batching."""
-        if self._server is not None:
-            raise RuntimeError("service already started")
+    async def start(self, *, sock=None) -> None:
+        """Bind the listener (port 0 picks a free port) and start batching.
+
+        ``sock`` adopts a pre-bound listening socket instead -- the
+        supervisor's socket-handoff path for forked workers.
+        """
         if self.batcher is not None:
             await self.batcher.start()
-        self._server = await asyncio.start_server(
-            self._on_client,
-            host=self.config.host,
-            port=self.config.port,
-            limit=self.config.max_body_bytes + 8192,
+        await self.transport.start(
+            self.config.host, self.config.port, sock=sock
         )
+        if self._multi_worker:
+            self._publish_dump()
+            self._sync_task = asyncio.get_running_loop().create_task(
+                self._sync_loop(), name="metrics-sync"
+            )
 
     @property
     def port(self) -> int:
         """The bound port (useful when configured with port 0)."""
-        if self._server is None or not self._server.sockets:
-            raise RuntimeError("service is not listening")
-        return self._server.sockets[0].getsockname()[1]
+        return self.transport.port
 
     async def serve_forever(self) -> None:
-        if self._server is None:
-            raise RuntimeError("call start() first")
-        await self._server.serve_forever()
+        await self.transport.serve_forever()
 
     async def stop(self) -> None:
         """Graceful shutdown: stop accepting, drain, then tear down."""
-        if self._server is not None:
-            self._server.close()
-            await self._server.wait_closed()
-            self._server = None
-        if self._connections:
-            done, pending = await asyncio.wait(
-                self._connections, timeout=self.config.shutdown_grace_s
-            )
-            for task in pending:
-                task.cancel()
-            if pending:
-                await asyncio.gather(*pending, return_exceptions=True)
+        await self.transport.stop(self.config.shutdown_grace_s)
+        if self._sync_task is not None:
+            self._sync_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._sync_task
+            self._sync_task = None
         if self._shadow_tasks:
             for task in list(self._shadow_tasks):
                 task.cancel()
             await asyncio.gather(*list(self._shadow_tasks), return_exceptions=True)
         if self.batcher is not None:
             await self.batcher.stop()
+        # close every live stream session so epoch state is finalized
+        # (clients see closed sessions as 404 "expired" -- same as idle
+        # eviction, which is the documented stream lifecycle contract)
+        for session_id in [s for s in self.sessions.session_ids()]:
+            if self.sessions.close(session_id) is not None:
+                self.metrics.observe_stream("close")
+        if self._multi_worker:
+            self._publish_dump()  # final counters survive the exit
+        if self.cache is not None:
+            self.cache.close()
+        if self._owned_shared is not None:
+            self._owned_shared.destroy()
+            self._owned_shared = None
 
     # ------------------------------------------------------------------
-    # HTTP transport
+    # app layer: admission, deadline, timing (called by the transport)
     # ------------------------------------------------------------------
-    async def _on_client(self, reader: asyncio.StreamReader, writer) -> None:
-        task = asyncio.current_task()
-        if task is not None:
-            self._connections.add(task)
-            task.add_done_callback(self._connections.discard)
-        try:
-            await self._serve_connection(reader, writer)
-        except (
-            asyncio.IncompleteReadError,
-            asyncio.LimitOverrunError,
-            ConnectionError,
+    async def _dispatch(self, request: Request) -> Response:
+        with obs.span(
+            "service.request",
+            attrs={"path": request.path, "method": request.method},
         ):
-            pass
-        finally:
-            try:
-                writer.close()
-                await writer.wait_closed()
-            except (ConnectionError, OSError):
-                pass
-
-    async def _serve_connection(self, reader, writer) -> None:
-        while True:
-            try:
-                head = await reader.readuntil(b"\r\n\r\n")
-            except asyncio.IncompleteReadError:
-                return  # client closed between requests
-            method, path, headers, bad = _parse_head(head)
-            if bad is not None:
-                await _write_response(writer, 400, error_body("BadRequest", bad))
-                return
-            length = int(headers.get("content-length", "0") or "0")
-            if length > self.config.max_body_bytes:
-                await _write_response(
-                    writer,
-                    413,
-                    error_body(
-                        "PayloadTooLarge",
-                        f"body of {length} bytes exceeds the "
-                        f"{self.config.max_body_bytes} byte limit",
-                    ),
+            started = time.perf_counter()
+            extra_headers: dict[str, str] = {}
+            timed_out = False
+            deadline_shed = False
+            admitted = False
+            if self.admission is not None and not self.admission.try_admit():
+                # shed before any parsing: the whole point is to spend
+                # ~nothing on work we cannot serve in time
+                status = 429
+                retry_s = self.admission.retry_after_s()
+                payload = error_body(
+                    "Overloaded",
+                    f"worker at max_inflight={self.admission.max_inflight}; "
+                    f"retry in ~{retry_s:.2f}s",
                 )
-                return
-            body = await reader.readexactly(length) if length else b""
-
-            with obs.span(
-                "service.request", attrs={"path": path, "method": method}
-            ):
-                started = time.perf_counter()
-                timed_out = False
+                payload["retry_after_s"] = retry_s
+                extra_headers["Retry-After"] = self.admission.retry_after_header()
+                self.metrics.registry.counter("service.admission_rejects").inc()
+            else:
+                admitted = self.admission is not None
+                self._inflight += 1
+                deadline = Deadline.from_headers(request.headers)
+                timeout_s = self.config.request_timeout_s
+                if deadline is not None:
+                    timeout_s = min(timeout_s, max(0.0, deadline.remaining_s()))
                 try:
-                    status, payload = await asyncio.wait_for(
-                        self.handle(method, path, body),
-                        timeout=self.config.request_timeout_s,
+                    if deadline is not None and deadline.expired():
+                        raise DeadlineExceeded(
+                            f"deadline of {deadline.budget_ms:g} ms spent "
+                            "before admission"
+                        )
+                    handler = (
+                        self.handle(request.method, request.path, request.body)
+                        if deadline is None
+                        else self.handle(
+                            request.method,
+                            request.path,
+                            request.body,
+                            deadline=deadline,
+                        )
                     )
+                    status, payload = await asyncio.wait_for(handler, timeout_s)
+                except DeadlineExceeded as exc:
+                    deadline_shed = True
+                    status, payload = 504, error_body("DeadlineExceeded", str(exc))
                 except asyncio.TimeoutError:
                     timed_out = True
-                    status, payload = 504, error_body(
-                        "Timeout",
-                        f"request exceeded {self.config.request_timeout_s}s",
-                    )
-                latency_ms = (time.perf_counter() - started) * 1000.0
-                shed = status == 429
-                self.metrics.observe_request(
-                    path,
-                    latency_ms,
-                    error=status >= 400,
-                    timeout=timed_out,
-                    shed=shed,
-                )
-                self.watch.observe_request(
-                    path,
-                    latency_ms,
-                    status=status,
-                    error=status >= 400,
-                    timeout=timed_out,
-                    shed=shed,
-                )
-                keep_alive = headers.get("connection", "keep-alive") != "close"
-                with obs.span("service.serialize", attrs={"status": status}):
-                    await _write_response(
-                        writer, status, payload, keep_alive=keep_alive
-                    )
-            if not keep_alive:
-                return
+                    if deadline is not None and deadline.expired():
+                        deadline_shed = True
+                        status, payload = 504, error_body(
+                            "DeadlineExceeded",
+                            f"deadline of {deadline.budget_ms:g} ms passed "
+                            "while the request was queued or solving",
+                        )
+                    else:
+                        status, payload = 504, error_body(
+                            "Timeout",
+                            f"request exceeded {self.config.request_timeout_s}s",
+                        )
+                finally:
+                    self._inflight -= 1
+            latency_ms = (time.perf_counter() - started) * 1000.0
+            if admitted:
+                self.admission.release(latency_ms / 1000.0)
+            shed = status == 429 or deadline_shed
+            if deadline_shed:
+                self.metrics.registry.counter("service.deadline_sheds").inc()
+            self.metrics.observe_request(
+                request.path,
+                latency_ms,
+                error=status >= 400,
+                timeout=timed_out,
+                shed=shed,
+            )
+            self.watch.observe_request(
+                request.path,
+                latency_ms,
+                status=status,
+                error=status >= 400,
+                timeout=timed_out,
+                shed=shed,
+            )
+            with obs.span("service.serialize", attrs={"status": status}):
+                return Response(status=status, payload=payload, headers=extra_headers)
 
     # ------------------------------------------------------------------
     # routing (transport-free; exercised directly by unit tests)
     # ------------------------------------------------------------------
-    async def handle(self, method: str, path: str, body: bytes) -> tuple[int, dict]:
+    async def handle(
+        self,
+        method: str,
+        path: str,
+        body: bytes,
+        *,
+        deadline: Deadline | None = None,
+    ) -> tuple[int, dict]:
         try:
             if path == "/healthz":
                 if method != "GET":
@@ -279,38 +338,31 @@ class PartitionService:
                     "status": "ok",
                     "uptime_s": self.metrics.snapshot()["uptime_s"],
                     "batching": self.batcher is not None,
+                    "worker_id": self.config.worker_id,
+                    "workers": self.config.workers,
                 }
             if path == "/metrics":
                 if method != "GET":
                     return _method_not_allowed(method)
-                cache = self.cache.snapshot() if self.cache is not None else None
-                body_out = self.metrics.snapshot(
-                    cache=cache, sessions=self.sessions.snapshot()
-                )
-                # additive: the unified repro.obs registry (batcher,
-                # caches, engine, ... series) -- existing fields above
-                # keep their names and shapes
-                body_out["obs"] = self.metrics.registry.snapshot()
-                body_out["surrogate"] = self.surrogate.snapshot()
-                # watch layer: SLO burn-rate alerts, online drift,
-                # fleet controller health (all additive sections)
-                body_out["alerts"] = self.watch.alerts()
-                body_out["slo"] = self.watch.slo_status()
-                body_out["drift"] = self.watch.drift_snapshot()
-                body_out["controller"] = self.sessions.health_snapshot()
-                return 200, body_out
+                return 200, self._metrics_body()
             if path == "/v1/partition":
                 if method != "POST":
                     return _method_not_allowed(method)
-                return 200, await self._handle_partition(_parse_json(body))
+                return 200, await self._handle_partition(
+                    _parse_json(body), deadline=deadline
+                )
             if path == "/v1/partition/batch":
                 if method != "POST":
                     return _method_not_allowed(method)
-                return 200, await self._handle_partition_batch(_parse_json(body))
+                return 200, await self._handle_partition_batch(
+                    _parse_json(body), deadline=deadline
+                )
             if path == "/v1/qos":
                 if method != "POST":
                     return _method_not_allowed(method)
-                return 200, await self._handle_qos(_parse_json(body))
+                return 200, await self._handle_qos(
+                    _parse_json(body), deadline=deadline
+                )
             if path == "/v1/surrogate/reload":
                 if method != "POST":
                     return _method_not_allowed(method)
@@ -342,6 +394,10 @@ class PartitionService:
                         return self._handle_stream_close(tail)
                     return _method_not_allowed(method)
             return 404, error_body("NotFound", f"no route for {path!r}")
+        except DeadlineExceeded as exc:
+            # shed-before-solve: the client's budget ran out while the
+            # request sat in a queue or between pipeline stages
+            return 504, error_body("DeadlineExceeded", str(exc))
         except SessionLimitError as exc:
             self.metrics.observe_stream("reject")
             return 429, error_body("SessionLimit", str(exc))
@@ -355,6 +411,101 @@ class PartitionService:
             # last-resort boundary: the failure is propagated to the
             # client as a structured 500, never swallowed
             return 500, error_body("InternalError", f"{type(exc).__name__}: {exc}")
+
+    # ------------------------------------------------------------------
+    # /metrics (single-process or fleet-merged)
+    # ------------------------------------------------------------------
+    def _metrics_body(self) -> dict:
+        cache = self.cache.snapshot() if self.cache is not None else None
+        body_out = self.metrics.snapshot(
+            cache=cache, sessions=self.sessions.snapshot()
+        )
+        body_out["process"]["worker_id"] = self.config.worker_id
+        if self.admission is not None:
+            body_out["admission"] = self.admission.snapshot()
+        # additive: the unified repro.obs registry (batcher,
+        # caches, engine, ... series) -- existing fields above
+        # keep their names and shapes
+        body_out["obs"] = self.metrics.registry.snapshot()
+        body_out["surrogate"] = self.surrogate.snapshot()
+        # watch layer: SLO burn-rate alerts, online drift,
+        # fleet controller health (all additive sections)
+        body_out["alerts"] = self.watch.alerts()
+        body_out["slo"] = self.watch.slo_status()
+        body_out["drift"] = self.watch.drift_snapshot()
+        body_out["controller"] = self.sessions.health_snapshot()
+        if self._multi_worker:
+            # fleet view: this worker publishes fresh, merges everyone's
+            # latest -- counters summed, histograms merged sample-wise,
+            # per-worker gauges labelled by worker_id under "workers"
+            self._publish_dump()
+            cluster = aggregate.merge_worker_dumps(
+                aggregate.read_worker_dumps(self.config.runtime_dir)
+            )
+            body_out["aggregated"] = True
+            body_out["endpoints"] = cluster["endpoints"]
+            body_out["solvers"] = cluster["solvers"]
+            body_out["batching"] = cluster["batching"]
+            body_out["speedup_vs_sim"] = cluster["speedup_vs_sim"]
+            body_out["workers"] = cluster["workers"]
+            body_out["n_workers"] = cluster["n_workers"]
+            body_out["cluster"] = {
+                "cache": cluster["cache"],
+                "admission": cluster["admission"],
+                "sessions": cluster["sessions"],
+            }
+        return body_out
+
+    def _dump_payload(self) -> dict:
+        """This worker's mergeable snapshot (see repro.service.aggregate)."""
+        cache: dict = {}
+        if self.cache is not None:
+            cache = {
+                "hits": self.cache.stats.hits,
+                "misses": self.cache.stats.misses,
+                "puts": self.cache.stats.puts,
+                "shared_hits": (
+                    self.cache.shared.stats.hits
+                    if self.cache.shared is not None
+                    else 0
+                ),
+            }
+        admission = (
+            self.admission.snapshot()
+            if self.admission is not None
+            else {"inflight": self._inflight, "admitted": 0, "rejected": 0}
+        )
+        return {
+            "worker_id": self.config.worker_id,
+            "pid": self.metrics.snapshot()["process"]["pid"],
+            "uptime_s": self.metrics.snapshot()["uptime_s"],
+            "endpoints": {
+                path: stats.dump() for path, stats in self.metrics.endpoints.items()
+            },
+            "solvers": {
+                source: stats.dump()
+                for source, stats in self.metrics.solvers.items()
+            },
+            "batching": {
+                "batches": self.metrics.batches,
+                "batched_requests": self.metrics.batched_requests,
+                "max_batch_size": self.metrics.max_batch_size,
+            },
+            "cache": cache,
+            "admission": admission,
+            "sessions": {"active": self.sessions.active},
+        }
+
+    def _publish_dump(self) -> None:
+        aggregate.write_worker_dump(
+            self.config.runtime_dir, self.config.worker_id, self._dump_payload()
+        )
+
+    async def _sync_loop(self) -> None:
+        """Periodically publish this worker's snapshot for the fleet view."""
+        while True:
+            await asyncio.sleep(self.config.metrics_sync_s)
+            self._publish_dump()
 
     # ------------------------------------------------------------------
     # endpoint handlers
@@ -498,7 +649,9 @@ class PartitionService:
         self.watch.observe_solve("sim", solve_ms)
         return row
 
-    async def _handle_partition(self, obj) -> dict:
+    async def _handle_partition(
+        self, obj, *, deadline: Deadline | None = None
+    ) -> dict:
         request = parse_partition_request(obj)
         source = self._partition_source(request)
         key = request.cache_key() if self.cache is not None else None
@@ -506,6 +659,8 @@ class PartitionService:
             hit = self.cache.get(key)
             if hit is not None:
                 return dict(hit, cached=True, batch_size=0)
+        if deadline is not None:
+            deadline.check("the solve started")  # shed-before-solve
         if source == "sim":
             # per-request simulation: never micro-batched (it would
             # stall the numpy groups behind milliseconds of sim)
@@ -525,7 +680,9 @@ class PartitionService:
             self.cache.put(key, _cacheable(response))
         return response
 
-    async def _handle_partition_batch(self, obj) -> dict:
+    async def _handle_partition_batch(
+        self, obj, *, deadline: Deadline | None = None
+    ) -> dict:
         if not isinstance(obj, dict) or "requests" not in obj:
             raise ConfigurationError("body must be {\"requests\": [...]}")
         raw = obj["requests"]
@@ -550,6 +707,9 @@ class PartitionService:
                     results[i] = dict(hit, cached=True, batch_size=0)
                     continue
             (to_sim if source == "sim" else to_solve).append((i, request, key))
+
+        if deadline is not None and (to_solve or to_sim):
+            deadline.check("the batch solve started")  # shed-before-solve
 
         # The call itself is already a batch: stack by group directly
         # instead of routing through the collector window.  Sim-sourced
@@ -589,13 +749,15 @@ class PartitionService:
                 results[i] = response
         return {"results": results}
 
-    async def _handle_qos(self, obj) -> dict:
+    async def _handle_qos(self, obj, *, deadline: Deadline | None = None) -> dict:
         request = parse_qos_request(obj)
         key = request.cache_key() if self.cache is not None else None
         if key is not None:
             hit = self.cache.get(key)
             if hit is not None:
                 return dict(hit, cached=True, batch_size=0)
+        if deadline is not None:
+            deadline.check("the solve started")  # shed-before-solve
         if self.batcher is not None:
             with obs.span("service.queue_wait", attrs={"kind": "qos"}):
                 row, batch_size = await self.batcher.submit(request)
@@ -747,6 +909,8 @@ def _cacheable(response: dict) -> dict:
 
 
 def _parse_json(body: bytes):
+    import json
+
     try:
         return json.loads(body.decode("utf-8"))
     except (UnicodeDecodeError, json.JSONDecodeError) as exc:
@@ -755,54 +919,6 @@ def _parse_json(body: bytes):
 
 def _method_not_allowed(method: str) -> tuple[int, dict]:
     return 405, error_body("MethodNotAllowed", f"method {method} not allowed")
-
-
-def _parse_head(head: bytes):
-    """Parse the request line + headers; returns (method, path, headers, err)."""
-    try:
-        text = head.decode("latin-1")
-    except UnicodeDecodeError:  # pragma: no cover - latin-1 cannot fail
-        return "", "", {}, "undecodable request head"
-    lines = text.split("\r\n")
-    parts = lines[0].split(" ")
-    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
-        return "", "", {}, f"malformed request line {lines[0]!r}"
-    method, path = parts[0], parts[1]
-    headers: dict[str, str] = {}
-    for line in lines[1:]:
-        if not line:
-            continue
-        name, sep, value = line.partition(":")
-        if not sep:
-            return "", "", {}, f"malformed header line {line!r}"
-        headers[name.strip().lower()] = value.strip().lower()
-    return method, path, headers, None
-
-
-async def _write_response(
-    writer, status: int, payload: dict, *, keep_alive: bool = True
-) -> None:
-    body = json.dumps(payload).encode("utf-8")
-    reason = {
-        200: "OK",
-        400: "Bad Request",
-        404: "Not Found",
-        405: "Method Not Allowed",
-        413: "Payload Too Large",
-        422: "Unprocessable Entity",
-        429: "Too Many Requests",
-        500: "Internal Server Error",
-        504: "Gateway Timeout",
-    }.get(status, "Error")
-    head = (
-        f"HTTP/1.1 {status} {reason}\r\n"
-        f"{_JSON_HEADERS}"
-        f"Content-Length: {len(body)}\r\n"
-        f"Connection: {'keep-alive' if keep_alive else 'close'}\r\n"
-        "\r\n"
-    )
-    writer.write(head.encode("latin-1") + body)
-    await writer.drain()
 
 
 async def serve(

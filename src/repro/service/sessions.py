@@ -214,6 +214,10 @@ class SessionManager:
         self.evicted = 0
 
     # ------------------------------------------------------------------
+    def session_ids(self) -> list[str]:
+        """Ids of every live session (drain iterates over a copy)."""
+        return list(self._sessions)
+
     def evict_idle(self) -> int:
         """Drop sessions idle past the timeout; returns how many."""
         now = self._clock()

@@ -1,0 +1,145 @@
+"""Deadline-aware load shedding for the advisor service.
+
+Partitioning advice is only useful inside the decision epoch that
+asked for it (CBP re-partitions every few milliseconds), so under
+overload the right move is to *refuse* work fast, not to queue it into
+uselessness.  Two mechanisms compose here:
+
+* **Admission control** -- a bounded per-worker in-flight budget.
+  Once ``max_inflight`` requests are admitted and unanswered, new
+  arrivals are shed with ``429 Too Many Requests`` plus a
+  ``Retry-After`` hint derived from the queue depth: with ``q``
+  requests in flight and a mean request latency of ``m`` seconds over
+  an effective concurrency of ``max_inflight``, the backlog drains in
+  about ``q * m / max_inflight`` seconds, which is when retrying is
+  worth the client's time.
+
+* **Deadline propagation** -- clients send their remaining budget in
+  an ``X-Deadline-Ms`` header; the server stamps an absolute deadline
+  on arrival and sheds *before solving* (``504 DeadlineExceeded``)
+  once the budget is spent, including while the request sat in the
+  micro-batcher's queue.  A solve whose answer cannot arrive in time
+  is pure wasted bandwidth for every other queued request.
+
+Both sheds are counted per endpoint (``sheds`` in ``/metrics``), land
+in the flight recorder, and feed the availability SLOs.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+
+from repro.util.errors import ReproError
+
+__all__ = [
+    "DEADLINE_HEADER",
+    "DeadlineExceeded",
+    "Deadline",
+    "AdmissionController",
+]
+
+#: request header carrying the client's remaining budget, in ms.
+#: Relative (a duration, not a timestamp) so clock skew cannot bite.
+DEADLINE_HEADER = "x-deadline-ms"
+
+
+class DeadlineExceeded(ReproError):
+    """The client's deadline passed before the solve started/finished."""
+
+
+class Deadline:
+    """An absolute per-request deadline on the monotonic clock."""
+
+    __slots__ = ("budget_ms", "expires_at")
+
+    def __init__(self, budget_ms: float, *, now: float | None = None) -> None:
+        self.budget_ms = budget_ms
+        base = time.monotonic() if now is None else now
+        self.expires_at = base + budget_ms / 1000.0
+
+    @classmethod
+    def from_headers(cls, headers: dict) -> "Deadline | None":
+        """Parse ``X-Deadline-Ms``; None when absent or malformed.
+
+        A malformed value is treated as "no deadline" rather than a
+        400: the header is advisory and shedding on garbage would turn
+        a client-side bug into dropped traffic.
+        """
+        raw = headers.get(DEADLINE_HEADER)
+        if raw is None:
+            return None
+        try:
+            budget_ms = float(raw)
+        except (TypeError, ValueError):
+            return None
+        if not math.isfinite(budget_ms) or budget_ms <= 0:
+            return None
+        return cls(budget_ms)
+
+    def remaining_s(self, *, now: float | None = None) -> float:
+        base = time.monotonic() if now is None else now
+        return self.expires_at - base
+
+    def expired(self, *, now: float | None = None) -> bool:
+        return self.remaining_s(now=now) <= 0.0
+
+    def check(self, stage: str) -> None:
+        """Raise :class:`DeadlineExceeded` when the budget is spent."""
+        if self.expired():
+            raise DeadlineExceeded(
+                f"deadline of {self.budget_ms:g} ms passed before {stage}"
+            )
+
+
+class AdmissionController:
+    """Bounded in-flight budget with queue-depth-derived retry hints."""
+
+    def __init__(self, max_inflight: int) -> None:
+        if max_inflight <= 0:
+            raise ValueError(f"max_inflight must be > 0, got {max_inflight}")
+        self.max_inflight = max_inflight
+        self.inflight = 0
+        self.admitted = 0
+        self.rejected = 0
+        #: EMA of end-to-end request latency, seeding the retry hint;
+        #: starts at a small optimistic value so the first hints exist
+        self._mean_latency_s = 0.002
+
+    # ------------------------------------------------------------------
+    def try_admit(self) -> bool:
+        """Admit one request, or refuse when the budget is spent."""
+        if self.inflight >= self.max_inflight:
+            self.rejected += 1
+            return False
+        self.inflight += 1
+        self.admitted += 1
+        return True
+
+    def release(self, latency_s: float | None = None) -> None:
+        """Finish one admitted request (folds its latency into the EMA)."""
+        self.inflight = max(0, self.inflight - 1)
+        if latency_s is not None and latency_s >= 0:
+            self._mean_latency_s += 0.1 * (latency_s - self._mean_latency_s)
+
+    # ------------------------------------------------------------------
+    def retry_after_s(self) -> float:
+        """Estimated backlog drain time: ``inflight * mean / capacity``."""
+        depth = max(self.inflight, self.max_inflight)
+        estimate = depth * self._mean_latency_s / self.max_inflight
+        return min(5.0, max(0.05, estimate))
+
+    def retry_after_header(self) -> str:
+        """``Retry-After`` is whole seconds on the wire (RFC 9110)."""
+        return str(max(1, math.ceil(self.retry_after_s())))
+
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        return {
+            "max_inflight": self.max_inflight,
+            "inflight": self.inflight,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "mean_latency_ms": self._mean_latency_s * 1000.0,
+            "retry_after_s": self.retry_after_s(),
+        }

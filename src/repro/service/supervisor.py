@@ -1,0 +1,374 @@
+"""Pre-fork supervisor: N worker processes behind one port.
+
+Python's GIL pins one :class:`~repro.service.server.PartitionService`
+to roughly one core, so past a single saturated CPU the only way up is
+more *processes*.  The supervisor owns everything the workers must
+agree on, then forks:
+
+* **the port** -- with ``SO_REUSEPORT`` (Linux, the default) every
+  worker binds its own listener to the same address and the kernel
+  load-balances accepts between them, no user-space handoff on the hot
+  path.  The supervisor binds (but never listens on) a *probe* socket
+  first: it resolves ``port=0`` to a concrete port and keeps the
+  address reserved across worker restarts.  Where ``SO_REUSEPORT`` is
+  missing (or disabled with ``reuse_port=False``) the supervisor binds
+  one listening socket and every forked worker accepts on the
+  inherited descriptor -- correct everywhere, at the cost of the
+  thundering-herd wakeup.
+* **the shared result cache** -- one
+  :class:`repro.util.shmcache.SharedResultCache` segment created (and
+  at shutdown unlinked) here; workers attach by name with a
+  fork-inherited writer lock, so a solve cached by any worker is a hit
+  for all.  See ``shared_cache*`` in
+  :class:`~repro.service.config.ServiceConfig`.
+* **the runtime directory** -- where workers drop metrics snapshots
+  for the cross-worker ``/metrics`` fleet view
+  (:mod:`repro.service.aggregate`).
+
+Supervision is deliberately boring: fork with the ``fork`` start
+method (configs, sockets and locks ride the fork, nothing is
+pickled), wait for each worker's ready message, then babysit.  A
+worker that dies is restarted in place with exponential backoff
+(``restart_backoff_s`` doubling up to ``restart_backoff_max_s``,
+reset after ~10 s of healthy uptime) and its stale metrics dump is
+pruned so the fleet view never counts ghosts.  ``SIGTERM``/``SIGINT``
+fan out as ``SIGTERM`` to every worker -- each drains in-flight
+requests for ``shutdown_grace_s`` exactly like the single-process
+server -- then stragglers are killed, the cache segment unlinked and
+the runtime directory removed.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import dataclasses
+import logging
+import multiprocessing
+import os
+import shutil
+import signal
+import socket
+import tempfile
+import threading
+import time
+
+from repro.service import aggregate
+from repro.service.config import ServiceConfig
+from repro.util.shmcache import SharedResultCache
+
+__all__ = ["Supervisor", "reuse_port_supported"]
+
+log = logging.getLogger(__name__)
+
+#: a worker alive this long resets its crash-backoff ladder
+_HEALTHY_UPTIME_S = 10.0
+#: how long the supervisor waits for each worker's ready message
+_READY_TIMEOUT_S = 30.0
+#: monitor poll interval (crash detection latency bound)
+_POLL_S = 0.1
+
+
+def reuse_port_supported() -> bool:
+    return hasattr(socket, "SO_REUSEPORT")
+
+
+def _bind_socket(host: str, port: int, *, reuse_port: bool, listen: bool) -> socket.socket:
+    sock = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    try:
+        if reuse_port:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEPORT, 1)
+        else:
+            sock.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+        sock.bind((host, port))
+        if listen:
+            sock.listen(128)
+    except OSError:
+        sock.close()
+        raise
+    return sock
+
+
+def _worker_main(config: ServiceConfig, listen_sock, ready_q, shared_lock) -> None:
+    """Entry point of one forked worker: run a service until SIGTERM.
+
+    ``listen_sock`` is the inherited listener in handoff mode, or None
+    in reuse-port mode (the worker binds its own below, so a restarted
+    worker starts accepting with no gap for its siblings).
+    """
+    import asyncio
+
+    from repro.service.server import PartitionService
+
+    async def _run() -> None:
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        loop.add_signal_handler(signal.SIGTERM, stop.set)
+        loop.add_signal_handler(signal.SIGINT, stop.set)
+        service = PartitionService(config, shared_lock=shared_lock)
+        sock = listen_sock
+        if sock is None:
+            sock = _bind_socket(
+                config.host, config.port, reuse_port=True, listen=True
+            )
+        try:
+            await service.start(sock=sock)
+        except Exception as exc:  # reprolint: disable=exc-broad
+            # whatever killed startup, the supervisor must hear about
+            # it (instead of hanging on the ready queue) and the error
+            # still propagates to this worker's own exit status
+            ready_q.put(("failed", config.worker_id, os.getpid(), repr(exc)))
+            raise
+        ready_q.put(("ready", config.worker_id, os.getpid(), service.port))
+        try:
+            await stop.wait()
+        finally:
+            await service.stop()
+
+    asyncio.run(_run())
+
+
+class Supervisor:
+    """Fork, watch and drain ``config.workers`` service processes."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        if config.workers < 2:
+            raise ValueError(
+                "Supervisor needs workers >= 2; run PartitionService "
+                "directly for a single process"
+            )
+        self.config = config
+        self._ctx = multiprocessing.get_context("fork")
+        self._mode = "reuseport" if (
+            config.reuse_port and reuse_port_supported()
+        ) else "handoff"
+        self._probe: socket.socket | None = None
+        self._listener: socket.socket | None = None
+        self._port: int | None = None
+        self._cache: SharedResultCache | None = None
+        self._cache_lock = None
+        self._runtime_dir: str | None = None
+        self._owns_runtime_dir = False
+        self._ready_q = self._ctx.Queue()
+        self._procs: dict[int, multiprocessing.process.BaseProcess] = {}
+        self._started_at: dict[int, float] = {}
+        self._failures: dict[int, int] = {}
+        self._stopping = threading.Event()
+        self._monitor: threading.Thread | None = None
+
+    # ------------------------------------------------------------------
+    @property
+    def port(self) -> int:
+        if self._port is None:
+            raise RuntimeError("supervisor not started")
+        return self._port
+
+    @property
+    def mode(self) -> str:
+        """``reuseport`` or ``handoff`` (resolved against the platform)."""
+        return self._mode
+
+    @property
+    def runtime_dir(self) -> str:
+        if self._runtime_dir is None:
+            raise RuntimeError("supervisor not started")
+        return self._runtime_dir
+
+    def worker_pids(self) -> dict[int, int]:
+        return {
+            wid: p.pid for wid, p in self._procs.items() if p.pid is not None
+        }
+
+    # ------------------------------------------------------------------
+    def start(self, *, ready_timeout_s: float = _READY_TIMEOUT_S) -> None:
+        """Bind, fork every worker and block until all report ready."""
+        config = self.config
+        if self._mode == "reuseport":
+            # bound but never listening: resolves port 0, reserves the
+            # address, receives no connections
+            self._probe = _bind_socket(
+                config.host, config.port, reuse_port=True, listen=False
+            )
+            self._port = self._probe.getsockname()[1]
+        else:
+            self._listener = _bind_socket(
+                config.host, config.port, reuse_port=False, listen=True
+            )
+            self._port = self._listener.getsockname()[1]
+        self._runtime_dir = config.runtime_dir
+        if self._runtime_dir is None:
+            self._runtime_dir = tempfile.mkdtemp(prefix="repro-service-")
+            self._owns_runtime_dir = True
+        else:
+            os.makedirs(self._runtime_dir, exist_ok=True)
+        if config.shared_cache_enabled:
+            self._cache_lock = self._ctx.Lock()
+            self._cache = SharedResultCache.create(
+                config.shared_cache_slots,
+                config.shared_cache_value_bytes,
+                lock=self._cache_lock,
+            )
+        try:
+            for worker_id in range(config.workers):
+                self._spawn(worker_id)
+            self._await_ready(config.workers, ready_timeout_s)
+        except Exception:
+            self._stopping.set()
+            self._kill_all()
+            self._cleanup()
+            raise
+        self._monitor = threading.Thread(
+            target=self._monitor_loop, name="service-supervisor", daemon=True
+        )
+        self._monitor.start()
+
+    def _worker_config(self, worker_id: int) -> ServiceConfig:
+        return dataclasses.replace(
+            self.config,
+            port=self._port,
+            worker_id=worker_id,
+            runtime_dir=self._runtime_dir,
+            # `is not None`: an empty SharedResultCache is falsy (__len__)
+            shared_cache_name=self._cache.name if self._cache is not None else None,
+        )
+
+    def _spawn(self, worker_id: int) -> None:
+        proc = self._ctx.Process(
+            target=_worker_main,
+            args=(
+                self._worker_config(worker_id),
+                self._listener,
+                self._ready_q,
+                self._cache_lock,
+            ),
+            name=f"repro-service-worker-{worker_id}",
+        )
+        proc.start()
+        self._procs[worker_id] = proc
+        self._started_at[worker_id] = time.monotonic()
+        log.info("worker %d started (pid %s, %s)", worker_id, proc.pid, self._mode)
+
+    def _await_ready(self, count: int, timeout_s: float) -> None:
+        import queue as _queue
+
+        deadline = time.monotonic() + timeout_s
+        ready = 0
+        while ready < count:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(
+                    f"only {ready}/{count} workers ready after {timeout_s}s"
+                )
+            try:
+                event = self._ready_q.get(timeout=remaining)
+            except _queue.Empty:
+                continue
+            if event[0] == "ready":
+                ready += 1
+            elif event[0] == "failed":
+                raise RuntimeError(
+                    f"worker {event[1]} (pid {event[2]}) failed to start: "
+                    f"{event[3]}"
+                )
+
+    # ------------------------------------------------------------------
+    def _monitor_loop(self) -> None:
+        """Restart crashed workers with exponential backoff."""
+        pending: dict[int, float] = {}  # worker_id -> restart-at monotonic
+        while not self._stopping.is_set():
+            now = time.monotonic()
+            for worker_id, proc in list(self._procs.items()):
+                if proc.is_alive() or worker_id in pending:
+                    continue
+                uptime = now - self._started_at.get(worker_id, now)
+                if uptime >= _HEALTHY_UPTIME_S:
+                    self._failures[worker_id] = 0
+                failures = self._failures.get(worker_id, 0)
+                backoff = min(
+                    self.config.restart_backoff_s * (2.0 ** failures),
+                    self.config.restart_backoff_max_s,
+                )
+                self._failures[worker_id] = failures + 1
+                aggregate.prune_worker_dump(self._runtime_dir, worker_id)
+                log.warning(
+                    "worker %d (pid %s) exited with code %s after %.1fs; "
+                    "restarting in %.2fs",
+                    worker_id, proc.pid, proc.exitcode, uptime, backoff,
+                )
+                proc.join()  # reap
+                pending[worker_id] = now + backoff
+            for worker_id, when in list(pending.items()):
+                if now >= when and not self._stopping.is_set():
+                    del pending[worker_id]
+                    self._spawn(worker_id)
+            self._stopping.wait(_POLL_S)
+
+    # ------------------------------------------------------------------
+    def stop(self) -> None:
+        """SIGTERM every worker, wait out the drain, kill stragglers."""
+        if self._stopping.is_set():
+            return
+        self._stopping.set()
+        if self._monitor is not None:
+            self._monitor.join(timeout=5.0)
+            self._monitor = None
+        for proc in self._procs.values():
+            if proc.is_alive() and proc.pid is not None:
+                with contextlib.suppress(ProcessLookupError):
+                    os.kill(proc.pid, signal.SIGTERM)
+        # each worker's own drain is bounded by shutdown_grace_s; give
+        # the fleet that plus a margin for event-loop teardown
+        deadline = time.monotonic() + self.config.shutdown_grace_s + 5.0
+        for proc in self._procs.values():
+            proc.join(timeout=max(0.0, deadline - time.monotonic()))
+        self._kill_all()
+        self._cleanup()
+
+    def _kill_all(self) -> None:
+        for proc in self._procs.values():
+            if proc.is_alive():
+                proc.kill()
+                proc.join(timeout=5.0)
+        self._procs.clear()
+
+    def _cleanup(self) -> None:
+        if self._cache is not None:
+            self._cache.destroy()  # close + unlink: workers are gone
+            self._cache = None
+        for sock in (self._probe, self._listener):
+            if sock is not None:
+                sock.close()
+        self._probe = self._listener = None
+        if self._owns_runtime_dir and self._runtime_dir is not None:
+            shutil.rmtree(self._runtime_dir, ignore_errors=True)
+
+    # ------------------------------------------------------------------
+    def run(self) -> None:
+        """Blocking entry point: start, serve until SIGTERM/SIGINT, stop.
+
+        Installs its own signal handlers -- only call from a main
+        thread that owns the process's signal disposition (the CLI).
+        """
+        stop_event = threading.Event()
+
+        def _on_signal(signum, frame) -> None:
+            stop_event.set()
+
+        old_term = signal.signal(signal.SIGTERM, _on_signal)
+        old_int = signal.signal(signal.SIGINT, _on_signal)
+        try:
+            self.start()
+            log.info(
+                "serving on %s:%d with %d workers (%s)",
+                self.config.host, self.port, self.config.workers, self._mode,
+            )
+            stop_event.wait()
+        finally:
+            signal.signal(signal.SIGTERM, old_term)
+            signal.signal(signal.SIGINT, old_int)
+            self.stop()
+
+    def __enter__(self) -> "Supervisor":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.stop()

@@ -1,0 +1,323 @@
+"""Cross-process shared result cache over POSIX shared memory.
+
+A fixed-size, open-addressed hash table living in one
+``multiprocessing.shared_memory`` segment, so a result cached by any
+pre-fork worker of the advisor service is a hit for all of them.  The
+layout is a superblock followed by ``slots`` fixed-size slots:
+
+* superblock (32 bytes): magic, layout version, slot count, payload
+  capacity -- attachers read the geometry from the segment instead of
+  trusting their own configuration;
+* slot header (32 bytes): a ``u64`` seqlock *version* word (even =
+  stable, odd = write in progress, 0 = never written), a 16-byte
+  content-addressed key, the payload length (``u32``) and a CRC-32 of
+  the payload (``u32``);
+* payload (``value_bytes``): UTF-8 JSON of the cached response.
+
+Readers are lock-free: sample the version word, copy the slot, sample
+it again -- a write that overlapped the copy changes the word, and the
+CRC turns any tear the seqlock protocol cannot see (a crashed or
+unlocked racing writer) into a plain miss, never a wrong answer.
+Writers serialize through an optional cross-process ``lock`` (the
+service supervisor hands the same ``multiprocessing.Lock`` to every
+worker it forks); without one, last-writer-wins races are detected the
+same way.
+
+Entries never expire: a colliding put overwrites the least-recently
+*written* slot of its probe window (the version word doubles as a
+write counter), which is the right behavior for a content-addressed
+cache of deterministic solves -- any stored value is forever correct
+for its key.  Oversized payloads are rejected (the caller keeps them
+in its per-process LRU), so the table degrades gracefully rather than
+fragmenting.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import struct
+import zlib
+from dataclasses import dataclass, field
+
+__all__ = ["SharedCacheStats", "SharedResultCache"]
+
+_MAGIC = 0x52504243  # "RPBC"
+_LAYOUT_VERSION = 1
+_SUPERBLOCK = struct.Struct("<IIQQQ")  # magic, layout, slots, value_bytes, probe
+_HEADER = struct.Struct("<Q16sII")  # version, key, length, crc32
+_HEADER_SIZE = _HEADER.size
+assert _HEADER_SIZE == 32
+
+#: linear-probe window: a key may live in any of these many slots
+PROBE_WINDOW = 4
+
+#: one retry when a reader catches a writer mid-slot
+_READ_RETRIES = 2
+
+
+def _key_bytes(key: str) -> bytes:
+    """16 content-addressed bytes for any digest string."""
+    return hashlib.blake2b(key.encode("utf-8"), digest_size=16).digest()
+
+
+@dataclass
+class SharedCacheStats:
+    """Per-process counters (the segment itself holds no statistics)."""
+
+    hits: int = 0
+    misses: int = 0
+    puts: int = 0
+    #: payload too large for a slot -- stays in the per-process LRU
+    rejects: int = 0
+    #: reads discarded by the seqlock/CRC consistency checks
+    races: int = 0
+    extra: dict = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "puts": self.puts,
+            "rejects": self.rejects,
+            "races": self.races,
+        }
+
+
+class SharedResultCache:
+    """Seqlock-protected response cache shared by pre-fork workers.
+
+    Create one segment in the supervisor (:meth:`create`), attach from
+    each worker (:meth:`attach`), and destroy it exactly once when the
+    fleet drains (:meth:`destroy`).  ``get``/``put`` speak the same
+    ``str -> dict`` contract as the per-process LRU so
+    :class:`repro.service.cache.ResultCache` can layer the two.
+    """
+
+    def __init__(self, shm, *, owner: bool, lock=None) -> None:
+        self._shm = shm
+        self._owner = owner
+        self._lock = lock
+        self.stats = SharedCacheStats()
+        magic, layout, slots, value_bytes, probe = _SUPERBLOCK.unpack_from(
+            shm.buf, 0
+        )
+        if magic != _MAGIC or layout != _LAYOUT_VERSION:
+            raise ValueError(
+                f"segment {shm.name!r} is not a shared result cache "
+                f"(magic=0x{magic:x}, layout={layout})"
+            )
+        self.slots = int(slots)
+        self.value_bytes = int(value_bytes)
+        self.probe_window = int(probe)
+        self._slot_size = _HEADER_SIZE + self.value_bytes
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        slots: int = 2048,
+        value_bytes: int = 1536,
+        *,
+        lock=None,
+    ) -> "SharedResultCache":
+        """Allocate a fresh zeroed segment and become its owner."""
+        from multiprocessing import shared_memory
+
+        if slots <= 0:
+            raise ValueError(f"slots must be > 0, got {slots}")
+        if value_bytes <= 0:
+            raise ValueError(f"value_bytes must be > 0, got {value_bytes}")
+        size = _SUPERBLOCK.size + slots * (_HEADER_SIZE + value_bytes)
+        shm = shared_memory.SharedMemory(create=True, size=size)
+        # SharedMemory may round the mapping up; the superblock is the
+        # source of truth for the geometry either way
+        _SUPERBLOCK.pack_into(
+            shm.buf, 0, _MAGIC, _LAYOUT_VERSION, slots, value_bytes, PROBE_WINDOW
+        )
+        return cls(shm, owner=True, lock=lock)
+
+    @classmethod
+    def attach(cls, name: str, *, lock=None) -> "SharedResultCache":
+        """Map an existing segment; the creator keeps ownership.
+
+        The resource tracker must not adopt the mapping -- a worker
+        exiting (or crashing) would otherwise unlink the segment out
+        from under its siblings.  ``track=False`` landed in 3.13; on
+        earlier Pythons the registration is suppressed at the source
+        rather than unregistered after the fact: forked workers share
+        one tracker process whose name cache is a *set*, so N paired
+        register/unregister calls collapse into one entry and the
+        second remove crashes the tracker with a KeyError.
+        """
+        from multiprocessing import shared_memory
+
+        try:
+            shm = shared_memory.SharedMemory(name=name, track=False)
+        except TypeError:
+            from multiprocessing import resource_tracker
+
+            original_register = resource_tracker.register
+
+            def _skip_shared_memory(target, rtype):
+                if rtype != "shared_memory":
+                    original_register(target, rtype)
+
+            resource_tracker.register = _skip_shared_memory
+            try:
+                shm = shared_memory.SharedMemory(name=name)
+            finally:
+                resource_tracker.register = original_register
+        return cls(shm, owner=False, lock=lock)
+
+    @property
+    def name(self) -> str:
+        return self._shm.name
+
+    def close(self) -> None:
+        """Drop this process's mapping (the segment itself lives on)."""
+        try:
+            self._shm.close()
+        except (OSError, BufferError):
+            pass
+
+    def destroy(self) -> None:
+        """Owner-side teardown: unmap and unlink the segment."""
+        self.close()
+        if self._owner:
+            try:
+                self._shm.unlink()
+            except OSError:
+                pass  # racing teardown already removed the name
+
+    def __enter__(self) -> "SharedResultCache":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.destroy() if self._owner else self.close()
+
+    # ------------------------------------------------------------------
+    # seqlock plumbing
+    # ------------------------------------------------------------------
+    def _slot_offset(self, slot: int) -> int:
+        return _SUPERBLOCK.size + slot * self._slot_size
+
+    def _probe_slots(self, kb: bytes) -> list[int]:
+        index = int.from_bytes(kb[:8], "little") % self.slots
+        return [(index + j) % self.slots for j in range(self.probe_window)]
+
+    def _read_version(self, offset: int) -> int:
+        return struct.unpack_from("<Q", self._shm.buf, offset)[0]
+
+    def _write_version(self, offset: int, version: int) -> None:
+        struct.pack_into("<Q", self._shm.buf, offset, version)
+
+    # ------------------------------------------------------------------
+    # cache interface
+    # ------------------------------------------------------------------
+    def get(self, key: str) -> dict | None:
+        kb = _key_bytes(key)
+        for slot in self._probe_slots(kb):
+            value = self._read_slot(slot, kb)
+            if value is not None:
+                self.stats.hits += 1
+                return value
+        self.stats.misses += 1
+        return None
+
+    def _read_slot(self, slot: int, kb: bytes) -> dict | None:
+        offset = self._slot_offset(slot)
+        for _ in range(_READ_RETRIES + 1):
+            v1, key, length, crc = _HEADER.unpack_from(self._shm.buf, offset)
+            if v1 == 0 or key != kb:
+                return None
+            if v1 % 2 == 1:  # writer mid-slot; sample again
+                self.stats.races += 1
+                continue
+            if not 0 < length <= self.value_bytes:
+                return None  # torn header from an unlocked racing writer
+            start = offset + _HEADER_SIZE
+            payload = bytes(self._shm.buf[start : start + length])
+            if self._read_version(offset) != v1:
+                self.stats.races += 1
+                continue  # overwritten while copying
+            if zlib.crc32(payload) != crc:
+                self.stats.races += 1
+                return None  # tear the seqlock could not see
+            try:
+                return json.loads(payload.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                return None
+        return None
+
+    def put(self, key: str, value: dict) -> bool:
+        """Store ``value``; False when it does not fit (caller keeps it)."""
+        payload = json.dumps(value, separators=(",", ":")).encode("utf-8")
+        if len(payload) > self.value_bytes:
+            self.stats.rejects += 1
+            return False
+        kb = _key_bytes(key)
+        if self._lock is not None:
+            with self._lock:
+                self._store(kb, payload)
+        else:
+            self._store(kb, payload)
+        self.stats.puts += 1
+        return True
+
+    def _pick_victim(self, kb: bytes) -> int:
+        """Matching key beats empty beats least-recently-written."""
+        candidates = self._probe_slots(kb)
+        best, best_version = candidates[0], None
+        for slot in candidates:
+            version, key, _, _ = _HEADER.unpack_from(
+                self._shm.buf, self._slot_offset(slot)
+            )
+            if version and key == kb:
+                return slot
+            if version == 0:
+                return slot
+            if best_version is None or version < best_version:
+                best, best_version = slot, version
+        return best
+
+    def _store(self, kb: bytes, payload: bytes) -> None:
+        slot = self._pick_victim(kb)
+        offset = self._slot_offset(slot)
+        version = self._read_version(offset)
+        if version % 2 == 1:
+            version += 1  # heal a slot a crashed writer left mid-write
+        # seqlock write protocol: odd while the slot is inconsistent,
+        # back to even (and larger) once the payload is in place
+        self._write_version(offset, version + 1)
+        _HEADER.pack_into(
+            self._shm.buf,
+            offset,
+            version + 1,
+            kb,
+            len(payload),
+            zlib.crc32(payload),
+        )
+        start = offset + _HEADER_SIZE
+        self._shm.buf[start : start + len(payload)] = payload
+        self._write_version(offset, version + 2)
+
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        """Occupied slots (linear scan; diagnostics only)."""
+        count = 0
+        for slot in range(self.slots):
+            if self._read_version(self._slot_offset(slot)) > 0:
+                count += 1
+        return count
+
+    def snapshot(self) -> dict:
+        return dict(
+            self.stats.as_dict(),
+            slots=self.slots,
+            used=len(self),
+            value_bytes=self.value_bytes,
+            segment=self.name,
+        )

@@ -1,0 +1,24 @@
+"""Fixture: shared-cache mmap lifecycle violations."""
+
+import struct
+from multiprocessing import shared_memory
+
+
+class BadSlotWriter:
+    def __init__(self, shm):
+        self._shm = shm
+
+    def _write_version(self, offset, version):
+        struct.pack_into("<Q", self._shm.buf, offset, version)
+
+    def store(self, offset, payload):
+        # opens the seqlock (odd version) but never closes it: every
+        # reader sees write-in-progress forever
+        self._write_version(offset, 1)
+        self._shm.buf[offset + 8 : offset + 8 + len(payload)] = payload
+
+
+def attach(name):
+    # adopted by this process's resource tracker: exiting unlinks the
+    # segment out from under every sibling worker
+    return shared_memory.SharedMemory(name=name)

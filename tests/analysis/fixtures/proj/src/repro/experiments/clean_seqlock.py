@@ -1,0 +1,33 @@
+"""Fixture: hygienic counterparts of bad_seqlock."""
+
+import struct
+from multiprocessing import shared_memory
+
+
+class SlotWriter:
+    def __init__(self, shm):
+        self._shm = shm
+
+    def _write_version(self, offset, version):
+        struct.pack_into("<Q", self._shm.buf, offset, version)
+
+    def store(self, offset, payload, version):
+        self._write_version(offset, version + 1)  # odd: write in progress
+        self._shm.buf[offset + 8 : offset + 8 + len(payload)] = payload
+        self._write_version(offset, version + 2)  # even: stable again
+
+
+def blit(shm, block):
+    # a one-shot init-time write, not a seqlock slot: no versioning
+    shm.buf[: len(block)] = block
+
+
+def attach(name):
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:
+        shm = shared_memory.SharedMemory(name=name)
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+        return shm

@@ -71,6 +71,16 @@ def test_clean_ipc_is_silent(fixture_result) -> None:
     assert rules_for(fixture_result, "clean_ipc.py") == []
 
 
+def test_seqlock_rule_fires(fixture_result) -> None:
+    rules = rules_for(fixture_result, "bad_seqlock.py")
+    # one torn write bracket + one tracker-adopted attach
+    assert rules.count("ipc-seqlock") == 2
+
+
+def test_clean_seqlock_is_silent(fixture_result) -> None:
+    assert rules_for(fixture_result, "clean_seqlock.py") == []
+
+
 # ----------------------------------------------------------------------
 # exceptions
 # ----------------------------------------------------------------------
@@ -120,6 +130,7 @@ def test_rule_catalogue_is_complete() -> None:
         "ipc-shm-unlink",
         "ipc-atomic-write",
         "ipc-mutable-default",
+        "ipc-seqlock",
         "inv-conservation",
         "exc-broad",
     }

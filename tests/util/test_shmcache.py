@@ -1,0 +1,160 @@
+"""SharedResultCache: seqlock correctness, eviction, multi-process use."""
+
+from __future__ import annotations
+
+import multiprocessing
+
+import pytest
+
+from repro.util.shmcache import SharedResultCache
+
+
+@pytest.fixture()
+def cache():
+    c = SharedResultCache.create(slots=16, value_bytes=256)
+    yield c
+    c.destroy()
+
+
+# ----------------------------------------------------------------------
+# single-process semantics
+# ----------------------------------------------------------------------
+def test_roundtrip(cache):
+    value = {"beta": [0.5, 0.5], "source": "analytic"}
+    assert cache.put("key-a", value) is True
+    assert cache.get("key-a") == value
+    assert cache.stats.hits == 1
+
+
+def test_miss_returns_none(cache):
+    assert cache.get("never-stored") is None
+    assert cache.stats.misses == 1
+
+
+def test_overwrite_same_key(cache):
+    cache.put("k", {"v": 1})
+    cache.put("k", {"v": 2})
+    assert cache.get("k") == {"v": 2}
+    assert len(cache) == 1
+
+
+def test_oversized_value_is_rejected_not_stored(cache):
+    big = {"blob": "x" * 4096}
+    assert cache.put("big", big) is False
+    assert cache.get("big") is None
+    assert cache.stats.rejects == 1
+
+
+def test_eviction_prefers_empty_then_oldest(cache):
+    # 16 slots, probe window 4: overfilling must never raise, and
+    # recently-written keys must survive a same-bucket eviction
+    for i in range(100):
+        assert cache.put(f"key-{i}", {"i": i}) is True
+    assert cache.get("key-99") == {"i": 99}
+    assert 0 < len(cache) <= 16
+
+
+def test_len_and_snapshot(cache):
+    cache.put("a", {"x": 1})
+    snap = cache.snapshot()
+    assert snap["slots"] == 16
+    assert snap["used"] == len(cache) == 1
+    assert snap["segment"] == cache.name
+
+
+def test_attach_sees_creators_writes(cache):
+    other = SharedResultCache.attach(cache.name)
+    try:
+        cache.put("shared-key", {"answer": 42})
+        assert other.get("shared-key") == {"answer": 42}
+        other.put("reverse", {"ok": True})
+        assert cache.get("reverse") == {"ok": True}
+    finally:
+        other.close()
+
+
+def test_close_then_destroy_is_idempotent():
+    c = SharedResultCache.create(slots=4, value_bytes=128)
+    c.destroy()
+    c.destroy()  # second destroy must be a no-op, not an OSError
+
+
+def test_torn_slot_is_a_miss_not_garbage(cache):
+    cache.put("k", {"v": 1})
+    # simulate a writer dying mid-write: force the version word odd
+    slot = next(
+        s for s in range(cache.slots)
+        if cache._read_version(cache._slot_offset(s)) % 2 == 0
+        and cache._read_version(cache._slot_offset(s)) > 0
+    )
+    offset = cache._slot_offset(slot)
+    cache._write_version(offset, cache._read_version(offset) + 1)
+    assert cache.get("k") is None  # detectably torn, never wrong data
+    # the next put to that key heals the slot
+    cache.put("k", {"v": 2})
+    assert cache.get("k") == {"v": 2}
+
+
+def test_corrupt_payload_fails_crc(cache):
+    cache.put("k", {"v": 1})
+    # flip payload bytes without touching the version word: the CRC
+    # must catch what the seqlock cannot
+    slot = next(
+        s for s in range(cache.slots)
+        if cache._read_version(cache._slot_offset(s)) > 0
+    )
+    start = cache._slot_offset(slot) + 32
+    cache._shm.buf[start] = cache._shm.buf[start] ^ 0xFF
+    assert cache.get("k") is None
+    assert cache.stats.races >= 1
+
+
+# ----------------------------------------------------------------------
+# cross-process
+# ----------------------------------------------------------------------
+def _child_put(name, key, value):
+    c = SharedResultCache.attach(name)
+    try:
+        c.put(key, value)
+    finally:
+        c.close()
+
+
+def _child_get(name, key, queue):
+    c = SharedResultCache.attach(name)
+    try:
+        queue.put(c.get(key))
+    finally:
+        c.close()
+
+
+def test_cross_process_put_then_get(cache):
+    ctx = multiprocessing.get_context("fork")
+    put = ctx.Process(target=_child_put, args=(cache.name, "xp", {"from": "child"}))
+    put.start()
+    put.join(timeout=30)
+    assert put.exitcode == 0
+    assert cache.get("xp") == {"from": "child"}
+
+    cache.put("xp2", {"from": "parent"})
+    queue = ctx.Queue()
+    get = ctx.Process(target=_child_get, args=(cache.name, "xp2", queue))
+    get.start()
+    value = queue.get(timeout=30)
+    get.join(timeout=30)
+    assert value == {"from": "parent"}
+
+
+def test_child_exit_does_not_unlink_segment(cache):
+    # the attach must opt out of the resource tracker: a child exiting
+    # (the common case: worker restart) must not destroy the segment
+    ctx = multiprocessing.get_context("fork")
+    proc = ctx.Process(target=_child_put, args=(cache.name, "still", {"here": 1}))
+    proc.start()
+    proc.join(timeout=30)
+    assert proc.exitcode == 0
+    reattached = SharedResultCache.attach(cache.name)
+    try:
+        assert reattached.get("still") == {"here": 1}
+    finally:
+        reattached.close()
